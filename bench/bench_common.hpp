@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries.
+ *
+ * Every binary regenerates one table or figure of the paper. Problem
+ * sizes default to the scaled-down sizes documented in EXPERIMENTS.md;
+ * set MTS_SCALE (e.g. MTS_SCALE=4) to run closer to paper sizes, and
+ * MTS_FAST=1 to shrink them further for smoke runs.
+ */
+#ifndef MTS_BENCH_BENCH_COMMON_HPP
+#define MTS_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/mtsim.hpp"
+#include "util/table.hpp"
+
+namespace mts::bench
+{
+
+/** Problem-size multiplier from MTS_SCALE / MTS_FAST. */
+inline double
+scaleFromEnv(double dflt = 1.0)
+{
+    if (const char *fast = std::getenv("MTS_FAST");
+        fast && fast[0] == '1')
+        return dflt * 0.2;
+    if (const char *s = std::getenv("MTS_SCALE"))
+        return std::atof(s) > 0 ? std::atof(s) * dflt : dflt;
+    return dflt;
+}
+
+/** Percent with no decimals, matching the paper's tables. */
+inline std::string
+pct(double fraction)
+{
+    return Table::num(100.0 * fraction, 0) + "%";
+}
+
+/** "-" for thread counts the search could not satisfy. */
+inline std::string
+threadsCell(int t)
+{
+    return t < 0 ? "-" : std::to_string(t);
+}
+
+/** Standard header line for every bench binary. */
+inline void
+banner(const std::string &what, double scale)
+{
+    std::printf("mtsim reproduction of %s  (scale %.2f; see "
+                "EXPERIMENTS.md)\n\n",
+                what.c_str(), scale);
+}
+
+} // namespace mts::bench
+
+#endif // MTS_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Beyond-the-paper extensions, each answering a question the paper
+ * raises but defers:
+ *
+ *  (1) "Simulations using realistic networks are needed to fully explore
+ *      this issue" (Section 6.1) — channel-width sweep: efficiency of
+ *      explicit-switch vs conditional-switch as channels narrow. The
+ *      paper's claim that 2-bit channels suffice *with caches* becomes
+ *      measurable.
+ *  (2) "If hardware combining is not available, software combining
+ *      techniques could be used for barriers" (Section 3, ref [26]) —
+ *      centralized vs combining-tree barrier under a hot-spot memory
+ *      model.
+ *  (3) "room for improvement by using more sophisticated scheduling
+ *      policies such as priority scheduling of threads inside critical
+ *      regions" (Section 6.2) — strict round robin vs holder-priority.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv(0.5);
+    banner("Extensions (channel width, combining trees, priority "
+           "scheduling)",
+           scale);
+
+    // ---- (1) channel-width sweep ----
+    {
+        ExperimentRunner runner(scale);
+        Table t("Channel width sweep: sor efficiency, 8 procs x 6 "
+                "threads, latency 200");
+        t.header({"model", "inf", "16b", "8b", "4b", "2b", "1b"});
+        for (SwitchModel m : {SwitchModel::ExplicitSwitch,
+                              SwitchModel::ConditionalSwitch}) {
+            std::vector<std::string> row{std::string(switchModelName(m))};
+            for (std::uint64_t bits : {0ull, 16ull, 8ull, 4ull, 2ull,
+                                       1ull}) {
+                auto cfg = ExperimentRunner::makeConfig(m, 8, 6);
+                cfg.network.channelBits = bits;
+                row.push_back(pct(runner.run(sorApp(), cfg).efficiency));
+            }
+            t.row(row);
+        }
+        t.print(std::cout);
+        std::puts("paper 6.1: without caches the bandwidth need is high; "
+                  "with caches \"channels\nas narrow as 2 bits ... would "
+                  "have sufficient bandwidth\".\n");
+    }
+
+    // ---- (2) combining-tree barrier vs centralized under hot spots ----
+    {
+        const std::string central = runtimePrelude() + R"(
+.shared bar, 2
+.shared tree, 512
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    li  s2, 0
+loop:
+    la  a0, bar
+    mv  a1, s1
+    call __mts_barrier
+    add s2, s2, 1
+    blt s2, 4, loop
+    halt
+)";
+        const std::string treed = runtimePrelude() + R"(
+.shared bar, 2
+.shared tree, 512
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    li  s2, 0
+loop:
+    la  a0, tree
+    mv  a1, s1
+    mv  a2, s0
+    call __mts_barrier_tree
+    add s2, s2, 1
+    blt s2, 4, loop
+    halt
+)";
+        Table t("Barrier episodes (4x) under a 32-cycle non-combining "
+                "memory port");
+        t.header({"processors", "centralized (cycles)", "tree (cycles)",
+                  "speedup"});
+        for (int procs : {4, 8, 16, 32, 64}) {
+            auto run = [&](const std::string &src) {
+                MachineConfig cfg;
+                cfg.model = SwitchModel::SwitchOnLoad;
+                cfg.numProcs = procs;
+                cfg.threadsPerProc = 1;
+                cfg.network.roundTrip = 200;
+                cfg.network.memPortCycles = 32;
+                Machine m(assemble(src), cfg);
+                return m.run().cycles;
+            };
+            Cycle c = run(central);
+            Cycle tr = run(treed);
+            t.row({std::to_string(procs), Table::num(c), Table::num(tr),
+                   Table::num(static_cast<double>(c) /
+                                  static_cast<double>(tr),
+                              2)});
+        }
+        t.print(std::cout);
+        std::puts("paper Section 3 / [26]: a combining tree bounds the "
+                  "fan-in per memory word\nto 4, so barrier latency grows "
+                  "logarithmically instead of linearly.\n");
+    }
+
+    // ---- (3) priority scheduling of critical regions ----
+    {
+        const std::string kernel = runtimePrelude() + R"(
+.const K, 30
+.shared counter, 1
+.shared lk, 2
+.shared arr, 1024*16
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    li  s2, 0
+loop:
+    la  a0, lk
+    call __mts_lock
+    lds t1, counter
+    add t1, t1, 1
+    sts t1, counter
+    la  a0, lk
+    call __mts_unlock
+    ; long cache-friendly streak between acquisitions
+    li  t2, 1024
+    mul t3, s0, t2
+    li  t4, arr
+    add t3, t4, t3
+    li  t5, 0
+stream:
+    lds t6, 0(t3)
+    add t3, t3, 1
+    add t5, t5, 1
+    blt t5, 96, stream
+    add s2, s2, 1
+    blt s2, K, loop
+    halt
+)";
+        Program prog = applyGroupingPass(assemble(kernel));
+        Table t("Critical-region priority scheduling (conditional-switch,"
+                " 4 procs x 4 threads)");
+        t.header({"policy", "cycles", "slice-forced switches",
+                  "counter"});
+        for (bool pri : {false, true}) {
+            MachineConfig cfg = ExperimentRunner::makeConfig(
+                SwitchModel::ConditionalSwitch, 4, 4);
+            cfg.prioritySched = pri;
+            Machine m(prog, cfg);
+            RunResult r = m.run();
+            t.row({pri ? "holder priority" : "strict round robin",
+                   Table::num(r.cycles),
+                   Table::num(r.cpu.sliceLimitSwitches),
+                   Table::num(static_cast<std::uint64_t>(
+                       m.sharedMem().readInt(
+                           prog.sharedAddr("counter"))))});
+        }
+        t.print(std::cout);
+        std::puts("paper 6.2: the slice limit is \"adequate for this "
+                  "study, but there is room\nfor improvement\" via "
+                  "priority scheduling — implemented here.");
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Paper Figure 1 is the taxonomy of multithreading models; this bench
+ * makes it quantitative: every model of the design space runs the same
+ * two applications (regular sor, irregular mp3d) on identical machines,
+ * so the motivations for each evolution step are visible as numbers.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Figure 1 (multithreading-model design space, quantified)",
+           scale);
+    ExperimentRunner runner(scale);
+
+    for (const App *app : {&sorApp(), &mp3dApp()}) {
+        Table t("All models on " + app->name() +
+                " (8 procs x 6 threads, 200-cycle latency)");
+        t.header({"Model", "Efficiency", "Utilization", "Switches",
+                  "Mean run-len", "Bits/cyc/proc"});
+        for (SwitchModel m : kAllModels) {
+            auto cfg = ExperimentRunner::makeConfig(m, 8, 6);
+            auto run = runner.run(*app, cfg);
+            t.row({std::string(switchModelName(m)),
+                   pct(run.efficiency),
+                   pct(run.result.utilization()),
+                   Table::num(run.result.cpu.switchesTaken),
+                   Table::num(run.result.cpu.runLengths.mean(), 1),
+                   Table::num(run.result.bitsPerCycle(), 2)});
+        }
+        t.print(std::cout);
+        std::puts("");
+    }
+    std::puts("paper (Section 2): grouping models need fewer switches "
+              "and fewer threads;\ncache models trade network bandwidth "
+              "for hardware.");
+    return 0;
+}

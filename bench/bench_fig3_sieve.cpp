@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper Figure 3: sieve under different multithreading levels. The ideal
+ * curve tops the plot; with 200-cycle latency and no extra threads the
+ * processors are ~9% utilized, and adding threads recovers nearly 100%
+ * efficiency by a multithreading level of ~12.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Figure 3 (sieve: efficiency vs processors and MT level)",
+           scale);
+    ExperimentRunner runner(scale);
+    const App &app = sieveApp();
+
+    const int procCounts[] = {1, 2, 4, 8, 16};
+    const int mtLevels[] = {1, 2, 4, 6, 8, 10, 12, 14};
+
+    Table t("Figure 3: sieve efficiency (rows: MT level; latency 200)");
+    std::vector<std::string> head = {"threads/proc"};
+    for (int p : procCounts)
+        head.push_back("P=" + std::to_string(p));
+    t.header(head);
+
+    {
+        std::vector<std::string> row = {"ideal (lat 0)"};
+        for (int p : procCounts) {
+            auto run = runner.run(app, ExperimentRunner::makeConfig(
+                                           SwitchModel::Ideal, p, 1, 0));
+            row.push_back(pct(run.efficiency));
+        }
+        t.row(row);
+    }
+    for (int mt : mtLevels) {
+        std::vector<std::string> row = {std::to_string(mt)};
+        for (int p : procCounts) {
+            auto run = runner.run(
+                app, ExperimentRunner::makeConfig(
+                         SwitchModel::SwitchOnLoad, p, mt, 200));
+            row.push_back(pct(run.efficiency));
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::puts("\npaper: without multithreading processors are busy only "
+              "9% of the time; at a\nmultithreading level of 12 nearly "
+              "100% efficiency is achieved, and the curve\nshape is "
+              "independent of the processor count in the linear region.");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulator speed microbenchmark (google-benchmark): simulated
+ * instructions per second for the main machine configurations — the
+ * engineering metric behind the paper's Section 3.1 discussion of
+ * simulation cost.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/mtsim.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+void
+runOnce(SwitchModel model, int procs, int threads, Cycle latency,
+        benchmark::State &state)
+{
+    const App &app = sieveApp();
+    AsmOptions opts = app.options(0.05);
+    Program prog = assemble(app.source(), opts);
+    if (modelNeedsSwitchInstr(model))
+        prog = applyGroupingPass(prog);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.model = model;
+        cfg.numProcs = procs;
+        cfg.threadsPerProc = threads;
+        cfg.network.roundTrip = latency;
+        Machine m(prog, cfg);
+        app.init(m);
+        RunResult r = m.run();
+        instructions += r.cpu.instructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Ideal(benchmark::State &state)
+{
+    runOnce(SwitchModel::Ideal, 1, 1, 0, state);
+}
+
+void
+BM_SwitchOnLoad(benchmark::State &state)
+{
+    runOnce(SwitchModel::SwitchOnLoad, 8, 8, 200, state);
+}
+
+void
+BM_ExplicitSwitch(benchmark::State &state)
+{
+    runOnce(SwitchModel::ExplicitSwitch, 8, 8, 200, state);
+}
+
+void
+BM_ConditionalSwitch(benchmark::State &state)
+{
+    runOnce(SwitchModel::ConditionalSwitch, 8, 8, 200, state);
+}
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const App &app = sorApp();
+    for (auto _ : state) {
+        Program p = assemble(app.source(), app.options(1.0));
+        benchmark::DoNotOptimize(p.code.size());
+    }
+}
+
+void
+BM_GroupingPass(benchmark::State &state)
+{
+    const App &app = sorApp();
+    Program p = assemble(app.source(), app.options(1.0));
+    for (auto _ : state) {
+        Program g = applyGroupingPass(p);
+        benchmark::DoNotOptimize(g.code.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_Ideal)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwitchOnLoad)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExplicitSwitch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConditionalSwitch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GroupingPass)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

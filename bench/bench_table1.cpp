@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Paper Table 1: the application inventory — description, problem size,
+ * and single-processor (0-latency) cycles. Our "Cycles" column is
+ * measured by the reference run at the current scale.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Table 1 (parallel applications)", scale);
+    ExperimentRunner runner(scale);
+
+    Table t("Table 1: Parallel Applications");
+    t.header({"Application", "Cycles (M)", "Shared loads", "Description"});
+    for (const App *app : allApps()) {
+        auto run = runner.run(*app, ExperimentRunner::makeConfig(
+                                        SwitchModel::Ideal, 1, 1, 0));
+        t.row({app->name(),
+               Table::num(static_cast<double>(run.result.cycles) / 1e6, 2),
+               Table::num(run.result.cpu.sharedLoads),
+               app->description()});
+    }
+    t.print(std::cout);
+    std::puts("\npaper: sieve 106M, blkmat 87M, sor 258M, ugray 1353M, "
+              "water 1082M, locus 665M, mp3d 192M\n"
+              "(our sizes are scaled down; see EXPERIMENTS.md)");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper Table 5: explicit-switch — threads needed for each efficiency
+ * target, plus the code-reorganization penalty (extra cswitch
+ * instructions and lost instruction overlap, measured on the ideal
+ * machine where no latency hiding masks it).
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Table 5 (explicit-switch: threads for efficiency + penalty)",
+           scale);
+    ExperimentRunner runner(scale);
+
+    const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
+    Table t("Table 5: Explicit-Switch — multithreading level needed");
+    t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%",
+              "Penalty"});
+    for (const App *app : allApps()) {
+        auto base = ExperimentRunner::makeConfig(
+            SwitchModel::ExplicitSwitch, app->tableProcs(), 1);
+        std::vector<std::string> row = {
+            app->name() + " (" + std::to_string(app->tableProcs()) + ")"};
+        for (double target : targets)
+            row.push_back(threadsCell(
+                runner.threadsForEfficiency(*app, base, target, 32)));
+
+        // Reorganization penalty: grouped vs original code on one ideal
+        // processor (cswitch cycles + lost overlap).
+        const PreparedApp &pa = runner.prepare(*app);
+        MachineConfig ideal;
+        ideal.numProcs = 1;
+        ideal.threadsPerProc = 1;
+        ideal.model = SwitchModel::Ideal;
+        ideal.network.roundTrip = 0;
+        Machine m(pa.grouped, ideal);
+        app->init(m);
+        RunResult r = m.run();
+        double penalty =
+            static_cast<double>(r.cycles) /
+                static_cast<double>(runner.referenceCycles(*app)) -
+            1.0;
+        row.push_back(pct(penalty));
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::puts("\npaper: all applications except locus reach 70%+ with 14 "
+              "or fewer threads; the\nreorganization penalty is a few "
+              "percent and always outweighed by grouping.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Section 5.2 + Table 6: estimating inter-block grouping with a
+ * one-line 32-word per-thread cache. Loads that hit the line of the
+ * preceding reference could have been grouped with it; the revised
+ * multithreading figures run with that optimistic merging enabled.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Table 6 (inter-block grouping estimate, Section 5.2)", scale);
+    ExperimentRunner runner(scale);
+
+    Table e("Section 5.2: one-line 32-word cache hit rates and grouping");
+    e.header({"Application", "Estimate hit rate", "Grouping (intra)",
+              "Grouping (w/ inter-block)"});
+    for (const App *app : allApps()) {
+        auto intra = runner.run(*app,
+                                ExperimentRunner::makeConfig(
+                                    SwitchModel::ExplicitSwitch,
+                                    app->tableProcs(), 4));
+        auto cfg = ExperimentRunner::makeConfig(
+            SwitchModel::ExplicitSwitch, app->tableProcs(), 4);
+        cfg.groupEstimate = true;
+        auto inter = runner.run(*app, cfg);
+        e.row({app->name(), pct(inter.result.estimateHitRate()),
+               Table::num(intra.result.groupingFactor(), 2),
+               Table::num(inter.result.groupingFactor(), 2)});
+    }
+    e.print(std::cout);
+
+    const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
+    Table t("Table 6: revised multithreading levels (with inter-block "
+            "grouping)");
+    t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%"});
+    for (const App *app : allApps()) {
+        auto base = ExperimentRunner::makeConfig(
+            SwitchModel::ExplicitSwitch, app->tableProcs(), 1);
+        base.groupEstimate = true;
+        std::vector<std::string> row = {
+            app->name() + " (" + std::to_string(app->tableProcs()) + ")"};
+        for (double target : targets)
+            row.push_back(threadsCell(
+                runner.threadsForEfficiency(*app, base, target, 32)));
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::puts("\npaper: ugray 42% hits, grouping 1.3 -> 1.9; locus 84% "
+              "hits, grouping 1.05 -> 6.6\n— a dramatic showing of the "
+              "potential for compiler-based inter-block grouping.");
+    return 0;
+}

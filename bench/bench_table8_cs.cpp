@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Paper Table 8: conditional-switch — the multithreading level needed
+ * for each efficiency target once caches skip unnecessary switches.
+ * The paper reports 80%+ efficiency with 6 or fewer threads; mp3d's row
+ * is 3/4/5/6/9 at 32 processors.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace mts;
+    using namespace mts::bench;
+    double scale = scaleFromEnv();
+    banner("Table 8 (conditional-switch: threads for efficiency)", scale);
+    ExperimentRunner runner(scale);
+
+    const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
+    Table t("Table 8: Conditional-Switch — multithreading level needed");
+    t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%"});
+    for (const App *app : allApps()) {
+        auto base = ExperimentRunner::makeConfig(
+            SwitchModel::ConditionalSwitch, app->tableProcs(), 1);
+        std::vector<std::string> row = {
+            app->name() + " (" + std::to_string(app->tableProcs()) + ")"};
+        for (double target : targets)
+            row.push_back(threadsCell(
+                runner.threadsForEfficiency(*app, base, target, 32)));
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::puts("\npaper: efficiencies of 80% or better with 6 threads or "
+              "less (small register\nfiles); mp3d (32 procs) needs "
+              "3/4/5/6/9 threads for 50/60/70/80/90%.");
+    return 0;
+}

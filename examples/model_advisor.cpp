@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Model advisor: for a given application, how many hardware thread
+ * contexts does each multithreading model need to reach a target
+ * efficiency — and what does it cost in network bandwidth? This is the
+ * architect's question the paper answers across Tables 3, 5 and 8.
+ *
+ *     ./build/examples/model_advisor [app] [target-efficiency]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/mtsim.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mts;
+    const App &app = findApp(argc > 1 ? argv[1] : "sor");
+    double target = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+    ExperimentRunner runner(0.5);
+    int procs = app.tableProcs();
+    std::printf("advisor: %s on %d processors, 200-cycle latency, target "
+                "%.0f%% efficiency\n\n",
+                app.name().c_str(), procs, 100.0 * target);
+
+    Table t("threads needed per model (and cost at that level)");
+    t.header({"model", "threads", "efficiency", "bits/cyc/proc",
+              "register file (regs)"});
+    for (SwitchModel m :
+         {SwitchModel::SwitchOnLoad, SwitchModel::SwitchOnUse,
+          SwitchModel::ExplicitSwitch, SwitchModel::SwitchOnMiss,
+          SwitchModel::ConditionalSwitch}) {
+        auto base = ExperimentRunner::makeConfig(m, procs, 1);
+        int threads = runner.threadsForEfficiency(app, base, target, 32);
+        if (threads < 0) {
+            t.row({std::string(switchModelName(m)), "-", "unreachable",
+                   "-", "-"});
+            continue;
+        }
+        base.threadsPerProc = threads;
+        auto run = runner.run(app, base);
+        t.row({std::string(switchModelName(m)), std::to_string(threads),
+               Table::num(100.0 * run.efficiency, 0) + "%",
+               Table::num(run.result.bitsPerCycle(), 2),
+               std::to_string(threads * 64)});
+    }
+    t.print(std::cout);
+    std::puts("\n(the register-file column is the paper's cost argument "
+              "for small\nmultithreading levels: 32 int + 32 fp "
+              "registers per context)");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quickstart: assemble a small parallel kernel, run it on two machine
+ * models, and read back its result — the mtsim public API in ~60 lines.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/mtsim.hpp"
+
+int
+main()
+{
+    using namespace mts;
+
+    // A tiny SPMD kernel: every thread sums a slice of a shared array
+    // and fetch-and-adds its partial into a global total. r4/a0 = thread
+    // id, r5/a1 = thread count at startup.
+    const std::string kernel = R"(
+.const N, 4096
+.shared data, N
+.shared total, 1
+.entry  main
+main:
+    li   t0, N
+    mul  t1, t0, a0
+    div  t1, t1, a1          ; lo = N*tid/nthreads
+    add  t2, a0, 1
+    mul  t3, t0, t2
+    div  t3, t3, a1          ; hi
+    li   t4, data
+    add  t5, t4, t1          ; cursor
+    add  t6, t4, t3          ; end
+    li   s0, 0               ; partial sum
+loop:
+    bge  t5, t6, done
+    lds  t7, 0(t5)           ; shared load (this is what we hide!)
+    add  s0, s0, t7
+    add  t5, t5, 1
+    j    loop
+done:
+    faa  t8, total(r0), s0
+    halt
+)";
+
+    // Assemble once; run the grouping pass for the explicit-switch model.
+    Program prog = assemble(kernel);
+    GroupingStats gs;
+    Program grouped = applyGroupingPass(prog, &gs);
+
+    auto runOn = [&](const Program &p, SwitchModel model, int threads) {
+        MachineConfig cfg;
+        cfg.model = model;
+        cfg.numProcs = 8;
+        cfg.threadsPerProc = threads;
+        cfg.network.roundTrip = 200;
+
+        Machine machine(p, cfg);
+        // Host-side input: fill the shared array.
+        SharedMemory &mem = machine.sharedMem();
+        Addr data = p.sharedAddr("data");
+        for (Addr i = 0; i < 4096; ++i)
+            mem.writeInt(data + i, static_cast<std::int64_t>(i % 7));
+
+        RunResult r = machine.run();
+        std::printf("  %-18s threads=%2d  cycles=%8llu  utilization=%4.0f%%"
+                    "  switches=%llu\n",
+                    std::string(switchModelName(model)).c_str(), threads,
+                    (unsigned long long)r.cycles,
+                    100.0 * r.utilization(),
+                    (unsigned long long)r.cpu.switchesTaken);
+        return machine.sharedMem().readInt(p.sharedAddr("total"));
+    };
+
+    std::puts("sum of 4096 elements on 8 processors, 200-cycle memory "
+              "latency:\n");
+    std::int64_t expect = 0;
+    for (int i = 0; i < 4096; ++i)
+        expect += i % 7;
+
+    std::puts("switch-on-load (no compiler support):");
+    std::int64_t a = runOn(prog, SwitchModel::SwitchOnLoad, 1);
+    std::int64_t b = runOn(prog, SwitchModel::SwitchOnLoad, 8);
+    std::puts("explicit-switch (grouped by the compiler pass):");
+    std::int64_t c = runOn(grouped, SwitchModel::ExplicitSwitch, 8);
+
+    std::printf("\nresults: %lld / %lld / %lld (expected %lld) — %s\n",
+                (long long)a, (long long)b, (long long)c,
+                (long long)expect,
+                (a == expect && b == expect && c == expect) ? "correct"
+                                                            : "WRONG");
+    std::printf("grouping pass inserted %zu context switches for %zu "
+                "shared loads\n",
+                gs.switchesInserted, gs.sharedLoads);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Latency hiding, visualized: an ASCII occupancy timeline of one
+ * processor's thread contexts under increasing multithreading levels.
+ * Columns are cycle buckets; the digit shows which thread context issued
+ * instructions, '.' means the processor sat idle waiting on memory.
+ *
+ *     ./build/examples/timeline [app] [model]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mtsim.hpp"
+#include "trace/timeline.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mts;
+    const App &app = findApp(argc > 1 ? argv[1] : "sor");
+    SwitchModel model =
+        switchModelFromName(argc > 2 ? argv[2] : "explicit-switch");
+
+    std::printf("one processor running %s under %s, 200-cycle latency\n\n",
+                app.name().c_str(),
+                std::string(switchModelName(model)).c_str());
+
+    for (int threads : {1, 2, 4, 8}) {
+        AsmOptions opts = app.options(0.05);
+        Program prog = assemble(app.source(), opts);
+        if (modelNeedsSwitchInstr(model))
+            prog = applyGroupingPass(prog);
+
+        MachineConfig cfg;
+        cfg.model = model;
+        cfg.numProcs = 1;
+        cfg.threadsPerProc = threads;
+        cfg.network.roundTrip = 200;
+
+        TimelineTracer timeline(400);
+        cfg.tracer = &timeline;
+        Machine machine(prog, cfg);
+        app.init(machine);
+        RunResult r = machine.run();
+
+        std::printf("--- %d thread%s: %llu cycles, occupancy %.0f%%, "
+                    "%llu switches ---\n",
+                    threads, threads > 1 ? "s" : "",
+                    (unsigned long long)r.cycles,
+                    100.0 * timeline.occupancy(),
+                    (unsigned long long)timeline.switches());
+        std::fputs(timeline.render(96).c_str(), stdout);
+        std::puts("");
+    }
+    std::puts("reading: with one thread the row is mostly '.', the "
+              "processor starving on\n200-cycle round trips; each added "
+              "context fills more of the row — the paper's\nlatency "
+              "hiding, one glyph per time slice.");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Application framework: the seven benchmark programs of the paper
+ * (Table 1), rewritten for the MTS machine.
+ *
+ * Each application supplies its assembly source (with the runtime prelude
+ * prepended), default problem-size defines, a host-side initializer that
+ * writes input data into shared memory, and a checker that verifies the
+ * computed result against a host oracle — so every simulation run is an
+ * end-to-end correctness test of the assembler, optimizer, memory system
+ * and coherence protocol.
+ */
+#ifndef MTS_APPS_APP_HPP
+#define MTS_APPS_APP_HPP
+
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace mts
+{
+
+/** Outcome of an application's self-check. */
+struct AppCheckResult
+{
+    bool ok = false;
+    std::string message;
+};
+
+/** One benchmark application. */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Short name as used in the paper ("sieve", "mp3d", ...). */
+    virtual std::string name() const = 0;
+
+    /** One-line description (Table 1 style). */
+    virtual std::string description() const = 0;
+
+    /** Full assembly source (runtime prelude included). */
+    virtual std::string source() const = 0;
+
+    /**
+     * Problem-size defines. @p scale stretches the default (scale 1.0 is
+     * the scaled-down default documented in EXPERIMENTS.md; larger values
+     * approach the paper's sizes).
+     */
+    virtual AsmOptions options(double scale = 1.0) const = 0;
+
+    /** Write input data into shared memory before the run. */
+    virtual void
+    init(Machine &machine) const
+    {
+        (void)machine;
+    }
+
+    /** Verify results against the host oracle after the run. */
+    virtual AppCheckResult check(Machine &machine) const = 0;
+
+    /** The paper's per-app processor count for the Table 3/5/6/8 rows. */
+    virtual int tableProcs() const = 0;
+};
+
+/** All seven applications, in Table 1 order. */
+const std::vector<const App *> &allApps();
+
+/** Find by name; fatal if unknown. */
+const App &findApp(const std::string &name);
+
+/// @name Individual application singletons.
+/// @{
+const App &sieveApp();
+const App &blkmatApp();
+const App &sorApp();
+const App &ugrayApp();
+const App &waterApp();
+const App &locusApp();
+const App &mp3dApp();
+/// @}
+
+/** The runtime prelude: ticket locks and sense-reversing barriers built
+ *  on fetch-and-add with spin loads (prepended to every app). */
+const std::string &runtimePrelude();
+
+} // namespace mts
+
+#endif // MTS_APPS_APP_HPP

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * locus — standard-cell wire router in the style of SPLASH LocusRoute
+ * (paper Table 1: Primary2, 1250 cells x 20 channels, 665 M cycles).
+ *
+ * Reproduced behaviours: wires are claimed from a dynamic queue
+ * (fetch-and-add); each wire evaluates two L-shaped candidate routes by
+ * walking a shared cost grid one cell at a time — a loop with a single
+ * shared load and 1-4 cycle run-lengths (locus' very short run-lengths in
+ * Table 2, and its poor *intra-block* grouping of ~1.05). Consecutive
+ * cells of a walk fall in the same 32-word line, which is exactly the
+ * inter-block grouping opportunity the paper's Section 5.2 cache
+ * experiment detects (84% hits for locus). The chosen route then bumps a
+ * congestion grid with fetch-and-adds. Route choice depends only on the
+ * read-only base grid, so results are deterministic.
+ */
+#include "apps/app.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+struct Wire
+{
+    std::int64_t r1, c1, r2, c2;
+};
+
+std::vector<Wire>
+makeWires(std::int64_t count, std::int64_t rows, std::int64_t cols)
+{
+    Rng rng(0x10c05u);
+    std::vector<Wire> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+        Wire w;
+        // Standard-cell channels are wide and short: wires span many
+        // columns but few rows (this is what makes locus' walks mostly
+        // horizontal, i.e. consecutive addresses).
+        w.r1 = static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(rows)));
+        w.r2 = std::min<std::int64_t>(
+            rows - 1,
+            w.r1 + static_cast<std::int64_t>(rng.nextBelow(7)));
+        w.c1 = static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(cols)));
+        w.c2 = static_cast<std::int64_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(cols)));
+        if (w.c1 > w.c2)
+            std::swap(w.c1, w.c2);
+        out.push_back(w);
+    }
+    return out;
+}
+
+std::int64_t
+baseCostAt(std::int64_t r, std::int64_t c)
+{
+    return (r * 7 + c * 13 + (r * c) % 5) % 9 + 1;
+}
+
+const char *const kSource = R"(
+.const ROWS, 32
+.const COLS, 128
+.const WIRES, 800
+.shared base_cost, ROWS*COLS
+.shared congest, ROWS*COLS
+.shared wires, WIRES*4
+.shared wire_ctr, 1
+.shared total_cost, 1
+.entry  main
+
+main:
+    mv   s0, a0
+    mv   s1, a1
+claim:
+    li   t0, wire_ctr
+    li   t1, 1
+    faa  t2, 0(t0), t1
+    li   t3, WIRES
+    bge  t2, t3, done
+    mul  t4, t2, 4
+    li   t5, wires
+    add  t5, t5, t4
+    ldsd s2, 0(t5)           ; r1 -> s2, c1 -> s3
+    ldsd s4, 2(t5)           ; r2 -> s4, c2 -> s5
+    ; ---- cost of route A: row r1 (c1..c2), then column c2 (r1+1..r2)
+    li   t0, base_cost
+    mul  t4, s2, COLS
+    add  t4, t0, t4
+    add  t5, t4, s3          ; &base[r1][c1]
+    add  t6, t4, s5          ; &base[r1][c2]
+    li   s6, 0
+costA_row:
+    lds  t7, 0(t5)
+    add  s6, s6, t7
+    add  t5, t5, 1
+    ble  t5, t6, costA_row
+    add  t5, s2, 1
+    mul  t5, t5, COLS
+    add  t5, t5, s5
+    add  t5, t0, t5          ; &base[r1+1][c2]
+    mul  t6, s4, COLS
+    add  t6, t6, s5
+    add  t6, t0, t6          ; &base[r2][c2]
+costA_col:
+    bgt  t5, t6, costA_done
+    lds  t7, 0(t5)
+    add  s6, s6, t7
+    add  t5, t5, COLS
+    j    costA_col
+costA_done:
+    ; ---- cost of route B: column c1 (r1..r2), then row r2 (c1+1..c2)
+    mul  t5, s2, COLS
+    add  t5, t5, s3
+    add  t5, t0, t5          ; &base[r1][c1]
+    mul  t6, s4, COLS
+    add  t6, t6, s3
+    add  t6, t0, t6          ; &base[r2][c1]
+    li   s7, 0
+costB_col:
+    bgt  t5, t6, costB_row_pre
+    lds  t7, 0(t5)
+    add  s7, s7, t7
+    add  t5, t5, COLS
+    j    costB_col
+costB_row_pre:
+    mul  t4, s4, COLS
+    add  t4, t0, t4
+    add  t5, t4, s3
+    add  t5, t5, 1           ; &base[r2][c1+1]
+    add  t6, t4, s5          ; &base[r2][c2]
+costB_row:
+    bgt  t5, t6, costB_done
+    lds  t7, 0(t5)
+    add  s7, s7, t7
+    add  t5, t5, 1
+    j    costB_row
+costB_done:
+    ; ---- commit the cheaper route into the congestion grid ----
+    li   t0, congest
+    li   t1, 1
+    ble  s6, s7, commitA
+    ; route B chosen
+    li   t2, total_cost
+    faa  r0, 0(t2), s7
+    mul  t5, s2, COLS
+    add  t5, t5, s3
+    add  t5, t0, t5
+    mul  t6, s4, COLS
+    add  t6, t6, s3
+    add  t6, t0, t6
+commitB_col:
+    bgt  t5, t6, commitB_row_pre
+    faa  r0, 0(t5), t1
+    add  t5, t5, COLS
+    j    commitB_col
+commitB_row_pre:
+    mul  t4, s4, COLS
+    add  t4, t0, t4
+    add  t5, t4, s3
+    add  t5, t5, 1
+    add  t6, t4, s5
+commitB_row:
+    bgt  t5, t6, claim
+    faa  r0, 0(t5), t1
+    add  t5, t5, 1
+    j    commitB_row
+commitA:
+    ; route A chosen
+    li   t2, total_cost
+    faa  r0, 0(t2), s6
+    mul  t4, s2, COLS
+    add  t4, t0, t4
+    add  t5, t4, s3
+    add  t6, t4, s5
+commitA_row:
+    faa  r0, 0(t5), t1
+    add  t5, t5, 1
+    ble  t5, t6, commitA_row
+    add  t5, s2, 1
+    mul  t5, t5, COLS
+    add  t5, t5, s5
+    add  t5, t0, t5
+    mul  t6, s4, COLS
+    add  t6, t6, s5
+    add  t6, t0, t6
+commitA_col:
+    bgt  t5, t6, claim
+    faa  r0, 0(t5), t1
+    add  t5, t5, COLS
+    j    commitA_col
+done:
+    halt
+)";
+
+class LocusApp : public App
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "locus";
+    }
+
+    std::string
+    description() const override
+    {
+        return "wire routing over a shared cost grid (dynamic claiming, "
+               "cell-by-cell probing)";
+    }
+
+    std::string
+    source() const override
+    {
+        return runtimePrelude() + kSource;
+    }
+
+    AsmOptions
+    options(double scale) const override
+    {
+        AsmOptions o;
+        o.defines["ROWS"] = 32;
+        o.defines["COLS"] = 128;
+        o.defines["WIRES"] = std::max<std::int64_t>(
+            32, static_cast<std::int64_t>(800 * scale));
+        return o;
+    }
+
+    int
+    tableProcs() const override
+    {
+        return 8;
+    }
+
+    void
+    init(Machine &machine) const override
+    {
+        const Program &prog = machine.program();
+        std::int64_t rows = prog.constValue("ROWS");
+        std::int64_t cols = prog.constValue("COLS");
+        std::int64_t wires = prog.constValue("WIRES");
+        SharedMemory &mem = machine.sharedMem();
+        Addr gb = prog.sharedAddr("base_cost");
+        for (std::int64_t r = 0; r < rows; ++r)
+            for (std::int64_t c = 0; c < cols; ++c)
+                mem.writeInt(gb + r * cols + c, baseCostAt(r, c));
+        Addr wb = prog.sharedAddr("wires");
+        auto list = makeWires(wires, rows, cols);
+        for (std::int64_t i = 0; i < wires; ++i) {
+            mem.writeInt(wb + i * 4, list[i].r1);
+            mem.writeInt(wb + i * 4 + 1, list[i].c1);
+            mem.writeInt(wb + i * 4 + 2, list[i].r2);
+            mem.writeInt(wb + i * 4 + 3, list[i].c2);
+        }
+    }
+
+    AppCheckResult
+    check(Machine &machine) const override
+    {
+        const Program &prog = machine.program();
+        std::int64_t rows = prog.constValue("ROWS");
+        std::int64_t cols = prog.constValue("COLS");
+        std::int64_t wires = prog.constValue("WIRES");
+        SharedMemory &mem = machine.sharedMem();
+
+        std::vector<std::uint64_t> congest(
+            static_cast<std::size_t>(rows * cols), 0);
+        std::uint64_t total = 0;
+        for (const Wire &w : makeWires(wires, rows, cols)) {
+            std::int64_t costA = 0;
+            for (std::int64_t c = w.c1; c <= w.c2; ++c)
+                costA += baseCostAt(w.r1, c);
+            for (std::int64_t r = w.r1 + 1; r <= w.r2; ++r)
+                costA += baseCostAt(r, w.c2);
+            std::int64_t costB = 0;
+            for (std::int64_t r = w.r1; r <= w.r2; ++r)
+                costB += baseCostAt(r, w.c1);
+            for (std::int64_t c = w.c1 + 1; c <= w.c2; ++c)
+                costB += baseCostAt(w.r2, c);
+            if (costA <= costB) {
+                total += static_cast<std::uint64_t>(costA);
+                for (std::int64_t c = w.c1; c <= w.c2; ++c)
+                    ++congest[w.r1 * cols + c];
+                for (std::int64_t r = w.r1 + 1; r <= w.r2; ++r)
+                    ++congest[r * cols + w.c2];
+            } else {
+                total += static_cast<std::uint64_t>(costB);
+                for (std::int64_t r = w.r1; r <= w.r2; ++r)
+                    ++congest[r * cols + w.c1];
+                for (std::int64_t c = w.c1 + 1; c <= w.c2; ++c)
+                    ++congest[w.r2 * cols + c];
+            }
+        }
+
+        std::uint64_t gotTotal = mem.read(prog.sharedAddr("total_cost"));
+        if (gotTotal != total)
+            return {false, format("locus: total cost %llu != %llu",
+                                  (unsigned long long)gotTotal,
+                                  (unsigned long long)total)};
+        Addr cg = prog.sharedAddr("congest");
+        for (std::int64_t i = 0; i < rows * cols; ++i)
+            if (mem.read(cg + i) != congest[i])
+                return {false,
+                        format("locus: congestion[%lld] mismatch",
+                               (long long)i)};
+        return {true, ""};
+    }
+};
+
+} // namespace
+
+const App &
+locusApp()
+{
+    static LocusApp app;
+    return app;
+}
+
+} // namespace mts

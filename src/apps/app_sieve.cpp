@@ -1,0 +1,223 @@
+/**
+ * @file
+ * sieve — counts primes below N (paper Table 1: "counts primes <
+ * 4,000,000", 242 lines, 106 M cycles).
+ *
+ * Structure mirrors a classic shared-memory sieve: every thread first
+ * computes the small primes up to sqrt(N) in *local* memory (no shared
+ * traffic), then marks the composites of its block of the shared flags
+ * array at a constant rate, then scans its block counting primes and
+ * accumulating a checksum, and finally combines with fetch-and-add.
+ * The count scan has one shared load every ~19 cycles — the "fairly
+ * constant run-length distribution" the paper describes.
+ */
+#include "apps/app.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+const char *const kSource = R"(
+.const N, 400000
+.shared flags, N
+.shared count, 1
+.shared checksum, 1
+.local  small, 1024
+.entry  main
+
+main:
+    mv   s0, a0              ; thread id
+    mv   s1, a1              ; number of threads
+    ; ---- sqrtN: first s with s*s >= N ----
+    li   s2, 2
+sqrt_loop:
+    mul  t0, s2, s2
+    bge  t0, N, sqrt_done
+    add  s2, s2, 1
+    j    sqrt_loop
+sqrt_done:
+    ; ---- local sieve over [0, s2] ----
+    la   t0, small
+    li   t1, 0
+zero_loop:
+    add  t2, t0, t1
+    stl  r0, 0(t2)
+    add  t1, t1, 1
+    ble  t1, s2, zero_loop
+    li   t1, 2               ; p
+small_outer:
+    mul  t2, t1, t1
+    bgt  t2, s2, small_done
+    add  t3, t0, t1
+    ldl  t3, 0(t3)
+    bne  t3, r0, small_next
+    mv   t4, t2              ; m = p*p
+small_mark:
+    bgt  t4, s2, small_next
+    add  t5, t0, t4
+    li   t6, 1
+    stl  t6, 0(t5)
+    add  t4, t4, t1
+    j    small_mark
+small_next:
+    add  t1, t1, 1
+    j    small_outer
+small_done:
+    ; ---- my block [lo, hi) of [2, N) ----
+    li   t1, N
+    sub  t1, t1, 2
+    mul  t2, t1, s0
+    div  t2, t2, s1
+    add  s3, t2, 2           ; lo
+    add  t3, s0, 1
+    mul  t2, t1, t3
+    div  t2, t2, s1
+    add  s4, t2, 2           ; hi
+    ; ---- mark composites of my block (shared stores, constant rate) ----
+    la   t0, small
+    li   s5, 2               ; p
+mark_outer:
+    bgt  s5, s2, mark_done
+    add  t1, t0, s5
+    ldl  t1, 0(t1)
+    bne  t1, r0, mark_next
+    mul  t2, s5, s5          ; p*p
+    add  t3, s3, s5
+    sub  t3, t3, 1
+    div  t3, t3, s5
+    mul  t3, t3, s5          ; first multiple >= lo
+    bge  t3, t2, mark_inner
+    mv   t3, t2
+mark_inner:
+    bge  t3, s4, mark_next
+    la   t5, flags
+    add  t6, t5, t3
+    li   t7, 1
+    sts  t7, 0(t6)
+    add  t3, t3, s5
+    j    mark_inner
+mark_next:
+    add  s5, s5, 1
+    j    mark_outer
+mark_done:
+    ; ---- count primes in my block with a rolling checksum ----
+    li   s5, 0               ; count
+    li   s6, 0               ; checksum
+    la   t5, flags
+    mv   t1, s3              ; i = lo
+count_loop:
+    bge  t1, s4, count_done
+    add  t2, t5, t1
+    lds  t3, 0(t2)
+    mul  t4, s6, 3
+    seq  t6, t3, 0
+    add  s5, s5, t6
+    add  t4, t4, t3
+    add  s6, t4, t1          ; checksum = 3*checksum + flag + i
+    add  t1, t1, 1
+    j    count_loop
+count_done:
+    la   t0, count
+    faa  r0, 0(t0), s5
+    la   t0, checksum
+    faa  r0, 0(t0), s6
+    halt
+)";
+
+class SieveApp : public App
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "sieve";
+    }
+
+    std::string
+    description() const override
+    {
+        return "counts primes < N (per-thread blocks of a shared flag "
+               "array)";
+    }
+
+    std::string
+    source() const override
+    {
+        return runtimePrelude() + kSource;
+    }
+
+    AsmOptions
+    options(double scale) const override
+    {
+        AsmOptions o;
+        o.defines["N"] =
+            static_cast<std::int64_t>(400000 * (scale > 0 ? scale : 1.0));
+        return o;
+    }
+
+    int
+    tableProcs() const override
+    {
+        return 8;  // paper used 16 at N=4M; 8 keeps our scaled
+                   // N=400K in the linear region
+    }
+
+    AppCheckResult
+    check(Machine &machine) const override
+    {
+        const Program &prog = machine.program();
+        const std::int64_t n = prog.constValue("N");
+        const int threads = machine.config().totalThreads();
+
+        // Host oracle: the same sieve.
+        std::vector<std::uint8_t> flag(static_cast<std::size_t>(n), 0);
+        for (std::int64_t p = 2; p * p < n; ++p) {
+            if (flag[p])
+                continue;
+            for (std::int64_t m = p * p; m < n; m += p)
+                flag[m] = 1;
+        }
+        std::uint64_t primes = 0;
+        std::uint64_t checksum = 0;
+        for (int t = 0; t < threads; ++t) {
+            std::int64_t lo = (n - 2) * t / threads + 2;
+            std::int64_t hi = (n - 2) * (t + 1) / threads + 2;
+            std::uint64_t cs = 0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+                if (!flag[i])
+                    ++primes;
+                cs = cs * 3 + flag[i] + static_cast<std::uint64_t>(i);
+            }
+            checksum += cs;
+        }
+
+        SharedMemory &mem = machine.sharedMem();
+        std::uint64_t gotCount = mem.read(prog.sharedAddr("count"));
+        std::uint64_t gotSum = mem.read(prog.sharedAddr("checksum"));
+        if (gotCount != primes)
+            return {false, format("sieve: count %llu != expected %llu",
+                                  (unsigned long long)gotCount,
+                                  (unsigned long long)primes)};
+        if (gotSum != checksum)
+            return {false, "sieve: checksum mismatch"};
+        return {true, ""};
+    }
+};
+
+} // namespace
+
+const App &
+sieveApp()
+{
+    static SieveApp app;
+    return app;
+}
+
+} // namespace mts

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * water — pairwise molecular-dynamics kernel in the style of SPLASH
+ * water (paper Table 1: 345 molecules, 2 iterations, 1082 M cycles).
+ *
+ * Reproduced behaviours: O(N^2) pairwise interactions whose inner loop
+ * loads a molecule's coordinates in a bunch (one Load-Double plus one
+ * load — a natural group of two accesses); ceil-divided *static block*
+ * load balancing, which produces the paper's Figure 2 quirk where
+ * efficiency jumps when the thread count divides the molecule count; and
+ * a lock-protected global reduction (potential energy), the kind of
+ * critical section that motivates the conditional-switch run-length
+ * limit (Section 6.2).
+ */
+#include "apps/app.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+double
+initCoord(std::int64_t axis, std::int64_t i)
+{
+    return static_cast<double>((i * 29 + axis * 13 + 7) % 97) * 0.25;
+}
+
+const char *const kSource = R"(
+.const N, 192                ; molecules
+.const ITERS, 2
+.shared pos, N*4             ; x,y,z,pad per molecule
+.shared pe_global, 1         ; potential energy (lock protected)
+.shared pe_lock, 2
+.shared bar, 2
+.local  force, N*4
+.entry  main
+
+main:
+    mv   s0, a0              ; tid
+    mv   s1, a1              ; nthreads
+    ; ceil-divided static block: chunk = (N + n - 1) / n
+    li   t0, N
+    add  t1, t0, s1
+    sub  t1, t1, 1
+    div  s7, t1, s1          ; chunk
+    mul  s2, s7, s0          ; lo = tid*chunk
+    add  s4, s2, s7
+    li   t0, N
+    blt  s4, t0, have_hi
+    mv   s4, t0              ; hi = min(N, lo+chunk)
+have_hi:
+    fli  f20, 1.0
+    fli  f21, 0.001          ; dt
+    fli  f19, 0.0            ; local potential energy
+    li   s5, 0               ; iteration
+iter_loop:
+    ; ---- force phase: rows [lo, hi) ----
+    mv   s3, s2              ; i
+force_i:
+    bge  s3, s4, force_done
+    mul  t0, s3, 4
+    li   t1, pos
+    add  t1, t1, t0          ; &pos[i]
+    fldsd f11, 0(t1)         ; xi, yi
+    flds f13, 2(t1)          ; zi
+    fli  f14, 0.0            ; fx
+    fli  f15, 0.0            ; fy
+    fli  f16, 0.0            ; fz
+    li   t3, 0               ; j
+    li   t2, pos             ; walking pointer
+force_j:
+    beq  t3, s3, force_skip
+    fldsd f1, 0(t2)          ; xj, yj
+    flds f3, 2(t2)           ; zj
+    fsub f4, f11, f1         ; dx
+    fsub f5, f12, f2         ; dy
+    fsub f6, f13, f3         ; dz
+    fmul f7, f4, f4
+    fmul f8, f5, f5
+    fmul f9, f6, f6
+    fadd f7, f7, f8
+    fadd f7, f7, f9
+    fadd f7, f7, f20         ; r2 = dx2+dy2+dz2+1
+    fdiv f8, f20, f7         ; inv = 1/r2
+    fadd f19, f19, f8        ; pe += inv
+    fmul f8, f8, f8          ; scale = inv*inv
+    fmul f9, f4, f8
+    fadd f14, f14, f9
+    fmul f9, f5, f8
+    fadd f15, f15, f9
+    fmul f9, f6, f8
+    fadd f16, f16, f9
+force_skip:
+    add  t2, t2, 4
+    add  t3, t3, 1
+    li   t4, N
+    blt  t3, t4, force_j
+    ; save force locally
+    mul  t0, s3, 4
+    la   t1, force
+    add  t1, t1, t0
+    fstl f14, 0(t1)
+    fstl f15, 1(t1)
+    fstl f16, 2(t1)
+    add  s3, s3, 1
+    j    force_i
+force_done:
+    la   a0, bar
+    mv   a1, s1
+    call __mts_barrier
+    ; ---- update phase: my molecules ----
+    mv   s3, s2
+update_i:
+    bge  s3, s4, update_done
+    mul  t0, s3, 4
+    la   t1, force
+    add  t1, t1, t0
+    fldl f14, 0(t1)
+    fldl f15, 1(t1)
+    fldl f16, 2(t1)
+    li   t2, pos
+    add  t2, t2, t0
+    fldsd f11, 0(t2)
+    flds f13, 2(t2)
+    fmul f9, f14, f21
+    fadd f11, f11, f9
+    fmul f9, f15, f21
+    fadd f12, f12, f9
+    fmul f9, f16, f21
+    fadd f13, f13, f9
+    fsts f11, 0(t2)
+    fsts f12, 1(t2)
+    fsts f13, 2(t2)
+    add  s3, s3, 1
+    j    update_i
+update_done:
+    la   a0, bar
+    mv   a1, s1
+    call __mts_barrier
+    add  s5, s5, 1
+    blt  s5, ITERS, iter_loop
+    ; ---- lock-protected global potential-energy reduction ----
+    la   a0, pe_lock
+    call __mts_lock
+    la   t0, pe_global
+    flds f1, 0(t0)
+    fadd f1, f1, f19
+    fsts f1, 0(t0)
+    la   a0, pe_lock
+    call __mts_unlock
+    halt
+)";
+
+class WaterApp : public App
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "water";
+    }
+
+    std::string
+    description() const override
+    {
+        return "pairwise molecular dynamics with static block balancing "
+               "and a locked global reduction";
+    }
+
+    std::string
+    source() const override
+    {
+        return runtimePrelude() + kSource;
+    }
+
+    AsmOptions
+    options(double scale) const override
+    {
+        AsmOptions o;
+        o.defines["N"] = std::max<std::int64_t>(
+            16, static_cast<std::int64_t>(192 * std::sqrt(scale)));
+        o.defines["ITERS"] = 2;
+        return o;
+    }
+
+    int
+    tableProcs() const override
+    {
+        return 8;
+    }
+
+    void
+    init(Machine &machine) const override
+    {
+        const Program &prog = machine.program();
+        std::int64_t n = prog.constValue("N");
+        SharedMemory &mem = machine.sharedMem();
+        Addr base = prog.sharedAddr("pos");
+        for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t axis = 0; axis < 3; ++axis)
+                mem.writeDouble(base + i * 4 + axis, initCoord(axis, i));
+    }
+
+    AppCheckResult
+    check(Machine &machine) const override
+    {
+        const Program &prog = machine.program();
+        std::int64_t n = prog.constValue("N");
+        std::int64_t iters = prog.constValue("ITERS");
+        SharedMemory &mem = machine.sharedMem();
+        Addr base = prog.sharedAddr("pos");
+
+        // Oracle with the kernel's exact per-row fp order; pe is summed
+        // per molecule, combined in arbitrary (lock) order on the machine,
+        // so it is checked with a tolerance.
+        std::vector<double> p(static_cast<std::size_t>(n) * 3);
+        for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t axis = 0; axis < 3; ++axis)
+                p[i * 3 + axis] = initCoord(axis, i);
+        double pe = 0.0;
+        std::vector<double> f(static_cast<std::size_t>(n) * 3);
+        for (std::int64_t it = 0; it < iters; ++it) {
+            for (std::int64_t i = 0; i < n; ++i) {
+                double fx = 0.0, fy = 0.0, fz = 0.0;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    if (j == i)
+                        continue;
+                    double dx = p[i * 3] - p[j * 3];
+                    double dy = p[i * 3 + 1] - p[j * 3 + 1];
+                    double dz = p[i * 3 + 2] - p[j * 3 + 2];
+                    double r2 = dx * dx;
+                    r2 = r2 + dy * dy;
+                    r2 = r2 + dz * dz;
+                    r2 = r2 + 1.0;
+                    double inv = 1.0 / r2;
+                    pe += inv;
+                    double scale = inv * inv;
+                    fx = fx + dx * scale;
+                    fy = fy + dy * scale;
+                    fz = fz + dz * scale;
+                }
+                f[i * 3] = fx;
+                f[i * 3 + 1] = fy;
+                f[i * 3 + 2] = fz;
+            }
+            for (std::int64_t i = 0; i < n; ++i)
+                for (int axis = 0; axis < 3; ++axis)
+                    p[i * 3 + axis] =
+                        p[i * 3 + axis] + f[i * 3 + axis] * 0.001;
+        }
+
+        for (std::int64_t i = 0; i < n; ++i)
+            for (int axis = 0; axis < 3; ++axis) {
+                double got = mem.readDouble(base + i * 4 + axis);
+                if (got != p[i * 3 + axis])
+                    return {false,
+                            format("water: pos[%lld].%d = %.17g, expected "
+                                   "%.17g",
+                                   (long long)i, axis, got,
+                                   p[i * 3 + axis])};
+            }
+        double gotPe = mem.readDouble(prog.sharedAddr("pe_global"));
+        double err = std::fabs(gotPe - pe) /
+                     std::max(1.0, std::fabs(pe));
+        if (err > 1e-9)
+            return {false, format("water: pe %.17g vs %.17g", gotPe, pe)};
+        return {true, ""};
+    }
+};
+
+} // namespace
+
+const App &
+waterApp()
+{
+    static WaterApp app;
+    return app;
+}
+
+} // namespace mts

@@ -1,0 +1,135 @@
+#include "apps/app.hpp"
+
+namespace mts
+{
+
+/*
+ * Runtime support routines (paper Section 3): higher-level
+ * synchronization built out of Fetch-and-Add and spinning.
+ *
+ *  - Ticket lock, 2 shared words: [0] = next ticket, [1] = now serving.
+ *  - Sense-reversing barrier, 2 shared words: [0] = count, [1] = sense;
+ *    each thread keeps its local sense in thread-local memory.
+ *
+ * Spin loads use `lds.spin`, which the bandwidth accounting excludes
+ * (paper footnote 2). Registers r26-r28 are reserved scratch for the
+ * runtime; a0/a1 carry arguments; routines are leaves (clobber ra only
+ * via the call itself).
+ */
+const std::string &
+runtimePrelude()
+{
+    static const std::string text = R"(
+; ================= mts runtime prelude =================
+.local __mts_sense, 1
+.local __mts_tsense, 1
+.local __mts_tree_save, 8
+
+; __mts_lock(a0 = &lock[2])
+__mts_lock:
+    li   r26, 1
+    faa  r27, 0(a0), r26        ; take a ticket
+__mts_lock_spin:
+    lds.spin r28, 1(a0)
+    beq  r28, r27, __mts_lock_done
+    j    __mts_lock_spin
+__mts_lock_done:
+    setpri 1                    ; critical region (Section 6.2 extension)
+    ret
+
+; __mts_unlock(a0 = &lock[2])
+__mts_unlock:
+    setpri 0
+    li   r26, 1
+    faa  r0, 1(a0), r26         ; advance "now serving" (fire-and-forget)
+    ret
+
+; __mts_barrier(a0 = &bar[2], a1 = number of threads)
+__mts_barrier:
+    la   r26, __mts_sense
+    ldl  r27, 0(r26)
+    xor  r27, r27, 1            ; flip my sense
+    stl  r27, 0(r26)
+    li   r26, 1
+    faa  r28, 0(a0), r26        ; arrive
+    add  r26, r28, 1
+    beq  r26, a1, __mts_barrier_last
+__mts_barrier_spin:
+    lds.spin r28, 1(a0)
+    la   r26, __mts_sense
+    ldl  r26, 0(r26)
+    beq  r28, r26, __mts_barrier_done
+    j    __mts_barrier_spin
+__mts_barrier_last:
+    sts  r0, 0(a0)              ; reset count for the next episode
+    la   r26, __mts_sense
+    ldl  r26, 0(r26)
+    sts  r26, 1(a0)             ; release waiters
+__mts_barrier_done:
+    ret
+
+; __mts_barrier_tree(a0 = &tree, a1 = number of threads, a2 = thread id)
+;
+; Software combining tree (paper reference [26]): fan-in 4 per node, so
+; at most 4 fetch-and-adds ever target one word — the hot-spot-free
+; alternative to the centralized barrier when the network does not
+; combine. Layout: tree[0] = global sense; tree[1..] = one count word
+; per node, level by level. Clobbers r26-r28; preserves r19-r23 via
+; thread-local save space.
+__mts_barrier_tree:
+    la   r26, __mts_tree_save
+    stl  r19, 0(r26)
+    stl  r20, 1(r26)
+    stl  r21, 2(r26)
+    stl  r22, 3(r26)
+    stl  r23, 4(r26)
+    la   r26, __mts_tsense
+    ldl  r27, 0(r26)
+    xor  r27, r27, 1            ; my new sense
+    stl  r27, 0(r26)
+    mv   r21, a2                ; idx  = tid
+    mv   r22, a1                ; P    = participants at this level
+    li   r23, 1                 ; node offset of this level (word 0=sense)
+__mts_tree_level:
+    li   r26, 1
+    ble  r22, r26, __mts_tree_root
+    div  r19, r21, 4            ; my group
+    mul  r26, r19, 4
+    sub  r20, r22, r26          ; members = min(4, P - group*4)
+    li   r26, 4
+    ble  r20, r26, __mts_tree_have_members
+    mv   r20, r26
+__mts_tree_have_members:
+    add  r28, a0, r23
+    add  r28, r28, r19          ; &count[level][group]
+    li   r26, 1
+    faa  r26, 0(r28), r26       ; arrive at my node
+    add  r26, r26, 1
+    bne  r26, r20, __mts_tree_wait
+    sts  r0, 0(r28)             ; last: reset node for the next episode
+    add  r26, r22, 3
+    div  r26, r26, 4            ; nodes at this level
+    add  r23, r23, r26
+    mv   r21, r19               ; ascend as this node's representative
+    mv   r22, r26
+    j    __mts_tree_level
+__mts_tree_root:
+    sts  r27, 0(a0)             ; overall winner: release everyone
+    j    __mts_tree_done
+__mts_tree_wait:
+    lds.spin r28, 0(a0)
+    bne  r28, r27, __mts_tree_wait
+__mts_tree_done:
+    la   r26, __mts_tree_save
+    ldl  r19, 0(r26)
+    ldl  r20, 1(r26)
+    ldl  r21, 2(r26)
+    ldl  r22, 3(r26)
+    ldl  r23, 4(r26)
+    ret
+; ================ end runtime prelude ==================
+)";
+    return text;
+}
+
+} // namespace mts

@@ -1,0 +1,29 @@
+#include "apps/app.hpp"
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+const std::vector<const App *> &
+allApps()
+{
+    static const std::vector<const App *> apps = {
+        &sieveApp(),  &blkmatApp(), &sorApp(),  &ugrayApp(),
+        &waterApp(),  &locusApp(),  &mp3dApp(),
+    };
+    return apps;
+}
+
+const App &
+findApp(const std::string &name)
+{
+    for (const App *app : allApps())
+        if (app->name() == name)
+            return *app;
+    MTS_FATAL("unknown application '" << name
+                                      << "' (try sieve, blkmat, sor, "
+                                         "ugray, water, locus, mp3d)");
+}
+
+} // namespace mts

@@ -1,0 +1,733 @@
+#include "asm/assembler.hpp"
+
+#include <optional>
+
+#include "asm/lexer.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Register aliases accepted in addition to r0..r31 / f0..f31. */
+const std::unordered_map<std::string, std::uint8_t> kIntAliases = {
+    {"zero", 0}, {"v0", 2},  {"v1", 3},  {"a0", 4},  {"a1", 5},
+    {"a2", 6},   {"a3", 7},  {"t0", 8},  {"t1", 9},  {"t2", 10},
+    {"t3", 11},  {"t4", 12}, {"t5", 13}, {"t6", 14}, {"t7", 15},
+    {"s0", 16},  {"s1", 17}, {"s2", 18}, {"s3", 19}, {"s4", 20},
+    {"s5", 21},  {"s6", 22}, {"s7", 23}, {"t8", 24}, {"t9", 25},
+    {"sp", 29},  {"fp", 30}, {"ra", 31},
+};
+
+/** A pre-scanned statement: one instruction's tokens plus its line. */
+struct RawInstr
+{
+    std::vector<Token> tokens;
+    std::uint32_t line;
+};
+
+/** Parse context for one instruction. */
+class Cursor
+{
+  public:
+    Cursor(const RawInstr &raw) : toks(raw.tokens), line(raw.line) {}
+
+    const Token &
+    peek() const
+    {
+        return toks[pos];
+    }
+
+    const Token &
+    take()
+    {
+        const Token &t = toks[pos];
+        if (t.kind != TokKind::End)
+            ++pos;
+        return t;
+    }
+
+    bool
+    tryPunct(std::string_view p)
+    {
+        if (peek().kind == TokKind::Punct && peek().text == p) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(std::string_view p)
+    {
+        if (!tryPunct(p))
+            MTS_FATAL("line " << line << ": expected '" << p
+                              << "', found '" << peek().text << "'");
+    }
+
+    void
+    expectEnd()
+    {
+        if (peek().kind != TokKind::End)
+            MTS_FATAL("line " << line << ": trailing junk '"
+                              << peek().text << "'");
+    }
+
+    std::uint32_t lineNo() const { return line; }
+
+  private:
+    const std::vector<Token> &toks;
+    std::size_t pos = 0;
+    std::uint32_t line;
+};
+
+/** Try to interpret an identifier as a register; nullopt otherwise. */
+std::optional<std::pair<bool, std::uint8_t>>
+asRegister(const std::string &name)
+{
+    auto alias = kIntAliases.find(name);
+    if (alias != kIntAliases.end())
+        return std::make_pair(false, alias->second);
+    if (name.size() >= 2 && name.size() <= 3 &&
+        (name[0] == 'r' || name[0] == 'f')) {
+        bool digits = true;
+        int v = 0;
+        for (std::size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+                digits = false;
+                break;
+            }
+            v = v * 10 + (name[i] - '0');
+        }
+        if (digits && v < 32)
+            return std::make_pair(name[0] == 'f', static_cast<uint8_t>(v));
+    }
+    return std::nullopt;
+}
+
+class Assembler
+{
+  public:
+    Assembler(std::string_view source, const AsmOptions &options)
+        : src(source), opts(options)
+    {
+    }
+
+    Program
+    run()
+    {
+        scan();
+        parseAll();
+        resolveEntry();
+        return std::move(prog);
+    }
+
+  private:
+    // ---- pass 1: scan lines, build symbols, count instructions ----
+
+    void
+    scan()
+    {
+        // Host defines become Const symbols first so .const won't override.
+        for (const auto &[name, value] : opts.defines)
+            defineSymbol(name, {SymbolKind::Const, value, 0}, 0);
+
+        std::uint32_t lineNo = 0;
+        std::size_t start = 0;
+        while (start <= src.size()) {
+            std::size_t end = src.find('\n', start);
+            if (end == std::string_view::npos)
+                end = src.size();
+            ++lineNo;
+            scanLine(src.substr(start, end - start), lineNo);
+            start = end + 1;
+        }
+    }
+
+    void
+    scanLine(std::string_view line, std::uint32_t lineNo)
+    {
+        std::vector<Token> toks = lexLine(line, lineNo);
+        std::size_t pos = 0;
+
+        // Leading "label:" definitions (possibly several).
+        while (toks[pos].kind == TokKind::Ident && toks[pos].text[0] != '.' &&
+               pos + 1 < toks.size() && toks[pos + 1].kind == TokKind::Punct &&
+               toks[pos + 1].text == ":") {
+            auto index = static_cast<std::int64_t>(raw.size());
+            defineSymbol(toks[pos].text, {SymbolKind::Label, index, 0},
+                         lineNo);
+            pendingLabels.push_back(toks[pos].text);
+            pos += 2;
+        }
+
+        if (toks[pos].kind == TokKind::End)
+            return;
+
+        if (toks[pos].kind == TokKind::Ident && toks[pos].text[0] == '.') {
+            directive(toks, pos, lineNo);
+            return;
+        }
+
+        // Instruction: record tokens for pass 2.
+        RawInstr ri;
+        ri.tokens.assign(toks.begin() + static_cast<std::ptrdiff_t>(pos),
+                         toks.end());
+        ri.line = lineNo;
+        for (const auto &lbl : pendingLabels)
+            prog.labelAt[static_cast<std::int32_t>(raw.size())] = lbl;
+        pendingLabels.clear();
+        raw.push_back(std::move(ri));
+    }
+
+    void
+    directive(std::vector<Token> &toks, std::size_t pos,
+              std::uint32_t lineNo)
+    {
+        const std::string &name = toks[pos].text;
+        RawInstr ri;
+        ri.tokens.assign(toks.begin() + static_cast<std::ptrdiff_t>(pos + 1),
+                         toks.end());
+        ri.line = lineNo;
+        Cursor cur(ri);
+
+        if (name == ".entry") {
+            entryName = cur.take().text;
+            MTS_REQUIRE(!entryName.empty(),
+                        "line " << lineNo << ": .entry needs a label");
+        } else if (name == ".shared" || name == ".local") {
+            std::string sym = cur.take().text;
+            cur.expectPunct(",");
+            std::int64_t words = parseExpr(cur);
+            MTS_REQUIRE(words > 0, "line " << lineNo << ": size of '"
+                                           << sym << "' must be positive");
+            if (name == ".shared") {
+                Addr addr = kSharedBase + prog.sharedWords;
+                defineSymbol(sym,
+                             {SymbolKind::Shared,
+                              static_cast<std::int64_t>(addr),
+                              static_cast<std::uint64_t>(words)},
+                             lineNo);
+                prog.sharedWords += static_cast<Addr>(words);
+            } else {
+                // Local statics start at word 16 (0..15 trap null-ish use).
+                Addr addr = 16 + prog.localStaticWords;
+                defineSymbol(sym,
+                             {SymbolKind::Local,
+                              static_cast<std::int64_t>(addr),
+                              static_cast<std::uint64_t>(words)},
+                             lineNo);
+                prog.localStaticWords += static_cast<Addr>(words);
+            }
+            cur.expectEnd();
+        } else if (name == ".const") {
+            std::string sym = cur.take().text;
+            cur.expectPunct(",");
+            std::int64_t value = parseExpr(cur);
+            // Host -D takes precedence; otherwise first .const wins.
+            if (!prog.symbols.count(sym))
+                defineSymbol(sym, {SymbolKind::Const, value, 0}, lineNo);
+            cur.expectEnd();
+        } else {
+            MTS_FATAL("line " << lineNo << ": unknown directive '" << name
+                              << "'");
+        }
+    }
+
+    void
+    defineSymbol(const std::string &name, Symbol sym, std::uint32_t lineNo)
+    {
+        if (sym.kind != SymbolKind::Const && prog.symbols.count(name))
+            MTS_FATAL("line " << lineNo << ": duplicate symbol '" << name
+                              << "'");
+        prog.symbols[name] = sym;
+    }
+
+    // ---- expression evaluation (needs the symbol table) ----
+
+    std::int64_t
+    parseExpr(Cursor &cur)
+    {
+        std::int64_t v = parseTerm(cur);
+        while (true) {
+            if (cur.tryPunct("+"))
+                v += parseTerm(cur);
+            else if (cur.tryPunct("-"))
+                v -= parseTerm(cur);
+            else
+                return v;
+        }
+    }
+
+    std::int64_t
+    parseTerm(Cursor &cur)
+    {
+        std::int64_t v = parseFactor(cur);
+        while (true) {
+            if (cur.tryPunct("*")) {
+                v *= parseFactor(cur);
+            } else if (cur.tryPunct("/")) {
+                std::int64_t d = parseFactor(cur);
+                MTS_REQUIRE(d != 0, "line " << cur.lineNo()
+                                            << ": division by zero");
+                v /= d;
+            } else if (cur.tryPunct("%")) {
+                std::int64_t d = parseFactor(cur);
+                MTS_REQUIRE(d != 0, "line " << cur.lineNo()
+                                            << ": modulo by zero");
+                v %= d;
+            } else if (cur.tryPunct("<<")) {
+                v <<= parseFactor(cur);
+            } else if (cur.tryPunct(">>")) {
+                v >>= parseFactor(cur);
+            } else {
+                return v;
+            }
+        }
+    }
+
+    std::int64_t
+    parseFactor(Cursor &cur)
+    {
+        if (cur.tryPunct("-"))
+            return -parseFactor(cur);
+        if (cur.tryPunct("(")) {
+            std::int64_t v = parseExpr(cur);
+            cur.expectPunct(")");
+            return v;
+        }
+        const Token &t = cur.take();
+        if (t.kind == TokKind::Int)
+            return t.intValue;
+        if (t.kind == TokKind::Ident) {
+            auto it = prog.symbols.find(t.text);
+            if (it == prog.symbols.end())
+                MTS_FATAL("line " << cur.lineNo() << ": unknown symbol '"
+                                  << t.text << "'");
+            MTS_REQUIRE(it->second.kind != SymbolKind::Label,
+                        "line " << cur.lineNo() << ": label '" << t.text
+                                << "' used in an expression");
+            return it->second.value;
+        }
+        MTS_FATAL("line " << cur.lineNo()
+                          << ": expected expression, found '" << t.text
+                          << "'");
+    }
+
+    // ---- pass 2: parse instructions ----
+
+    void
+    parseAll()
+    {
+        prog.code.reserve(raw.size());
+        for (const auto &ri : raw) {
+            Cursor cur(ri);
+            prog.code.push_back(parseInstr(cur));
+            cur.expectEnd();
+        }
+    }
+
+    std::uint8_t
+    expectReg(Cursor &cur, bool fp)
+    {
+        const Token &t = cur.take();
+        if (t.kind == TokKind::Ident) {
+            auto reg = asRegister(t.text);
+            if (reg && reg->first == fp)
+                return reg->second;
+            if (reg)
+                MTS_FATAL("line " << cur.lineNo() << ": expected "
+                                  << (fp ? "fp" : "integer")
+                                  << " register, found '" << t.text << "'");
+        }
+        MTS_FATAL("line " << cur.lineNo() << ": expected register, found '"
+                          << t.text << "'");
+    }
+
+    /** Third ALU/branch operand: register or immediate expression. */
+    void
+    regOrImm(Cursor &cur, Instruction &inst)
+    {
+        const Token &t = cur.peek();
+        if (t.kind == TokKind::Ident) {
+            auto reg = asRegister(t.text);
+            if (reg) {
+                MTS_REQUIRE(!reg->first, "line " << cur.lineNo()
+                                                 << ": fp register in "
+                                                    "integer operand");
+                inst.rs2 = reg->second;
+                cur.take();
+                return;
+            }
+        }
+        inst.useImm = true;
+        inst.imm = parseExpr(cur);
+    }
+
+    /** Memory operand "expr(reg)" or bare "expr" (base r0). */
+    void
+    memOperand(Cursor &cur, Instruction &inst)
+    {
+        // A leading "(reg)" with no displacement is also accepted.
+        if (cur.peek().kind == TokKind::Punct && cur.peek().text == "(") {
+            inst.imm = 0;
+        } else {
+            inst.imm = parseExprNoParenCall(cur);
+        }
+        if (cur.tryPunct("(")) {
+            inst.rs1 = expectReg(cur, false);
+            cur.expectPunct(")");
+        } else {
+            inst.rs1 = kRegZero;
+        }
+    }
+
+    /**
+     * Expression for a memory displacement. The usual grammar would eat the
+     * '(' of "(reg)", so factor-level parentheses are disabled when the
+     * next token could start the base-register suffix.
+     */
+    std::int64_t
+    parseExprNoParenCall(Cursor &cur)
+    {
+        // Simplest correct approach: parse a term chain that never treats
+        // '(' as grouping at the top level. An inner group is still fine
+        // after an operator, e.g. "8*(N+1)(r4)".
+        std::int64_t v = parseFactorNoParen(cur);
+        while (true) {
+            if (cur.tryPunct("+"))
+                v += parseTerm(cur);
+            else if (cur.tryPunct("-"))
+                v -= parseTerm(cur);
+            else if (cur.tryPunct("*"))
+                v *= parseFactor(cur);
+            else if (cur.tryPunct("/")) {
+                std::int64_t d = parseFactor(cur);
+                MTS_REQUIRE(d != 0, "line " << cur.lineNo()
+                                            << ": division by zero");
+                v /= d;
+            } else
+                return v;
+        }
+    }
+
+    std::int64_t
+    parseFactorNoParen(Cursor &cur)
+    {
+        if (cur.tryPunct("-"))
+            return -parseFactorNoParen(cur);
+        const Token &t = cur.take();
+        if (t.kind == TokKind::Int)
+            return t.intValue;
+        if (t.kind == TokKind::Ident) {
+            auto it = prog.symbols.find(t.text);
+            if (it == prog.symbols.end())
+                MTS_FATAL("line " << cur.lineNo() << ": unknown symbol '"
+                                  << t.text << "'");
+            MTS_REQUIRE(it->second.kind != SymbolKind::Label,
+                        "line " << cur.lineNo() << ": label '" << t.text
+                                << "' used in an expression");
+            return it->second.value;
+        }
+        MTS_FATAL("line " << cur.lineNo()
+                          << ": expected displacement, found '" << t.text
+                          << "'");
+    }
+
+    std::int32_t
+    branchTarget(Cursor &cur)
+    {
+        const Token &t = cur.take();
+        MTS_REQUIRE(t.kind == TokKind::Ident,
+                    "line " << cur.lineNo() << ": expected label, found '"
+                            << t.text << "'");
+        auto it = prog.symbols.find(t.text);
+        if (it == prog.symbols.end() ||
+            it->second.kind != SymbolKind::Label)
+            MTS_FATAL("line " << cur.lineNo() << ": unknown label '"
+                              << t.text << "'");
+        return static_cast<std::int32_t>(it->second.value);
+    }
+
+    Instruction
+    parseInstr(Cursor &cur)
+    {
+        const Token &mn = cur.take();
+        MTS_REQUIRE(mn.kind == TokKind::Ident,
+                    "line " << cur.lineNo() << ": expected mnemonic");
+        Instruction inst;
+        inst.srcLine = cur.lineNo();
+        const std::string &m = mn.text;
+
+        // ---- pseudo-instructions ----
+        if (m == "mv") {
+            inst.op = Opcode::ADD;
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, false);
+            inst.useImm = true;
+            inst.imm = 0;
+            return inst;
+        }
+        if (m == "la") {
+            inst.op = Opcode::LI;
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.imm = parseExpr(cur);
+            return inst;
+        }
+        if (m == "beqz" || m == "bnez") {
+            inst.op = (m == "beqz") ? Opcode::BEQ : Opcode::BNE;
+            inst.rs1 = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs2 = kRegZero;
+            inst.target = branchTarget(cur);
+            return inst;
+        }
+        if (m == "bgt" || m == "ble") {
+            inst.op = (m == "bgt") ? Opcode::BLT : Opcode::BGE;
+            std::uint8_t a = expectReg(cur, false);
+            cur.expectPunct(",");
+            std::uint8_t b = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs1 = b;  // swapped operands
+            inst.rs2 = a;
+            inst.target = branchTarget(cur);
+            return inst;
+        }
+        if (m == "call") {
+            inst.op = Opcode::JAL;
+            inst.target = branchTarget(cur);
+            return inst;
+        }
+        if (m == "ret") {
+            inst.op = Opcode::JR;
+            inst.rs1 = kRegRa;
+            return inst;
+        }
+
+        Opcode op = opcodeFromName(m);
+        if (op == Opcode::NUM_OPCODES)
+            MTS_FATAL("line " << cur.lineNo() << ": unknown mnemonic '" << m
+                              << "'");
+        inst.op = op;
+
+        switch (op) {
+          case Opcode::NOP:
+          case Opcode::HALT:
+          case Opcode::CSWITCH:
+            return inst;
+
+          case Opcode::ADD:
+          case Opcode::SUB:
+          case Opcode::MUL:
+          case Opcode::DIV:
+          case Opcode::REM:
+          case Opcode::AND:
+          case Opcode::OR:
+          case Opcode::XOR:
+          case Opcode::SLL:
+          case Opcode::SRL:
+          case Opcode::SRA:
+          case Opcode::SLT:
+          case Opcode::SLE:
+          case Opcode::SEQ:
+          case Opcode::SNE:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, false);
+            cur.expectPunct(",");
+            regOrImm(cur, inst);
+            return inst;
+
+          case Opcode::LI:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.imm = parseExpr(cur);
+            return inst;
+
+          case Opcode::FLI: {
+            inst.rd = expectReg(cur, true);
+            cur.expectPunct(",");
+            bool neg = cur.tryPunct("-");
+            const Token &v = cur.take();
+            if (v.kind == TokKind::Float)
+                inst.fimm = v.floatValue;
+            else if (v.kind == TokKind::Int)
+                inst.fimm = static_cast<double>(v.intValue);
+            else
+                MTS_FATAL("line " << cur.lineNo()
+                                  << ": expected numeric literal");
+            if (neg)
+                inst.fimm = -inst.fimm;
+            return inst;
+          }
+
+          case Opcode::FADD:
+          case Opcode::FSUB:
+          case Opcode::FMUL:
+          case Opcode::FDIV:
+          case Opcode::FMIN:
+          case Opcode::FMAX:
+            inst.rd = expectReg(cur, true);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, true);
+            cur.expectPunct(",");
+            inst.rs2 = expectReg(cur, true);
+            return inst;
+
+          case Opcode::FSQRT:
+          case Opcode::FNEG:
+          case Opcode::FABS:
+          case Opcode::FMV:
+            inst.rd = expectReg(cur, true);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, true);
+            return inst;
+
+          case Opcode::CVTIF:
+            inst.rd = expectReg(cur, true);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, false);
+            return inst;
+
+          case Opcode::CVTFI:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, true);
+            return inst;
+
+          case Opcode::FEQ:
+          case Opcode::FLT:
+          case Opcode::FLE:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            inst.rs1 = expectReg(cur, true);
+            cur.expectPunct(",");
+            inst.rs2 = expectReg(cur, true);
+            return inst;
+
+          case Opcode::BEQ:
+          case Opcode::BNE:
+          case Opcode::BLT:
+          case Opcode::BGE:
+            inst.rs1 = expectReg(cur, false);
+            cur.expectPunct(",");
+            regOrImm(cur, inst);
+            cur.expectPunct(",");
+            inst.target = branchTarget(cur);
+            return inst;
+
+          case Opcode::J:
+          case Opcode::JAL:
+            inst.target = branchTarget(cur);
+            return inst;
+
+          case Opcode::JR:
+            inst.rs1 = expectReg(cur, false);
+            return inst;
+
+          case Opcode::LDL:
+          case Opcode::LDS:
+          case Opcode::LDS_SPIN:
+          case Opcode::LDSD:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            memOperand(cur, inst);
+            if (op == Opcode::LDSD)
+                MTS_REQUIRE(inst.rd < 31,
+                            "line " << cur.lineNo()
+                                    << ": ldsd needs rd < r31");
+            return inst;
+
+          case Opcode::FLDL:
+          case Opcode::FLDS:
+          case Opcode::FLDSD:
+            inst.rd = expectReg(cur, true);
+            cur.expectPunct(",");
+            memOperand(cur, inst);
+            if (op == Opcode::FLDSD)
+                MTS_REQUIRE(inst.rd < 31,
+                            "line " << cur.lineNo()
+                                    << ": fldsd needs fd < f31");
+            return inst;
+
+          case Opcode::STL:
+          case Opcode::STS:
+            inst.rs2 = expectReg(cur, false);
+            cur.expectPunct(",");
+            memOperand(cur, inst);
+            return inst;
+
+          case Opcode::FSTL:
+          case Opcode::FSTS:
+            inst.rs2 = expectReg(cur, true);
+            cur.expectPunct(",");
+            memOperand(cur, inst);
+            return inst;
+
+          case Opcode::FAA:
+            inst.rd = expectReg(cur, false);
+            cur.expectPunct(",");
+            memOperand(cur, inst);
+            cur.expectPunct(",");
+            inst.rs2 = expectReg(cur, false);
+            return inst;
+
+          case Opcode::SETPRI:
+            inst.imm = parseExpr(cur);
+            MTS_REQUIRE(inst.imm == 0 || inst.imm == 1,
+                        "line " << cur.lineNo()
+                                << ": setpri takes 0 or 1");
+            return inst;
+
+          case Opcode::PRINT:
+            inst.rs1 = expectReg(cur, false);
+            return inst;
+
+          case Opcode::FPRINT:
+            inst.rs1 = expectReg(cur, true);
+            return inst;
+
+          default:
+            MTS_FATAL("line " << cur.lineNo()
+                              << ": unsupported mnemonic '" << m << "'");
+        }
+    }
+
+    void
+    resolveEntry()
+    {
+        MTS_REQUIRE(!prog.code.empty(), "program has no instructions");
+        if (entryName.empty()) {
+            prog.entry = 0;
+            return;
+        }
+        auto it = prog.symbols.find(entryName);
+        MTS_REQUIRE(it != prog.symbols.end() &&
+                        it->second.kind == SymbolKind::Label,
+                    ".entry label '" << entryName << "' not defined");
+        prog.entry = static_cast<std::int32_t>(it->second.value);
+    }
+
+    std::string_view src;
+    const AsmOptions &opts;
+    Program prog;
+    std::vector<RawInstr> raw;
+    std::vector<std::string> pendingLabels;
+    std::string entryName;
+};
+
+} // namespace
+
+Program
+assemble(std::string_view source, const AsmOptions &options)
+{
+    Assembler assembler(source, options);
+    return assembler.run();
+}
+
+} // namespace mts

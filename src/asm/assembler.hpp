@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-pass assembler for MTS assembly.
+ *
+ * Syntax overview (see README for the full reference):
+ *
+ *     ; comment
+ *     .entry main
+ *     .shared grid, N*N        ; shared static array, N*N words
+ *     .local  buf, 64          ; per-thread local static array
+ *     .const  N, 128           ; default; host -D defines take precedence
+ *
+ *     main:
+ *         la   r8, grid
+ *         lds  r9, 0(r8)       ; shared load
+ *         lds  r10, 1(r8)
+ *         cswitch              ; explicit context switch (one per group)
+ *         add  r11, r9, r10
+ *         halt
+ *
+ * Register aliases: zero(r0), v0/v1(r2/r3), a0-a3(r4-r7), t0-t7(r8-r15),
+ * s0-s7(r16-r23), t8/t9(r24/r25), sp(r29), fp(r30), ra(r31).
+ * Pseudo-instructions: mv, la, beqz, bnez, bgt, ble, call, ret.
+ */
+#ifndef MTS_ASM_ASSEMBLER_HPP
+#define MTS_ASM_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "asm/program.hpp"
+
+namespace mts
+{
+
+/** Host-side assembly options. */
+struct AsmOptions
+{
+    /**
+     * Constant definitions that override `.const` defaults in the source —
+     * the mechanism workload generators use to set problem sizes.
+     */
+    std::unordered_map<std::string, std::int64_t> defines;
+};
+
+/**
+ * Assemble MTS assembly source into a Program.
+ *
+ * @throws FatalError on any syntax or semantic error, with line numbers.
+ */
+Program assemble(std::string_view source, const AsmOptions &options = {});
+
+} // namespace mts
+
+#endif // MTS_ASM_ASSEMBLER_HPP

@@ -1,0 +1,109 @@
+#include "asm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+} // namespace
+
+std::vector<Token>
+lexLine(std::string_view line, std::uint32_t lineNo)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+
+    while (i < n) {
+        char c = line[i];
+        if (c == ';' || c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        Token tok;
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(line[i]))
+                ++i;
+            tok.kind = TokKind::Ident;
+            tok.text = std::string(line.substr(start, i - start));
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            bool isFloat = false;
+            bool isHex = (c == '0' && i + 1 < n &&
+                          (line[i + 1] == 'x' || line[i + 1] == 'X'));
+            if (isHex)
+                i += 2;
+            while (i < n) {
+                char d = line[i];
+                if (isHex ? std::isxdigit(static_cast<unsigned char>(d))
+                          : std::isdigit(static_cast<unsigned char>(d))) {
+                    ++i;
+                } else if (!isHex && (d == '.' || d == 'e' || d == 'E')) {
+                    isFloat = true;
+                    ++i;
+                    if (i < n && (line[i] == '+' || line[i] == '-') &&
+                        (line[i - 1] == 'e' || line[i - 1] == 'E'))
+                        ++i;
+                } else {
+                    break;
+                }
+            }
+            std::string text(line.substr(start, i - start));
+            if (isFloat) {
+                tok.kind = TokKind::Float;
+                tok.floatValue = std::strtod(text.c_str(), nullptr);
+            } else {
+                tok.kind = TokKind::Int;
+                tok.intValue = static_cast<std::int64_t>(
+                    std::strtoull(text.c_str(), nullptr, 0));
+            }
+            tok.text = std::move(text);
+        } else if (c == '<' || c == '>') {
+            if (i + 1 >= n || line[i + 1] != c)
+                MTS_FATAL("line " << lineNo << ": stray '" << c << "'");
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(2, c);
+            i += 2;
+        } else if (std::string_view(",():+-*/%=").find(c) !=
+                   std::string_view::npos) {
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(1, c);
+            ++i;
+        } else {
+            MTS_FATAL("line " << lineNo << ": unexpected character '" << c
+                              << "'");
+        }
+        out.push_back(std::move(tok));
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    out.push_back(std::move(end));
+    return out;
+}
+
+} // namespace mts

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Line-oriented lexer for MTS assembly source.
+ */
+#ifndef MTS_ASM_LEXER_HPP
+#define MTS_ASM_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mts
+{
+
+/** Token kinds produced by the assembly lexer. */
+enum class TokKind
+{
+    Ident,    ///< mnemonic, register, symbol, directive (with leading '.')
+    Int,      ///< integer literal (decimal or 0x hex)
+    Float,    ///< floating literal (has '.' or exponent)
+    Punct,    ///< one of , ( ) : + - * / % or << >>
+    End       ///< end of line
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;          ///< identifier / punctuation spelling
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+};
+
+/**
+ * Tokenize one source line. Comments start with ';' or '#' and run to end
+ * of line. Throws FatalError on malformed literals.
+ *
+ * @param line    The raw source line.
+ * @param lineNo  1-based line number for diagnostics.
+ */
+std::vector<Token> lexLine(std::string_view line, std::uint32_t lineNo);
+
+} // namespace mts
+
+#endif // MTS_ASM_LEXER_HPP

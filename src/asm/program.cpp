@@ -1,0 +1,51 @@
+#include "asm/program.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+Addr
+Program::sharedAddr(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    MTS_REQUIRE(it != symbols.end(), "unknown symbol '" << name << "'");
+    MTS_REQUIRE(it->second.kind == SymbolKind::Shared,
+                "symbol '" << name << "' is not a shared variable");
+    return static_cast<Addr>(it->second.value);
+}
+
+std::int64_t
+Program::constValue(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    MTS_REQUIRE(it != symbols.end(), "unknown symbol '" << name << "'");
+    MTS_REQUIRE(it->second.kind == SymbolKind::Const,
+                "symbol '" << name << "' is not a constant");
+    return it->second.value;
+}
+
+std::string
+Program::labelFor(std::int32_t index) const
+{
+    auto it = labelAt.find(index);
+    return it == labelAt.end() ? std::string() : it->second;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    auto resolver = [this](std::int32_t t) { return labelFor(t); };
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::string label = labelFor(static_cast<std::int32_t>(i));
+        if (!label.empty())
+            os << label << ":\n";
+        os << "    " << disassemble(code[i], resolver) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mts

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Assembled program image: code, symbols, and segment layout.
+ */
+#ifndef MTS_ASM_PROGRAM_HPP
+#define MTS_ASM_PROGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "isa/instruction.hpp"
+
+namespace mts
+{
+
+/** Kind of a symbol-table entry. */
+enum class SymbolKind
+{
+    Label,   ///< value = instruction index
+    Shared,  ///< value = absolute shared word address
+    Local,   ///< value = per-thread local word address
+    Const    ///< value = integer constant
+};
+
+/** One symbol-table entry. */
+struct Symbol
+{
+    SymbolKind kind = SymbolKind::Const;
+    std::int64_t value = 0;
+    std::uint64_t size = 0;  ///< words reserved (Shared/Local only)
+};
+
+/** An assembled program ready to load onto a Machine. */
+struct Program
+{
+    std::vector<Instruction> code;
+    std::int32_t entry = 0;            ///< entry instruction index
+
+    Addr sharedWords = 0;              ///< shared-segment size (words)
+    Addr localStaticWords = 0;         ///< per-thread local statics (words)
+
+    std::unordered_map<std::string, Symbol> symbols;
+    std::map<std::int32_t, std::string> labelAt;  ///< index -> label name
+
+    /** Address of a Shared symbol; fatal if missing or wrong kind. */
+    Addr sharedAddr(const std::string &name) const;
+
+    /** Value of a Const symbol; fatal if missing or wrong kind. */
+    std::int64_t constValue(const std::string &name) const;
+
+    /** Label name at instruction index, or "" if none. */
+    std::string labelFor(std::int32_t index) const;
+
+    /** Full disassembly listing (labels + instructions), for tooling. */
+    std::string listing() const;
+};
+
+} // namespace mts
+
+#endif // MTS_ASM_PROGRAM_HPP

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Per-processor cache of shared data, for the conditional-switch,
+ * switch-on-miss, and switch-on-use-miss models (paper Section 6).
+ *
+ * Protocol: direct-mapped, write-through, no-write-allocate, with
+ * directory-driven invalidation. Because the cache is write-through, the
+ * memory image is always current; the cache is purely a latency/bandwidth
+ * filter, and every correctness-relevant update flows through memory in
+ * global event order. A line filled by a miss becomes usable at the fill's
+ * return time; accesses that touch the line earlier merge into the
+ * outstanding fill MSHR-style (counted as misses, but generate no new
+ * traffic).
+ */
+#ifndef MTS_CACHE_CACHE_HPP
+#define MTS_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "util/error.hpp"
+
+namespace mts
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    unsigned sizeWords = 2048;  ///< total capacity in words
+    unsigned lineWords = 4;     ///< line size in words (power of two)
+
+    unsigned
+    numLines() const
+    {
+        return sizeWords / lineWords;
+    }
+};
+
+/** Per-cache counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t mergedMisses = 0;  ///< hit an in-flight fill
+    std::uint64_t invalidationsReceived = 0;
+    std::uint64_t storeThroughs = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses + mergedMisses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    void
+    merge(const CacheStats &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        mergedMisses += o.mergedMisses;
+        invalidationsReceived += o.invalidationsReceived;
+        storeThroughs += o.storeThroughs;
+    }
+};
+
+/** Outcome of probing the cache for a load. */
+enum class ProbeResult
+{
+    Hit,    ///< data available from the cache now
+    Merge,  ///< line is being filled; wait for validFrom, no new traffic
+    Miss    ///< go to memory (and fill the line)
+};
+
+/** One processor's shared-data cache. */
+class SharedCache
+{
+  public:
+    explicit SharedCache(const CacheConfig &config) : cfg(config)
+    {
+        MTS_REQUIRE(cfg.lineWords && !(cfg.lineWords & (cfg.lineWords - 1)),
+                    "cache line size must be a power of two");
+        MTS_REQUIRE(cfg.sizeWords % cfg.lineWords == 0,
+                    "cache size must be a multiple of the line size");
+        lines.resize(cfg.numLines());
+    }
+
+    const CacheConfig &
+    config() const
+    {
+        return cfg;
+    }
+
+    /** First word address of the line containing @p addr. */
+    Addr
+    lineBase(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(cfg.lineWords - 1);
+    }
+
+    /**
+     * Probe for a load at time @p now.
+     *
+     * On Hit, @p value receives the cached word. On Merge, @p readyAt
+     * receives the time the in-flight fill returns.
+     */
+    ProbeResult
+    probe(Addr addr, Cycle now, std::uint64_t &value, Cycle &readyAt)
+    {
+        Line &ln = line(addr);
+        if (ln.valid && ln.base == lineBase(addr)) {
+            if (now >= ln.validFrom) {
+                ++stats.hits;
+                value = ln.data[addr - ln.base];
+                return ProbeResult::Hit;
+            }
+            ++stats.mergedMisses;
+            readyAt = ln.validFrom;
+            return ProbeResult::Merge;
+        }
+        ++stats.misses;
+        return ProbeResult::Miss;
+    }
+
+    /**
+     * Install a line after a miss fill.
+     *
+     * @param base      Line base address.
+     * @param words     The line's data (lineWords entries).
+     * @param validFrom When the requesting processor may consume it.
+     */
+    void
+    install(Addr base, const std::uint64_t *words, Cycle validFrom)
+    {
+        Line &ln = line(base);
+        ln.valid = true;
+        ln.base = base;
+        ln.validFrom = validFrom;
+        ln.data.assign(words, words + cfg.lineWords);
+    }
+
+    /**
+     * Statistics-free read of a word known to be resident (e.g. the
+     * second word of a pair hit). Returns false if not present/usable.
+     */
+    bool
+    tryRead(Addr addr, Cycle now, std::uint64_t &value) const
+    {
+        const Line &ln = lines[lineIndex(addr)];
+        if (ln.valid && ln.base == lineBase(addr) && now >= ln.validFrom) {
+            value = ln.data[addr - ln.base];
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Write-through update of the processor's own copy (store-buffer
+     * forwarding): keeps the line coherent with the store the processor
+     * just issued. No-write-allocate: absent lines stay absent.
+     */
+    void
+    updateOwn(Addr addr, std::uint64_t value)
+    {
+        Line &ln = line(addr);
+        if (ln.valid && ln.base == lineBase(addr))
+            ln.data[addr - ln.base] = value;
+        ++stats.storeThroughs;
+    }
+
+    /** True if the line containing @p addr is present (any validFrom). */
+    bool
+    present(Addr addr) const
+    {
+        const Line &ln = lines[lineIndex(addr)];
+        return ln.valid && ln.base == lineBase(addr);
+    }
+
+    /** Directory-initiated invalidation. */
+    void
+    invalidate(Addr addr)
+    {
+        Line &ln = line(addr);
+        if (ln.valid && ln.base == lineBase(addr)) {
+            ln.valid = false;
+            ++stats.invalidationsReceived;
+        }
+    }
+
+    CacheStats &
+    statistics()
+    {
+        return stats;
+    }
+
+    const CacheStats &
+    statistics() const
+    {
+        return stats;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr base = 0;
+        Cycle validFrom = 0;
+        std::vector<std::uint64_t> data;
+    };
+
+    std::size_t
+    lineIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>((addr / cfg.lineWords) %
+                                        cfg.numLines());
+    }
+
+    Line &
+    line(Addr addr)
+    {
+        return lines[lineIndex(addr)];
+    }
+
+    CacheConfig cfg;
+    std::vector<Line> lines;
+    CacheStats stats;
+};
+
+} // namespace mts
+
+#endif // MTS_CACHE_CACHE_HPP

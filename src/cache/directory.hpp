@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Full-map sharer directory for the write-through invalidate protocol.
+ *
+ * The directory lives with the memory modules: fills register the
+ * requesting processor as a sharer; a write (store or fetch-and-add)
+ * arriving at memory sends one invalidation per sharer other than the
+ * writer. Evictions are silent (the cache does not notify the directory),
+ * so an invalidation can target a processor that already replaced the
+ * line — the message is still counted, as in an imprecise real directory.
+ */
+#ifndef MTS_CACHE_DIRECTORY_HPP
+#define MTS_CACHE_DIRECTORY_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/addressing.hpp"
+
+namespace mts
+{
+
+/** Sharer directory keyed by line base address. */
+class Directory
+{
+  public:
+    /** Record @p proc as a sharer of the line at @p base. */
+    void
+    addSharer(Addr base, std::uint16_t proc)
+    {
+        auto &v = sharers[base];
+        if (std::find(v.begin(), v.end(), proc) == v.end())
+            v.push_back(proc);
+    }
+
+    /**
+     * Collect the sharers to invalidate for a write by @p writer and clear
+     * the entry (the writer's own copy, if any, is re-registered by the
+     * caller). Returns the processors to invalidate, excluding the writer.
+     */
+    std::vector<std::uint16_t>
+    writersInvalidationSet(Addr base, std::uint16_t writer)
+    {
+        std::vector<std::uint16_t> out;
+        auto it = sharers.find(base);
+        if (it == sharers.end())
+            return out;
+        for (std::uint16_t p : it->second)
+            if (p != writer)
+                out.push_back(p);
+        sharers.erase(it);
+        return out;
+    }
+
+    /** Number of lines with at least one registered sharer. */
+    std::size_t
+    trackedLines() const
+    {
+        return sharers.size();
+    }
+
+  private:
+    std::unordered_map<Addr, std::vector<std::uint16_t>> sharers;
+};
+
+} // namespace mts
+
+#endif // MTS_CACHE_DIRECTORY_HPP

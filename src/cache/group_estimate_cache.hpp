@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's Section 5.2 inter-block grouping estimator.
+ *
+ * "We simulate a very small cache associated with each thread. The cache
+ * has a line size of 32 words, but only one line. We assume that any loads
+ * which hit in this cache are in the same structure or array as the
+ * preceding reference and thus could have been grouped."
+ *
+ * A hit means the load *could have been issued with the preceding group*,
+ * so under the estimate the load's latency is considered already covered:
+ * the simulator completes it immediately (its traffic is still counted).
+ * Spin loads and fetch-and-adds are excluded — they must observe fresh
+ * values and are not grouping candidates.
+ */
+#ifndef MTS_CACHE_GROUP_ESTIMATE_CACHE_HPP
+#define MTS_CACHE_GROUP_ESTIMATE_CACHE_HPP
+
+#include <cstdint>
+
+#include "isa/addressing.hpp"
+
+namespace mts
+{
+
+/** One-line, 32-word per-thread tracking cache (address-only). */
+class GroupEstimateCache
+{
+  public:
+    static constexpr Addr kLineWords = 32;
+
+    /**
+     * Record a shared load and report whether it hit the line loaded by
+     * the preceding reference.
+     */
+    bool
+    access(Addr addr)
+    {
+        Addr base = addr & ~(kLineWords - 1);
+        if (valid && base == lineBase) {
+            ++hitCount;
+            return true;
+        }
+        valid = true;
+        lineBase = base;
+        ++missCount;
+        return false;
+    }
+
+    std::uint64_t
+    hits() const
+    {
+        return hitCount;
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        return missCount;
+    }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hitCount + missCount;
+        return total ? static_cast<double>(hitCount) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    bool valid = false;
+    Addr lineBase = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace mts
+
+#endif // MTS_CACHE_GROUP_ESTIMATE_CACHE_HPP

@@ -1,0 +1,120 @@
+#include "core/experiment.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+ExperimentRunner::ExperimentRunner(double scale) : problemScale(scale)
+{
+    MTS_REQUIRE(scale > 0, "scale must be positive");
+}
+
+const PreparedApp &
+ExperimentRunner::prepare(const App &app)
+{
+    auto it = prepared.find(app.name());
+    if (it != prepared.end())
+        return it->second;
+
+    PreparedApp pa;
+    pa.app = &app;
+    pa.options = app.options(problemScale);
+    pa.original = assemble(app.source(), pa.options);
+    pa.grouped = applyGroupingPass(pa.original, &pa.groupingStats);
+    return prepared.emplace(app.name(), std::move(pa)).first->second;
+}
+
+Cycle
+ExperimentRunner::referenceCycles(const App &app)
+{
+    auto it = refCycles.find(app.name());
+    if (it != refCycles.end())
+        return it->second;
+
+    const PreparedApp &pa = prepare(app);
+    MachineConfig cfg;
+    cfg.numProcs = 1;
+    cfg.threadsPerProc = 1;
+    cfg.model = SwitchModel::Ideal;
+    cfg.network.roundTrip = 0;
+    Machine machine(pa.original, cfg);
+    app.init(machine);
+    RunResult r = machine.run();
+    AppCheckResult chk = app.check(machine);
+    MTS_REQUIRE(chk.ok, "reference run failed self-check: " << chk.message);
+    refCycles[app.name()] = r.cycles;
+    return r.cycles;
+}
+
+ExperimentRun
+ExperimentRunner::run(const App &app, MachineConfig config)
+{
+    const PreparedApp &pa = prepare(app);
+    bool useGrouped =
+        modelNeedsSwitchInstr(config.model) || config.groupEstimate;
+    const Program &prog = useGrouped ? pa.grouped : pa.original;
+
+    Machine machine(prog, config);
+    app.init(machine);
+    ExperimentRun out;
+    out.result = machine.run();
+    AppCheckResult chk = app.check(machine);
+    MTS_REQUIRE(chk.ok, app.name()
+                            << " failed self-check under "
+                            << switchModelName(config.model) << ": "
+                            << chk.message);
+    out.referenceCycles = referenceCycles(app);
+    out.speedup = out.result.cycles
+                      ? static_cast<double>(out.referenceCycles) /
+                            static_cast<double>(out.result.cycles)
+                      : 0.0;
+    out.efficiency = out.speedup / config.numProcs;
+    return out;
+}
+
+double
+ExperimentRunner::efficiencyAt(const App &app, MachineConfig config)
+{
+    std::string key = format(
+        "%s|%d|%d|%d|%llu|%d|%d", app.name().c_str(),
+        static_cast<int>(config.model), config.numProcs,
+        config.threadsPerProc,
+        static_cast<unsigned long long>(config.network.roundTrip),
+        config.groupEstimate ? 1 : 0,
+        static_cast<int>(config.sliceLimit));
+    auto it = effCache.find(key);
+    if (it != effCache.end())
+        return it->second;
+    double eff = run(app, config).efficiency;
+    effCache[key] = eff;
+    return eff;
+}
+
+int
+ExperimentRunner::threadsForEfficiency(const App &app, MachineConfig base,
+                                       double targetEfficiency,
+                                       int maxThreads)
+{
+    for (int t = 1; t <= maxThreads; ++t) {
+        base.threadsPerProc = t;
+        if (efficiencyAt(app, base) >= targetEfficiency)
+            return t;
+    }
+    return -1;
+}
+
+MachineConfig
+ExperimentRunner::makeConfig(SwitchModel model, int procs, int threads,
+                             Cycle latency)
+{
+    MachineConfig cfg;
+    cfg.model = model;
+    cfg.numProcs = procs;
+    cfg.threadsPerProc = threads;
+    cfg.network.roundTrip = latency;
+    return cfg;
+}
+
+} // namespace mts

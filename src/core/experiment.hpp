@@ -1,0 +1,98 @@
+/**
+ * @file
+ * High-level experiment driver: prepares applications (assembly +
+ * grouping pass), caches 0-latency single-processor reference runs, and
+ * provides the measurements the paper's tables are built from
+ * (efficiency, threads-needed-for-efficiency, run-length distributions,
+ * bandwidth).
+ */
+#ifndef MTS_CORE_EXPERIMENT_HPP
+#define MTS_CORE_EXPERIMENT_HPP
+
+#include <map>
+#include <string>
+
+#include "apps/app.hpp"
+#include "opt/grouping_pass.hpp"
+#include "sim/machine.hpp"
+
+namespace mts
+{
+
+/** An application assembled at one scale, in both code versions. */
+struct PreparedApp
+{
+    const App *app = nullptr;
+    AsmOptions options;
+    Program original;   ///< as written (for switch-on-load etc.)
+    Program grouped;    ///< after the grouping pass (for explicit/cond.)
+    GroupingStats groupingStats;
+};
+
+/** One simulation outcome plus its efficiency against the reference. */
+struct ExperimentRun
+{
+    RunResult result;
+    double efficiency = 0.0;  ///< speedup / processors (paper Figure 2)
+    double speedup = 0.0;
+    Cycle referenceCycles = 0;
+};
+
+/**
+ * Runs simulations of the prepared applications and computes the paper's
+ * metrics. Reference runs (1 processor, 0 latency, original code — the
+ * paper's Table 1 "Cycles" column) are cached per application.
+ */
+class ExperimentRunner
+{
+  public:
+    /** @param scale Problem-size multiplier for every app (1.0 = default
+     *         scaled-down sizes documented in EXPERIMENTS.md). */
+    explicit ExperimentRunner(double scale = 1.0);
+
+    double
+    scale() const
+    {
+        return problemScale;
+    }
+
+    /** Assemble + group (cached). */
+    const PreparedApp &prepare(const App &app);
+
+    /** 0-latency single-processor cycles of the original code (cached). */
+    Cycle referenceCycles(const App &app);
+
+    /**
+     * Run @p app under @p config; the code version is chosen by the
+     * model (grouped for explicit/conditional switch or when the
+     * Section 5.2 estimator is on). The app's self-check runs afterwards
+     * and failures are fatal — every measurement is also a correctness
+     * test.
+     */
+    ExperimentRun run(const App &app, MachineConfig config);
+
+    /**
+     * The paper's Tables 3/5/6/8 metric: the smallest multithreading
+     * level reaching @p targetEfficiency, or -1 if none up to
+     * @p maxThreads does.
+     */
+    int threadsForEfficiency(const App &app, MachineConfig base,
+                             double targetEfficiency, int maxThreads = 32);
+
+    /** Convenience preset: the paper's standard machine for a model. */
+    static MachineConfig makeConfig(SwitchModel model, int procs,
+                                    int threads, Cycle latency = 200);
+
+  private:
+    double problemScale;
+    std::map<std::string, PreparedApp> prepared;
+    std::map<std::string, Cycle> refCycles;
+    // memoised threads-for-efficiency runs: key is app|model|procs|lat|T
+    std::map<std::string, double> effCache;
+
+    double efficiencyAt(const App &app, MachineConfig config);
+};
+
+} // namespace mts
+
+#endif // MTS_CORE_EXPERIMENT_HPP

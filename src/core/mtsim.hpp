@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header: the public API of the mtsim library.
+ *
+ * Quickstart:
+ *
+ *     #include "core/mtsim.hpp"
+ *
+ *     mts::ExperimentRunner runner(1.0);
+ *     auto cfg = mts::ExperimentRunner::makeConfig(
+ *         mts::SwitchModel::ExplicitSwitch, 16, 8);
+ *     auto run = runner.run(mts::sorApp(), cfg);
+ *     std::cout << run.efficiency << "\n";
+ *
+ * See README.md for the assembly language and machine model reference.
+ */
+#ifndef MTS_CORE_MTSIM_HPP
+#define MTS_CORE_MTSIM_HPP
+
+#include "apps/app.hpp"
+#include "asm/assembler.hpp"
+#include "core/experiment.hpp"
+#include "cpu/switch_model.hpp"
+#include "opt/grouping_pass.hpp"
+#include "sim/machine.hpp"
+
+#endif // MTS_CORE_MTSIM_HPP

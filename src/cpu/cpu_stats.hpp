@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-processor execution statistics.
+ */
+#ifndef MTS_CPU_CPU_STATS_HPP
+#define MTS_CPU_CPU_STATS_HPP
+
+#include <cstdint>
+
+#include "isa/addressing.hpp"
+#include "util/histogram.hpp"
+
+namespace mts
+{
+
+/** Cycle and event counters for one processor (mergeable). */
+struct CpuStats
+{
+    std::uint64_t instructions = 0;  ///< instructions issued
+    Cycle busyCycles = 0;            ///< cycles an instruction issued
+    Cycle stallCycles = 0;           ///< pipeline waits on the scoreboard
+    Cycle idleCycles = 0;            ///< no thread ready (latency exposed)
+    std::uint64_t switchesTaken = 0;
+    std::uint64_t switchesSkipped = 0;  ///< conditional switches not taken
+    std::uint64_t sliceLimitSwitches = 0;  ///< forced by run-length limit
+    std::uint64_t sharedLoads = 0;   ///< data loads (spin loads excluded)
+    std::uint64_t spinLoads = 0;     ///< lds.spin accesses
+    std::uint64_t sharedStores = 0;
+    std::uint64_t fetchAdds = 0;
+    std::uint64_t estimateHits = 0;  ///< §5.2 grouping-estimate hits
+    Cycle finishTime = 0;            ///< cycle the last thread halted
+
+    /** Run-length = busy+stall span between taken context switches. */
+    Histogram runLengths;
+
+    void
+    merge(const CpuStats &o)
+    {
+        instructions += o.instructions;
+        busyCycles += o.busyCycles;
+        stallCycles += o.stallCycles;
+        idleCycles += o.idleCycles;
+        switchesTaken += o.switchesTaken;
+        switchesSkipped += o.switchesSkipped;
+        sliceLimitSwitches += o.sliceLimitSwitches;
+        sharedLoads += o.sharedLoads;
+        spinLoads += o.spinLoads;
+        sharedStores += o.sharedStores;
+        fetchAdds += o.fetchAdds;
+        estimateHits += o.estimateHits;
+        if (o.finishTime > finishTime)
+            finishTime = o.finishTime;
+        runLengths.merge(o.runLengths);
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_CPU_STATS_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-thread local memory (stack plus local statics).
+ *
+ * Local references are serviced by the local memory/cache and never cause
+ * a context switch (paper Section 3). Storage grows lazily so thousands
+ * of mostly-idle thread contexts stay cheap.
+ */
+#ifndef MTS_CPU_LOCAL_MEMORY_HPP
+#define MTS_CPU_LOCAL_MEMORY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "util/error.hpp"
+
+namespace mts
+{
+
+/** Lazily grown per-thread word array. */
+class LocalMemory
+{
+  public:
+    explicit LocalMemory(Addr maxWords_) : maxWords(maxWords_) {}
+
+    Addr
+    capacityWords() const
+    {
+        return maxWords;
+    }
+
+    std::uint64_t
+    read(Addr addr)
+    {
+        ensure(addr);
+        return data[static_cast<std::size_t>(addr)];
+    }
+
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        ensure(addr);
+        data[static_cast<std::size_t>(addr)] = value;
+    }
+
+  private:
+    void
+    ensure(Addr addr)
+    {
+        MTS_REQUIRE(addr < maxWords,
+                    "local address " << addr << " out of range (max "
+                                     << maxWords
+                                     << " words; raise localWords or was a "
+                                        "shared pointer used with ldl/stl?)");
+        if (addr >= data.size()) {
+            std::size_t ns = data.empty() ? 256 : data.size();
+            while (ns <= addr)
+                ns *= 2;
+            data.resize(ns, 0);
+        }
+    }
+
+    Addr maxWords;
+    std::vector<std::uint64_t> data;
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_LOCAL_MEMORY_HPP

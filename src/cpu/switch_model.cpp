@@ -1,0 +1,46 @@
+#include "cpu/switch_model.hpp"
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+std::string_view
+switchModelName(SwitchModel model)
+{
+    switch (model) {
+      case SwitchModel::Ideal:
+        return "ideal";
+      case SwitchModel::SwitchEveryCycle:
+        return "switch-every-cycle";
+      case SwitchModel::SwitchOnLoad:
+        return "switch-on-load";
+      case SwitchModel::SwitchOnUse:
+        return "switch-on-use";
+      case SwitchModel::ExplicitSwitch:
+        return "explicit-switch";
+      case SwitchModel::SwitchOnMiss:
+        return "switch-on-miss";
+      case SwitchModel::SwitchOnUseMiss:
+        return "switch-on-use-miss";
+      case SwitchModel::ConditionalSwitch:
+        return "conditional-switch";
+    }
+    return "unknown";
+}
+
+SwitchModel
+switchModelFromName(std::string_view name)
+{
+    for (SwitchModel m :
+         {SwitchModel::Ideal, SwitchModel::SwitchEveryCycle,
+          SwitchModel::SwitchOnLoad, SwitchModel::SwitchOnUse,
+          SwitchModel::ExplicitSwitch, SwitchModel::SwitchOnMiss,
+          SwitchModel::SwitchOnUseMiss, SwitchModel::ConditionalSwitch}) {
+        if (switchModelName(m) == name)
+            return m;
+    }
+    MTS_FATAL("unknown switch model '" << name << "'");
+}
+
+} // namespace mts

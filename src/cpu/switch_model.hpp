@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The multithreading-model taxonomy of the paper's Figure 1.
+ */
+#ifndef MTS_CPU_SWITCH_MODEL_HPP
+#define MTS_CPU_SWITCH_MODEL_HPP
+
+#include <string_view>
+
+namespace mts
+{
+
+/**
+ * When a processor context switches among its hardware thread contexts.
+ *
+ * The paper concentrates on SwitchOnLoad, ExplicitSwitch and
+ * ConditionalSwitch; the remaining models are implemented to cover the
+ * full design space of Figure 1 (and the DASH switch-on-miss comparison
+ * in Section 7).
+ */
+enum class SwitchModel
+{
+    /** No multithreading semantics; used with 0-latency ideal runs. */
+    Ideal,
+
+    /** HEP/MASA style: switch after every instruction. */
+    SwitchEveryCycle,
+
+    /** Switch on every load from shared memory. */
+    SwitchOnLoad,
+
+    /**
+     * Split-phase loads; switch at the first *use* of a value that is
+     * still in flight.
+     */
+    SwitchOnUse,
+
+    /**
+     * The paper's main model: loads are grouped by the compiler and an
+     * explicit `cswitch` instruction performs one switch per group.
+     */
+    ExplicitSwitch,
+
+    /** Cache added; switch when a shared load misses (DASH/ALEWIFE). */
+    SwitchOnMiss,
+
+    /** Cache + split-phase; switch at first use of a missing value. */
+    SwitchOnUseMiss,
+
+    /**
+     * Cache + explicit switch: the `cswitch` is taken only when a load in
+     * the preceding group missed (or the run-length limit expired).
+     */
+    ConditionalSwitch,
+};
+
+/** Short printable name ("explicit-switch", ...). */
+std::string_view switchModelName(SwitchModel model);
+
+/** Parse a model name; throws FatalError when unknown. */
+SwitchModel switchModelFromName(std::string_view name);
+
+/** True if the model requires a per-processor shared-data cache. */
+constexpr bool
+modelUsesCache(SwitchModel m)
+{
+    return m == SwitchModel::SwitchOnMiss ||
+           m == SwitchModel::SwitchOnUseMiss ||
+           m == SwitchModel::ConditionalSwitch;
+}
+
+/**
+ * True if the model only switches at explicit `cswitch` instructions and
+ * therefore requires code processed by the grouping pass.
+ */
+constexpr bool
+modelNeedsSwitchInstr(SwitchModel m)
+{
+    return m == SwitchModel::ExplicitSwitch ||
+           m == SwitchModel::ConditionalSwitch;
+}
+
+/** All models, in taxonomy order (for ablation sweeps). */
+inline constexpr SwitchModel kAllModels[] = {
+    SwitchModel::SwitchEveryCycle, SwitchModel::SwitchOnLoad,
+    SwitchModel::SwitchOnUse,      SwitchModel::ExplicitSwitch,
+    SwitchModel::SwitchOnMiss,     SwitchModel::SwitchOnUseMiss,
+    SwitchModel::ConditionalSwitch,
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_SWITCH_MODEL_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One hardware thread context: registers, scoreboard, and blocking state.
+ *
+ * Each thread has its own 32 integer and 32 floating-point registers
+ * (paper Section 3). The scoreboard records, per register, the absolute
+ * cycle at which its value becomes consumable — this is how the in-order
+ * pipeline's result latencies (and shared-load round trips) are modelled.
+ */
+#ifndef MTS_CPU_THREAD_CONTEXT_HPP
+#define MTS_CPU_THREAD_CONTEXT_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "cache/group_estimate_cache.hpp"
+#include "cpu/local_memory.hpp"
+#include "isa/instruction.hpp"
+
+namespace mts
+{
+
+/** Architected plus microarchitected state of one thread. */
+struct ThreadContext
+{
+    ThreadContext(std::uint32_t globalId_, Addr localWords)
+        : globalId(globalId_), local(localWords)
+    {
+        iregs.fill(0);
+        fregs.fill(0.0);
+        regReady.fill(0);
+        pendingShared.fill(false);
+    }
+
+    std::uint32_t globalId;        ///< 0..numThreads-1 across the machine
+
+    std::array<std::int64_t, 32> iregs;
+    std::array<double, 32> fregs;
+
+    /** Absolute cycle when each (bank-tagged) register becomes ready. */
+    std::array<Cycle, kNumRegIds> regReady;
+
+    /** Register holds an in-flight shared-load result (switch-on-use). */
+    std::array<bool, kNumRegIds> pendingShared;
+
+    std::int32_t pc = 0;
+    bool halted = false;
+
+    /** Earliest cycle this thread may issue again (blocking state). */
+    Cycle readyAt = 0;
+
+    /** Return time of the last shared load issued (ordered delivery ⇒
+     *  this dominates all earlier outstanding accesses). */
+    Cycle lastReturn = 0;
+
+    /** Number of shared loads issued since the last taken switch. */
+    std::uint32_t groupLoads = 0;
+
+    /** Conditional-switch: a load in the current group missed. */
+    bool missedSinceSwitch = false;
+
+    /** Conditional-switch: start of the current uninterrupted slice. */
+    Cycle sliceStart = 0;
+
+    /** Start time of the current run (for run-length statistics). */
+    Cycle runStart = 0;
+
+    /** Scheduling priority (setpri; honoured when prioritySched is on). */
+    bool highPriority = false;
+
+    /** §5.2 estimator (enabled per machine config). */
+    GroupEstimateCache groupEstimate;
+
+    LocalMemory local;
+
+    std::int64_t
+    readIReg(std::uint8_t r) const
+    {
+        return r == kRegZero ? 0 : iregs[r];
+    }
+
+    void
+    writeIReg(std::uint8_t r, std::int64_t v)
+    {
+        if (r != kRegZero)
+            iregs[r] = v;
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_THREAD_CONTEXT_HPP

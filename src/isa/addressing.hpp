@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Address-space layout constants for the MTS machine.
+ *
+ * Memory is word addressed with 64-bit words. The paper assumes every
+ * memory reference can be statically classified as local or shared; the
+ * MTS ISA enforces this with distinct opcodes, and the address spaces are
+ * disjoint so the simulator can verify the classification dynamically.
+ */
+#ifndef MTS_ISA_ADDRESSING_HPP
+#define MTS_ISA_ADDRESSING_HPP
+
+#include <cstdint>
+
+namespace mts
+{
+
+/** Machine address: a 64-bit word index. */
+using Addr = std::uint64_t;
+
+/** Simulated time in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** First address of the shared segment; local addresses are below it. */
+constexpr Addr kSharedBase = 1ull << 40;
+
+/** True if @p a addresses the shared segment. */
+constexpr bool
+isSharedAddr(Addr a)
+{
+    return a >= kSharedBase;
+}
+
+/** Default size (words) of each thread's local memory (stack + statics). */
+constexpr Addr kDefaultLocalWords = 1ull << 16;
+
+} // namespace mts
+
+#endif // MTS_ISA_ADDRESSING_HPP

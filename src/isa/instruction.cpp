@@ -1,0 +1,270 @@
+#include "isa/instruction.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+Operands
+getOperands(const Instruction &inst)
+{
+    Operands ops;
+    switch (inst.op) {
+      // no register operands
+      case Opcode::NOP:
+      case Opcode::HALT:
+      case Opcode::CSWITCH:
+      case Opcode::SETPRI:
+      case Opcode::J:
+        break;
+
+      case Opcode::JAL:
+        ops.addDef(intReg(kRegRa));
+        break;
+
+      case Opcode::JR:
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      // integer ALU: rd <- rs1 op (rs2|imm)
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::MUL:
+      case Opcode::DIV:
+      case Opcode::REM:
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::SLL:
+      case Opcode::SRL:
+      case Opcode::SRA:
+      case Opcode::SLT:
+      case Opcode::SLE:
+      case Opcode::SEQ:
+      case Opcode::SNE:
+        ops.addDef(intReg(inst.rd));
+        ops.addUse(intReg(inst.rs1));
+        if (!inst.useImm)
+            ops.addUse(intReg(inst.rs2));
+        break;
+
+      case Opcode::LI:
+        ops.addDef(intReg(inst.rd));
+        break;
+
+      // fp binary: fd <- fs1 op fs2
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+        ops.addDef(fpReg(inst.rd));
+        ops.addUse(fpReg(inst.rs1));
+        ops.addUse(fpReg(inst.rs2));
+        break;
+
+      // fp unary: fd <- op fs1
+      case Opcode::FSQRT:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMV:
+        ops.addDef(fpReg(inst.rd));
+        ops.addUse(fpReg(inst.rs1));
+        break;
+
+      case Opcode::FLI:
+        ops.addDef(fpReg(inst.rd));
+        break;
+
+      case Opcode::CVTIF:
+        ops.addDef(fpReg(inst.rd));
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      case Opcode::CVTFI:
+        ops.addDef(intReg(inst.rd));
+        ops.addUse(fpReg(inst.rs1));
+        break;
+
+      // fp compare: rd(int) <- fs1 op fs2
+      case Opcode::FEQ:
+      case Opcode::FLT:
+      case Opcode::FLE:
+        ops.addDef(intReg(inst.rd));
+        ops.addUse(fpReg(inst.rs1));
+        ops.addUse(fpReg(inst.rs2));
+        break;
+
+      // branches: use rs1, rs2|imm
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        ops.addUse(intReg(inst.rs1));
+        if (!inst.useImm)
+            ops.addUse(intReg(inst.rs2));
+        break;
+
+      // integer loads: rd <- M[rs1+imm]
+      case Opcode::LDL:
+      case Opcode::LDS:
+      case Opcode::LDS_SPIN:
+        ops.addDef(intReg(inst.rd));
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      case Opcode::LDSD:
+        ops.addDef(intReg(inst.rd));
+        ops.addDef(intReg(inst.rd + 1));
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      // fp loads
+      case Opcode::FLDL:
+      case Opcode::FLDS:
+        ops.addDef(fpReg(inst.rd));
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      case Opcode::FLDSD:
+        ops.addDef(fpReg(inst.rd));
+        ops.addDef(fpReg(inst.rd + 1));
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      // stores: M[rs1+imm] <- rs2
+      case Opcode::STL:
+      case Opcode::STS:
+        ops.addUse(intReg(inst.rs1));
+        ops.addUse(intReg(inst.rs2));
+        break;
+
+      case Opcode::FSTL:
+      case Opcode::FSTS:
+        ops.addUse(intReg(inst.rs1));
+        ops.addUse(fpReg(inst.rs2));
+        break;
+
+      case Opcode::FAA:
+        ops.addDef(intReg(inst.rd));
+        ops.addUse(intReg(inst.rs1));
+        ops.addUse(intReg(inst.rs2));
+        break;
+
+      case Opcode::PRINT:
+        ops.addUse(intReg(inst.rs1));
+        break;
+
+      case Opcode::FPRINT:
+        ops.addUse(fpReg(inst.rs1));
+        break;
+
+      default:
+        MTS_PANIC("getOperands: unhandled opcode "
+                  << static_cast<int>(inst.op));
+    }
+    return ops;
+}
+
+namespace
+{
+
+std::string
+regName(bool fp, std::uint8_t r)
+{
+    return format("%c%u", fp ? 'f' : 'r', r);
+}
+
+std::string
+targetName(const Instruction &inst,
+           const std::function<std::string(std::int32_t)> &labelFor)
+{
+    if (labelFor) {
+        std::string s = labelFor(inst.target);
+        if (!s.empty())
+            return s;
+    }
+    return format("@%d", inst.target);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst,
+            const std::function<std::string(std::int32_t)> &labelFor)
+{
+    const std::string name(opcodeName(inst.op));
+    const Opcode op = inst.op;
+
+    if (op == Opcode::NOP || op == Opcode::HALT || op == Opcode::CSWITCH)
+        return name;
+    if (op == Opcode::SETPRI)
+        return name + format(" %lld", static_cast<long long>(inst.imm));
+
+    if (op == Opcode::J || op == Opcode::JAL)
+        return name + " " + targetName(inst, labelFor);
+    if (op == Opcode::JR)
+        return name + " " + regName(false, inst.rs1);
+
+    if (isBranch(op)) {
+        std::string second = inst.useImm
+                                 ? format("%lld",
+                                          static_cast<long long>(inst.imm))
+                                 : regName(false, inst.rs2);
+        return name + " " + regName(false, inst.rs1) + ", " + second +
+               ", " + targetName(inst, labelFor);
+    }
+
+    if (op == Opcode::LI)
+        return name + " " + regName(false, inst.rd) +
+               format(", %lld", static_cast<long long>(inst.imm));
+    if (op == Opcode::FLI)
+        return name + " " + regName(true, inst.rd) +
+               format(", %g", inst.fimm);
+
+    if (isMem(op)) {
+        bool fpVal = op == Opcode::FLDL || op == Opcode::FSTL ||
+                     op == Opcode::FLDS || op == Opcode::FSTS ||
+                     op == Opcode::FLDSD;
+        bool isStore = isLocalStore(op) || isSharedStore(op);
+        std::string val = isStore ? regName(fpVal, inst.rs2)
+                                  : regName(fpVal, inst.rd);
+        std::string addr = format("%lld(%s)",
+                                  static_cast<long long>(inst.imm),
+                                  regName(false, inst.rs1).c_str());
+        if (op == Opcode::FAA)
+            return name + " " + regName(false, inst.rd) + ", " + addr +
+                   ", " + regName(false, inst.rs2);
+        return name + " " + val + ", " + addr;
+    }
+
+    if (op == Opcode::PRINT)
+        return name + " " + regName(false, inst.rs1);
+    if (op == Opcode::FPRINT)
+        return name + " " + regName(true, inst.rs1);
+
+    // register/immediate ALU and FP forms
+    Operands ops = getOperands(inst);
+    bool fpDst = ops.numDefs > 0 && ops.defs[0] >= 32;
+    bool fpSrc = isFpOp(op) && op != Opcode::CVTIF;
+    std::string out = name + " " +
+                      regName(fpDst, inst.rd) + ", " +
+                      regName(op == Opcode::CVTIF ? false : fpSrc,
+                              inst.rs1);
+    bool unary = op == Opcode::FSQRT || op == Opcode::FNEG ||
+                 op == Opcode::FABS || op == Opcode::FMV ||
+                 op == Opcode::CVTIF || op == Opcode::CVTFI;
+    if (!unary) {
+        if (inst.useImm)
+            out += format(", %lld", static_cast<long long>(inst.imm));
+        else
+            out += ", " + regName(fpSrc, inst.rs2);
+    }
+    return out;
+}
+
+} // namespace mts

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Decoded MTS instruction representation and operand metadata.
+ *
+ * Instructions live in a flat vector; the program counter is an index into
+ * that vector. Branch/jump targets are resolved to indices by the
+ * assembler. Register operands are indices into the per-thread integer or
+ * floating-point bank; the bank is implied by the opcode.
+ */
+#ifndef MTS_ISA_INSTRUCTION_HPP
+#define MTS_ISA_INSTRUCTION_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace mts
+{
+
+/// @name Integer register conventions.
+/// @{
+constexpr std::uint8_t kRegZero = 0;   ///< hardwired zero
+constexpr std::uint8_t kRegArg0 = 4;   ///< thread id at startup; call arg 0
+constexpr std::uint8_t kRegArg1 = 5;   ///< thread count at startup; arg 1
+constexpr std::uint8_t kRegArg2 = 6;
+constexpr std::uint8_t kRegArg3 = 7;
+constexpr std::uint8_t kRegRet0 = 2;   ///< function result
+constexpr std::uint8_t kRegSp = 29;    ///< stack pointer
+constexpr std::uint8_t kRegRa = 31;    ///< return address (written by jal)
+/// @}
+
+/**
+ * Bank-tagged register id for dependence analysis: 0..31 are the integer
+ * registers, 32..63 the floating-point registers.
+ */
+using RegId = std::uint8_t;
+
+constexpr RegId kNumRegIds = 64;
+
+/** RegId of integer register @p r. */
+constexpr RegId
+intReg(std::uint8_t r)
+{
+    return r;
+}
+
+/** RegId of floating-point register @p f. */
+constexpr RegId
+fpReg(std::uint8_t f)
+{
+    return static_cast<RegId>(32 + f);
+}
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;   ///< destination register (bank per opcode)
+    std::uint8_t rs1 = 0;  ///< first source / address base
+    std::uint8_t rs2 = 0;  ///< second source / store value
+    bool useImm = false;   ///< rs2 replaced by #imm for ALU/branch ops
+    std::int64_t imm = 0;  ///< immediate / memory offset (words)
+    double fimm = 0.0;     ///< immediate for FLI
+    std::int32_t target = -1;  ///< branch/jump target instruction index
+    std::uint32_t srcLine = 0; ///< 1-based source line for diagnostics
+};
+
+/** Registers defined and used by an instruction (bank-tagged). */
+struct Operands
+{
+    std::array<RegId, 2> defs{};
+    std::array<RegId, 3> uses{};
+    int numDefs = 0;
+    int numUses = 0;
+
+    void
+    addDef(RegId r)
+    {
+        if (r != intReg(kRegZero))
+            defs[numDefs++] = r;
+    }
+
+    void
+    addUse(RegId r)
+    {
+        uses[numUses++] = r;
+    }
+};
+
+/** Compute the def/use sets of @p inst (the dependence-analysis kernel). */
+Operands getOperands(const Instruction &inst);
+
+/**
+ * Render an instruction as assembly text.
+ *
+ * @param labelFor Optional resolver mapping a target instruction index to a
+ *                 label name; when absent targets print as "@index".
+ */
+std::string disassemble(
+    const Instruction &inst,
+    const std::function<std::string(std::int32_t)> &labelFor = nullptr);
+
+} // namespace mts
+
+#endif // MTS_ISA_INSTRUCTION_HPP

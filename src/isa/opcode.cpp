@@ -1,0 +1,246 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    Opcode op;
+    std::string_view name;
+    int latency;
+};
+
+// Latencies follow the MIPS R3000 flavour assumed by the paper: 1-cycle
+// integer ALU, long integer multiply/divide, multi-cycle FP that an
+// optimizing compiler overlaps with surrounding code.
+constexpr std::array<OpInfo, static_cast<std::size_t>(Opcode::NUM_OPCODES)>
+    kOpTable = {{
+        {Opcode::NOP, "nop", 1},
+        {Opcode::HALT, "halt", 1},
+        {Opcode::CSWITCH, "cswitch", 1},
+
+        {Opcode::ADD, "add", 1},
+        {Opcode::SUB, "sub", 1},
+        {Opcode::MUL, "mul", 12},
+        {Opcode::DIV, "div", 35},
+        {Opcode::REM, "rem", 35},
+        {Opcode::AND, "and", 1},
+        {Opcode::OR, "or", 1},
+        {Opcode::XOR, "xor", 1},
+        {Opcode::SLL, "sll", 1},
+        {Opcode::SRL, "srl", 1},
+        {Opcode::SRA, "sra", 1},
+        {Opcode::SLT, "slt", 1},
+        {Opcode::SLE, "sle", 1},
+        {Opcode::SEQ, "seq", 1},
+        {Opcode::SNE, "sne", 1},
+        {Opcode::LI, "li", 1},
+
+        {Opcode::FADD, "fadd", 2},
+        {Opcode::FSUB, "fsub", 2},
+        {Opcode::FMUL, "fmul", 5},
+        {Opcode::FDIV, "fdiv", 19},
+        {Opcode::FSQRT, "fsqrt", 30},
+        {Opcode::FNEG, "fneg", 1},
+        {Opcode::FABS, "fabs", 1},
+        {Opcode::FMIN, "fmin", 2},
+        {Opcode::FMAX, "fmax", 2},
+        {Opcode::FMV, "fmv", 1},
+        {Opcode::FLI, "fli", 1},
+        {Opcode::CVTIF, "cvtif", 3},
+        {Opcode::CVTFI, "cvtfi", 3},
+        {Opcode::FEQ, "feq", 2},
+        {Opcode::FLT, "flt", 2},
+        {Opcode::FLE, "fle", 2},
+
+        {Opcode::BEQ, "beq", 1},
+        {Opcode::BNE, "bne", 1},
+        {Opcode::BLT, "blt", 1},
+        {Opcode::BGE, "bge", 1},
+        {Opcode::J, "j", 1},
+        {Opcode::JAL, "jal", 1},
+        {Opcode::JR, "jr", 1},
+
+        {Opcode::LDL, "ldl", 2},
+        {Opcode::STL, "stl", 1},
+        {Opcode::FLDL, "fldl", 2},
+        {Opcode::FSTL, "fstl", 1},
+
+        {Opcode::LDS, "lds", 1},
+        {Opcode::STS, "sts", 1},
+        {Opcode::FLDS, "flds", 1},
+        {Opcode::FSTS, "fsts", 1},
+        {Opcode::LDSD, "ldsd", 1},
+        {Opcode::FLDSD, "fldsd", 1},
+        {Opcode::LDS_SPIN, "lds.spin", 1},
+        {Opcode::FAA, "faa", 1},
+
+        {Opcode::SETPRI, "setpri", 1},
+
+        {Opcode::PRINT, "print", 1},
+        {Opcode::FPRINT, "fprint", 1},
+    }};
+
+const std::unordered_map<std::string_view, Opcode> &
+nameMap()
+{
+    static const auto *map = [] {
+        auto *m = new std::unordered_map<std::string_view, Opcode>();
+        for (const auto &info : kOpTable)
+            (*m)[info.name] = info.op;
+        return m;
+    }();
+    return *map;
+}
+
+const OpInfo &
+info(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    MTS_ASSERT(idx < kOpTable.size(), "bad opcode " << idx);
+    MTS_ASSERT(kOpTable[idx].op == op, "opcode table out of order");
+    return kOpTable[idx];
+}
+
+} // namespace
+
+std::string_view
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+Opcode
+opcodeFromName(std::string_view name)
+{
+    auto it = nameMap().find(name);
+    return it == nameMap().end() ? Opcode::NUM_OPCODES : it->second;
+}
+
+int
+resultLatency(Opcode op)
+{
+    return info(op).latency;
+}
+
+bool
+isSharedLoad(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDS:
+      case Opcode::FLDS:
+      case Opcode::LDSD:
+      case Opcode::FLDSD:
+      case Opcode::LDS_SPIN:
+      case Opcode::FAA:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSharedStore(Opcode op)
+{
+    return op == Opcode::STS || op == Opcode::FSTS;
+}
+
+bool
+isSharedMem(Opcode op)
+{
+    return isSharedLoad(op) || isSharedStore(op);
+}
+
+bool
+isLocalLoad(Opcode op)
+{
+    return op == Opcode::LDL || op == Opcode::FLDL;
+}
+
+bool
+isLocalStore(Opcode op)
+{
+    return op == Opcode::STL || op == Opcode::FSTL;
+}
+
+bool
+isLocalMem(Opcode op)
+{
+    return isLocalLoad(op) || isLocalStore(op);
+}
+
+bool
+isMem(Opcode op)
+{
+    return isLocalMem(op) || isSharedMem(op);
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::J:
+      case Opcode::JAL:
+      case Opcode::JR:
+      case Opcode::HALT:
+        return true;
+      default:
+        return isBranch(op);
+    }
+}
+
+bool
+isFpOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FMV:
+      case Opcode::FLI:
+      case Opcode::CVTIF:
+      case Opcode::CVTFI:
+      case Opcode::FEQ:
+      case Opcode::FLT:
+      case Opcode::FLE:
+      case Opcode::FLDL:
+      case Opcode::FSTL:
+      case Opcode::FLDS:
+      case Opcode::FSTS:
+      case Opcode::FLDSD:
+      case Opcode::FPRINT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace mts

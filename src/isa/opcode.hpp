@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Opcodes of the MTS RISC ISA.
+ *
+ * The ISA is modelled on the MIPS R3000 as used by the paper (Section 3),
+ * extended with the paper's multiprocessor additions: local and shared
+ * versions of all loads and stores, Load-Double (one network message for
+ * two adjacent words), Fetch-and-Add as the synchronization primitive,
+ * and the explicit context-switch instruction `cswitch`.
+ */
+#ifndef MTS_ISA_OPCODE_HPP
+#define MTS_ISA_OPCODE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace mts
+{
+
+enum class Opcode : std::uint8_t
+{
+    // control / special
+    NOP,
+    HALT,     ///< terminate this thread
+    CSWITCH,  ///< explicit context switch (waits for outstanding accesses)
+
+    // integer ALU (rs2 or immediate second operand)
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR,
+    SLL, SRL, SRA,
+    SLT, SLE, SEQ, SNE,
+    LI,       ///< load 64-bit immediate / symbol address
+
+    // floating point (separate 32-entry register bank)
+    FADD, FSUB, FMUL, FDIV, FSQRT, FNEG, FABS, FMIN, FMAX, FMV,
+    FLI,      ///< load double immediate
+    CVTIF,    ///< int reg -> fp reg
+    CVTFI,    ///< fp reg -> int reg (truncate)
+    FEQ, FLT, FLE,  ///< fp compare, int reg result
+
+    // control flow
+    BEQ, BNE, BLT, BGE,
+    J, JAL, JR,
+
+    // local memory (serviced by the local cache/memory, never switches)
+    LDL, STL, FLDL, FSTL,
+
+    // shared memory (network round trip; split-phase issue)
+    LDS, STS, FLDS, FSTS,
+    LDSD,     ///< shared load-double: rd <- M[a], rd+1 <- M[a+1]
+    FLDSD,    ///< fp shared load-double
+    LDS_SPIN, ///< shared load inside a spin loop (bandwidth-excluded)
+    FAA,      ///< fetch-and-add: rd <- M[a]; M[a] += rs2
+
+    /**
+     * Set this thread's scheduling priority (immediate 0 or 1). A nop
+     * unless the machine enables priority scheduling — the Section 6.2
+     * "priority scheduling of threads inside critical regions" extension.
+     */
+    SETPRI,
+
+    // debugging aids (host console; not part of the machine proper)
+    PRINT, FPRINT,
+
+    NUM_OPCODES
+};
+
+/** Mnemonic (e.g. "lds.spin" for LDS_SPIN). */
+std::string_view opcodeName(Opcode op);
+
+/** Opcode for a mnemonic, or NUM_OPCODES when unknown. */
+Opcode opcodeFromName(std::string_view name);
+
+/**
+ * Result latency in cycles: the number of cycles after issue before the
+ * destination register may be consumed. Memory and control ops return 1;
+ * shared access latency is supplied by the network model.
+ */
+int resultLatency(Opcode op);
+
+/// @name Static classification predicates (used by optimizer and CPU).
+/// @{
+bool isSharedLoad(Opcode op);   ///< LDS/FLDS/LDSD/FLDSD/LDS_SPIN/FAA
+bool isSharedStore(Opcode op);  ///< STS/FSTS
+bool isSharedMem(Opcode op);
+bool isLocalLoad(Opcode op);
+bool isLocalStore(Opcode op);
+bool isLocalMem(Opcode op);
+bool isMem(Opcode op);
+bool isBranch(Opcode op);       ///< conditional branches
+bool isControl(Opcode op);      ///< branches, jumps, halt
+bool isFpOp(Opcode op);         ///< writes/reads fp regs
+/// @}
+
+} // namespace mts
+
+#endif // MTS_ISA_OPCODE_HPP

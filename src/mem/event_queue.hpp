@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Global event queue driving the simulation.
+ *
+ * Two event streams are kept in separate heaps so the Machine can compute
+ * the conservative execution horizon in O(1):
+ *
+ *  - memory arrivals (shared-access messages reaching the memory modules,
+ *    one network one-way latency after issue), and
+ *  - processor resumptions.
+ *
+ * Ordering rule: at equal timestamps, memory arrivals are processed before
+ * processor runs, and ties beyond that break on a monotone sequence number
+ * so simulations are fully deterministic.
+ */
+#ifndef MTS_MEM_EVENT_QUEUE_HPP
+#define MTS_MEM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "isa/addressing.hpp"
+
+namespace mts
+{
+
+/** Kind of shared-memory operation carried by a memory event. */
+enum class MemOpKind : std::uint8_t
+{
+    Load,      ///< one word
+    LoadPair,  ///< two adjacent words (Load-Double)
+    Store,     ///< one word write
+    FetchAdd   ///< atomic fetch-and-add at the memory module
+};
+
+/** A shared-memory access in flight. */
+struct MemOp
+{
+    MemOpKind kind = MemOpKind::Load;
+    Addr addr = 0;
+    std::uint64_t value = 0;   ///< store data / fetch-add addend (raw bits)
+    std::uint16_t proc = 0;    ///< issuing processor
+    std::uint16_t thread = 0;  ///< issuing thread slot on that processor
+    std::uint8_t reg = 0;      ///< destination register (loads)
+    bool fpDest = false;       ///< destination is an fp register
+    bool spin = false;         ///< spin access: excluded from bandwidth
+    bool noTraffic = false;    ///< MSHR-merged access: no new messages
+    bool fillLine = false;     ///< miss fill: transfers a whole cache line
+    bool deliver = true;       ///< write the result into the register file
+    Cycle issueTime = 0;
+    Cycle returnTime = 0;      ///< set by Machine::issueMem (fill validFrom)
+};
+
+/** Heap entry. */
+struct MemEvent
+{
+    Cycle time = 0;
+    std::uint64_t seq = 0;
+    MemOp op;
+};
+
+/** Processor-resume heap entry. */
+struct ProcEvent
+{
+    Cycle time = 0;
+    std::uint64_t seq = 0;
+    std::uint16_t proc = 0;
+};
+
+/** Sentinel "no event" time. */
+constexpr Cycle kNever = ~Cycle(0);
+
+/** The two-heap event queue. */
+class EventQueue
+{
+  public:
+    void
+    pushMem(Cycle time, MemOp op)
+    {
+        memHeap.push(MemEvent{time, nextSeq++, op});
+    }
+
+    void
+    pushProc(Cycle time, std::uint16_t proc)
+    {
+        procHeap.push(ProcEvent{time, nextSeq++, proc});
+    }
+
+    Cycle
+    nextMemTime() const
+    {
+        return memHeap.empty() ? kNever : memHeap.top().time;
+    }
+
+    Cycle
+    nextProcTime() const
+    {
+        return procHeap.empty() ? kNever : procHeap.top().time;
+    }
+
+    bool
+    empty() const
+    {
+        return memHeap.empty() && procHeap.empty();
+    }
+
+    /** True if the next event overall is a memory arrival. */
+    bool
+    memIsNext() const
+    {
+        if (memHeap.empty())
+            return false;
+        if (procHeap.empty())
+            return true;
+        const auto &m = memHeap.top();
+        const auto &p = procHeap.top();
+        // Memory arrivals win ties; otherwise oldest seq wins same-kind.
+        return m.time < p.time || (m.time == p.time);
+    }
+
+    MemEvent
+    popMem()
+    {
+        MemEvent e = memHeap.top();
+        memHeap.pop();
+        return e;
+    }
+
+    ProcEvent
+    popProc()
+    {
+        ProcEvent e = procHeap.top();
+        procHeap.pop();
+        return e;
+    }
+
+  private:
+    struct MemLater
+    {
+        bool
+        operator()(const MemEvent &a, const MemEvent &b) const
+        {
+            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    struct ProcLater
+    {
+        bool
+        operator()(const ProcEvent &a, const ProcEvent &b) const
+        {
+            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<MemEvent, std::vector<MemEvent>, MemLater> memHeap;
+    std::priority_queue<ProcEvent, std::vector<ProcEvent>, ProcLater>
+        procHeap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace mts
+
+#endif // MTS_MEM_EVENT_QUEUE_HPP

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Constant-latency network model and bandwidth accounting.
+ *
+ * Following the paper (Section 3), the interconnection network is not
+ * simulated: every shared access has a constant round-trip latency
+ * (default 200 cycles), messages are delivered in issue order, and
+ * fetch-and-add combines at the memory module. What *is* tracked is the
+ * traffic each application would put on the network (Section 6.1 /
+ * Table 7): message counts and bits, split into forward and return
+ * directions, with lock/barrier spin traffic excluded (footnote 2).
+ */
+#ifndef MTS_MEM_NETWORK_HPP
+#define MTS_MEM_NETWORK_HPP
+
+#include <cstdint>
+
+#include "isa/addressing.hpp"
+#include "mem/event_queue.hpp"
+
+namespace mts
+{
+
+/// @name Message field sizes in bits (see DESIGN.md §3).
+/// @{
+constexpr std::uint64_t kHeaderBits = 32;
+constexpr std::uint64_t kAddrBits = 32;
+constexpr std::uint64_t kDataBits = 64;
+/// @}
+
+/** Network latency and (optional) contention configuration. */
+struct NetworkConfig
+{
+    /** Round-trip latency in cycles; 0 models the ideal machine. */
+    Cycle roundTrip = 200;
+
+    /**
+     * Channel width in bits per cycle per direction per processor;
+     * 0 = unlimited (the paper's base model). When finite, messages
+     * serialize at the processor's network interface and responses pay
+     * their serialization latency — the "channels as narrow as 2 bits"
+     * discussion of Section 6.1 made executable.
+     */
+    std::uint64_t channelBits = 0;
+
+    /**
+     * Per-word memory service time in cycles; 0 = combining network
+     * (the paper's assumption: concurrent fetch-and-adds to one word
+     * combine). When positive, accesses to the same word serialize at
+     * the memory module — the hot-spot behaviour software combining
+     * trees exist to avoid (paper's reference [26]).
+     */
+    Cycle memPortCycles = 0;
+
+    Cycle
+    oneWay() const
+    {
+        return roundTrip / 2;
+    }
+
+    /** Cycles to push @p bits through the channel (0 if unlimited). */
+    Cycle
+    serializeCycles(std::uint64_t bits) const
+    {
+        return channelBits ? (bits + channelBits - 1) / channelBits : 0;
+    }
+};
+
+/// @name Message sizes (shared by traffic accounting and serialization).
+/// @{
+
+/** Bits of the forward (request) message of @p op. */
+inline std::uint64_t
+messageForwardBits(const MemOp &op)
+{
+    switch (op.kind) {
+      case MemOpKind::Load:
+      case MemOpKind::LoadPair:
+        return kHeaderBits + kAddrBits;
+      case MemOpKind::Store:
+      case MemOpKind::FetchAdd:
+        return kHeaderBits + kAddrBits + kDataBits;
+    }
+    return 0;
+}
+
+/** Bits of the return (response) message of @p op. */
+inline std::uint64_t
+messageReturnBits(const MemOp &op, unsigned lineWords)
+{
+    switch (op.kind) {
+      case MemOpKind::Load:
+      case MemOpKind::LoadPair: {
+        std::uint64_t words =
+            op.fillLine ? lineWords
+                        : (op.kind == MemOpKind::LoadPair ? 2 : 1);
+        return kHeaderBits + words * kDataBits;
+      }
+      case MemOpKind::Store:
+        return kHeaderBits;  // acknowledgement
+      case MemOpKind::FetchAdd:
+        return kHeaderBits + kDataBits;
+    }
+    return 0;
+}
+/// @}
+
+/** Accumulated traffic statistics. */
+struct NetworkStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t forwardBits = 0;
+    std::uint64_t returnBits = 0;
+
+    std::uint64_t loadMsgs = 0;
+    std::uint64_t storeMsgs = 0;
+    std::uint64_t faaMsgs = 0;
+    std::uint64_t fillMsgs = 0;
+    std::uint64_t invalMsgs = 0;
+    std::uint64_t spinMsgs = 0;  ///< counted separately, not in bits
+
+    std::uint64_t
+    totalBits() const
+    {
+        return forwardBits + returnBits;
+    }
+
+    /** Paper's Table 7 metric: total bits per processor per cycle. */
+    double
+    bitsPerCycle(std::uint64_t cycles, int numProcs) const
+    {
+        if (!cycles || !numProcs)
+            return 0.0;
+        return static_cast<double>(totalBits()) /
+               (static_cast<double>(cycles) *
+                static_cast<double>(numProcs));
+    }
+
+    void
+    merge(const NetworkStats &o)
+    {
+        messages += o.messages;
+        forwardBits += o.forwardBits;
+        returnBits += o.returnBits;
+        loadMsgs += o.loadMsgs;
+        storeMsgs += o.storeMsgs;
+        faaMsgs += o.faaMsgs;
+        fillMsgs += o.fillMsgs;
+        invalMsgs += o.invalMsgs;
+        spinMsgs += o.spinMsgs;
+    }
+
+    /**
+     * Record the traffic of one shared access.
+     *
+     * @param op        The access (spin/noTraffic flags respected).
+     * @param lineWords Words transferred on a fill (op.fillLine).
+     */
+    void
+    count(const MemOp &op, unsigned lineWords)
+    {
+        if (op.noTraffic)
+            return;
+        if (op.spin) {
+            ++spinMsgs;
+            return;
+        }
+        ++messages;
+        forwardBits += messageForwardBits(op);
+        returnBits += messageReturnBits(op, lineWords);
+        switch (op.kind) {
+          case MemOpKind::Load:
+          case MemOpKind::LoadPair:
+            if (op.fillLine)
+                ++fillMsgs;
+            else
+                ++loadMsgs;
+            break;
+          case MemOpKind::Store:
+            ++storeMsgs;
+            break;
+          case MemOpKind::FetchAdd:
+            ++faaMsgs;
+            break;
+        }
+    }
+
+    /** Record one invalidation message plus its acknowledgement. */
+    void
+    countInvalidation()
+    {
+        ++messages;
+        ++invalMsgs;
+        forwardBits += kHeaderBits + kAddrBits;
+        returnBits += kHeaderBits;
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_MEM_NETWORK_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The shared memory image: a flat word array starting at kSharedBase.
+ *
+ * All mutations happen at message-arrival time in global event order, which
+ * together with the constant-latency ordered network makes the simulated
+ * memory system sequentially consistent per memory module. Fetch-and-add
+ * is performed atomically here, which is what a combining network
+ * guarantees at the switches/memory.
+ */
+#ifndef MTS_MEM_SHARED_MEMORY_HPP
+#define MTS_MEM_SHARED_MEMORY_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "util/error.hpp"
+
+namespace mts
+{
+
+/** Shared-segment storage with typed word access. */
+class SharedMemory
+{
+  public:
+    /** @param words Size of the shared segment in 64-bit words. */
+    explicit SharedMemory(Addr words) : data(words, 0) {}
+
+    Addr
+    sizeWords() const
+    {
+        return data.size();
+    }
+
+    std::uint64_t
+    read(Addr addr) const
+    {
+        return data[index(addr)];
+    }
+
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        data[index(addr)] = value;
+    }
+
+    /** Atomic fetch-and-add; returns the previous value. */
+    std::uint64_t
+    fetchAdd(Addr addr, std::uint64_t addend)
+    {
+        std::uint64_t &w = data[index(addr)];
+        std::uint64_t old = w;
+        w += addend;
+        return old;
+    }
+
+    /// @name Typed host-side helpers for workload setup and verification.
+    /// @{
+    std::int64_t
+    readInt(Addr addr) const
+    {
+        return static_cast<std::int64_t>(read(addr));
+    }
+
+    double
+    readDouble(Addr addr) const
+    {
+        return std::bit_cast<double>(read(addr));
+    }
+
+    void
+    writeInt(Addr addr, std::int64_t v)
+    {
+        write(addr, static_cast<std::uint64_t>(v));
+    }
+
+    void
+    writeDouble(Addr addr, double v)
+    {
+        write(addr, std::bit_cast<std::uint64_t>(v));
+    }
+    /// @}
+
+  private:
+    std::size_t
+    index(Addr addr) const
+    {
+        MTS_REQUIRE(isSharedAddr(addr),
+                    "shared access to non-shared address " << addr);
+        Addr off = addr - kSharedBase;
+        MTS_REQUIRE(off < data.size(),
+                    "shared address out of range: offset "
+                        << off << " >= " << data.size());
+        return static_cast<std::size_t>(off);
+    }
+
+    std::vector<std::uint64_t> data;
+};
+
+} // namespace mts
+
+#endif // MTS_MEM_SHARED_MEMORY_HPP

@@ -1,0 +1,42 @@
+#include "opt/basic_blocks.hpp"
+
+namespace mts
+{
+
+std::vector<BlockRange>
+findBasicBlocks(const Program &program)
+{
+    const auto &code = program.code;
+    const auto n = static_cast<std::int32_t>(code.size());
+    std::vector<bool> leader(n, false);
+    if (n == 0)
+        return {};
+
+    leader[0] = true;
+    leader[program.entry] = true;
+    for (const auto &[index, name] : program.labelAt) {
+        if (index >= 0 && index < n)
+            leader[index] = true;
+    }
+    for (std::int32_t i = 0; i < n; ++i) {
+        const Instruction &inst = code[i];
+        if (inst.target >= 0 && inst.target < n &&
+            (isBranch(inst.op) || inst.op == Opcode::J ||
+             inst.op == Opcode::JAL))
+            leader[inst.target] = true;
+        if (isControl(inst.op) && i + 1 < n)
+            leader[i + 1] = true;
+    }
+
+    std::vector<BlockRange> blocks;
+    std::int32_t begin = 0;
+    for (std::int32_t i = 1; i <= n; ++i) {
+        if (i == n || leader[i]) {
+            blocks.push_back({begin, i});
+            begin = i;
+        }
+    }
+    return blocks;
+}
+
+} // namespace mts

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Basic-block discovery over an assembled Program.
+ */
+#ifndef MTS_OPT_BASIC_BLOCKS_HPP
+#define MTS_OPT_BASIC_BLOCKS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hpp"
+
+namespace mts
+{
+
+/** Half-open instruction range [begin, end) forming one basic block. */
+struct BlockRange
+{
+    std::int32_t begin;
+    std::int32_t end;
+};
+
+/**
+ * Partition the program into basic blocks.
+ *
+ * Leaders are: instruction 0, every branch/jump target, every labelled
+ * instruction (labels may be reached indirectly, e.g. as jal return
+ * sites), and every instruction following a control-flow instruction.
+ */
+std::vector<BlockRange> findBasicBlocks(const Program &program);
+
+} // namespace mts
+
+#endif // MTS_OPT_BASIC_BLOCKS_HPP

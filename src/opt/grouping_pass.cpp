@@ -1,0 +1,366 @@
+#include "opt/grouping_pass.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/basic_blocks.hpp"
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Loads the pass groups (split-phase data accesses). */
+bool
+isGroupableLoad(Opcode op)
+{
+    return op == Opcode::LDS || op == Opcode::FLDS || op == Opcode::LDSD ||
+           op == Opcode::FLDSD;
+}
+
+/** Accesses whose in-flight results force a wait before use. */
+bool
+isSwitchCausing(const Instruction &inst)
+{
+    // Dead-result fetch-and-add (rd = r0) is fire-and-forget like a
+    // store: nothing returns, so no switch is needed for it.
+    if (inst.op == Opcode::FAA && inst.rd == kRegZero)
+        return false;
+    return isSharedLoad(inst.op);  // includes lds.spin and faa
+}
+
+/** Instructions that must not move at all (full scheduling barriers). */
+bool
+isBarrier(Opcode op)
+{
+    return op == Opcode::CSWITCH || op == Opcode::PRINT ||
+           op == Opcode::FPRINT || op == Opcode::SETPRI;
+}
+
+/** One dependence edge; `raw` marks a register flow dependence. */
+struct Edge
+{
+    int from;
+    bool raw;
+};
+
+class BlockScheduler
+{
+  public:
+    BlockScheduler(const std::vector<Instruction> &code, BlockRange range)
+        : insts(code.begin() + range.begin, code.begin() + range.end)
+    {
+        build();
+    }
+
+    /** Schedule the block; returns the new instruction sequence. */
+    std::vector<Instruction>
+    schedule(GroupingStats &stats)
+    {
+        const int n = static_cast<int>(insts.size());
+        std::vector<Instruction> out;
+        out.reserve(insts.size() + 4);
+
+        std::vector<bool> done(n, false);
+        std::vector<bool> uncommitted(n, false);
+        bool groupOpen = false;
+        std::size_t groupDataLoads = 0;
+        int scheduled = 0;
+
+        auto isReady = [&](int j) {
+            if (done[j])
+                return false;
+            for (const Edge &e : preds[j])
+                if (!done[e.from])
+                    return false;
+            return true;
+        };
+        auto canIssue = [&](int j) {
+            for (const Edge &e : preds[j])
+                if (e.raw && uncommitted[e.from])
+                    return false;
+            return true;
+        };
+        auto emit = [&](int j) {
+            out.push_back(insts[j]);
+            done[j] = true;
+            ++scheduled;
+            if (insts[j].op == Opcode::CSWITCH) {
+                // Pre-existing switch commits the open group (idempotency).
+                std::fill(uncommitted.begin(), uncommitted.end(), false);
+                groupOpen = false;
+                if (groupDataLoads)
+                    ++stats.loadGroups;
+                groupDataLoads = 0;
+            } else if (isSwitchCausing(insts[j])) {
+                uncommitted[j] = true;
+                groupOpen = true;
+                if (isGroupableLoad(insts[j].op))
+                    ++groupDataLoads;
+            }
+        };
+        auto closeGroup = [&](std::uint32_t srcLine) {
+            Instruction sw;
+            sw.op = Opcode::CSWITCH;
+            sw.srcLine = srcLine;
+            out.push_back(sw);
+            std::fill(uncommitted.begin(), uncommitted.end(), false);
+            groupOpen = false;
+            ++stats.switchesInserted;
+            if (groupDataLoads)
+                ++stats.loadGroups;
+            groupDataLoads = 0;
+        };
+
+        while (scheduled < n) {
+            // Phase 1: emit every issueable shared access (a group).
+            bool any = true;
+            while (any) {
+                any = false;
+                for (int j = 0; j < n; ++j) {
+                    if (isSwitchCausing(insts[j]) && isReady(j) &&
+                        canIssue(j)) {
+                        emit(j);
+                        any = true;
+                    }
+                }
+            }
+            if (scheduled == n)
+                break;
+
+            // Phase 2: prefer work that leads to more shared loads (e.g.
+            // address computation) so the group can keep growing.
+            int pick = -1;
+            for (int j = 0; j < n; ++j) {
+                if (!isSwitchCausing(insts[j]) && isReady(j) &&
+                    canIssue(j) && reachesLoad[j]) {
+                    pick = j;
+                    break;
+                }
+            }
+            if (pick >= 0) {
+                emit(pick);
+                continue;
+            }
+
+            // Phase 2.5: a pre-existing cswitch that is ready commits the
+            // open group — never insert a duplicate (idempotency).
+            for (int j = 0; j < n && pick < 0; ++j)
+                if (insts[j].op == Opcode::CSWITCH && isReady(j))
+                    pick = j;
+            if (pick >= 0) {
+                emit(pick);
+                continue;
+            }
+
+            // Phase 3: nothing can extend the group; wait for it once.
+            if (groupOpen) {
+                closeGroup(out.empty() ? 0 : out.back().srcLine);
+                continue;
+            }
+
+            // Phase 4: drain remaining issueable instructions.
+            for (int j = 0; j < n; ++j) {
+                if (isReady(j) && canIssue(j)) {
+                    pick = j;
+                    break;
+                }
+            }
+            MTS_ASSERT(pick >= 0,
+                       "grouping scheduler wedged (dependence cycle?)");
+            emit(pick);
+        }
+
+        if (groupOpen)
+            closeGroup(out.back().srcLine);
+
+        // Statistics.
+        bool sameOrder = true;
+        if (out.size() != insts.size()) {
+            sameOrder = false;
+        } else {
+            for (std::size_t i = 0; i < insts.size(); ++i)
+                if (out[i].op != insts[i].op ||
+                    out[i].srcLine != insts[i].srcLine) {
+                    sameOrder = false;
+                    break;
+                }
+        }
+        if (!sameOrder)
+            ++stats.reorderedBlocks;
+        return out;
+    }
+
+  private:
+    void
+    build()
+    {
+        const int n = static_cast<int>(insts.size());
+        preds.assign(n, {});
+        reachesLoad.assign(n, false);
+
+        std::vector<Operands> ops(n);
+        for (int i = 0; i < n; ++i)
+            ops[i] = getOperands(insts[i]);
+
+        const bool hasTerminator = n > 0 && isControl(insts[n - 1].op);
+
+        for (int j = 0; j < n; ++j) {
+            for (int i = 0; i < j; ++i) {
+                bool dep = false;
+                bool raw = false;
+
+                // Register dependences.
+                for (int d = 0; d < ops[i].numDefs && !raw; ++d) {
+                    RegId r = ops[i].defs[d];
+                    for (int u = 0; u < ops[j].numUses; ++u)
+                        if (ops[j].uses[u] == r) {
+                            dep = raw = true;  // RAW
+                            break;
+                        }
+                    if (!raw)
+                        for (int d2 = 0; d2 < ops[j].numDefs; ++d2)
+                            if (ops[j].defs[d2] == r)
+                                dep = true;  // WAW
+                }
+                if (!dep) {
+                    for (int u = 0; u < ops[i].numUses && !dep; ++u) {
+                        RegId r = ops[i].uses[u];
+                        for (int d2 = 0; d2 < ops[j].numDefs; ++d2)
+                            if (ops[j].defs[d2] == r)
+                                dep = true;  // WAR
+                    }
+                }
+
+                // Memory dependences.
+                if (!dep && memConflict(i, j))
+                    dep = true;
+
+                // Barriers and the block terminator stay put.
+                if (!dep && (isBarrier(insts[i].op) ||
+                             isBarrier(insts[j].op)))
+                    dep = true;
+                if (!dep && hasTerminator && j == n - 1)
+                    dep = true;
+
+                if (dep)
+                    preds[j].push_back({i, raw});
+            }
+        }
+
+        // Static reachability to a groupable load (phase-2 priority).
+        std::vector<std::vector<int>> succs(n);
+        for (int j = 0; j < n; ++j)
+            for (const Edge &e : preds[j])
+                succs[e.from].push_back(j);
+        for (int j = n - 1; j >= 0; --j) {
+            for (int s : succs[j])
+                if (isGroupableLoad(insts[s].op) || reachesLoad[s])
+                    reachesLoad[j] = true;
+        }
+    }
+
+    /** Conservative may-alias between instructions i < j (paper fn. 1). */
+    bool
+    memConflict(int i, int j) const
+    {
+        const Instruction &x = insts[i];
+        const Instruction &y = insts[j];
+        const bool xs = isSharedMem(x.op);
+        const bool ys = isSharedMem(y.op);
+        const bool xl = isLocalMem(x.op);
+        const bool yl = isLocalMem(y.op);
+
+        if (xs && ys) {
+            auto writesOrSyncs = [](Opcode op) {
+                return isSharedStore(op) || op == Opcode::FAA ||
+                       op == Opcode::LDS_SPIN;
+            };
+            // Pessimistic: any shared write/sync conflicts with every
+            // other shared access; plain loads never conflict.
+            return writesOrSyncs(x.op) || writesOrSyncs(y.op);
+        }
+        if (xl && yl) {
+            if (!isLocalStore(x.op) && !isLocalStore(y.op))
+                return false;
+            // Same unmodified base, different displacement: disjoint.
+            if (x.rs1 == y.rs1 && x.imm != y.imm &&
+                !baseRedefinedBetween(i, j, x.rs1))
+                return false;
+            return true;
+        }
+        return false;  // local and shared address spaces are disjoint
+    }
+
+    bool
+    baseRedefinedBetween(int i, int j, std::uint8_t base) const
+    {
+        for (int k = i; k < j; ++k) {
+            Operands o = getOperands(insts[k]);
+            for (int d = 0; d < o.numDefs; ++d)
+                if (o.defs[d] == intReg(base))
+                    return true;
+        }
+        return false;
+    }
+
+    std::vector<Instruction> insts;
+    std::vector<std::vector<Edge>> preds;
+    std::vector<bool> reachesLoad;
+};
+
+} // namespace
+
+Program
+applyGroupingPass(const Program &program, GroupingStats *statsOut)
+{
+    GroupingStats stats;
+    stats.instructionsIn = program.code.size();
+
+    auto blocks = findBasicBlocks(program);
+    stats.basicBlocks = blocks.size();
+    for (const Instruction &inst : program.code)
+        if (isGroupableLoad(inst.op))
+            ++stats.sharedLoads;
+
+    Program out;
+    out.sharedWords = program.sharedWords;
+    out.localStaticWords = program.localStaticWords;
+    out.symbols = program.symbols;
+
+    std::unordered_map<std::int32_t, std::int32_t> leaderMap;
+    for (const BlockRange &b : blocks) {
+        leaderMap[b.begin] = static_cast<std::int32_t>(out.code.size());
+        BlockScheduler sched(program.code, b);
+        auto emitted = sched.schedule(stats);
+        out.code.insert(out.code.end(), emitted.begin(), emitted.end());
+    }
+
+    // Remap branch/jump targets (always block leaders), entry, labels,
+    // and label-kind symbols.
+    auto remap = [&](std::int32_t old) {
+        auto it = leaderMap.find(old);
+        MTS_ASSERT(it != leaderMap.end(),
+                   "branch target " << old << " is not a block leader");
+        return it->second;
+    };
+    for (Instruction &inst : out.code)
+        if (inst.target >= 0)
+            inst.target = remap(inst.target);
+    out.entry = remap(program.entry);
+    for (const auto &[index, name] : program.labelAt)
+        out.labelAt[remap(index)] = name;
+    for (auto &[name, sym] : out.symbols)
+        if (sym.kind == SymbolKind::Label)
+            sym.value = remap(static_cast<std::int32_t>(sym.value));
+
+    stats.instructionsOut = out.code.size();
+    if (statsOut)
+        *statsOut = stats;
+    return out;
+}
+
+} // namespace mts

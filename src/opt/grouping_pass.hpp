@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The paper's "simple optimizing compiler": a post-pass that groups
+ * independent shared loads within each basic block and inserts one
+ * explicit `cswitch` instruction per group (Section 5.1).
+ *
+ * Dependence analysis is pessimistic exactly as in the paper (footnote 1):
+ * every shared store is assumed to conflict with every shared load.
+ * Local and shared references never alias (disjoint opcodes/address
+ * spaces); two local references with the same unmodified base register
+ * and different displacements are provably disjoint.
+ *
+ * Invariant: the transformed program computes exactly what the original
+ * computes; only intra-block ordering changes and `cswitch` instructions
+ * are inserted (property-tested in tests/test_grouping_pass.cpp).
+ */
+#ifndef MTS_OPT_GROUPING_PASS_HPP
+#define MTS_OPT_GROUPING_PASS_HPP
+
+#include <cstdint>
+
+#include "asm/program.hpp"
+
+namespace mts
+{
+
+/** Static statistics of one grouping-pass run. */
+struct GroupingStats
+{
+    std::size_t basicBlocks = 0;
+    std::size_t instructionsIn = 0;
+    std::size_t instructionsOut = 0;
+    std::size_t sharedLoads = 0;       ///< groupable loads seen (static)
+    std::size_t switchesInserted = 0;  ///< cswitch instructions added
+    std::size_t loadGroups = 0;        ///< groups containing >=1 data load
+    std::size_t reorderedBlocks = 0;   ///< blocks whose order changed
+
+    /** Static loads per group (the paper's Table 4 "grouping" column). */
+    double
+    staticGroupingFactor() const
+    {
+        return loadGroups ? static_cast<double>(sharedLoads) /
+                                static_cast<double>(loadGroups)
+                          : static_cast<double>(sharedLoads);
+    }
+};
+
+/**
+ * Apply the grouping pass, producing a new program with `cswitch`
+ * instructions suitable for the explicit-switch and conditional-switch
+ * machine models. Idempotent: re-running on the output is a no-op with
+ * respect to grouping structure.
+ */
+Program applyGroupingPass(const Program &program,
+                          GroupingStats *stats = nullptr);
+
+} // namespace mts
+
+#endif // MTS_OPT_GROUPING_PASS_HPP

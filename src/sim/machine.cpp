@@ -1,0 +1,279 @@
+#include "sim/machine.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+Addr
+roundUpTo(Addr v, Addr multiple)
+{
+    return (v + multiple - 1) / multiple * multiple;
+}
+
+Cycle
+saturatingAdd(Cycle a, Cycle b)
+{
+    Cycle s = a + b;
+    return s < a ? kNever : s;
+}
+
+} // namespace
+
+Machine::Machine(const Program &program, const MachineConfig &config,
+                 Addr extraSharedWords)
+    : prog(program), cfg(config),
+      mem(roundUpTo(program.sharedWords + extraSharedWords +
+                        config.cache.lineWords,
+                    config.cache.lineWords))
+{
+    MTS_REQUIRE(cfg.numProcs > 0 && cfg.threadsPerProc > 0,
+                "need at least one processor and one thread");
+    MTS_REQUIRE(cfg.network.roundTrip % 2 == 0,
+                "round-trip latency must be even (one-way = half)");
+    MTS_REQUIRE(cfg.localWords > prog.localStaticWords + 256,
+                "localWords too small for this program's local statics");
+    if (modelNeedsSwitchInstr(cfg.model)) {
+        bool hasSwitch = false;
+        for (const auto &inst : prog.code)
+            if (inst.op == Opcode::CSWITCH) {
+                hasSwitch = true;
+                break;
+            }
+        MTS_REQUIRE(hasSwitch || cfg.network.roundTrip == 0,
+                    switchModelName(cfg.model)
+                        << " requires code processed by the grouping pass "
+                           "(no cswitch instructions found)");
+    }
+
+    printHandler = [](const std::string &s) {
+        std::fputs(s.c_str(), stdout);
+        std::fputc('\n', stdout);
+    };
+
+    injectFree.assign(cfg.numProcs, 0);
+    lastArrival.assign(cfg.numProcs, 0);
+
+    procs.reserve(cfg.numProcs);
+    for (int p = 0; p < cfg.numProcs; ++p)
+        procs.push_back(std::make_unique<Processor>(
+            *this, static_cast<std::uint16_t>(p), cfg, prog));
+}
+
+Machine::~Machine() = default;
+
+Cycle
+Machine::issueMem(MemOp op)
+{
+    if (cfg.tracer)
+        cfg.tracer->onSharedAccess(
+            op.issueTime, op.proc,
+            static_cast<std::uint32_t>(op.proc) * cfg.threadsPerProc +
+                op.thread,
+            op);
+    if (cfg.network.roundTrip == 0) {
+        // Ideal network: the access completes at issue, in the bounded
+        // causality window enforced by the zero-latency quantum.
+        op.returnTime = op.issueTime;
+        processArrival(MemEvent{op.issueTime, 0, op});
+        return op.issueTime + 1;
+    }
+
+    const NetworkConfig &net = cfg.network;
+    Cycle sendStart = op.issueTime;
+    Cycle retSerial = 0;
+
+    // Optional channel contention (spin traffic assumed to use a separate
+    // hardware synchronization path, consistent with its exclusion from
+    // the bandwidth accounting).
+    if (net.channelBits && !op.spin && !op.noTraffic) {
+        Cycle &next = injectFree[op.proc];
+        sendStart = std::max(sendStart, next);
+        sendStart += net.serializeCycles(messageForwardBits(op));
+        next = sendStart;
+        retSerial =
+            net.serializeCycles(messageReturnBits(op, cfg.cache.lineWords));
+    }
+
+    Cycle arrival = sendStart + oneWay();
+
+    // Optional per-word memory service serialization (hot spots; the
+    // paper's combining network makes this 0). Spin traffic is exempt,
+    // consistent with footnote 2: real machines provide spinning
+    // mechanisms that do not load the memory module.
+    if (net.memPortCycles && !op.spin && !op.noTraffic) {
+        Cycle &free = portFree[op.addr];
+        Cycle service = std::max(arrival, free);
+        free = service + net.memPortCycles;
+        arrival = service + net.memPortCycles;
+    }
+
+    // Preserve per-source ordering (the paper's ordered-delivery network)
+    // even when contention delays individual messages.
+    Cycle &last = lastArrival[op.proc];
+    arrival = std::max(arrival, last);
+    last = arrival;
+
+    op.returnTime = arrival + oneWay() + retSerial;
+    queue.pushMem(arrival, op);
+    return op.returnTime;
+}
+
+std::uint64_t
+Machine::directLoad(Addr addr)
+{
+    return mem.read(addr);
+}
+
+std::uint64_t
+Machine::directFetchAdd(Addr addr, std::uint64_t addend)
+{
+    return mem.fetchAdd(addr, addend);
+}
+
+void
+Machine::directStore(Addr addr, std::uint64_t value)
+{
+    mem.write(addr, value);
+}
+
+std::uint64_t
+Machine::estimateRead(Addr addr)
+{
+    return mem.read(addr);
+}
+
+void
+Machine::invalidateSharers(Addr addr, std::uint16_t writer)
+{
+    Addr base = addr & ~static_cast<Addr>(cfg.cache.lineWords - 1);
+    for (std::uint16_t p : directory.writersInvalidationSet(base, writer)) {
+        procs[p]->cache()->invalidate(addr);
+        netStats.countInvalidation();
+    }
+    SharedCache *wc = procs[writer]->cache();
+    if (wc && wc->present(addr))
+        directory.addSharer(base, writer);
+}
+
+void
+Machine::processArrival(const MemEvent &ev)
+{
+    const MemOp &op = ev.op;
+    netStats.count(op, cfg.cache.lineWords);
+
+    switch (op.kind) {
+      case MemOpKind::Store:
+        mem.write(op.addr, op.value);
+        if (cfg.cachesEnabled()) {
+            invalidateSharers(op.addr, op.proc);
+            // Re-apply to the writer's own copy: a fill issued by another
+            // thread of this processor before this store reached memory
+            // may have installed pre-store data after the issue-time
+            // store-buffer update.
+            if (SharedCache *wc = procs[op.proc]->cache())
+                wc->updateOwn(op.addr, op.value);
+        }
+        break;
+
+      case MemOpKind::FetchAdd: {
+        std::uint64_t old = mem.fetchAdd(op.addr, op.value);
+        if (cfg.cachesEnabled()) {
+            // Same in-flight-fill hazard as stores: drop any copy that a
+            // concurrent fill resurrected between issue and arrival
+            // (before the directory pass so the writer is not re-added).
+            if (SharedCache *wc = procs[op.proc]->cache())
+                wc->invalidate(op.addr);
+            invalidateSharers(op.addr, op.proc);
+        }
+        if (op.deliver)
+            procs[op.proc]->deliver(op.thread, op.reg, false, false, old,
+                                    0);
+        break;
+      }
+
+      case MemOpKind::Load:
+      case MemOpKind::LoadPair: {
+        std::uint64_t v0 = mem.read(op.addr);
+        std::uint64_t v1 =
+            op.kind == MemOpKind::LoadPair ? mem.read(op.addr + 1) : 0;
+        if (op.fillLine) {
+            SharedCache *c = procs[op.proc]->cache();
+            MTS_ASSERT(c, "fill for a processor without a cache");
+            Addr base = c->lineBase(op.addr);
+            std::uint64_t line[64];
+            for (unsigned w = 0; w < cfg.cache.lineWords; ++w)
+                line[w] = mem.read(base + w);
+            c->install(base, line, op.returnTime);
+            directory.addSharer(base, op.proc);
+        }
+        if (op.deliver)
+            procs[op.proc]->deliver(op.thread, op.reg, op.fpDest,
+                                    op.kind == MemOpKind::LoadPair, v0, v1);
+        break;
+      }
+    }
+}
+
+RunResult
+Machine::run()
+{
+    MTS_REQUIRE(!ran, "Machine::run may only be called once");
+    ran = true;
+
+    for (int p = 0; p < cfg.numProcs; ++p)
+        queue.pushProc(0, static_cast<std::uint16_t>(p));
+
+    const Cycle lookahead =
+        cfg.network.roundTrip ? oneWay() : cfg.zeroLatencyQuantum;
+    std::size_t finished = 0;
+
+    while (!queue.empty()) {
+        if (queue.memIsNext()) {
+            processArrival(queue.popMem());
+            continue;
+        }
+        ProcEvent pe = queue.popProc();
+        MTS_REQUIRE(pe.time <= cfg.maxCycles,
+                    "watchdog: simulation exceeded "
+                        << cfg.maxCycles
+                        << " cycles (deadlock or runaway spin?)");
+        Cycle horizon = std::min(
+            queue.nextMemTime(),
+            saturatingAdd(queue.nextProcTime(), lookahead));
+        RunStatus st = procs[pe.proc]->run(pe.time, horizon);
+        if (st.outcome == RunOutcome::Finished)
+            ++finished;
+        else
+            queue.pushProc(st.resumeAt, pe.proc);
+    }
+
+    MTS_ASSERT(finished == static_cast<std::size_t>(cfg.numProcs),
+               "event queue drained with " << cfg.numProcs - finished
+                                           << " processors unfinished");
+
+    RunResult r;
+    r.numProcs = cfg.numProcs;
+    r.threadsPerProc = cfg.threadsPerProc;
+    for (auto &p : procs) {
+        r.cpu.merge(p->stats);
+        if (p->cache())
+            r.cache.merge(p->cache()->statistics());
+        for (int t = 0; t < cfg.threadsPerProc; ++t) {
+            const auto &g = p->thread(static_cast<std::uint16_t>(t))
+                                .groupEstimate;
+            r.estimateHits += g.hits();
+            r.estimateMisses += g.misses();
+        }
+    }
+    r.cycles = r.cpu.finishTime;
+    r.net = netStats;
+    return r;
+}
+
+} // namespace mts

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Machine: processors + shared memory + directory under one
+ * event-driven simulation loop.
+ *
+ * Scheduling discipline (see DESIGN.md): all global state (memory words,
+ * directory, other processors' caches) is mutated only while processing
+ * memory-arrival events, in global timestamp order. A processor executes
+ * instructions in bursts bounded by the conservative horizon
+ *
+ *     min(next memory arrival, next processor event + one-way latency)
+ *
+ * which guarantees no instruction observes global state "from the past".
+ * With a 0-latency network, accesses are performed directly at issue and
+ * the lookahead becomes a small fixed quantum (bounded causality window).
+ */
+#ifndef MTS_SIM_MACHINE_HPP
+#define MTS_SIM_MACHINE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "cache/directory.hpp"
+#include "mem/event_queue.hpp"
+#include "mem/network.hpp"
+#include "mem/shared_memory.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/processor.hpp"
+#include "sim/run_result.hpp"
+
+namespace mts
+{
+
+/** A complete simulated multiprocessor loaded with one program. */
+class Machine
+{
+  public:
+    /**
+     * Build a machine and load @p program. All threads start at the
+     * program's entry with r4 = global thread id and r5 = thread count.
+     *
+     * @param extraSharedWords Extra shared words past the program's static
+     *        segment (scratch/heap for workload generators).
+     */
+    Machine(const Program &program, const MachineConfig &config,
+            Addr extraSharedWords = 0);
+
+    ~Machine();
+
+    /** Run to completion; fatal on deadlock/watchdog expiry. */
+    RunResult run();
+
+    SharedMemory &
+    sharedMem()
+    {
+        return mem;
+    }
+
+    const MachineConfig &
+    config() const
+    {
+        return cfg;
+    }
+
+    const Program &
+    program() const
+    {
+        return prog;
+    }
+
+    /** Sink for the PRINT/FPRINT debug opcodes (default: stdout). */
+    void
+    setPrintHandler(std::function<void(const std::string &)> fn)
+    {
+        printHandler = std::move(fn);
+    }
+
+    /// @name Interface used by Processor during execution.
+    /// @{
+
+    /** Enqueue a shared access; returns its round-trip return time. */
+    Cycle issueMem(MemOp op);
+
+    /** Direct access at issue time (0-latency network only). */
+    std::uint64_t directLoad(Addr addr);
+    std::uint64_t directFetchAdd(Addr addr, std::uint64_t addend);
+    void directStore(Addr addr, std::uint64_t value);
+
+    /** Read memory at issue time for a §5.2 estimate-cache hit. */
+    std::uint64_t estimateRead(Addr addr);
+
+    Cycle
+    roundTrip() const
+    {
+        return cfg.network.roundTrip;
+    }
+
+    Cycle
+    oneWay() const
+    {
+        return cfg.network.oneWay();
+    }
+
+    void
+    print(const std::string &s)
+    {
+        printHandler(s);
+    }
+    /// @}
+
+  private:
+    void processArrival(const MemEvent &ev);
+    void invalidateSharers(Addr addr, std::uint16_t writer);
+
+    Program prog;
+    MachineConfig cfg;
+    SharedMemory mem;
+    Directory directory;
+    EventQueue queue;
+    NetworkStats netStats;
+    std::vector<Cycle> injectFree;   ///< channel-contention state per proc
+    std::vector<Cycle> lastArrival;  ///< per-source ordered delivery
+    std::unordered_map<Addr, Cycle> portFree;  ///< hot-spot model state
+    std::vector<std::unique_ptr<Processor>> procs;
+    std::function<void(const std::string &)> printHandler;
+    bool ran = false;
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_MACHINE_HPP

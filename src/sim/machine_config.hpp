@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Configuration of one simulated machine instance.
+ */
+#ifndef MTS_SIM_MACHINE_CONFIG_HPP
+#define MTS_SIM_MACHINE_CONFIG_HPP
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "cpu/switch_model.hpp"
+#include "isa/addressing.hpp"
+#include "mem/network.hpp"
+
+namespace mts
+{
+
+class Tracer;
+
+/** All knobs of a simulated machine (paper defaults). */
+struct MachineConfig
+{
+    int numProcs = 16;
+    int threadsPerProc = 1;   ///< the paper's "multithreading level"
+    SwitchModel model = SwitchModel::SwitchOnLoad;
+
+    /** Constant-latency network; roundTrip 0 = the ideal machine. */
+    NetworkConfig network{200};
+
+    /** Per-processor shared-data cache (cache-using models only). */
+    CacheConfig cache{};
+
+    /**
+     * Conditional-switch run-length limit (Section 6.2): after this many
+     * cycles without a taken switch, the next cswitch is forced. 0
+     * disables the limit (an ablation; can livelock spin loops).
+     */
+    Cycle sliceLimit = 200;
+
+    /**
+     * Extra cycles lost when a switch is discovered late in the pipeline
+     * (switch-on-miss clears the pipe; paper Section 2).
+     */
+    int missSwitchPenalty = 3;
+
+    /** Per-thread local memory size in words (stack + local statics). */
+    Addr localWords = kDefaultLocalWords;
+
+    /** Enable the Section 5.2 per-thread grouping-estimate cache. */
+    bool groupEstimate = false;
+
+    /**
+     * Prefer `setpri 1` threads when rotating (the paper's Section 6.2
+     * suggestion: priority scheduling of threads inside critical
+     * regions). Off by default: strict round robin.
+     */
+    bool prioritySched = false;
+
+    /**
+     * Lookahead quantum for 0-latency runs (bounded causality window for
+     * direct memory access; see DESIGN.md).
+     */
+    Cycle zeroLatencyQuantum = 50;
+
+    /** Watchdog: abort if simulated time exceeds this (deadlock guard). */
+    Cycle maxCycles = 4'000'000'000ull;
+
+    /** Optional event sink (see trace/tracer.hpp); not owned. */
+    Tracer *tracer = nullptr;
+
+    int
+    totalThreads() const
+    {
+        return numProcs * threadsPerProc;
+    }
+
+    bool
+    cachesEnabled() const
+    {
+        return modelUsesCache(model);
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_MACHINE_CONFIG_HPP

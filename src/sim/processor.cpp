@@ -1,0 +1,677 @@
+#include "sim/processor.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/machine.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+Processor::Processor(Machine &machine_, std::uint16_t id,
+                     const MachineConfig &config, const Program &program)
+    : machine(machine_), cfg(config), code(program.code), procId(id)
+{
+    threads.reserve(cfg.threadsPerProc);
+    for (int t = 0; t < cfg.threadsPerProc; ++t) {
+        std::uint32_t gid = static_cast<std::uint32_t>(id) *
+                                cfg.threadsPerProc +
+                            t;
+        threads.emplace_back(gid, cfg.localWords);
+        ThreadContext &th = threads.back();
+        th.pc = program.entry;
+        th.iregs[kRegArg0] = gid;
+        th.iregs[kRegArg1] = cfg.totalThreads();
+        th.iregs[kRegSp] = static_cast<std::int64_t>(cfg.localWords);
+    }
+    liveThreads = cfg.threadsPerProc;
+    if (cfg.cachesEnabled())
+        cache_ = std::make_unique<SharedCache>(cfg.cache);
+}
+
+void
+Processor::rotate()
+{
+    MTS_ASSERT(liveThreads > 0, "rotate with no live threads");
+    if (cfg.prioritySched) {
+        // Prefer the next high-priority thread in round-robin order
+        // (e.g. a lock holder), falling back to strict round robin.
+        for (int k = 1; k < cfg.threadsPerProc; ++k) {
+            int cand = (cur + k) % cfg.threadsPerProc;
+            if (!threads[cand].halted && threads[cand].highPriority) {
+                cur = cand;
+                return;
+            }
+        }
+    }
+    do {
+        cur = (cur + 1) % cfg.threadsPerProc;
+    } while (threads[cur].halted);
+}
+
+void
+Processor::takeSwitch(ThreadContext &th, Cycle runEnd, Cycle threadReady,
+                      SwitchReason reason)
+{
+    ++stats.switchesTaken;
+    if (runEnd > th.runStart)
+        stats.runLengths.add(runEnd - th.runStart);
+    th.readyAt = std::max(threadReady, runEnd);
+    std::uint32_t from = th.globalId;
+    rotate();
+    freshRun = true;
+    if (cfg.tracer)
+        cfg.tracer->onSwitch(runEnd, procId, from, threads[cur].globalId,
+                             th.readyAt, reason);
+}
+
+void
+Processor::deliver(std::uint16_t threadSlot, std::uint8_t reg, bool fpDest,
+                   bool pair, std::uint64_t v0, std::uint64_t v1)
+{
+    ThreadContext &th = threads[threadSlot];
+    if (fpDest) {
+        th.fregs[reg] = std::bit_cast<double>(v0);
+        if (pair)
+            th.fregs[reg + 1] = std::bit_cast<double>(v1);
+    } else {
+        th.writeIReg(reg, static_cast<std::int64_t>(v0));
+        if (pair)
+            th.writeIReg(reg + 1, static_cast<std::int64_t>(v1));
+    }
+}
+
+RunStatus
+Processor::run(Cycle now, Cycle horizon)
+{
+    effHorizon = horizon;
+    while (true) {
+        if (liveThreads == 0)
+            return {RunOutcome::Finished, 0};
+        // Watchdog here as well as in the Machine loop: a runaway local
+        // loop never creates events, so only the processor can notice.
+        MTS_REQUIRE(now <= cfg.maxCycles,
+                    "watchdog: processor " << procId << " exceeded "
+                                           << cfg.maxCycles << " cycles");
+
+        ThreadContext &th = threads[cur];
+        if (th.readyAt > now) {
+            stats.idleCycles += th.readyAt - now;
+            if (th.readyAt >= effHorizon)
+                return {RunOutcome::Waiting, th.readyAt};
+            now = th.readyAt;
+        }
+        if (now >= effHorizon)
+            return {RunOutcome::Waiting, now};
+
+        switch (step(th, now)) {
+          case StepResult::Continue:
+          case StepResult::Switched:
+          case StepResult::Halted:
+            break;
+          case StepResult::NeedWait:
+            return {RunOutcome::Waiting, std::max(waitUntil, now)};
+        }
+    }
+}
+
+Cycle
+Processor::issueSharedLoad(ThreadContext &th, const Instruction &inst,
+                           Cycle now, Addr addr, bool &missed)
+{
+    const Opcode op = inst.op;
+    const bool isFaa = op == Opcode::FAA;
+    const bool isSpin = op == Opcode::LDS_SPIN;
+    const bool isPair = op == Opcode::LDSD || op == Opcode::FLDSD;
+    const bool fpDest = op == Opcode::FLDS || op == Opcode::FLDSD;
+    const Cycle rtt = machine.roundTrip();
+
+    missed = true;  // refined below for cache hits / estimate hits
+
+    // Section 5.2 inter-block grouping estimator: a hit means the load
+    // could have been issued with the preceding group, so its latency is
+    // treated as already covered (traffic still counted).
+    if (cfg.groupEstimate && !isFaa && !isSpin && rtt > 0) {
+        if (th.groupEstimate.access(addr)) {
+            ++stats.estimateHits;
+            missed = false;
+            std::uint64_t v0 = machine.estimateRead(addr);
+            std::uint64_t v1 = isPair ? machine.estimateRead(addr + 1) : 0;
+            deliver(static_cast<std::uint16_t>(cur), inst.rd, fpDest,
+                    isPair, v0, v1);
+            MemOp op2;
+            op2.kind = isPair ? MemOpKind::LoadPair : MemOpKind::Load;
+            op2.addr = addr;
+            op2.proc = procId;
+            op2.thread = static_cast<std::uint16_t>(cur);
+            op2.deliver = false;  // value already architecturally visible
+            op2.issueTime = now;
+            machine.issueMem(op2);
+            effHorizon = std::min(effHorizon, now + machine.oneWay());
+            return now + 1;
+        }
+    }
+
+    // Cache probe (conditional-switch / switch-on-*miss models).
+    if (cache_ && !isFaa) {
+        std::uint64_t v = 0;
+        Cycle mergeReady = 0;
+        bool sameLine =
+            !isPair || cache_->lineBase(addr) == cache_->lineBase(addr + 1);
+        ProbeResult pr = sameLine
+                             ? cache_->probe(addr, now, v, mergeReady)
+                             : ProbeResult::Miss;
+        if (pr == ProbeResult::Hit) {
+            missed = false;
+            std::uint64_t v1 = 0;
+            if (isPair) {
+                bool ok = cache_->tryRead(addr + 1, now, v1);
+                MTS_ASSERT(ok, "pair second word must hit with the first");
+            }
+            deliver(static_cast<std::uint16_t>(cur), inst.rd, fpDest,
+                    isPair, v, v1);
+            // A spin load that hits cannot observe a change until an
+            // invalidation arrives, so hot-spinning is pointless: make
+            // the following cswitch unconditional.
+            if (isSpin && cfg.model == SwitchModel::ConditionalSwitch)
+                th.missedSinceSwitch = true;
+            return now + 2;  // cache hit: local-load latency
+        }
+        if (pr == ProbeResult::Merge) {
+            // MSHR merge: wait for the in-flight fill; the write-through
+            // memory image is always current, so read it at arrival time.
+            MemOp mop;
+            mop.kind = isPair ? MemOpKind::LoadPair : MemOpKind::Load;
+            mop.addr = addr;
+            mop.proc = procId;
+            mop.thread = static_cast<std::uint16_t>(cur);
+            mop.reg = inst.rd;
+            mop.fpDest = fpDest;
+            mop.spin = isSpin;
+            mop.noTraffic = true;
+            mop.issueTime = now;
+            machine.issueMem(mop);
+            effHorizon = std::min(effHorizon, now + machine.oneWay());
+            Cycle ready = std::max(mergeReady, now + machine.oneWay());
+            th.lastReturn = std::max(th.lastReturn, ready);
+            return ready;
+        }
+        // Miss: fall through to a line fill.
+    }
+
+    if (isFaa && cache_)
+        cache_->invalidate(addr);  // memory-side atomic; drop stale copy
+
+    // Dead-result fetch-and-add (rd = r0): fire-and-forget like a store —
+    // nothing to wait for, so no switch and no lastReturn update. This is
+    // how commit-style atomic increments avoid paying the round trip.
+    if (isFaa && inst.rd == kRegZero) {
+        missed = false;
+        MemOp mop;
+        mop.kind = MemOpKind::FetchAdd;
+        mop.addr = addr;
+        mop.value = static_cast<std::uint64_t>(th.readIReg(inst.rs2));
+        mop.proc = procId;
+        mop.thread = static_cast<std::uint16_t>(cur);
+        mop.deliver = false;
+        mop.issueTime = now;
+        machine.issueMem(mop);
+        if (rtt > 0)
+            effHorizon = std::min(effHorizon, now + machine.oneWay());
+        return now + 1;
+    }
+
+    // §5.2 estimator mode: this load heads (or joins the misses of) a real
+    // group, so the next cswitch must actually be taken.
+    if (cfg.groupEstimate)
+        th.missedSinceSwitch = true;
+
+    MemOp mop;
+    mop.kind = isFaa ? MemOpKind::FetchAdd
+                     : (isPair ? MemOpKind::LoadPair : MemOpKind::Load);
+    mop.addr = addr;
+    if (isFaa)
+        mop.value = static_cast<std::uint64_t>(th.readIReg(inst.rs2));
+    mop.proc = procId;
+    mop.thread = static_cast<std::uint16_t>(cur);
+    mop.reg = inst.rd;
+    mop.fpDest = fpDest;
+    mop.spin = isSpin;
+    mop.fillLine = cache_ != nullptr && !isFaa;
+    mop.issueTime = now;
+    Cycle ready = machine.issueMem(mop);
+    if (rtt > 0)
+        effHorizon = std::min(effHorizon, now + machine.oneWay());
+    th.lastReturn = std::max(th.lastReturn, ready);
+    return ready;
+}
+
+void
+Processor::issueSharedStore(ThreadContext &th, const Instruction &inst,
+                            Cycle now, Addr addr)
+{
+    std::uint64_t value =
+        inst.op == Opcode::FSTS
+            ? std::bit_cast<std::uint64_t>(th.fregs[inst.rs2])
+            : static_cast<std::uint64_t>(th.readIReg(inst.rs2));
+
+    // Write-through with store-buffer forwarding: the processor's own
+    // cached copy is updated at issue so later hits by this processor see
+    // program order; memory and other caches update at arrival.
+    if (cache_)
+        cache_->updateOwn(addr, value);
+
+    MemOp mop;
+    mop.kind = MemOpKind::Store;
+    mop.addr = addr;
+    mop.value = value;
+    mop.proc = procId;
+    mop.thread = static_cast<std::uint16_t>(cur);
+    mop.issueTime = now;
+    machine.issueMem(mop);
+    if (machine.roundTrip() > 0)
+        effHorizon = std::min(effHorizon, now + machine.oneWay());
+}
+
+Processor::StepResult
+Processor::step(ThreadContext &th, Cycle &now)
+{
+    MTS_REQUIRE(th.pc >= 0 &&
+                    th.pc < static_cast<std::int32_t>(code.size()),
+                "pc " << th.pc << " out of range (bad jr/fallthrough?)");
+    const Instruction &inst = code[th.pc];
+
+    if (freshRun) {
+        th.runStart = now;
+        th.sliceStart = now;
+        freshRun = false;
+    }
+
+    const bool useModel = cfg.model == SwitchModel::SwitchOnUse ||
+                          cfg.model == SwitchModel::SwitchOnUseMiss;
+
+    // ---- source readiness / switch-on-use detection ----
+    Operands ops = getOperands(inst);
+    Cycle srcReady = now;
+    Cycle pendingReady = 0;
+    for (int i = 0; i < ops.numUses; ++i) {
+        RegId u = ops.uses[i];
+        Cycle rdy = th.regReady[u];
+        if (rdy <= now) {
+            th.pendingShared[u] = false;
+            continue;
+        }
+        if (th.pendingShared[u])
+            pendingReady = std::max(pendingReady, rdy);
+        srcReady = std::max(srcReady, rdy);
+    }
+
+    if (useModel && pendingReady > now) {
+        // The use of an in-flight shared value: switch instead of stall.
+        // Recognized at decode => zero-cost; the use re-executes on wake.
+        takeSwitch(th, now, pendingReady, SwitchReason::Use);
+        return StepResult::Switched;
+    }
+
+    if (srcReady > now) {
+        stats.stallCycles += srcReady - now;
+        if (srcReady >= effHorizon) {
+            waitUntil = srcReady;
+            return StepResult::NeedWait;
+        }
+        now = srcReady;
+    }
+
+    // ---- execute at cycle `now` ----
+    ++stats.instructions;
+    ++stats.busyCycles;
+    if (cfg.tracer)
+        cfg.tracer->onInstruction(now, procId, th.globalId, th.pc, inst);
+
+    std::int32_t nextPc = th.pc + 1;
+    Cycle switchReady = kNever;  // switch after this instruction if set
+    SwitchReason switchReason = SwitchReason::Explicit;
+    Cycle memReady = kNever;     // shared-load return time, if any
+    bool halted = false;
+    bool missPenalty = false;
+    const int lat = resultLatency(inst.op);
+
+    auto a = [&]() { return th.readIReg(inst.rs1); };
+    auto b = [&]() {
+        return inst.useImm ? inst.imm : th.readIReg(inst.rs2);
+    };
+    auto wI = [&](std::int64_t v) {
+        th.writeIReg(inst.rd, v);
+        th.regReady[intReg(inst.rd)] = now + lat;
+        th.pendingShared[intReg(inst.rd)] = false;
+    };
+    auto wF = [&](double v) {
+        th.fregs[inst.rd] = v;
+        th.regReady[fpReg(inst.rd)] = now + lat;
+        th.pendingShared[fpReg(inst.rd)] = false;
+    };
+    auto fa = [&]() { return th.fregs[inst.rs1]; };
+    auto fb = [&]() { return th.fregs[inst.rs2]; };
+    auto effAddr = [&]() {
+        return static_cast<Addr>(th.readIReg(inst.rs1) + inst.imm);
+    };
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        halted = true;
+        break;
+      case Opcode::SETPRI:
+        th.highPriority = inst.imm != 0;
+        break;
+
+      case Opcode::CSWITCH: {
+        bool take = true;
+        const bool conditional =
+            cfg.model == SwitchModel::ConditionalSwitch ||
+            (cfg.groupEstimate &&
+             cfg.model == SwitchModel::ExplicitSwitch);
+        if (conditional) {
+            bool sliceExpired =
+                cfg.sliceLimit != 0 && now - th.sliceStart >= cfg.sliceLimit;
+            take = th.missedSinceSwitch || sliceExpired;
+            if (take && !th.missedSinceSwitch) {
+                switchReason = SwitchReason::SliceLimit;
+                ++stats.sliceLimitSwitches;
+            }
+            th.missedSinceSwitch = false;
+            if (!take)
+                ++stats.switchesSkipped;
+        } else if (cfg.model == SwitchModel::Ideal) {
+            take = false;  // costs its cycle; never switches
+        }
+        if (take)
+            switchReady = std::max(th.lastReturn, now + 1);
+        break;
+      }
+
+      // ---- integer ALU (wrapping two's-complement semantics) ----
+      case Opcode::ADD:
+        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) +
+                                     static_cast<std::uint64_t>(b())));
+        break;
+      case Opcode::SUB:
+        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) -
+                                     static_cast<std::uint64_t>(b())));
+        break;
+      case Opcode::MUL:
+        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) *
+                                     static_cast<std::uint64_t>(b())));
+        break;
+      case Opcode::DIV: {
+        std::int64_t d = b();
+        MTS_REQUIRE(d != 0, "div by zero at source line " << inst.srcLine);
+        wI(a() / d);
+        break;
+      }
+      case Opcode::REM: {
+        std::int64_t d = b();
+        MTS_REQUIRE(d != 0, "rem by zero at source line " << inst.srcLine);
+        wI(a() % d);
+        break;
+      }
+      case Opcode::AND: wI(a() & b()); break;
+      case Opcode::OR: wI(a() | b()); break;
+      case Opcode::XOR: wI(a() ^ b()); break;
+      case Opcode::SLL:
+        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a())
+                                     << (b() & 63)));
+        break;
+      case Opcode::SRL:
+        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) >>
+                                     (b() & 63)));
+        break;
+      case Opcode::SRA: wI(a() >> (b() & 63)); break;
+      case Opcode::SLT: wI(a() < b() ? 1 : 0); break;
+      case Opcode::SLE: wI(a() <= b() ? 1 : 0); break;
+      case Opcode::SEQ: wI(a() == b() ? 1 : 0); break;
+      case Opcode::SNE: wI(a() != b() ? 1 : 0); break;
+      case Opcode::LI: wI(inst.imm); break;
+
+      // ---- floating point ----
+      case Opcode::FADD: wF(fa() + fb()); break;
+      case Opcode::FSUB: wF(fa() - fb()); break;
+      case Opcode::FMUL: wF(fa() * fb()); break;
+      case Opcode::FDIV: wF(fa() / fb()); break;
+      case Opcode::FSQRT: wF(std::sqrt(fa())); break;
+      case Opcode::FNEG: wF(-fa()); break;
+      case Opcode::FABS: wF(std::fabs(fa())); break;
+      case Opcode::FMIN: wF(std::fmin(fa(), fb())); break;
+      case Opcode::FMAX: wF(std::fmax(fa(), fb())); break;
+      case Opcode::FMV: wF(fa()); break;
+      case Opcode::FLI: wF(inst.fimm); break;
+      case Opcode::CVTIF: wF(static_cast<double>(a())); break;
+      case Opcode::CVTFI:
+        wI(static_cast<std::int64_t>(std::trunc(fa())));
+        break;
+      case Opcode::FEQ: wI(fa() == fb() ? 1 : 0); break;
+      case Opcode::FLT: wI(fa() < fb() ? 1 : 0); break;
+      case Opcode::FLE: wI(fa() <= fb() ? 1 : 0); break;
+
+      // ---- control flow ----
+      case Opcode::BEQ:
+        if (a() == b())
+            nextPc = inst.target;
+        break;
+      case Opcode::BNE:
+        if (a() != b())
+            nextPc = inst.target;
+        break;
+      case Opcode::BLT:
+        if (a() < b())
+            nextPc = inst.target;
+        break;
+      case Opcode::BGE:
+        if (a() >= b())
+            nextPc = inst.target;
+        break;
+      case Opcode::J:
+        nextPc = inst.target;
+        break;
+      case Opcode::JAL:
+        th.writeIReg(kRegRa, th.pc + 1);
+        th.regReady[intReg(kRegRa)] = now + 1;
+        th.pendingShared[intReg(kRegRa)] = false;
+        nextPc = inst.target;
+        break;
+      case Opcode::JR:
+        nextPc = static_cast<std::int32_t>(a());
+        break;
+
+      // ---- local memory ----
+      case Opcode::LDL: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "ldl with shared address (line " << inst.srcLine
+                                                     << ")");
+        wI(static_cast<std::int64_t>(th.local.read(addr)));
+        break;
+      }
+      case Opcode::FLDL: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "fldl with shared address (line " << inst.srcLine
+                                                      << ")");
+        wF(std::bit_cast<double>(th.local.read(addr)));
+        break;
+      }
+      case Opcode::STL: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "stl with shared address (line " << inst.srcLine
+                                                     << ")");
+        th.local.write(addr,
+                       static_cast<std::uint64_t>(th.readIReg(inst.rs2)));
+        break;
+      }
+      case Opcode::FSTL: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "fstl with shared address (line " << inst.srcLine
+                                                      << ")");
+        th.local.write(addr,
+                       std::bit_cast<std::uint64_t>(th.fregs[inst.rs2]));
+        break;
+      }
+
+      // ---- shared memory ----
+      case Opcode::LDS:
+      case Opcode::FLDS:
+      case Opcode::LDSD:
+      case Opcode::FLDSD:
+      case Opcode::LDS_SPIN:
+      case Opcode::FAA: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(isSharedAddr(addr),
+                    "shared access to local address "
+                        << addr << " (line " << inst.srcLine << ")");
+        const bool isFaa = inst.op == Opcode::FAA;
+        const bool isSpin = inst.op == Opcode::LDS_SPIN;
+        const bool isPair =
+            inst.op == Opcode::LDSD || inst.op == Opcode::FLDSD;
+        if (isFaa)
+            ++stats.fetchAdds;
+        else if (isSpin)
+            ++stats.spinLoads;
+        else
+            ++stats.sharedLoads;
+
+        bool missed = false;
+        Cycle ready = issueSharedLoad(th, inst, now, addr, missed);
+
+        // Dead-result fetch-and-add behaves like a store: no wait, no
+        // switch (see issueSharedLoad).
+        if (isFaa && inst.rd == kRegZero)
+            break;
+        memReady = ready;
+
+        // Destination scoreboard entries.
+        RegId d0 = isFpOp(inst.op) && !isFaa ? fpReg(inst.rd)
+                                             : intReg(inst.rd);
+        th.regReady[d0] = ready;
+        if (isPair) {
+            RegId d1 = static_cast<RegId>(d0 + 1);
+            th.regReady[d1] = ready;
+        }
+
+        // Cache-based models must bound hit streaks (the Section 6.2
+        // run-length limit, generalized): an endless run of hits would
+        // starve co-resident threads, e.g. a spinner starving the lock
+        // holder on its own processor.
+        bool sliceExpired = cache_ != nullptr && cfg.sliceLimit != 0 &&
+                            now - th.sliceStart >= cfg.sliceLimit;
+
+        // Model reactions.
+        switch (cfg.model) {
+          case SwitchModel::SwitchOnLoad:
+            switchReady = ready;
+            switchReason = SwitchReason::Load;
+            break;
+          case SwitchModel::SwitchOnUse:
+          case SwitchModel::SwitchOnUseMiss:
+            if (missed && ready > now + 1) {
+                th.pendingShared[d0] = true;
+                if (isPair)
+                    th.pendingShared[static_cast<RegId>(d0 + 1)] = true;
+            } else if (!missed && sliceExpired) {
+                switchReady = ready;
+                switchReason = SwitchReason::SliceLimit;
+                ++stats.sliceLimitSwitches;
+            }
+            break;
+          case SwitchModel::SwitchOnMiss:
+            if (missed) {
+                switchReady = ready;
+                switchReason = SwitchReason::Load;
+                missPenalty = true;
+            } else if (sliceExpired) {
+                switchReady = ready;
+                switchReason = SwitchReason::SliceLimit;
+                ++stats.sliceLimitSwitches;
+            }
+            break;
+          case SwitchModel::ConditionalSwitch:
+            if (missed)
+                th.missedSinceSwitch = true;
+            break;
+          case SwitchModel::ExplicitSwitch:
+          case SwitchModel::SwitchEveryCycle:
+          case SwitchModel::Ideal:
+            break;
+        }
+        break;
+      }
+
+      case Opcode::STS:
+      case Opcode::FSTS: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(isSharedAddr(addr),
+                    "shared store to local address "
+                        << addr << " (line " << inst.srcLine << ")");
+        ++stats.sharedStores;
+        issueSharedStore(th, inst, now, addr);
+        break;
+      }
+
+      case Opcode::PRINT:
+        machine.print(format("%lld", static_cast<long long>(a())));
+        break;
+      case Opcode::FPRINT:
+        machine.print(format("%.10g", fa()));
+        break;
+
+      default:
+        MTS_PANIC("unimplemented opcode "
+                  << opcodeName(inst.op) << " at line " << inst.srcLine);
+    }
+
+    th.pc = nextPc;
+    now += 1;  // the instruction occupied cycle (now-1)
+
+    if (halted) {
+        th.halted = true;
+        --liveThreads;
+        if (now > stats.finishTime)
+            stats.finishTime = now;
+        if (now > th.runStart)
+            stats.runLengths.add(now - th.runStart);
+        if (liveThreads > 0) {
+            rotate();
+            freshRun = true;
+            if (cfg.tracer)
+                cfg.tracer->onSwitch(now, procId, th.globalId,
+                                     threads[cur].globalId, now,
+                                     SwitchReason::Halt);
+        }
+        return StepResult::Halted;
+    }
+
+    if (cfg.model == SwitchModel::SwitchEveryCycle) {
+        Cycle ready = memReady != kNever ? std::max(memReady, now) : now;
+        takeSwitch(th, now, ready, SwitchReason::EveryCycle);
+        return StepResult::Switched;
+    }
+
+    if (switchReady != kNever) {
+        if (missPenalty && cfg.missSwitchPenalty > 0) {
+            // Late-detected switch: squashed pipeline slots.
+            stats.stallCycles += cfg.missSwitchPenalty;
+            takeSwitch(th, now, switchReady, switchReason);
+            now += cfg.missSwitchPenalty;
+        } else {
+            takeSwitch(th, now, switchReady, switchReason);
+        }
+        return StepResult::Switched;
+    }
+
+    return StepResult::Continue;
+}
+
+} // namespace mts

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * One multithreaded processor: the instruction interpreter plus the
+ * context-switch engine implementing every model of the taxonomy.
+ */
+#ifndef MTS_SIM_PROCESSOR_HPP
+#define MTS_SIM_PROCESSOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "cache/cache.hpp"
+#include "cpu/cpu_stats.hpp"
+#include "cpu/thread_context.hpp"
+#include "sim/machine_config.hpp"
+#include "trace/tracer.hpp"
+
+namespace mts
+{
+
+class Machine;
+
+/** Why Processor::run returned. */
+enum class RunOutcome
+{
+    Finished,  ///< every thread on this processor has halted
+    Waiting    ///< resume at RunStatus::resumeAt
+};
+
+/** Result of one Processor::run burst. */
+struct RunStatus
+{
+    RunOutcome outcome;
+    Cycle resumeAt;
+};
+
+/**
+ * A processor with `threadsPerProc` hardware contexts scheduled
+ * round-robin (optimal under the network's ordered delivery, Section 3).
+ *
+ * Context switches cost zero cycles for the opcode-implied models
+ * (switch-on-load, explicit/conditional switch) because the switch is
+ * recognized at decode; switch-on-miss pays `missSwitchPenalty` cycles to
+ * clear the pipe.
+ */
+class Processor
+{
+  public:
+    Processor(Machine &machine, std::uint16_t id,
+              const MachineConfig &config, const Program &program);
+
+    /**
+     * Execute from @p now; no instruction issues at or after @p horizon
+     * (the conservative causality bound computed by the Machine).
+     */
+    RunStatus run(Cycle now, Cycle horizon);
+
+    /** Deliver a load/fetch-add result into a thread's register file. */
+    void deliver(std::uint16_t threadSlot, std::uint8_t reg, bool fpDest,
+                 bool pair, std::uint64_t v0, std::uint64_t v1);
+
+    ThreadContext &
+    thread(std::uint16_t slot)
+    {
+        return threads[slot];
+    }
+
+    SharedCache *
+    cache()
+    {
+        return cache_.get();
+    }
+
+    bool
+    finished() const
+    {
+        return liveThreads == 0;
+    }
+
+    CpuStats stats;
+
+  private:
+    /** Inner per-instruction outcome. */
+    enum class StepResult
+    {
+        Continue,      ///< same thread keeps executing
+        Switched,      ///< context switch taken; cur already advanced
+        Halted,        ///< thread halted; cur advanced
+        NeedWait       ///< must pause burst; see waitUntil
+    };
+
+    StepResult step(ThreadContext &th, Cycle &now);
+
+    /** Issue a shared load/load-pair/faa; returns its return time. */
+    Cycle issueSharedLoad(ThreadContext &th, const Instruction &inst,
+                          Cycle now, Addr addr, bool &missed);
+
+    void issueSharedStore(ThreadContext &th, const Instruction &inst,
+                          Cycle now, Addr addr);
+
+    /** Take a context switch ending the current run at @p runEnd; sets
+     *  the outgoing thread's wake time and rotates. */
+    void takeSwitch(ThreadContext &th, Cycle runEnd, Cycle threadReady,
+                    SwitchReason reason);
+
+    /** Advance `cur` to the next unhalted thread (strict round robin). */
+    void rotate();
+
+    Machine &machine;
+    const MachineConfig &cfg;
+    const std::vector<Instruction> &code;
+    std::uint16_t procId;
+
+    std::vector<ThreadContext> threads;
+    std::unique_ptr<SharedCache> cache_;
+    int cur = 0;
+    int liveThreads;
+    bool freshRun = true;   ///< current thread just switched in
+    Cycle effHorizon = 0;   ///< burst bound (shrinks as arrivals enqueue)
+    Cycle waitUntil = 0;    ///< resume time for NeedWait
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_PROCESSOR_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Aggregated results of one simulation run.
+ */
+#ifndef MTS_SIM_RUN_RESULT_HPP
+#define MTS_SIM_RUN_RESULT_HPP
+
+#include "cache/cache.hpp"
+#include "cpu/cpu_stats.hpp"
+#include "mem/network.hpp"
+
+namespace mts
+{
+
+/** Everything measured during Machine::run(). */
+struct RunResult
+{
+    Cycle cycles = 0;           ///< completion time (last thread's halt)
+    int numProcs = 0;
+    int threadsPerProc = 0;
+
+    CpuStats cpu;               ///< merged over all processors
+    NetworkStats net;
+    CacheStats cache;           ///< merged over all processor caches
+
+    std::uint64_t estimateHits = 0;    ///< §5.2 per-thread estimator
+    std::uint64_t estimateMisses = 0;
+
+    /** Fraction of processor cycles spent issuing instructions. */
+    double
+    utilization() const
+    {
+        if (!cycles || !numProcs)
+            return 0.0;
+        return static_cast<double>(cpu.busyCycles) /
+               (static_cast<double>(cycles) *
+                static_cast<double>(numProcs));
+    }
+
+    /** Dynamic grouping factor: shared loads per taken context switch. */
+    double
+    groupingFactor() const
+    {
+        return cpu.switchesTaken
+                   ? static_cast<double>(cpu.sharedLoads) /
+                         static_cast<double>(cpu.switchesTaken)
+                   : static_cast<double>(cpu.sharedLoads);
+    }
+
+    /** §5.2 estimator hit rate over eligible shared loads. */
+    double
+    estimateHitRate() const
+    {
+        std::uint64_t total = estimateHits + estimateMisses;
+        return total ? static_cast<double>(estimateHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Table 7 metric: network bits per processor per cycle. */
+    double
+    bitsPerCycle() const
+    {
+        return net.bitsPerCycle(cycles, numProcs);
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_RUN_RESULT_HPP

@@ -1,0 +1,89 @@
+#include "trace/text_tracer.hpp"
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+const char *
+switchReasonName(SwitchReason reason)
+{
+    switch (reason) {
+      case SwitchReason::Load:
+        return "load";
+      case SwitchReason::Use:
+        return "use";
+      case SwitchReason::Explicit:
+        return "cswitch";
+      case SwitchReason::SliceLimit:
+        return "slice-limit";
+      case SwitchReason::EveryCycle:
+        return "every-cycle";
+      case SwitchReason::Halt:
+        return "halt";
+    }
+    return "?";
+}
+
+bool
+TextTracer::accept(Cycle cycle)
+{
+    if (cycle < from || cycle > to || remaining == 0)
+        return false;
+    --remaining;
+    ++emitted;
+    return true;
+}
+
+void
+TextTracer::onInstruction(Cycle cycle, std::uint16_t proc,
+                          std::uint32_t thread, std::int32_t pc,
+                          const Instruction &inst)
+{
+    if (!accept(cycle))
+        return;
+    os << format("[%8llu] p%02u.t%02u @%-5d %s\n",
+                 (unsigned long long)cycle, proc, thread, pc,
+                 disassemble(inst).c_str());
+}
+
+void
+TextTracer::onSwitch(Cycle cycle, std::uint16_t proc, std::uint32_t fromTh,
+                     std::uint32_t toTh, Cycle wakeAt, SwitchReason reason)
+{
+    if (!accept(cycle))
+        return;
+    os << format("[%8llu] p%02u     switch t%02u -> t%02u (%s, wake "
+                 "%llu)\n",
+                 (unsigned long long)cycle, proc, fromTh, toTh,
+                 switchReasonName(reason), (unsigned long long)wakeAt);
+}
+
+void
+TextTracer::onSharedAccess(Cycle cycle, std::uint16_t proc,
+                           std::uint32_t thread, const MemOp &op)
+{
+    if (!accept(cycle))
+        return;
+    const char *kind = "?";
+    switch (op.kind) {
+      case MemOpKind::Load:
+        kind = op.spin ? "spin-load" : "load";
+        break;
+      case MemOpKind::LoadPair:
+        kind = "load-pair";
+        break;
+      case MemOpKind::Store:
+        kind = "store";
+        break;
+      case MemOpKind::FetchAdd:
+        kind = "fetch-add";
+        break;
+    }
+    os << format("[%8llu] p%02u.t%02u        %s +%llu%s\n",
+                 (unsigned long long)cycle, proc, thread, kind,
+                 (unsigned long long)(op.addr - kSharedBase),
+                 op.fillLine ? " (line fill)" : "");
+}
+
+} // namespace mts

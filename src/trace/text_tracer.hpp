@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Human-readable instruction/event trace writer.
+ */
+#ifndef MTS_TRACE_TEXT_TRACER_HPP
+#define MTS_TRACE_TEXT_TRACER_HPP
+
+#include <ostream>
+
+#include "trace/tracer.hpp"
+
+namespace mts
+{
+
+/**
+ * Streams one line per event:
+ *
+ *     [   1234] p02.t05 @17    lds r1, 0(r8)
+ *     [   1234] p02     switch t05 -> t06 (load, wake 1434)
+ *
+ * Use the cycle window and event cap to keep traces readable.
+ */
+class TextTracer : public Tracer
+{
+  public:
+    explicit TextTracer(std::ostream &os_, Cycle fromCycle = 0,
+                        Cycle toCycle = ~Cycle(0),
+                        std::uint64_t maxEvents = 100000)
+        : os(os_), from(fromCycle), to(toCycle), remaining(maxEvents)
+    {
+    }
+
+    void onInstruction(Cycle cycle, std::uint16_t proc,
+                       std::uint32_t thread, std::int32_t pc,
+                       const Instruction &inst) override;
+    void onSwitch(Cycle cycle, std::uint16_t proc, std::uint32_t fromTh,
+                  std::uint32_t toTh, Cycle wakeAt,
+                  SwitchReason reason) override;
+    void onSharedAccess(Cycle cycle, std::uint16_t proc,
+                        std::uint32_t thread, const MemOp &op) override;
+
+    std::uint64_t
+    eventsEmitted() const
+    {
+        return emitted;
+    }
+
+  private:
+    bool accept(Cycle cycle);
+
+    std::ostream &os;
+    Cycle from;
+    Cycle to;
+    std::uint64_t remaining;
+    std::uint64_t emitted = 0;
+};
+
+} // namespace mts
+
+#endif // MTS_TRACE_TEXT_TRACER_HPP

@@ -1,0 +1,70 @@
+#include "trace/timeline.hpp"
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+char
+threadGlyph(std::int64_t thread)
+{
+    if (thread == -2)
+        return '*';
+    if (thread < 10)
+        return static_cast<char>('0' + thread);
+    if (thread < 36)
+        return static_cast<char>('a' + (thread - 10));
+    return '#';
+}
+
+} // namespace
+
+std::string
+TimelineTracer::render(std::size_t maxColumns) const
+{
+    std::size_t width = 0;
+    for (const auto &[proc, row] : grid)
+        width = std::max(width, row.size());
+    width = std::min(width, maxColumns);
+
+    std::string out;
+    for (const auto &[proc, row] : grid) {
+        out += format("p%02u |", proc);
+        for (std::size_t b = 0; b < width; ++b) {
+            if (b >= row.size() || row[b].count == 0) {
+                out += '.';
+            } else if (row[b].count * 2 <
+                       static_cast<std::uint32_t>(bucketCycles)) {
+                out += '-';  // busy less than half the bucket
+            } else {
+                out += threadGlyph(row[b].thread);
+            }
+        }
+        out += "|\n";
+    }
+    out += format("      (one column = %llu cycles; digit/letter = thread"
+                  " slot busy most of the\n       bucket, '-' partly "
+                  "busy, '.' idle, '*' several threads)\n",
+                  (unsigned long long)bucketCycles);
+    return out;
+}
+
+double
+TimelineTracer::occupancy() const
+{
+    std::uint64_t capacity = 0;
+    std::uint64_t issued = 0;
+    for (const auto &[proc, row] : grid) {
+        capacity += row.size() * bucketCycles;
+        for (const Cell &c : row)
+            issued += c.count;
+    }
+    return capacity ? static_cast<double>(issued) /
+                          static_cast<double>(capacity)
+                    : 0.0;
+}
+
+} // namespace mts

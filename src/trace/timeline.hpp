@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ASCII occupancy timeline: which thread ran on each processor, cycle
+ * bucket by cycle bucket — the latency-hiding picture of the paper made
+ * visible in a terminal.
+ */
+#ifndef MTS_TRACE_TIMELINE_HPP
+#define MTS_TRACE_TIMELINE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace mts
+{
+
+/**
+ * Collects per-processor occupancy. Each bucket of @p bucketCycles shows
+ * the thread that issued instructions in it ('0'-'9', 'a'-'z', '*' when
+ * several did) or '.' when the processor was idle the whole bucket.
+ */
+class TimelineTracer : public Tracer
+{
+  public:
+    explicit TimelineTracer(Cycle bucketCycles_ = 50)
+        : bucketCycles(bucketCycles_ ? bucketCycles_ : 1)
+    {
+    }
+
+    void
+    onInstruction(Cycle cycle, std::uint16_t proc, std::uint32_t thread,
+                  std::int32_t pc, const Instruction &inst) override
+    {
+        (void)pc;
+        (void)inst;
+        auto bucket = static_cast<std::size_t>(cycle / bucketCycles);
+        auto &row = grid[proc];
+        if (row.size() <= bucket)
+            row.resize(bucket + 1);
+        Cell &cell = row[bucket];
+        if (cell.count == 0)
+            cell.thread = static_cast<std::int64_t>(thread);
+        else if (cell.thread != static_cast<std::int64_t>(thread))
+            cell.thread = kMixed;
+        ++cell.count;
+    }
+
+    std::uint64_t
+    switches() const
+    {
+        return switchCount;
+    }
+
+    void
+    onSwitch(Cycle, std::uint16_t, std::uint32_t, std::uint32_t, Cycle,
+             SwitchReason) override
+    {
+        ++switchCount;
+    }
+
+    /** Render rows "p00 |0000...1111|"; at most @p maxColumns buckets. */
+    std::string render(std::size_t maxColumns = 120) const;
+
+    /** Fraction of buckets with at least one instruction. */
+    double occupancy() const;
+
+  private:
+    static constexpr std::int64_t kMixed = -2;
+
+    /** One bucket: dominant thread plus issued-instruction count. */
+    struct Cell
+    {
+        std::int64_t thread = -1;
+        std::uint32_t count = 0;
+    };
+
+    Cycle bucketCycles;
+    std::map<std::uint16_t, std::vector<Cell>> grid;
+    std::uint64_t switchCount = 0;
+};
+
+} // namespace mts
+
+#endif // MTS_TRACE_TIMELINE_HPP

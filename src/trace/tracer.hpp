@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Execution tracing hooks.
+ *
+ * A Tracer registered in MachineConfig receives instruction, context-
+ * switch and shared-memory events as the simulation runs. The hooks are
+ * virtual calls behind a null check, so tracing costs nothing when off.
+ */
+#ifndef MTS_TRACE_TRACER_HPP
+#define MTS_TRACE_TRACER_HPP
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "mem/event_queue.hpp"
+
+namespace mts
+{
+
+/** Why a processor switched threads. */
+enum class SwitchReason
+{
+    Load,       ///< switch-on-load style (the access itself)
+    Use,        ///< use of an in-flight value
+    Explicit,   ///< cswitch taken
+    SliceLimit, ///< run-length limit expired
+    EveryCycle, ///< switch-every-cycle rotation
+    Halt        ///< thread terminated
+};
+
+/** Printable name of a switch reason. */
+const char *switchReasonName(SwitchReason reason);
+
+/** Receiver of simulation events (all hooks optional). */
+class Tracer
+{
+  public:
+    virtual ~Tracer() = default;
+
+    /** An instruction issued at @p cycle. */
+    virtual void
+    onInstruction(Cycle cycle, std::uint16_t proc, std::uint32_t thread,
+                  std::int32_t pc, const Instruction &inst)
+    {
+        (void)cycle;
+        (void)proc;
+        (void)thread;
+        (void)pc;
+        (void)inst;
+    }
+
+    /**
+     * A context switch: @p from yields at @p cycle (resuming no earlier
+     * than @p wakeAt) and @p to becomes current.
+     */
+    virtual void
+    onSwitch(Cycle cycle, std::uint16_t proc, std::uint32_t from,
+             std::uint32_t to, Cycle wakeAt, SwitchReason reason)
+    {
+        (void)cycle;
+        (void)proc;
+        (void)from;
+        (void)to;
+        (void)wakeAt;
+        (void)reason;
+    }
+
+    /** A shared access issued into the network. */
+    virtual void
+    onSharedAccess(Cycle cycle, std::uint16_t proc, std::uint32_t thread,
+                   const MemOp &op)
+    {
+        (void)cycle;
+        (void)proc;
+        (void)thread;
+        (void)op;
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_TRACE_TRACER_HPP

@@ -1,0 +1,27 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+
+namespace mts
+{
+namespace detail
+{
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream full;
+    full << msg << " [" << file << ":" << line << "]";
+    throw FatalError(full.str());
+}
+
+void
+abortPanic(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "mtsim panic: %s [%s:%d]\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace mts

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting helpers shared by every mtsim module.
+ *
+ * Follows the gem5 fatal()/panic() split: fatal() is a user error (bad
+ * assembly, bad configuration) and throws a recoverable exception;
+ * panic() is a simulator bug and aborts.
+ */
+#ifndef MTS_UTIL_ERROR_HPP
+#define MTS_UTIL_ERROR_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mts
+{
+
+/** Exception thrown for user-level errors (bad input, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Accumulates a message via operator<< and throws/aborts on destruction. */
+class MessageStream
+{
+  public:
+    template <typename T>
+    MessageStream &
+    operator<<(const T &value)
+    {
+        stream << value;
+        return *this;
+    }
+
+    std::string str() const { return stream.str(); }
+
+  private:
+    std::ostringstream stream;
+};
+
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+[[noreturn]] void abortPanic(const char *file, int line,
+                             const std::string &msg);
+
+} // namespace detail
+
+} // namespace mts
+
+/** User error: throws mts::FatalError with file/line context. */
+#define MTS_FATAL(msg)                                                       \
+    do {                                                                     \
+        ::mts::detail::MessageStream mts_ms_;                                \
+        mts_ms_ << msg;                                                      \
+        ::mts::detail::throwFatal(__FILE__, __LINE__, mts_ms_.str());        \
+    } while (0)
+
+/** Simulator bug: prints and aborts. */
+#define MTS_PANIC(msg)                                                       \
+    do {                                                                     \
+        ::mts::detail::MessageStream mts_ms_;                                \
+        mts_ms_ << msg;                                                      \
+        ::mts::detail::abortPanic(__FILE__, __LINE__, mts_ms_.str());        \
+    } while (0)
+
+/** Invariant check that indicates a simulator bug when violated. */
+#define MTS_ASSERT(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            MTS_PANIC("assertion failed: " #cond ": " << msg);               \
+        }                                                                    \
+    } while (0)
+
+/** Input validation that indicates a user error when violated. */
+#define MTS_REQUIRE(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            MTS_FATAL(msg);                                                  \
+        }                                                                    \
+    } while (0)
+
+#endif // MTS_UTIL_ERROR_HPP

@@ -1,0 +1,135 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+constexpr std::size_t kNumBuckets = 64;
+} // namespace
+
+Histogram::Histogram() : buckets(kNumBuckets, 0), total(0), weightedSum(0) {}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value)
+{
+    if (value <= 1)
+        return 0;
+    // bucket b (b >= 1) holds (2^(b-1), 2^b]
+    std::size_t b = 0;
+    std::uint64_t v = value - 1;
+    while (v) {
+        v >>= 1;
+        ++b;
+    }
+    return std::min(b, kNumBuckets - 1);
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    buckets[bucketIndex(value)] += weight;
+    total += weight;
+    weightedSum += value * weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
+    weightedSum += other.weightedSum;
+}
+
+double
+Histogram::mean() const
+{
+    return total ? static_cast<double>(weightedSum) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+Histogram::fractionAt(std::uint64_t value) const
+{
+    if (!total)
+        return 0.0;
+    return static_cast<double>(buckets[bucketIndex(value)]) /
+           static_cast<double>(total);
+}
+
+double
+Histogram::fractionAtMost(std::uint64_t value) const
+{
+    if (!total)
+        return 0.0;
+    std::size_t last = bucketIndex(value);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i <= last; ++i)
+        acc += buckets[i];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+std::size_t
+Histogram::populatedBuckets() const
+{
+    std::size_t n = 0;
+    for (auto b : buckets)
+        if (b)
+            ++n;
+    return n;
+}
+
+std::string
+Histogram::bucketLabel(std::uint64_t value)
+{
+    std::size_t b = bucketIndex(value);
+    char buf[64];
+    if (b == 0) {
+        return "1";
+    } else if (b == 1) {
+        return "2";
+    }
+    std::uint64_t lo = (1ull << (b - 1)) + 1;
+    std::uint64_t hi = 1ull << b;
+    std::snprintf(buf, sizeof(buf), "%llu-%llu",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    return buf;
+}
+
+std::string
+Histogram::format() const
+{
+    std::string out;
+    char buf[96];
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        if (!buckets[b])
+            continue;
+        std::uint64_t repr = (b == 0) ? 1 : (1ull << b);
+        double pct = 100.0 * static_cast<double>(buckets[b]) /
+                     static_cast<double>(total);
+        std::snprintf(buf, sizeof(buf), "%s:%.1f%% ",
+                      bucketLabel(repr).c_str(), pct);
+        out += buf;
+    }
+    if (!out.empty())
+        out.pop_back();
+    return out;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    weightedSum = 0;
+}
+
+} // namespace mts

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram for run-length distributions
+ * (paper Tables 2 and 4).
+ */
+#ifndef MTS_UTIL_HISTOGRAM_HPP
+#define MTS_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mts
+{
+
+/**
+ * Histogram with buckets 1, 2, 3-4, 5-8, 9-16, ..., 2^k+1..2^(k+1).
+ *
+ * The paper reports run-length distributions as the percentage of
+ * run-lengths falling into short buckets; this mirrors that presentation.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one sample (values < 1 are clamped into the first bucket). */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t sum() const { return weightedSum; }
+
+    /** Arithmetic mean of recorded samples (0 if empty). */
+    double mean() const;
+
+    /** Fraction (0..1) of samples in the bucket containing @p value. */
+    double fractionAt(std::uint64_t value) const;
+
+    /** Fraction of samples with value <= limit. */
+    double fractionAtMost(std::uint64_t value) const;
+
+    /** Number of buckets with at least one sample. */
+    std::size_t populatedBuckets() const;
+
+    /** Human-readable label for the bucket containing @p value. */
+    static std::string bucketLabel(std::uint64_t value);
+
+    /** Render "lbl:pct% lbl:pct% ..." for all populated buckets. */
+    std::string format() const;
+
+    /** Reset to empty. */
+    void clear();
+
+  private:
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total;
+    std::uint64_t weightedSum;
+};
+
+} // namespace mts
+
+#endif // MTS_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by workload generators.
+ *
+ * A fixed, seedable generator (splitmix64 core) keeps every experiment
+ * reproducible across platforms, unlike std::mt19937 distributions whose
+ * output is implementation-defined for floating point.
+ */
+#ifndef MTS_UTIL_RNG_HPP
+#define MTS_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace mts
+{
+
+/** Small deterministic RNG (splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace mts
+
+#endif // MTS_UTIL_RNG_HPP

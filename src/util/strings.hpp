@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string helpers used by the assembler and CLIs.
+ */
+#ifndef MTS_UTIL_STRINGS_HPP
+#define MTS_UTIL_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mts
+{
+
+/** Strip leading/trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character, keeping empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mts
+
+#endif // MTS_UTIL_STRINGS_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal column-aligned table renderer used by the bench binaries to print
+ * the paper's tables.
+ */
+#ifndef MTS_UTIL_TABLE_HPP
+#define MTS_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mts
+{
+
+/** Column-aligned text table with a header row and a title. */
+class Table
+{
+  public:
+    explicit Table(std::string title_) : title(std::move(title_)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (may have fewer cells than the header). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals decimal places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render with box-drawing-free ASCII alignment. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mts
+
+#endif // MTS_UTIL_TABLE_HPP

@@ -1,0 +1,148 @@
+/**
+ * End-to-end integration: every benchmark application must compute
+ * verified-correct results under every machine model and a spread of
+ * machine shapes. Each case exercises assembler, optimizer, processor,
+ * memory system, coherence and runtime together.
+ */
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+struct AppCase
+{
+    const App *app;
+    SwitchModel model;
+    int procs;
+    int threads;
+    Cycle latency;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<AppCase> &info)
+{
+    std::string name = info.param.app->name() + "_";
+    name += switchModelName(info.param.model);
+    name += "_p" + std::to_string(info.param.procs) + "t" +
+            std::to_string(info.param.threads) + "l" +
+            std::to_string(info.param.latency);
+    for (char &c : name)
+        if (c == '-')
+            c = '_';
+    return name;
+}
+
+std::vector<AppCase>
+makeCases()
+{
+    std::vector<AppCase> cases;
+    for (const App *app : allApps()) {
+        cases.push_back({app, SwitchModel::Ideal, 1, 1, 0});
+        cases.push_back({app, SwitchModel::Ideal, 8, 1, 0});
+        cases.push_back({app, SwitchModel::SwitchOnLoad, 4, 4, 200});
+        cases.push_back({app, SwitchModel::SwitchOnUse, 2, 4, 200});
+        cases.push_back({app, SwitchModel::ExplicitSwitch, 4, 4, 200});
+        cases.push_back({app, SwitchModel::ExplicitSwitch, 2, 2, 400});
+        cases.push_back({app, SwitchModel::SwitchOnMiss, 2, 4, 200});
+        cases.push_back({app, SwitchModel::ConditionalSwitch, 4, 4, 200});
+    }
+    return cases;
+}
+
+} // namespace
+
+class AppIntegration : public ::testing::TestWithParam<AppCase>
+{
+};
+
+TEST_P(AppIntegration, ComputesVerifiedResult)
+{
+    const AppCase &c = GetParam();
+    const App &app = *c.app;
+    AsmOptions opts = app.options(0.08);
+    Program prog = assemble(app.source(), opts);
+    Program chosen = modelNeedsSwitchInstr(c.model)
+                         ? applyGroupingPass(prog)
+                         : prog;
+
+    MachineConfig cfg;
+    cfg.model = c.model;
+    cfg.numProcs = c.procs;
+    cfg.threadsPerProc = c.threads;
+    cfg.network.roundTrip = c.latency;
+    cfg.maxCycles = 400'000'000;
+
+    Machine machine(chosen, cfg);
+    app.init(machine);
+    RunResult r = machine.run();
+    AppCheckResult chk = app.check(machine);
+    EXPECT_TRUE(chk.ok) << chk.message;
+    EXPECT_GT(r.cpu.instructions, 0u);
+    EXPECT_GT(r.cycles, 0u);
+    // Cycle accounting sanity: busy cycles never exceed total capacity.
+    EXPECT_LE(r.cpu.busyCycles,
+              r.cycles * static_cast<Cycle>(c.procs));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllModels, AppIntegration,
+                         ::testing::ValuesIn(makeCases()), caseName);
+
+TEST(AppRegistry, SevenAppsInTableOrder)
+{
+    const auto &apps = allApps();
+    ASSERT_EQ(apps.size(), 7u);
+    EXPECT_EQ(apps[0]->name(), "sieve");
+    EXPECT_EQ(apps[1]->name(), "blkmat");
+    EXPECT_EQ(apps[2]->name(), "sor");
+    EXPECT_EQ(apps[3]->name(), "ugray");
+    EXPECT_EQ(apps[4]->name(), "water");
+    EXPECT_EQ(apps[5]->name(), "locus");
+    EXPECT_EQ(apps[6]->name(), "mp3d");
+}
+
+TEST(AppRegistry, FindByNameAndUnknownFatal)
+{
+    EXPECT_EQ(findApp("mp3d").name(), "mp3d");
+    EXPECT_THROW(findApp("doom"), FatalError);
+}
+
+TEST(AppRegistry, DescriptionsAndProcsPopulated)
+{
+    for (const App *app : allApps()) {
+        EXPECT_FALSE(app->description().empty()) << app->name();
+        EXPECT_GT(app->tableProcs(), 0) << app->name();
+        EXPECT_FALSE(app->source().empty());
+    }
+}
+
+TEST(AppScaling, ScaleChangesProblemSize)
+{
+    AsmOptions small = sieveApp().options(0.1);
+    AsmOptions big = sieveApp().options(1.0);
+    EXPECT_LT(small.defines.at("N"), big.defines.at("N"));
+}
+
+TEST(AppScaling, GroupEstimateModeRunsCorrectly)
+{
+    // §5.2 estimator on explicit-switch code (Table 6 machinery).
+    const App &app = locusApp();
+    AsmOptions opts = app.options(0.08);
+    Program prog = applyGroupingPass(assemble(app.source(), opts));
+    MachineConfig cfg;
+    cfg.model = SwitchModel::ExplicitSwitch;
+    cfg.numProcs = 2;
+    cfg.threadsPerProc = 4;
+    cfg.groupEstimate = true;
+    Machine machine(prog, cfg);
+    app.init(machine);
+    RunResult r = machine.run();
+    AppCheckResult chk = app.check(machine);
+    EXPECT_TRUE(chk.ok) << chk.message;
+    // locus walks consecutive grid cells: plenty of estimate hits.
+    EXPECT_GT(r.estimateHitRate(), 0.3);
+}

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "util/error.hpp"
+
+using namespace mts;
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = assemble("main:\n    halt\n");
+    ASSERT_EQ(p.code.size(), 1u);
+    EXPECT_EQ(p.code[0].op, Opcode::HALT);
+    EXPECT_EQ(p.entry, 0);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    Program p = assemble(R"(
+.entry main
+helper:
+    ret
+main:
+    halt
+)");
+    EXPECT_EQ(p.entry, 1);
+    EXPECT_EQ(p.code[p.entry].op, Opcode::HALT);
+}
+
+TEST(Assembler, SharedLayoutSequential)
+{
+    Program p = assemble(R"(
+.shared a, 10
+.shared b, 20
+.shared c, 1
+main:
+    halt
+)");
+    EXPECT_EQ(p.sharedAddr("a"), kSharedBase);
+    EXPECT_EQ(p.sharedAddr("b"), kSharedBase + 10);
+    EXPECT_EQ(p.sharedAddr("c"), kSharedBase + 30);
+    EXPECT_EQ(p.sharedWords, 31u);
+}
+
+TEST(Assembler, LocalLayoutStartsAt16)
+{
+    Program p = assemble(R"(
+.local x, 4
+.local y, 8
+main:
+    halt
+)");
+    EXPECT_EQ(p.symbols.at("x").value, 16);
+    EXPECT_EQ(p.symbols.at("y").value, 20);
+    EXPECT_EQ(p.localStaticWords, 12u);
+}
+
+TEST(Assembler, ConstDefaultAndOverride)
+{
+    AsmOptions opts;
+    opts.defines["N"] = 99;
+    Program p = assemble(".const N, 5\n.const M, 7\nmain:\n halt\n", opts);
+    EXPECT_EQ(p.constValue("N"), 99);  // host -D wins
+    EXPECT_EQ(p.constValue("M"), 7);
+}
+
+TEST(Assembler, ConstExpressions)
+{
+    Program p = assemble(R"(
+.const A, 4
+.const B, A*3+2
+.const C, (A+B)*2
+.const D, 1<<10
+.const E, B/A
+.const F, B%A
+main:
+    halt
+)");
+    EXPECT_EQ(p.constValue("B"), 14);
+    EXPECT_EQ(p.constValue("C"), 36);
+    EXPECT_EQ(p.constValue("D"), 1024);
+    EXPECT_EQ(p.constValue("E"), 3);
+    EXPECT_EQ(p.constValue("F"), 2);
+}
+
+TEST(Assembler, NegativeImmediates)
+{
+    Program p = assemble("main:\n    li r1, -42\n    halt\n");
+    EXPECT_EQ(p.code[0].imm, -42);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble("main:\n    add sp, ra, zero\n    halt\n");
+    EXPECT_EQ(p.code[0].rd, 29);
+    EXPECT_EQ(p.code[0].rs1, 31);
+    EXPECT_EQ(p.code[0].rs2, 0);
+}
+
+TEST(Assembler, ImmediateVsRegisterOperand)
+{
+    Program p = assemble("main:\n    add r1, r2, r3\n    add r1, r2, 7\n"
+                         "    halt\n");
+    EXPECT_FALSE(p.code[0].useImm);
+    EXPECT_EQ(p.code[0].rs2, 3);
+    EXPECT_TRUE(p.code[1].useImm);
+    EXPECT_EQ(p.code[1].imm, 7);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    Program p = assemble(R"(
+.shared arr, 16
+main:
+    lds r1, 8(r2)
+    lds r1, arr(r3)
+    lds r1, arr+4(r0)
+    lds r1, arr
+    halt
+)");
+    EXPECT_EQ(p.code[0].imm, 8);
+    EXPECT_EQ(p.code[0].rs1, 2);
+    EXPECT_EQ(static_cast<Addr>(p.code[1].imm), kSharedBase);
+    EXPECT_EQ(p.code[1].rs1, 3);
+    EXPECT_EQ(static_cast<Addr>(p.code[2].imm), kSharedBase + 4);
+    EXPECT_EQ(p.code[3].rs1, 0);
+}
+
+TEST(Assembler, BranchTargets)
+{
+    Program p = assemble(R"(
+main:
+    li r1, 0
+loop:
+    add r1, r1, 1
+    blt r1, 10, loop
+    halt
+)");
+    EXPECT_EQ(p.code[2].target, 1);
+    EXPECT_TRUE(p.code[2].useImm);
+}
+
+TEST(Assembler, ForwardBranchTargets)
+{
+    Program p = assemble(R"(
+main:
+    beq r1, r0, end
+    add r1, r1, 1
+end:
+    halt
+)");
+    EXPECT_EQ(p.code[0].target, 2);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assemble(R"(
+main:
+    mv r1, r2
+    la r3, 100
+    beqz r4, out
+    bnez r4, out
+    bgt r5, r6, out
+    ble r5, r6, out
+    call sub
+    ret
+out:
+    halt
+sub:
+    ret
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_TRUE(p.code[0].useImm);
+    EXPECT_EQ(p.code[1].op, Opcode::LI);
+    EXPECT_EQ(p.code[2].op, Opcode::BEQ);
+    EXPECT_EQ(p.code[3].op, Opcode::BNE);
+    // bgt a,b -> blt b,a
+    EXPECT_EQ(p.code[4].op, Opcode::BLT);
+    EXPECT_EQ(p.code[4].rs1, 6);
+    EXPECT_EQ(p.code[4].rs2, 5);
+    EXPECT_EQ(p.code[5].op, Opcode::BGE);
+    EXPECT_EQ(p.code[6].op, Opcode::JAL);
+    EXPECT_EQ(p.code[7].op, Opcode::JR);
+    EXPECT_EQ(p.code[7].rs1, kRegRa);
+}
+
+TEST(Assembler, FloatImmediates)
+{
+    Program p = assemble("main:\n    fli f1, 2.5\n    fli f2, -0.5\n"
+                         "    fli f3, 3\n    halt\n");
+    EXPECT_DOUBLE_EQ(p.code[0].fimm, 2.5);
+    EXPECT_DOUBLE_EQ(p.code[1].fimm, -0.5);
+    EXPECT_DOUBLE_EQ(p.code[2].fimm, 3.0);
+}
+
+TEST(Assembler, FaaOperands)
+{
+    Program p = assemble(".shared c, 1\nmain:\n    faa r3, c(r0), r5\n"
+                         "    halt\n");
+    EXPECT_EQ(p.code[0].op, Opcode::FAA);
+    EXPECT_EQ(p.code[0].rd, 3);
+    EXPECT_EQ(p.code[0].rs2, 5);
+}
+
+TEST(Assembler, LabelsRecordedForListing)
+{
+    Program p = assemble("main:\n    halt\nextra:\n    halt\n");
+    EXPECT_EQ(p.labelFor(0), "main");
+    EXPECT_EQ(p.labelFor(1), "extra");
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("main:"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    EXPECT_THROW(assemble("main:\n    frobnicate r1\n"), FatalError);
+}
+
+TEST(Assembler, ErrorUnknownLabel)
+{
+    EXPECT_THROW(assemble("main:\n    j nowhere\n"), FatalError);
+}
+
+TEST(Assembler, ErrorDuplicateLabel)
+{
+    EXPECT_THROW(assemble("a:\n    halt\na:\n    halt\n"), FatalError);
+}
+
+TEST(Assembler, ErrorDuplicateShared)
+{
+    EXPECT_THROW(assemble(".shared x, 1\n.shared x, 2\nmain:\n halt\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ErrorFpRegWhereIntExpected)
+{
+    EXPECT_THROW(assemble("main:\n    add r1, f2, r3\n    halt\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ErrorTrailingJunk)
+{
+    EXPECT_THROW(assemble("main:\n    halt r1\n"), FatalError);
+}
+
+TEST(Assembler, ErrorEmptyProgram)
+{
+    EXPECT_THROW(assemble("; nothing here\n"), FatalError);
+}
+
+TEST(Assembler, ErrorBadEntry)
+{
+    EXPECT_THROW(assemble(".entry nowhere\nmain:\n    halt\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ErrorLabelInExpression)
+{
+    EXPECT_THROW(assemble("main:\n    li r1, main\n    halt\n"),
+                 FatalError);
+}
+
+TEST(Assembler, ErrorNegativeSharedSize)
+{
+    EXPECT_THROW(assemble(".shared x, 0-4\nmain:\n halt\n"), FatalError);
+}
+
+TEST(Assembler, ErrorDivisionByZeroInExpression)
+{
+    EXPECT_THROW(assemble(".const X, 5/0\nmain:\n halt\n"), FatalError);
+}
+
+TEST(Assembler, LdsdRequiresRoomForPair)
+{
+    EXPECT_THROW(assemble("main:\n    ldsd r31, 0(r1)\n    halt\n"),
+                 FatalError);
+    Program p = assemble("main:\n    ldsd r30, 0(r1)\n    halt\n");
+    EXPECT_EQ(p.code[0].op, Opcode::LDSD);
+}
+
+TEST(Assembler, LabelOnOwnLineBindsToNextInstruction)
+{
+    Program p = assemble(R"(
+main:
+    li r1, 1
+target:
+
+    halt
+)");
+    EXPECT_EQ(p.symbols.at("target").value, 1);
+}

@@ -1,0 +1,314 @@
+/**
+ * Coherence and cache behaviour tests (paper Section 6 machinery).
+ */
+#include <gtest/gtest.h>
+
+#include "cache/directory.hpp"
+#include "cache/group_estimate_cache.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+MachineConfig
+cacheConfig(int procs = 1, int threads = 1)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.model = SwitchModel::ConditionalSwitch;
+    cfg.numProcs = procs;
+    cfg.threadsPerProc = threads;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CacheUnit, ProbeMissThenInstallThenHit)
+{
+    SharedCache cache(CacheConfig{64, 4});
+    std::uint64_t v = 0;
+    Cycle ready = 0;
+    Addr a = kSharedBase + 8;
+    EXPECT_EQ(cache.probe(a, 10, v, ready), ProbeResult::Miss);
+    std::uint64_t line[4] = {1, 2, 3, 4};
+    cache.install(cache.lineBase(a), line, 210);
+    // Before validFrom: MSHR merge.
+    EXPECT_EQ(cache.probe(a, 100, v, ready), ProbeResult::Merge);
+    EXPECT_EQ(ready, 210u);
+    // After validFrom: hit with the right word.
+    EXPECT_EQ(cache.probe(a + 1, 210, v, ready), ProbeResult::Hit);
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(CacheUnit, InvalidateDropsLine)
+{
+    SharedCache cache(CacheConfig{64, 4});
+    std::uint64_t line[4] = {7, 7, 7, 7};
+    Addr a = kSharedBase;
+    cache.install(a, line, 0);
+    EXPECT_TRUE(cache.present(a + 3));
+    cache.invalidate(a + 2);
+    EXPECT_FALSE(cache.present(a));
+    std::uint64_t v;
+    Cycle ready;
+    EXPECT_EQ(cache.probe(a, 100, v, ready), ProbeResult::Miss);
+    EXPECT_EQ(cache.statistics().invalidationsReceived, 1u);
+}
+
+TEST(CacheUnit, UpdateOwnOnlyTouchesPresentLines)
+{
+    SharedCache cache(CacheConfig{64, 4});
+    Addr a = kSharedBase;
+    cache.updateOwn(a, 42);  // no-allocate: still absent
+    EXPECT_FALSE(cache.present(a));
+    std::uint64_t line[4] = {0, 0, 0, 0};
+    cache.install(a, line, 0);
+    cache.updateOwn(a + 1, 42);
+    std::uint64_t v;
+    Cycle ready;
+    EXPECT_EQ(cache.probe(a + 1, 10, v, ready), ProbeResult::Hit);
+    EXPECT_EQ(v, 42u);
+}
+
+TEST(CacheUnit, DirectMappedConflictEvicts)
+{
+    SharedCache cache(CacheConfig{16, 4});  // 4 lines
+    std::uint64_t line[4] = {1, 1, 1, 1};
+    Addr a = kSharedBase;
+    Addr conflicting = kSharedBase + 16;  // same index, different tag
+    cache.install(a, line, 0);
+    cache.install(conflicting, line, 0);
+    EXPECT_FALSE(cache.present(a));
+    EXPECT_TRUE(cache.present(conflicting));
+}
+
+TEST(CacheUnit, BadGeometryRejected)
+{
+    EXPECT_THROW(SharedCache(CacheConfig{64, 3}), FatalError);
+    EXPECT_THROW(SharedCache(CacheConfig{66, 4}), FatalError);
+}
+
+TEST(Directory, SharersTrackedAndCleared)
+{
+    Directory dir;
+    dir.addSharer(100, 1);
+    dir.addSharer(100, 2);
+    dir.addSharer(100, 2);  // duplicate ignored
+    dir.addSharer(104, 3);
+    auto victims = dir.writersInvalidationSet(100, 2);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], 1);
+    // Entry cleared after a write.
+    EXPECT_TRUE(dir.writersInvalidationSet(100, 9).empty());
+    EXPECT_EQ(dir.trackedLines(), 1u);
+}
+
+TEST(GroupEstimate, HitsWithin32WordLine)
+{
+    GroupEstimateCache g;
+    EXPECT_FALSE(g.access(kSharedBase + 0));
+    EXPECT_TRUE(g.access(kSharedBase + 5));
+    EXPECT_TRUE(g.access(kSharedBase + 31));
+    EXPECT_FALSE(g.access(kSharedBase + 32));  // next line
+    EXPECT_FALSE(g.access(kSharedBase + 5));   // line was replaced
+    EXPECT_DOUBLE_EQ(g.hitRate(), 2.0 / 5.0);
+}
+
+TEST(CacheCoherence, ConsumerSeesProducerUpdateThroughCache)
+{
+    MachineConfig cfg = cacheConfig(2, 1);
+    Program raw = assemble(R"(
+.shared flag, 1
+.shared data, 1
+.shared out, 1
+main:
+    bne a0, r0, consumer
+    li  r1, 55
+    sts r1, data
+    li  r1, 1
+    sts r1, flag
+    halt
+consumer:
+    lds.spin r2, flag     ; caches the line; invalidated by producer
+    cswitch
+    beq r2, r0, consumer
+    lds r3, data
+    cswitch
+    sts r3, out
+    halt
+)");
+    Machine m(raw, cfg);
+    m.run();
+    EXPECT_EQ(m.sharedMem().readInt(raw.sharedAddr("out")), 55);
+}
+
+TEST(CacheCoherence, FalseSharingStillCorrect)
+{
+    // Two processors repeatedly write adjacent words of one line, then
+    // read both back.
+    MachineConfig cfg = cacheConfig(2, 1);
+    Program raw = assemble(R"(
+.shared line, 4
+.shared bar, 2
+.shared out, 2
+main:
+    li  r2, 0
+    li  r5, line
+    add r5, r5, a0        ; word a0 of the line
+loop:
+    add r2, r2, 1
+    sts r2, 0(r5)
+    lds r3, 0(r5)
+    cswitch
+    bne r3, r2, fail
+    blt r2, 30, loop
+    li  r6, out
+    add r6, r6, a0
+    sts r3, 0(r6)
+    halt
+fail:
+    li  r7, 0-1
+    li  r6, out
+    add r6, r6, a0
+    sts r7, 0(r6)
+    halt
+)");
+    Machine m(raw, cfg);
+    m.run();
+    EXPECT_EQ(m.sharedMem().readInt(raw.sharedAddr("out")), 30);
+    EXPECT_EQ(m.sharedMem().readInt(raw.sharedAddr("out") + 1), 30);
+}
+
+TEST(CacheCoherence, InFlightFillCannotResurrectStaleData)
+{
+    // Regression for the hazard found during bring-up: thread B of a
+    // processor misses on a line while thread A of the same processor
+    // has a store to that line in flight; the fill installs pre-store
+    // data and the arrival-time fix must re-apply the store.
+    MachineConfig cfg = cacheConfig(2, 2);
+    Program raw = assemble(R"(
+.shared c, 1
+.shared lk, 2
+main:
+    li  r2, 0
+loop:
+    ; ticket lock inline
+    li  r3, 1
+    faa r4, lk(r0), r3
+    cswitch
+spin:
+    lds.spin r5, lk+1(r0)
+    cswitch
+    bne r5, r4, spin
+    ; critical section: c++
+    lds r6, c(r0)
+    cswitch
+    add r6, r6, 1
+    sts r6, c(r0)
+    ; unlock
+    li  r3, 1
+    faa r4, lk+1(r0), r3
+    cswitch
+    add r2, r2, 1
+    blt r2, 40, loop
+    halt
+)");
+    Machine m(raw, cfg);
+    m.run();
+    EXPECT_EQ(m.sharedMem().readInt(raw.sharedAddr("c")), 4 * 40);
+}
+
+TEST(CacheCoherence, HitRateReflectsSpatialLocality)
+{
+    // Sequential scan of 256 words with 4-word lines: 3/4 hit rate.
+    MachineConfig cfg = cacheConfig(1, 1);
+    Program raw = assemble(R"(
+.shared arr, 256
+main:
+    li  r1, arr
+    li  r2, 0
+loop:
+    lds r3, 0(r1)
+    cswitch
+    add r1, r1, 1
+    add r2, r2, 1
+    blt r2, 256, loop
+    halt
+)");
+    Machine m(raw, cfg);
+    RunResult r = m.run();
+    EXPECT_EQ(r.cache.misses, 64u);
+    EXPECT_EQ(r.cache.hits, 192u);
+    EXPECT_DOUBLE_EQ(r.cache.hitRate(), 0.75);
+}
+
+TEST(CacheCoherence, LineFillCountsFillTraffic)
+{
+    MachineConfig cfg = cacheConfig(1, 1);
+    Program raw = assemble(R"(
+.shared arr, 8
+main:
+    lds r1, arr
+    cswitch
+    lds r2, arr+4
+    cswitch
+    halt
+)");
+    Machine m(raw, cfg);
+    RunResult r = m.run();
+    EXPECT_EQ(r.net.fillMsgs, 2u);
+    EXPECT_EQ(r.net.loadMsgs, 0u);
+    // fill: fwd 64, ret 32 + 4*64 = 288.
+    EXPECT_EQ(r.net.forwardBits, 128u);
+    EXPECT_EQ(r.net.returnBits, 576u);
+}
+
+TEST(CacheCoherence, InvalidationMessagesCounted)
+{
+    MachineConfig cfg = cacheConfig(2, 1);
+    Program raw = assemble(R"(
+.shared x, 4
+.shared sink, 2
+main:
+    lds r1, x             ; both processors cache the line
+    cswitch
+    bne a0, r0, writer
+    li  r9, sink
+    sts r1, 0(r9)
+    halt
+writer:
+    li  r2, 9
+    sts r2, x+1           ; invalidates the other processor
+    li  r9, sink
+    sts r1, 1(r9)
+    halt
+)");
+    Machine m(raw, cfg);
+    RunResult r = m.run();
+    EXPECT_GE(r.net.invalMsgs, 1u);
+}
+
+TEST(CacheCoherence, FetchAddBypassesAndInvalidates)
+{
+    MachineConfig cfg = cacheConfig(1, 1);
+    Program raw = assemble(R"(
+.shared x, 4
+.shared out, 1
+main:
+    lds r1, x             ; line cached
+    cswitch
+    li  r2, 5
+    faa r3, x(r0), r2     ; bypasses cache, drops our copy
+    cswitch
+    lds r4, x             ; must refetch: 5, not stale 0
+    cswitch
+    sts r4, out
+    halt
+)");
+    Machine m(raw, cfg);
+    RunResult r = m.run();
+    EXPECT_EQ(m.sharedMem().readInt(raw.sharedAddr("out")), 5);
+    EXPECT_EQ(r.cache.misses, 2u);
+}

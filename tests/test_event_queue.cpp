@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mem/event_queue.hpp"
+
+using namespace mts;
+
+TEST(EventQueue, EmptyQueueSentinels)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextMemTime(), kNever);
+    EXPECT_EQ(q.nextProcTime(), kNever);
+    EXPECT_FALSE(q.memIsNext());
+}
+
+TEST(EventQueue, TimeOrdering)
+{
+    EventQueue q;
+    MemOp op;
+    q.pushMem(30, op);
+    q.pushMem(10, op);
+    q.pushMem(20, op);
+    EXPECT_EQ(q.popMem().time, 10u);
+    EXPECT_EQ(q.popMem().time, 20u);
+    EXPECT_EQ(q.popMem().time, 30u);
+}
+
+TEST(EventQueue, MemoryWinsTies)
+{
+    EventQueue q;
+    q.pushProc(10, 0);
+    MemOp op;
+    q.pushMem(10, op);
+    EXPECT_TRUE(q.memIsNext());
+    q.popMem();
+    EXPECT_FALSE(q.memIsNext());
+    EXPECT_EQ(q.popProc().time, 10u);
+}
+
+TEST(EventQueue, SeqBreaksSameTimeDeterministically)
+{
+    EventQueue q;
+    MemOp a, b;
+    a.addr = 1;
+    b.addr = 2;
+    q.pushMem(5, a);
+    q.pushMem(5, b);
+    EXPECT_EQ(q.popMem().op.addr, 1u);  // FIFO within a timestamp
+    EXPECT_EQ(q.popMem().op.addr, 2u);
+}
+
+TEST(EventQueue, ProcEventsCarryProcessor)
+{
+    EventQueue q;
+    q.pushProc(7, 3);
+    q.pushProc(5, 1);
+    EXPECT_EQ(q.popProc().proc, 1);
+    EXPECT_EQ(q.popProc().proc, 3);
+    EXPECT_TRUE(q.empty());
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+using namespace mts;
+
+TEST(Experiment, ReferenceRunIsCachedAndPositive)
+{
+    ExperimentRunner runner(0.05);
+    Cycle a = runner.referenceCycles(sieveApp());
+    Cycle b = runner.referenceCycles(sieveApp());
+    EXPECT_GT(a, 0u);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Experiment, IdealSingleProcessorEfficiencyIsOne)
+{
+    ExperimentRunner runner(0.05);
+    auto cfg = ExperimentRunner::makeConfig(SwitchModel::Ideal, 1, 1, 0);
+    auto run = runner.run(sieveApp(), cfg);
+    EXPECT_DOUBLE_EQ(run.efficiency, 1.0);
+    EXPECT_DOUBLE_EQ(run.speedup, 1.0);
+}
+
+TEST(Experiment, MultithreadingRaisesEfficiencyUnderLatency)
+{
+    ExperimentRunner runner(0.1);
+    auto one = runner.run(sieveApp(), ExperimentRunner::makeConfig(
+                                          SwitchModel::SwitchOnLoad, 4, 1));
+    auto many = runner.run(sieveApp(),
+                           ExperimentRunner::makeConfig(
+                               SwitchModel::SwitchOnLoad, 4, 12));
+    EXPECT_GT(many.efficiency, one.efficiency * 2);
+}
+
+TEST(Experiment, ThreadsForEfficiencyFindsMinimalLevel)
+{
+    // Scale must leave enough work per thread that the efficiency target
+    // is parallelism-feasible (the paper's "problem too small" domain).
+    ExperimentRunner runner(0.3);
+    auto base =
+        ExperimentRunner::makeConfig(SwitchModel::SwitchOnLoad, 4, 1);
+    int t50 = runner.threadsForEfficiency(sieveApp(), base, 0.5, 24);
+    int t70 = runner.threadsForEfficiency(sieveApp(), base, 0.7, 24);
+    ASSERT_GT(t50, 0);
+    ASSERT_GT(t70, 0);
+    EXPECT_LE(t50, t70);
+    // Unreachable target reports -1.
+    EXPECT_EQ(runner.threadsForEfficiency(sieveApp(), base, 1.5, 4), -1);
+}
+
+TEST(Experiment, GroupedCodeChosenForExplicitSwitch)
+{
+    ExperimentRunner runner(0.05);
+    const PreparedApp &pa = runner.prepare(sorApp());
+    bool hasSwitch = false;
+    for (const auto &inst : pa.grouped.code)
+        if (inst.op == Opcode::CSWITCH)
+            hasSwitch = true;
+    EXPECT_TRUE(hasSwitch);
+    // And grouping found sor's 5-load group.
+    EXPECT_GE(pa.groupingStats.staticGroupingFactor(), 3.0);
+    // run() with explicit-switch must succeed (uses grouped code).
+    auto run = runner.run(
+        sorApp(),
+        ExperimentRunner::makeConfig(SwitchModel::ExplicitSwitch, 2, 4));
+    EXPECT_GT(run.efficiency, 0.0);
+}
+
+TEST(Experiment, ExplicitSwitchBeatsSwitchOnLoadOnSor)
+{
+    // The paper's headline: grouping dramatically helps sor.
+    ExperimentRunner runner(0.15);
+    auto sol = runner.run(sorApp(), ExperimentRunner::makeConfig(
+                                        SwitchModel::SwitchOnLoad, 4, 8));
+    auto es = runner.run(sorApp(), ExperimentRunner::makeConfig(
+                                       SwitchModel::ExplicitSwitch, 4, 8));
+    EXPECT_GT(es.efficiency, sol.efficiency * 1.8);
+}
+
+TEST(Experiment, InvalidScaleRejected)
+{
+    EXPECT_THROW(ExperimentRunner(-1.0), FatalError);
+}

@@ -1,0 +1,338 @@
+/**
+ * Tests of the beyond-the-paper extensions: channel serialization,
+ * hot-spot memory-port serialization, the software combining-tree
+ * barrier, and critical-region priority scheduling. Each is a knob the
+ * paper's text motivates (Sections 6.1, 6.2 and reference [26]) but
+ * leaves unimplemented.
+ */
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+TEST(ChannelModel, SerializationDelaysReturn)
+{
+    // One load on a 2-bit channel: request 64 bits -> 32 cycles of
+    // injection, reply 96 bits -> 48 cycles. Completion must move from
+    // 200 to 200 + 32 + 48 cycles after issue.
+    MachineConfig cfg = miniConfig();
+    cfg.network.channelBits = 2;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    add r2, r1, 1
+    halt
+)",
+                        cfg);
+    // lds@0 completes at 280; add@280; halt@281 -> 282.
+    EXPECT_EQ(mr.result.cycles, 282u);
+}
+
+TEST(ChannelModel, BackToBackStoresQueueAtTheInterface)
+{
+    // Stores are 128 bits; on an 8-bit channel each takes 16 cycles to
+    // inject, so the second store's arrival is pushed out.
+    MachineConfig cfg = miniConfig();
+    cfg.network.channelBits = 8;
+    MiniRun wide = runAsm(R"(
+.shared x, 2
+.shared out, 1
+main:
+    li  r1, 7
+    sts r1, x
+    sts r1, x+1
+    lds r2, x+1
+    add r3, r2, 0
+    sts r3, out
+    halt
+)",
+                          cfg);
+    EXPECT_EQ(wide.sharedInt("out"), 7);  // ordering preserved
+
+    MachineConfig fast = miniConfig();
+    MiniRun free = runAsm(R"(
+.shared x, 2
+.shared out, 1
+main:
+    li  r1, 7
+    sts r1, x
+    sts r1, x+1
+    lds r2, x+1
+    add r3, r2, 0
+    sts r3, out
+    halt
+)",
+                          fast);
+    EXPECT_GT(wide.result.cycles, free.result.cycles);
+}
+
+TEST(ChannelModel, SpinTrafficBypassesTheChannel)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.network.channelBits = 1;  // brutally narrow
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds.spin r1, x
+    halt
+)",
+                        cfg);
+    // Spin loads are not serialized: lds.spin@0 blocks to 200, halt@200
+    // -> completion at 201.
+    EXPECT_EQ(mr.result.cycles, 201u);
+}
+
+TEST(ChannelModel, NarrowChannelsHurtBandwidthHungryApps)
+{
+    ExperimentRunner runner(0.1);
+    auto base = ExperimentRunner::makeConfig(
+        SwitchModel::ExplicitSwitch, 4, 8);
+    auto wide = runner.run(sorApp(), base);
+    base.network.channelBits = 2;
+    auto narrow = runner.run(sorApp(), base);
+    EXPECT_LT(narrow.efficiency, wide.efficiency);
+}
+
+TEST(HotSpotModel, SameWordAccessesSerialize)
+{
+    // 8 threads fetch-and-add one counter; with a 10-cycle memory port
+    // the total time must grow by roughly the serialization.
+    auto run = [](Cycle port) {
+        MachineConfig cfg = miniConfig();
+        cfg.numProcs = 8;
+        cfg.threadsPerProc = 1;
+        cfg.network.memPortCycles = port;
+        return runAsm(R"(
+.shared c, 1
+main:
+    li  r3, 1
+    faa r4, c(r0), r3
+    add r5, r4, 1
+    halt
+)",
+                      cfg);
+    };
+    MiniRun combining = run(0);
+    MiniRun hotspot = run(20);
+    EXPECT_EQ(combining.sharedInt("c"), 8);
+    EXPECT_EQ(hotspot.sharedInt("c"), 8);
+    // 8 serialized accesses at 20 cycles each add >= 7*20 cycles to the
+    // last one's completion.
+    EXPECT_GE(hotspot.result.cycles, combining.result.cycles + 140);
+}
+
+TEST(HotSpotModel, PerSourceOrderingPreserved)
+{
+    // Producer writes data (hot word) then flag; consumer must never see
+    // the flag without the data, even under port contention.
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 2;
+    cfg.network.memPortCycles = 50;
+    MiniRun mr = runAsm(R"(
+.shared data, 1
+.shared flag, 1
+.shared out, 1
+main:
+    bne a0, r0, consumer
+    li  r1, 99
+    sts r1, data
+    li  r1, 1
+    sts r1, flag
+    halt
+consumer:
+    lds.spin r2, flag
+    beq r2, r0, consumer
+    lds r3, data
+    sts r3, out
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.sharedInt("out"), 99);
+}
+
+namespace
+{
+
+const char *const kTreeBarrierKernel = R"(
+.shared tree, 256
+.shared rounds, 1
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    li  s2, 0
+loop:
+    la  a0, tree
+    mv  a1, s1
+    mv  a2, s0
+    call __mts_barrier_tree
+    add s2, s2, 1
+    blt s2, 4, loop
+    li  t0, 1
+    la  t1, rounds
+    faa t2, 0(t1), t0
+    halt
+)";
+
+} // namespace
+
+class TreeBarrier : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TreeBarrier, AllThreadsCompleteEveryEpisode)
+{
+    int threads = GetParam();
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 4;
+    cfg.threadsPerProc = threads;
+    MiniRun mr = runAsmWithRuntime(kTreeBarrierKernel, cfg);
+    EXPECT_EQ(mr.sharedInt("rounds"), 4 * threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, TreeBarrier,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+TEST(TreeBarrierSemantics, OrderingAcrossPhases)
+{
+    // Same neighbour-read property as the centralized barrier test.
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 4;
+    cfg.threadsPerProc = 4;
+    MiniRun mr = runAsmWithRuntime(R"(
+.shared tree, 256
+.shared vals, 64
+.shared bad, 1
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    la  t0, vals
+    add t0, t0, s0
+    add t1, s0, 100
+    sts t1, 0(t0)
+    la  a0, tree
+    mv  a1, s1
+    mv  a2, s0
+    call __mts_barrier_tree
+    add t2, s0, 1
+    rem t2, t2, s1
+    la  t0, vals
+    add t0, t0, t2
+    lds t3, 0(t0)
+    add t4, t2, 100
+    beq t3, t4, fine
+    li  t5, 1
+    la  t6, bad
+    faa t7, 0(t6), t5
+fine:
+    halt
+)",
+                                   cfg);
+    EXPECT_EQ(mr.sharedInt("bad"), 0);
+}
+
+TEST(TreeBarrierHotSpot, FanInBoundsPerWordTraffic)
+{
+    // Under the hot-spot model a centralized barrier's counter serializes
+    // all N arrivals; the tree's fan-in of 4 bounds each word's queue.
+    auto run = [](bool tree, int procs) {
+        MachineConfig cfg = miniConfig();
+        cfg.numProcs = procs;
+        cfg.threadsPerProc = 1;
+        cfg.network.memPortCycles = 32;
+        const char *central = R"(
+.shared bar, 2
+.shared tree, 256
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    la  a0, bar
+    mv  a1, s1
+    call __mts_barrier
+    halt
+)";
+        const char *treed = R"(
+.shared bar, 2
+.shared tree, 256
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    la  a0, tree
+    mv  a1, s1
+    mv  a2, s0
+    call __mts_barrier_tree
+    halt
+)";
+        return runAsmWithRuntime(tree ? treed : central, cfg)
+            .result.cycles;
+    };
+    // At 32 processors the centralized counter serializes 32 faa's.
+    Cycle central = run(false, 32);
+    Cycle tree = run(true, 32);
+    EXPECT_LT(tree, central);
+}
+
+TEST(PriorityScheduling, SetpriIsNopWithoutTheFeature)
+{
+    MiniRun mr = runAsm(R"(
+.shared out, 1
+main:
+    setpri 1
+    li  r1, 5
+    setpri 0
+    sts r1, out
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("out"), 5);
+    EXPECT_EQ(mr.result.cpu.instructions, 5u);
+}
+
+TEST(PriorityScheduling, LockHolderPreferredOnRotation)
+{
+    // Lock-heavy kernel with background cache-hit streams; priority
+    // scheduling must keep the counter correct, and the holder gets the
+    // processor back ahead of round-robin order.
+    const std::string src = R"(
+.shared counter, 1
+.shared lk, 2
+.entry main
+main:
+    li s2, 0
+loop:
+    la a0, lk
+    call __mts_lock
+    lds t1, counter
+    add t1, t1, 1
+    sts t1, counter
+    la a0, lk
+    call __mts_unlock
+    add s2, s2, 1
+    blt s2, 15, loop
+    halt
+)";
+    for (bool pri : {false, true}) {
+        MachineConfig cfg = miniConfig();
+        cfg.model = SwitchModel::ConditionalSwitch;
+        cfg.numProcs = 2;
+        cfg.threadsPerProc = 4;
+        cfg.prioritySched = pri;
+        Program prog =
+            applyGroupingPass(assemble(runtimePrelude() + src));
+        Machine m(prog, cfg);
+        m.run();
+        EXPECT_EQ(m.sharedMem().readInt(prog.sharedAddr("counter")),
+                  15 * 8)
+            << "prioritySched=" << pri;
+    }
+}
+
+TEST(PriorityScheduling, AssemblerRejectsBadPriority)
+{
+    EXPECT_THROW(assemble("main:\n    setpri 2\n    halt\n"), FatalError);
+}

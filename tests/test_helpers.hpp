@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the mtsim test suites.
+ */
+#ifndef MTS_TESTS_TEST_HELPERS_HPP
+#define MTS_TESTS_TEST_HELPERS_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/mtsim.hpp"
+
+namespace mts::test
+{
+
+/** A completed run whose memory can still be inspected. */
+struct MiniRun
+{
+    Program prog;
+    std::unique_ptr<Machine> machine;
+    RunResult result;
+
+    std::int64_t
+    sharedInt(const std::string &name) const
+    {
+        return machine->sharedMem().readInt(prog.sharedAddr(name));
+    }
+
+    double
+    sharedDouble(const std::string &name) const
+    {
+        return machine->sharedMem().readDouble(prog.sharedAddr(name));
+    }
+};
+
+/** Default config: 1 processor, 1 thread, 200-cycle switch-on-load. */
+inline MachineConfig
+miniConfig()
+{
+    MachineConfig cfg;
+    cfg.numProcs = 1;
+    cfg.threadsPerProc = 1;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.network.roundTrip = 200;
+    cfg.maxCycles = 50'000'000;
+    return cfg;
+}
+
+/** Assemble (no prelude) and run to completion. */
+inline MiniRun
+runAsm(const std::string &src, MachineConfig cfg = miniConfig(),
+       const AsmOptions &opts = {})
+{
+    MiniRun mr;
+    mr.prog = assemble(src, opts);
+    mr.machine = std::make_unique<Machine>(mr.prog, cfg);
+    mr.result = mr.machine->run();
+    return mr;
+}
+
+/** Assemble with the runtime prelude prepended, then run. */
+inline MiniRun
+runAsmWithRuntime(const std::string &src, MachineConfig cfg = miniConfig(),
+                  const AsmOptions &opts = {})
+{
+    return runAsm(runtimePrelude() + src, cfg, opts);
+}
+
+} // namespace mts::test
+
+#endif // MTS_TESTS_TEST_HELPERS_HPP

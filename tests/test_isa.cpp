@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "isa/addressing.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+
+using namespace mts;
+
+TEST(Opcode, NameRoundTripAllOpcodes)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        auto op = static_cast<Opcode>(i);
+        std::string_view name = opcodeName(op);
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(opcodeFromName(name), op) << name;
+    }
+}
+
+TEST(Opcode, UnknownNameReturnsSentinel)
+{
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NUM_OPCODES);
+}
+
+TEST(Opcode, LatenciesMatchR3000Flavour)
+{
+    EXPECT_EQ(resultLatency(Opcode::ADD), 1);
+    EXPECT_GT(resultLatency(Opcode::MUL), resultLatency(Opcode::ADD));
+    EXPECT_GT(resultLatency(Opcode::DIV), resultLatency(Opcode::MUL));
+    EXPECT_GT(resultLatency(Opcode::FDIV), resultLatency(Opcode::FMUL));
+    EXPECT_GT(resultLatency(Opcode::FMUL), resultLatency(Opcode::FADD));
+    EXPECT_EQ(resultLatency(Opcode::LDL), 2);
+}
+
+TEST(Opcode, SharedLoadClassification)
+{
+    EXPECT_TRUE(isSharedLoad(Opcode::LDS));
+    EXPECT_TRUE(isSharedLoad(Opcode::FLDS));
+    EXPECT_TRUE(isSharedLoad(Opcode::LDSD));
+    EXPECT_TRUE(isSharedLoad(Opcode::FLDSD));
+    EXPECT_TRUE(isSharedLoad(Opcode::LDS_SPIN));
+    EXPECT_TRUE(isSharedLoad(Opcode::FAA));
+    EXPECT_FALSE(isSharedLoad(Opcode::LDL));
+    EXPECT_FALSE(isSharedLoad(Opcode::STS));
+}
+
+TEST(Opcode, StoreAndMemClassification)
+{
+    EXPECT_TRUE(isSharedStore(Opcode::STS));
+    EXPECT_TRUE(isSharedStore(Opcode::FSTS));
+    EXPECT_FALSE(isSharedStore(Opcode::STL));
+    EXPECT_TRUE(isLocalMem(Opcode::STL));
+    EXPECT_TRUE(isLocalMem(Opcode::FLDL));
+    EXPECT_TRUE(isMem(Opcode::FAA));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+}
+
+TEST(Opcode, ControlClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::BEQ));
+    EXPECT_TRUE(isBranch(Opcode::BGE));
+    EXPECT_FALSE(isBranch(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::J));
+    EXPECT_TRUE(isControl(Opcode::JAL));
+    EXPECT_TRUE(isControl(Opcode::JR));
+    EXPECT_TRUE(isControl(Opcode::HALT));
+    EXPECT_FALSE(isControl(Opcode::CSWITCH));
+}
+
+namespace
+{
+
+Instruction
+make(Opcode op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+     bool useImm = false)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.useImm = useImm;
+    return i;
+}
+
+} // namespace
+
+TEST(Operands, AluRegisterForm)
+{
+    Operands o = getOperands(make(Opcode::ADD, 1, 2, 3));
+    ASSERT_EQ(o.numDefs, 1);
+    EXPECT_EQ(o.defs[0], intReg(1));
+    ASSERT_EQ(o.numUses, 2);
+    EXPECT_EQ(o.uses[0], intReg(2));
+    EXPECT_EQ(o.uses[1], intReg(3));
+}
+
+TEST(Operands, AluImmediateFormDropsRs2)
+{
+    Operands o = getOperands(make(Opcode::ADD, 1, 2, 0, true));
+    EXPECT_EQ(o.numUses, 1);
+}
+
+TEST(Operands, WritesToR0AreDiscarded)
+{
+    Operands o = getOperands(make(Opcode::ADD, 0, 2, 3));
+    EXPECT_EQ(o.numDefs, 0);
+}
+
+TEST(Operands, FpBanksAreTagged)
+{
+    Operands o = getOperands(make(Opcode::FADD, 1, 2, 3));
+    EXPECT_EQ(o.defs[0], fpReg(1));
+    EXPECT_EQ(o.uses[0], fpReg(2));
+    EXPECT_GE(o.defs[0], 32);
+}
+
+TEST(Operands, FpCompareWritesIntBank)
+{
+    Operands o = getOperands(make(Opcode::FLT, 5, 1, 2));
+    EXPECT_EQ(o.defs[0], intReg(5));
+    EXPECT_EQ(o.uses[0], fpReg(1));
+}
+
+TEST(Operands, LoadPairDefinesTwoRegisters)
+{
+    Operands o = getOperands(make(Opcode::LDSD, 8, 2, 0));
+    ASSERT_EQ(o.numDefs, 2);
+    EXPECT_EQ(o.defs[0], intReg(8));
+    EXPECT_EQ(o.defs[1], intReg(9));
+}
+
+TEST(Operands, StoreUsesBaseAndValue)
+{
+    Operands o = getOperands(make(Opcode::FSTS, 0, 2, 7));
+    EXPECT_EQ(o.numDefs, 0);
+    ASSERT_EQ(o.numUses, 2);
+    EXPECT_EQ(o.uses[0], intReg(2));
+    EXPECT_EQ(o.uses[1], fpReg(7));
+}
+
+TEST(Operands, FaaDefinesResultUsesAddend)
+{
+    Operands o = getOperands(make(Opcode::FAA, 3, 2, 5));
+    EXPECT_EQ(o.defs[0], intReg(3));
+    EXPECT_EQ(o.numUses, 2);
+}
+
+TEST(Operands, JalDefinesRa)
+{
+    Operands o = getOperands(make(Opcode::JAL, 0, 0, 0));
+    ASSERT_EQ(o.numDefs, 1);
+    EXPECT_EQ(o.defs[0], intReg(kRegRa));
+}
+
+TEST(Disassemble, BasicForms)
+{
+    Instruction i = make(Opcode::ADD, 1, 2, 3);
+    EXPECT_EQ(disassemble(i), "add r1, r2, r3");
+    i.useImm = true;
+    i.imm = -4;
+    EXPECT_EQ(disassemble(i), "add r1, r2, -4");
+    EXPECT_EQ(disassemble(make(Opcode::CSWITCH, 0, 0, 0)), "cswitch");
+    EXPECT_EQ(disassemble(make(Opcode::FADD, 1, 2, 3)),
+              "fadd f1, f2, f3");
+}
+
+TEST(Disassemble, MemoryForms)
+{
+    Instruction i = make(Opcode::LDS, 4, 5, 0);
+    i.imm = 12;
+    EXPECT_EQ(disassemble(i), "lds r4, 12(r5)");
+    Instruction s = make(Opcode::FSTS, 0, 5, 6);
+    s.imm = -2;
+    EXPECT_EQ(disassemble(s), "fsts f6, -2(r5)");
+    Instruction f = make(Opcode::FAA, 3, 5, 7);
+    f.imm = 0;
+    EXPECT_EQ(disassemble(f), "faa r3, 0(r5), r7");
+}
+
+TEST(Disassemble, BranchUsesLabelResolver)
+{
+    Instruction b = make(Opcode::BNE, 0, 1, 2);
+    b.target = 17;
+    auto resolver = [](std::int32_t t) {
+        return t == 17 ? std::string("loop") : std::string();
+    };
+    EXPECT_EQ(disassemble(b, resolver), "bne r1, r2, loop");
+    EXPECT_EQ(disassemble(b), "bne r1, r2, @17");
+}
+
+TEST(Addressing, SharedBaseClassification)
+{
+    EXPECT_TRUE(isSharedAddr(kSharedBase));
+    EXPECT_TRUE(isSharedAddr(kSharedBase + 123));
+    EXPECT_FALSE(isSharedAddr(0));
+    EXPECT_FALSE(isSharedAddr(kSharedBase - 1));
+}

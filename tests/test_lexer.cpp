@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "asm/lexer.hpp"
+#include "util/error.hpp"
+
+using namespace mts;
+
+TEST(Lexer, EmptyLineYieldsEnd)
+{
+    auto toks = lexLine("", 1);
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, CommentOnlyLine)
+{
+    auto toks = lexLine("   ; a comment", 1);
+    EXPECT_EQ(toks[0].kind, TokKind::End);
+    toks = lexLine(" # hash comment", 1);
+    EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, IdentifiersAndDirectives)
+{
+    auto toks = lexLine(".shared arr, 10", 1);
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[0].text, ".shared");
+    EXPECT_EQ(toks[1].text, "arr");
+    EXPECT_EQ(toks[2].text, ",");
+    EXPECT_EQ(toks[3].intValue, 10);
+}
+
+TEST(Lexer, DecimalAndHexIntegers)
+{
+    auto toks = lexLine("li r1, 0x10", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Int);
+    EXPECT_EQ(toks[3].intValue, 16);
+    toks = lexLine("li r1, 12345", 1);
+    EXPECT_EQ(toks[3].intValue, 12345);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lexLine("fli f1, 2.5", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 2.5);
+}
+
+TEST(Lexer, FloatExponent)
+{
+    auto toks = lexLine("fli f1, 1.5e3", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 1500.0);
+    toks = lexLine("fli f1, 2e-3", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Float);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 0.002);
+}
+
+TEST(Lexer, MemoryOperandPunctuation)
+{
+    auto toks = lexLine("lds r1, 8(r2)", 1);
+    // lds r1 , 8 ( r2 ) END
+    ASSERT_EQ(toks.size(), 8u);
+    EXPECT_EQ(toks[4].text, "(");
+    EXPECT_EQ(toks[5].text, "r2");
+    EXPECT_EQ(toks[6].text, ")");
+}
+
+TEST(Lexer, ShiftOperators)
+{
+    auto toks = lexLine(".const X, 1<<20", 1);
+    bool found = false;
+    for (const auto &t : toks)
+        if (t.kind == TokKind::Punct && t.text == "<<")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, StrayAngleBracketFatal)
+{
+    EXPECT_THROW(lexLine("li r1, 1<2", 1), FatalError);
+}
+
+TEST(Lexer, UnexpectedCharacterFatal)
+{
+    EXPECT_THROW(lexLine("li r1, @5", 1), FatalError);
+}
+
+TEST(Lexer, LabelColon)
+{
+    auto toks = lexLine("loop: add r1, r1, 1", 1);
+    EXPECT_EQ(toks[0].text, "loop");
+    EXPECT_EQ(toks[1].text, ":");
+    EXPECT_EQ(toks[2].text, "add");
+}
+
+TEST(Lexer, DottedMnemonic)
+{
+    auto toks = lexLine("lds.spin r1, 0(r2)", 1);
+    EXPECT_EQ(toks[0].text, "lds.spin");
+}
+
+TEST(Lexer, NegativeHandledAtParserLevel)
+{
+    auto toks = lexLine("li r1, -5", 1);
+    EXPECT_EQ(toks[3].kind, TokKind::Punct);
+    EXPECT_EQ(toks[3].text, "-");
+    EXPECT_EQ(toks[4].intValue, 5);
+}

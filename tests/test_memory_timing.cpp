@@ -1,0 +1,321 @@
+/**
+ * Cycle-exact timing tests of the shared-memory system: constant
+ * round-trip latency, ordered delivery, grouped waits, fetch-and-add
+ * combining semantics, and traffic accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+TEST(MemoryTiming, SingleLoadRoundTripIsExactly200)
+{
+    // lds@0 (switch, resume at 200), add@200, sts@201, halt@202 -> 203.
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+.shared y, 1
+main:
+    lds r1, x
+    add r2, r1, 1
+    sts r2, y
+    halt
+)");
+    EXPECT_EQ(mr.result.cycles, 203u);
+    EXPECT_EQ(mr.sharedInt("y"), 1);
+}
+
+TEST(MemoryTiming, CustomLatencyRespected)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.network.roundTrip = 400;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    add r2, r1, 1
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cycles, 402u);
+}
+
+TEST(MemoryTiming, ZeroLatencyIdealMachine)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.model = SwitchModel::Ideal;
+    cfg.network.roundTrip = 0;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+.shared y, 1
+main:
+    lds r1, x
+    add r2, r1, 1
+    sts r2, y
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cycles, 4u);
+    EXPECT_EQ(mr.sharedInt("y"), 1);
+}
+
+TEST(MemoryTiming, GroupedLoadsWaitOnceUnderExplicitSwitch)
+{
+    // lds@0, lds@1, cswitch@2: wake at max(1+200, 3) = 201;
+    // add@201, sts@202, halt@203 -> 204 cycles. Two loads, one wait.
+    MachineConfig cfg = miniConfig();
+    cfg.model = SwitchModel::ExplicitSwitch;
+    MiniRun mr = runAsm(R"(
+.shared a, 1
+.shared b, 1
+.shared y, 1
+main:
+    lds r1, a
+    lds r2, b
+    cswitch
+    add r3, r1, r2
+    sts r3, y
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cycles, 204u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+}
+
+TEST(MemoryTiming, UngroupedLoadsWaitTwiceUnderSwitchOnLoad)
+{
+    // lds@0 -> resume 200; lds@200 -> resume 400; add@400, halt@401
+    // -> completion at 402.
+    MiniRun mr = runAsm(R"(
+.shared a, 1
+.shared b, 1
+main:
+    lds r1, a
+    lds r2, b
+    add r3, r1, r2
+    halt
+)");
+    EXPECT_EQ(mr.result.cycles, 402u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 2u);
+}
+
+TEST(MemoryTiming, OwnStoreVisibleToLaterLoad)
+{
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+.shared y, 1
+main:
+    li  r1, 77
+    sts r1, x
+    lds r2, x
+    sts r2, y
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("y"), 77);
+}
+
+TEST(MemoryTiming, StoresDoNotBlock)
+{
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    li  r1, 1
+    sts r1, x
+    sts r1, x+1
+    sts r1, x+2
+    halt
+)");
+    // li@0, three stores @1..3, halt@4 -> 5 cycles; no switches.
+    EXPECT_EQ(mr.result.cycles, 5u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 0u);
+}
+
+TEST(MemoryTiming, FetchAddReturnsOldValue)
+{
+    MiniRun mr = runAsm(R"(
+.shared c, 1
+.shared first, 1
+.shared second, 1
+main:
+    li  r1, 5
+    faa r2, c(r0), r1
+    sts r2, first
+    li  r1, 3
+    faa r2, c(r0), r1
+    sts r2, second
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("first"), 0);
+    EXPECT_EQ(mr.sharedInt("second"), 5);
+    EXPECT_EQ(mr.sharedInt("c"), 8);
+}
+
+TEST(MemoryTiming, FetchAddIsAtomicAcrossThreads)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 4;
+    cfg.threadsPerProc = 4;
+    MiniRun mr = runAsm(R"(
+.shared c, 1
+main:
+    li  r2, 0
+    li  r3, 1
+loop:
+    faa r4, c(r0), r3
+    add r2, r2, 1
+    blt r2, 25, loop
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.sharedInt("c"), 16 * 25);
+}
+
+TEST(MemoryTiming, FetchAddAtomicOnIdealNetworkToo)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.model = SwitchModel::Ideal;
+    cfg.network.roundTrip = 0;
+    cfg.numProcs = 8;
+    cfg.threadsPerProc = 2;
+    MiniRun mr = runAsm(R"(
+.shared c, 1
+main:
+    li  r2, 0
+    li  r3, 1
+loop:
+    faa r4, c(r0), r3
+    add r2, r2, 1
+    blt r2, 40, loop
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.sharedInt("c"), 16 * 40);
+}
+
+TEST(MemoryTiming, LoadPairFetchesAdjacentWords)
+{
+    MiniRun mr = runAsm(R"(
+.shared pair, 2
+.shared y, 1
+main:
+    li  r1, 30
+    sts r1, pair
+    li  r1, 12
+    sts r1, pair+1
+    ldsd r4, pair(r0)
+    add r6, r4, r5
+    sts r6, y
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("y"), 42);
+}
+
+TEST(MemoryTiming, CrossProcessorProducerConsumer)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 2;
+    cfg.threadsPerProc = 1;
+    MiniRun mr = runAsm(R"(
+.shared flag, 1
+.shared data, 1
+.shared out, 1
+main:
+    bne a0, r0, consumer
+    li  r1, 123
+    sts r1, data
+    li  r1, 1
+    sts r1, flag          ; ordered after data (same source)
+    halt
+consumer:
+    lds.spin r2, flag
+    beq r2, r0, consumer
+    lds r3, data
+    sts r3, out
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.sharedInt("out"), 123);
+}
+
+TEST(MemoryTiming, TrafficAccounting)
+{
+    MiniRun mr = runAsm(R"(
+.shared x, 2
+main:
+    lds  r1, x
+    sts  r1, x+1
+    ldsd r2, x(r0)
+    li   r4, 1
+    faa  r5, x(r0), r4
+    halt
+)");
+    const NetworkStats &net = mr.result.net;
+    EXPECT_EQ(net.loadMsgs, 2u);  // lds + ldsd
+    EXPECT_EQ(net.storeMsgs, 1u);
+    EXPECT_EQ(net.faaMsgs, 1u);
+    EXPECT_EQ(net.messages, 4u);
+    // load: 64 fwd + 96 ret; pair: 64 + 160; store: 128 + 32;
+    // faa: 128 + 96.
+    EXPECT_EQ(net.forwardBits, 64u + 64u + 128u + 128u);
+    EXPECT_EQ(net.returnBits, 96u + 160u + 32u + 96u);
+}
+
+TEST(MemoryTiming, SpinLoadsExcludedFromBandwidth)
+{
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds.spin r1, x
+    lds.spin r1, x
+    halt
+)");
+    EXPECT_EQ(mr.result.net.spinMsgs, 2u);
+    EXPECT_EQ(mr.result.net.forwardBits, 0u);
+    EXPECT_EQ(mr.result.net.returnBits, 0u);
+    EXPECT_EQ(mr.result.cpu.spinLoads, 2u);
+    EXPECT_EQ(mr.result.cpu.sharedLoads, 0u);
+}
+
+TEST(MemoryTiming, OrderedDeliveryRoundRobinWake)
+{
+    // Two threads on one processor alternate; each load's wake time is
+    // its own issue+200, and round-robin order is respected (thread 0's
+    // second load resumes before thread 1's second load).
+    MachineConfig cfg = miniConfig();
+    cfg.threadsPerProc = 2;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+.shared order, 4
+.shared idx, 1
+main:
+    lds r1, x
+    li  r2, 1
+    faa r3, idx(r0), r2
+    la  r9, order
+    add r9, r9, r3
+    sts a0, 0(r9)
+    lds r1, x
+    faa r3, idx(r0), r2
+    la  r9, order
+    add r9, r9, r3
+    sts a0, 0(r9)
+    halt
+)",
+                        cfg);
+    Addr base = mr.prog.sharedAddr("order");
+    SharedMemory &mem = mr.machine->sharedMem();
+    EXPECT_EQ(mem.readInt(base + 0), 0);
+    EXPECT_EQ(mem.readInt(base + 1), 1);
+    EXPECT_EQ(mem.readInt(base + 2), 0);
+    EXPECT_EQ(mem.readInt(base + 3), 1);
+}
+
+TEST(MemoryTiming, BitsPerCycleMetric)
+{
+    NetworkStats net;
+    net.forwardBits = 1000;
+    net.returnBits = 600;
+    EXPECT_DOUBLE_EQ(net.bitsPerCycle(100, 4), 4.0);
+    EXPECT_DOUBLE_EQ(net.bitsPerCycle(0, 4), 0.0);
+}

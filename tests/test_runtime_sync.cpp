@@ -1,0 +1,195 @@
+/**
+ * The runtime prelude's synchronization primitives (ticket lock,
+ * sense-reversing barrier) must be correct under every machine model —
+ * parameterized mutual-exclusion and barrier-ordering properties.
+ */
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+struct SyncCase
+{
+    SwitchModel model;
+    int procs;
+    int threads;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<SyncCase> &info)
+{
+    std::string name(switchModelName(info.param.model));
+    for (char &c : name)
+        if (c == '-')
+            c = '_';
+    return name + "_p" + std::to_string(info.param.procs) + "t" +
+           std::to_string(info.param.threads);
+}
+
+MiniRun
+runSync(const SyncCase &c, const std::string &src)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.model = c.model;
+    cfg.numProcs = c.procs;
+    cfg.threadsPerProc = c.threads;
+    Program p = assemble(runtimePrelude() + src);
+    Program chosen = modelNeedsSwitchInstr(c.model)
+                         ? applyGroupingPass(p)
+                         : p;
+    MiniRun mr;
+    mr.prog = p;  // symbol addresses are identical in both versions
+    mr.machine = std::make_unique<Machine>(chosen, cfg);
+    mr.result = mr.machine->run();
+    return mr;
+}
+
+} // namespace
+
+class SyncPrimitives : public ::testing::TestWithParam<SyncCase>
+{
+};
+
+TEST_P(SyncPrimitives, LockProvidesMutualExclusion)
+{
+    const SyncCase &c = GetParam();
+    MiniRun mr = runSync(c, R"(
+.const K, 30
+.shared counter, 1
+.shared lk, 2
+.entry main
+main:
+    li s2, 0
+loop:
+    la a0, lk
+    call __mts_lock
+    lds t1, counter
+    add t1, t1, 1
+    sts t1, counter
+    la a0, lk
+    call __mts_unlock
+    add s2, s2, 1
+    blt s2, K, loop
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("counter"), 30ll * c.procs * c.threads);
+}
+
+TEST_P(SyncPrimitives, BarrierOrderingProperty)
+{
+    const SyncCase &c = GetParam();
+    MiniRun mr = runSync(c, R"(
+.shared vals, 64
+.shared bar, 2
+.shared bad, 1
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    ; phase 1: publish my value
+    la  t0, vals
+    add t0, t0, s0
+    add t1, s0, 100
+    sts t1, 0(t0)
+    la  a0, bar
+    mv  a1, s1
+    call __mts_barrier
+    ; phase 2: read right neighbour's value (wraps)
+    add t2, s0, 1
+    rem t2, t2, s1
+    la  t0, vals
+    add t0, t0, t2
+    lds t3, 0(t0)
+    add t4, t2, 100
+    beq t3, t4, fine
+    li  t5, 1
+    la  t6, bad
+    faa t7, 0(t6), t5
+fine:
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("bad"), 0);
+}
+
+TEST_P(SyncPrimitives, BarrierReusableAcrossEpisodes)
+{
+    const SyncCase &c = GetParam();
+    MiniRun mr = runSync(c, R"(
+.shared bar, 2
+.shared rounds, 1
+.entry main
+main:
+    mv  s0, a0
+    mv  s1, a1
+    li  s2, 0
+loop:
+    la  a0, bar
+    mv  a1, s1
+    call __mts_barrier
+    add s2, s2, 1
+    blt s2, 5, loop
+    li  t0, 1
+    la  t1, rounds
+    faa t2, 0(t1), t0
+    halt
+)");
+    EXPECT_EQ(mr.sharedInt("rounds"), c.procs * c.threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndShapes, SyncPrimitives,
+    ::testing::Values(
+        SyncCase{SwitchModel::SwitchOnLoad, 1, 4},
+        SyncCase{SwitchModel::SwitchOnLoad, 4, 1},
+        SyncCase{SwitchModel::SwitchOnLoad, 4, 4},
+        SyncCase{SwitchModel::SwitchEveryCycle, 2, 3},
+        SyncCase{SwitchModel::SwitchOnUse, 2, 3},
+        SyncCase{SwitchModel::ExplicitSwitch, 1, 4},
+        SyncCase{SwitchModel::ExplicitSwitch, 4, 4},
+        SyncCase{SwitchModel::SwitchOnMiss, 2, 3},
+        SyncCase{SwitchModel::SwitchOnUseMiss, 2, 3},
+        SyncCase{SwitchModel::ConditionalSwitch, 1, 4},
+        SyncCase{SwitchModel::ConditionalSwitch, 4, 4}),
+    caseName);
+
+TEST(SyncStress, ManyThreadsTicketLockIsFair)
+{
+    // 16 threads acquire once each and record the order; ticket locks
+    // grant in ticket order, so every thread appears exactly once.
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 4;
+    cfg.threadsPerProc = 4;
+    MiniRun mr = runAsmWithRuntime(R"(
+.shared lk, 2
+.shared order, 16
+.shared idx, 1
+.entry main
+main:
+    mv  s0, a0
+    la  a0, lk
+    call __mts_lock
+    li  t0, 1
+    faa t1, idx(r0), t0
+    la  t2, order
+    add t2, t2, t1
+    sts s0, 0(t2)
+    la  a0, lk
+    call __mts_unlock
+    halt
+)",
+                                   cfg);
+    std::vector<bool> seen(16, false);
+    Addr base = mr.prog.sharedAddr("order");
+    for (int i = 0; i < 16; ++i) {
+        std::int64_t v = mr.machine->sharedMem().readInt(base + i);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 16);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+}

@@ -1,0 +1,344 @@
+/**
+ * Behavioural tests of the seven multithreading models (paper Figure 1).
+ */
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+MachineConfig
+modelConfig(SwitchModel m, int procs = 1, int threads = 1)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.model = m;
+    cfg.numProcs = procs;
+    cfg.threadsPerProc = threads;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SwitchModels, ModelNamesRoundTrip)
+{
+    for (SwitchModel m : kAllModels)
+        EXPECT_EQ(switchModelFromName(switchModelName(m)), m);
+    EXPECT_THROW(switchModelFromName("bogus"), FatalError);
+}
+
+TEST(SwitchModels, TaxonomyPredicates)
+{
+    EXPECT_TRUE(modelUsesCache(SwitchModel::SwitchOnMiss));
+    EXPECT_TRUE(modelUsesCache(SwitchModel::SwitchOnUseMiss));
+    EXPECT_TRUE(modelUsesCache(SwitchModel::ConditionalSwitch));
+    EXPECT_FALSE(modelUsesCache(SwitchModel::ExplicitSwitch));
+    EXPECT_TRUE(modelNeedsSwitchInstr(SwitchModel::ExplicitSwitch));
+    EXPECT_TRUE(modelNeedsSwitchInstr(SwitchModel::ConditionalSwitch));
+    EXPECT_FALSE(modelNeedsSwitchInstr(SwitchModel::SwitchOnLoad));
+}
+
+TEST(SwitchModels, ExplicitSwitchRequiresGroupedCode)
+{
+    Program raw = assemble(".shared x, 1\nmain:\n    lds r1, x\n"
+                           "    halt\n");
+    EXPECT_THROW(Machine(raw, modelConfig(SwitchModel::ExplicitSwitch)),
+                 FatalError);
+}
+
+TEST(SwitchModels, SwitchEveryCycleSwitchesPerInstruction)
+{
+    MiniRun mr = runAsm(R"(
+main:
+    li r1, 1
+    li r2, 2
+    add r3, r1, r2
+    halt
+)",
+                        modelConfig(SwitchModel::SwitchEveryCycle));
+    // Every instruction switches except the final halt, which terminates
+    // the thread instead.
+    EXPECT_EQ(mr.result.cpu.switchesTaken,
+              mr.result.cpu.instructions - 1);
+}
+
+TEST(SwitchModels, SwitchEveryCycleInterleavesThreads)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::SwitchEveryCycle, 1, 2);
+    MiniRun mr = runAsm(R"(
+.shared out, 2
+main:
+    li  r1, 10
+    add r1, r1, a0
+    la  r2, out
+    add r2, r2, a0
+    sts r1, 0(r2)
+    halt
+)",
+                        cfg);
+    Addr base = mr.prog.sharedAddr("out");
+    EXPECT_EQ(mr.machine->sharedMem().readInt(base), 10);
+    EXPECT_EQ(mr.machine->sharedMem().readInt(base + 1), 11);
+}
+
+TEST(SwitchModels, SwitchOnUseRunsPastLoad)
+{
+    // Independent instructions after the load execute before the switch:
+    // lds@0, li@1, li@2, use@switch -> resume 200, add@200, halt@201.
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    li  r3, 7
+    li  r4, 8
+    add r2, r1, r3
+    halt
+)",
+                        modelConfig(SwitchModel::SwitchOnUse));
+    EXPECT_EQ(mr.result.cycles, 202u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+
+    // The same code under switch-on-load pays the wait before the li's.
+    MiniRun sol = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    li  r3, 7
+    li  r4, 8
+    add r2, r1, r3
+    halt
+)");
+    EXPECT_EQ(sol.result.cycles, 204u);
+}
+
+TEST(SwitchModels, SwitchOnUseDoesNotSwitchWhenValueReady)
+{
+    // Enough independent work covers the latency; no switch at the use.
+    std::string src = ".shared x, 1\nmain:\n    lds r1, x\n";
+    for (int i = 0; i < 210; ++i)
+        src += "    add r3, r3, 1\n";
+    src += "    add r2, r1, 1\n    halt\n";
+    MiniRun mr = runAsm(src, modelConfig(SwitchModel::SwitchOnUse));
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 0u);
+}
+
+TEST(SwitchModels, ConditionalSwitchSkipsOnHit)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::ConditionalSwitch);
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    lds r1, x
+    cswitch
+    lds r2, x+1
+    cswitch
+    halt
+)",
+                        cfg);
+    // First load misses (switch taken), second hits the filled line
+    // (switch skipped).
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+    EXPECT_EQ(mr.result.cpu.switchesSkipped, 1u);
+    EXPECT_EQ(mr.result.cache.hits, 1u);
+    EXPECT_EQ(mr.result.cache.misses, 1u);
+}
+
+TEST(SwitchModels, ConditionalSwitchSliceLimitForcesSwitch)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::ConditionalSwitch);
+    cfg.sliceLimit = 200;
+    // Warm the line, then spin on cached hits for > 200 cycles.
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    lds r1, x
+    cswitch
+    li  r3, 0
+loop:
+    lds r2, x+1
+    cswitch
+    add r3, r3, 1
+    blt r3, 100, loop
+    halt
+)",
+                        cfg);
+    EXPECT_GT(mr.result.cpu.sliceLimitSwitches, 0u);
+}
+
+TEST(SwitchModels, ConditionalSwitchSliceLimitZeroDisablesIt)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::ConditionalSwitch);
+    cfg.sliceLimit = 0;
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    lds r1, x
+    cswitch
+    li  r3, 0
+loop:
+    lds r2, x+1
+    cswitch
+    add r3, r3, 1
+    blt r3, 100, loop
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cpu.sliceLimitSwitches, 0u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+}
+
+TEST(SwitchModels, SwitchOnMissPaysPipelinePenalty)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::SwitchOnMiss);
+    cfg.missSwitchPenalty = 3;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cpu.stallCycles, 3u);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+}
+
+TEST(SwitchModels, SwitchOnMissHitDoesNotSwitch)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::SwitchOnMiss);
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    lds r1, x
+    lds r2, x+1
+    halt
+)",
+                        cfg);
+    // Second access hits the line filled by the first.
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+    EXPECT_EQ(mr.result.cache.hits, 1u);
+}
+
+TEST(SwitchModels, SwitchOnUseMissToleratesHitsAtUse)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::SwitchOnUseMiss);
+    MiniRun mr = runAsm(R"(
+.shared x, 4
+main:
+    lds r1, x
+    li  r3, 5
+    add r2, r1, r3
+    lds r4, x+1
+    add r5, r4, r3
+    halt
+)",
+                        cfg);
+    // First use switches (miss in flight); second load hits -> no switch.
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 1u);
+}
+
+TEST(SwitchModels, IdealModelIgnoresCswitch)
+{
+    MachineConfig cfg = modelConfig(SwitchModel::Ideal);
+    cfg.network.roundTrip = 0;
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    lds r1, x
+    cswitch
+    halt
+)",
+                        cfg);
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 0u);
+    EXPECT_EQ(mr.result.cycles, 3u);  // cswitch still costs its cycle
+}
+
+TEST(SwitchModels, RoundRobinIsStrictAndFair)
+{
+    // 4 threads each append their id twice; strict round robin under
+    // switch-on-load must give 0,1,2,3,0,1,2,3.
+    MachineConfig cfg = modelConfig(SwitchModel::SwitchOnLoad, 1, 4);
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+.shared order, 8
+.shared idx, 1
+main:
+    li  r2, 1
+    lds r1, x             ; switch
+    faa r3, idx(r0), r2
+    la  r9, order
+    add r9, r9, r3
+    sts a0, 0(r9)
+    lds r1, x             ; switch
+    faa r3, idx(r0), r2
+    la  r9, order
+    add r9, r9, r3
+    sts a0, 0(r9)
+    halt
+)",
+                        cfg);
+    Addr base = mr.prog.sharedAddr("order");
+    SharedMemory &mem = mr.machine->sharedMem();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mem.readInt(base + i), i % 4) << "slot " << i;
+}
+
+TEST(SwitchModels, RunLengthDistributionRecorded)
+{
+    MiniRun mr = runAsm(R"(
+.shared x, 1
+main:
+    li  r3, 0
+loop:
+    lds r1, x
+    add r3, r3, 1
+    blt r3, 10, loop
+    halt
+)");
+    // 10 loads -> 10 switches plus the final halt run.
+    EXPECT_EQ(mr.result.cpu.switchesTaken, 10u);
+    EXPECT_GE(mr.result.cpu.runLengths.count(), 10u);
+    EXPECT_GT(mr.result.cpu.runLengths.mean(), 0.0);
+}
+
+class AllModelsCorrectness
+    : public ::testing::TestWithParam<SwitchModel>
+{
+};
+
+TEST_P(AllModelsCorrectness, FaaSumAcrossThreadsIsExact)
+{
+    SwitchModel m = GetParam();
+    MachineConfig cfg = modelConfig(m, 2, 3);
+    std::string src = R"(
+.shared c, 1
+main:
+    li  r2, 0
+    li  r3, 1
+loop:
+    faa r4, c(r0), r3
+    add r2, r2, 1
+    blt r2, 20, loop
+    halt
+)";
+    // Models that only switch at cswitch need grouped code.
+    Program prog = assemble(src);
+    Program chosen =
+        modelNeedsSwitchInstr(m) ? applyGroupingPass(prog) : prog;
+    Machine machine(chosen, cfg);
+    machine.run();
+    EXPECT_EQ(machine.sharedMem().readInt(prog.sharedAddr("c")), 6 * 20)
+        << switchModelName(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, AllModelsCorrectness, ::testing::ValuesIn(kAllModels),
+    [](const ::testing::TestParamInfo<SwitchModel> &info) {
+        std::string name(switchModelName(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,167 @@
+/**
+ * Tests of the tracing subsystem: event delivery, filtering, and the
+ * occupancy timeline.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+#include "trace/text_tracer.hpp"
+#include "trace/timeline.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+/** Collects raw event counts. */
+struct CountingTracer : Tracer
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t accesses = 0;
+    std::vector<SwitchReason> reasons;
+
+    void
+    onInstruction(Cycle, std::uint16_t, std::uint32_t, std::int32_t,
+                  const Instruction &) override
+    {
+        ++instructions;
+    }
+
+    void
+    onSwitch(Cycle, std::uint16_t, std::uint32_t, std::uint32_t, Cycle,
+             SwitchReason reason) override
+    {
+        ++switches;
+        reasons.push_back(reason);
+    }
+
+    void
+    onSharedAccess(Cycle, std::uint16_t, std::uint32_t,
+                   const MemOp &) override
+    {
+        ++accesses;
+    }
+};
+
+const char *const kKernel = R"(
+.shared x, 4
+.shared y, 1
+main:
+    lds r1, x
+    lds r2, x+1
+    add r3, r1, r2
+    sts r3, y
+    halt
+)";
+
+} // namespace
+
+TEST(Trace, EventCountsMatchStatistics)
+{
+    CountingTracer tracer;
+    MachineConfig cfg = miniConfig();
+    cfg.tracer = &tracer;
+    Program prog = assemble(kKernel);
+    Machine m(prog, cfg);
+    RunResult r = m.run();
+
+    EXPECT_EQ(tracer.instructions, r.cpu.instructions);
+    EXPECT_EQ(tracer.switches, r.cpu.switchesTaken);
+    EXPECT_EQ(tracer.accesses, 3u);  // two loads + one store
+    ASSERT_EQ(tracer.reasons.size(), 2u);
+    EXPECT_EQ(tracer.reasons[0], SwitchReason::Load);
+}
+
+TEST(Trace, ExplicitSwitchReasonReported)
+{
+    CountingTracer tracer;
+    MachineConfig cfg = miniConfig();
+    cfg.model = SwitchModel::ExplicitSwitch;
+    cfg.tracer = &tracer;
+    Program prog = applyGroupingPass(assemble(kKernel));
+    Machine m(prog, cfg);
+    m.run();
+    ASSERT_FALSE(tracer.reasons.empty());
+    EXPECT_EQ(tracer.reasons[0], SwitchReason::Explicit);
+}
+
+TEST(Trace, TextTracerFormatsAndCaps)
+{
+    std::ostringstream os;
+    TextTracer tracer(os, 0, ~Cycle(0), 5);
+    MachineConfig cfg = miniConfig();
+    cfg.tracer = &tracer;
+    Machine m(assemble(kKernel), cfg);
+    m.run();
+    EXPECT_EQ(tracer.eventsEmitted(), 5u);  // capped
+    std::string text = os.str();
+    EXPECT_NE(text.find("lds r1"), std::string::npos);
+    EXPECT_NE(text.find("p00"), std::string::npos);
+}
+
+TEST(Trace, TextTracerCycleWindow)
+{
+    std::ostringstream os;
+    TextTracer tracer(os, 1000, 2000);  // nothing happens in this window
+    MachineConfig cfg = miniConfig();
+    cfg.tracer = &tracer;
+    Machine m(assemble("main:\n    li r1, 1\n    halt\n"), cfg);
+    m.run();
+    EXPECT_EQ(tracer.eventsEmitted(), 0u);
+}
+
+TEST(Trace, SwitchReasonNames)
+{
+    EXPECT_STREQ(switchReasonName(SwitchReason::Load), "load");
+    EXPECT_STREQ(switchReasonName(SwitchReason::Explicit), "cswitch");
+    EXPECT_STREQ(switchReasonName(SwitchReason::SliceLimit),
+                 "slice-limit");
+    EXPECT_STREQ(switchReasonName(SwitchReason::Halt), "halt");
+}
+
+TEST(Timeline, OccupancyRisesWithThreads)
+{
+    auto occupancy = [](int threads) {
+        TimelineTracer timeline(50);
+        MachineConfig cfg = miniConfig();
+        cfg.threadsPerProc = threads;
+        cfg.tracer = &timeline;
+        Program prog = assemble(R"(
+.shared x, 64
+main:
+    li  r2, 0
+loop:
+    la  r3, x
+    add r3, r3, r2
+    lds r1, 0(r3)
+    add r2, r2, 1
+    blt r2, 40, loop
+    halt
+)");
+        Machine m(prog, cfg);
+        m.run();
+        return timeline.occupancy();
+    };
+    double one = occupancy(1);
+    double eight = occupancy(8);
+    EXPECT_LT(one, 0.5);   // mostly idle: one thread vs 200-cycle trips
+    EXPECT_GT(eight, one * 2);
+}
+
+TEST(Timeline, RenderShowsRowsAndLegend)
+{
+    TimelineTracer timeline(10);
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 2;
+    cfg.tracer = &timeline;
+    Machine m(assemble("main:\n    li r1, 1\n    halt\n"), cfg);
+    m.run();
+    std::string art = timeline.render();
+    EXPECT_NE(art.find("p00 |"), std::string::npos);
+    EXPECT_NE(art.find("p01 |"), std::string::npos);
+    EXPECT_NE(art.find("one column = 10 cycles"), std::string::npos);
+}

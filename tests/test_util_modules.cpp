@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace mts;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.0);
+    EXPECT_EQ(h.format(), "");
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(5);
+    h.add(8);
+    h.add(9);
+    // buckets: {1}, {2}, {3,4}, {5..8}, {9..16}
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 1.0 / 7);
+    EXPECT_DOUBLE_EQ(h.fractionAt(2), 1.0 / 7);
+    EXPECT_DOUBLE_EQ(h.fractionAt(3), 2.0 / 7);
+    EXPECT_DOUBLE_EQ(h.fractionAt(4), 2.0 / 7);
+    EXPECT_DOUBLE_EQ(h.fractionAt(6), 2.0 / 7);
+    EXPECT_DOUBLE_EQ(h.fractionAt(16), 1.0 / 7);
+}
+
+TEST(Histogram, MeanAndWeights)
+{
+    Histogram h;
+    h.add(10, 3);
+    h.add(20, 1);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 12.5);
+}
+
+TEST(Histogram, FractionAtMostIsCumulative)
+{
+    Histogram h;
+    for (std::uint64_t v : {1, 1, 2, 4, 9})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(2), 3.0 / 5);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(4), 4.0 / 5);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(1000), 1.0);
+}
+
+TEST(Histogram, MergeAndClear)
+{
+    Histogram a, b;
+    a.add(5);
+    b.add(7, 2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, ZeroClampsIntoFirstBucket)
+{
+    Histogram h;
+    h.add(0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 1.0);
+}
+
+TEST(Histogram, BucketLabels)
+{
+    EXPECT_EQ(Histogram::bucketLabel(1), "1");
+    EXPECT_EQ(Histogram::bucketLabel(2), "2");
+    EXPECT_EQ(Histogram::bucketLabel(3), "3-4");
+    EXPECT_EQ(Histogram::bucketLabel(7), "5-8");
+    EXPECT_EQ(Histogram::bucketLabel(100), "65-128");
+}
+
+TEST(Strings, TrimAndSplit)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim(""), "");
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(10), 10u);
+        double d = r.nextDouble(2.0, 3.0);
+        EXPECT_GE(d, 2.0);
+        EXPECT_LT(d, 3.0);
+    }
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("Demo");
+    t.header({"App", "Value"});
+    t.row({"sieve", "1.00"});
+    t.row({"blkmat", "0.50"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("== Demo =="), std::string::npos);
+    EXPECT_NE(s.find("sieve"), std::string::npos);
+    EXPECT_NE(s.find("Value"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t(12345)), "12345");
+}
+
+TEST(ErrorMacros, FatalThrowsWithContext)
+{
+    try {
+        MTS_FATAL("something " << 42);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("something 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorMacros, RequirePassesAndFails)
+{
+    EXPECT_NO_THROW(MTS_REQUIRE(1 + 1 == 2, "fine"));
+    EXPECT_THROW(MTS_REQUIRE(false, "nope"), FatalError);
+}

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * mtsim — run a benchmark application (or a raw .s file) on the
+ * simulated multithreaded multiprocessor.
+ *
+ *     mtsim --app sor --model explicit-switch --procs 16 --threads 8
+ *     mtsim --app mp3d --model conditional-switch --latency 400 --stats
+ *     mtsim --asm my_kernel.s -D N=4096 --model switch-on-load
+ *     mtsim --list
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/mtsim.hpp"
+#include "trace/text_tracer.hpp"
+#include "trace/timeline.hpp"
+#include "util/strings.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: mtsim [options]\n"
+        "  --app NAME          benchmark app (sieve blkmat sor ugray water"
+        " locus mp3d)\n"
+        "  --asm FILE          run a raw MTS assembly file instead\n"
+        "  --model NAME        ideal | switch-every-cycle | switch-on-load"
+        " | switch-on-use |\n"
+        "                      explicit-switch | switch-on-miss | "
+        "switch-on-use-miss | conditional-switch\n"
+        "  --procs N           processors (default 16)\n"
+        "  --threads N         hardware threads per processor (default 1)\n"
+        "  --latency N         round-trip shared latency (default 200; 0 ="
+        " ideal network)\n"
+        "  --scale X           problem-size multiplier (default 1.0)\n"
+        "  --cache-words N     cache capacity in words (default 2048)\n"
+        "  --line-words N      cache line size in words (default 4)\n"
+        "  --slice-limit N     conditional-switch run-length limit "
+        "(default 200; 0 = off)\n"
+        "  --group-estimate    enable the Section 5.2 inter-block "
+        "grouping estimator\n"
+        "  --no-group          skip the grouping pass (raw code)\n"
+        "  -D NAME=VALUE       define/override an assembly constant\n"
+        "  --stats             print detailed statistics\n"
+        "  --trace N           print the first N trace events\n"
+        "  --timeline          print an ASCII occupancy timeline\n"
+        "  --listing           print the (grouped) program listing and "
+        "exit\n"
+        "  --list              list the benchmark applications\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mts;
+    std::string appName;
+    std::string asmFile;
+    MachineConfig cfg;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    double scale = 1.0;
+    bool wantStats = false;
+    bool wantListing = false;
+    std::uint64_t traceEvents = 0;
+    bool wantTimeline = false;
+    bool noGroup = false;
+    AsmOptions extraDefs;
+
+    auto intArg = [&](int &i) {
+        if (i + 1 >= argc) {
+            usage();
+            std::exit(2);
+        }
+        return std::atoll(argv[++i]);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        try {
+            if (a == "--app" && i + 1 < argc) {
+                appName = argv[++i];
+            } else if (a == "--asm" && i + 1 < argc) {
+                asmFile = argv[++i];
+            } else if (a == "--model" && i + 1 < argc) {
+                cfg.model = switchModelFromName(argv[++i]);
+            } else if (a == "--procs") {
+                cfg.numProcs = static_cast<int>(intArg(i));
+            } else if (a == "--threads") {
+                cfg.threadsPerProc = static_cast<int>(intArg(i));
+            } else if (a == "--latency") {
+                cfg.network.roundTrip = static_cast<Cycle>(intArg(i));
+            } else if (a == "--scale" && i + 1 < argc) {
+                scale = std::atof(argv[++i]);
+            } else if (a == "--cache-words") {
+                cfg.cache.sizeWords = static_cast<unsigned>(intArg(i));
+            } else if (a == "--line-words") {
+                cfg.cache.lineWords = static_cast<unsigned>(intArg(i));
+            } else if (a == "--slice-limit") {
+                cfg.sliceLimit = static_cast<Cycle>(intArg(i));
+            } else if (a == "--group-estimate") {
+                cfg.groupEstimate = true;
+            } else if (a == "--no-group") {
+                noGroup = true;
+            } else if (a == "-D" && i + 1 < argc) {
+                auto kv = split(argv[++i], '=');
+                if (kv.size() != 2) {
+                    usage();
+                    return 2;
+                }
+                extraDefs.defines[kv[0]] = std::atoll(kv[1].c_str());
+            } else if (a == "--trace") {
+                traceEvents = static_cast<std::uint64_t>(intArg(i));
+            } else if (a == "--timeline") {
+                wantTimeline = true;
+            } else if (a == "--stats") {
+                wantStats = true;
+            } else if (a == "--listing") {
+                wantListing = true;
+            } else if (a == "--list") {
+                for (const App *app : allApps())
+                    std::printf("%-8s %s\n", app->name().c_str(),
+                                app->description().c_str());
+                return 0;
+            } else {
+                usage();
+                return a == "--help" || a == "-h" ? 0 : 2;
+            }
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "mtsim: %s\n", e.what());
+            return 1;
+        }
+    }
+
+    try {
+        Program prog;
+        const App *app = nullptr;
+        if (!asmFile.empty()) {
+            std::ifstream in(asmFile);
+            if (!in) {
+                std::fprintf(stderr, "mtsim: cannot open %s\n",
+                             asmFile.c_str());
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            prog = assemble(runtimePrelude() + ss.str(), extraDefs);
+        } else if (!appName.empty()) {
+            app = &findApp(appName);
+            AsmOptions opts = app->options(scale);
+            for (const auto &[k, v] : extraDefs.defines)
+                opts.defines[k] = v;
+            prog = assemble(app->source(), opts);
+        } else {
+            usage();
+            return 2;
+        }
+
+        GroupingStats gs;
+        bool useGrouped =
+            !noGroup &&
+            (modelNeedsSwitchInstr(cfg.model) || cfg.groupEstimate);
+        Program grouped = applyGroupingPass(prog, &gs);
+        const Program &chosen = useGrouped ? grouped : prog;
+
+        if (wantListing) {
+            std::fputs(chosen.listing().c_str(), stdout);
+            return 0;
+        }
+
+        std::unique_ptr<TextTracer> textTracer;
+        std::unique_ptr<TimelineTracer> timelineTracer;
+        if (traceEvents) {
+            textTracer = std::make_unique<TextTracer>(
+                std::cout, 0, ~Cycle(0), traceEvents);
+            cfg.tracer = textTracer.get();
+        } else if (wantTimeline) {
+            timelineTracer = std::make_unique<TimelineTracer>(200);
+            cfg.tracer = timelineTracer.get();
+        }
+
+        Machine machine(chosen, cfg);
+        if (app)
+            app->init(machine);
+        RunResult r = machine.run();
+        if (timelineTracer) {
+            std::fputs(timelineTracer->render(110).c_str(), stdout);
+            std::printf("occupancy %.0f%%\n",
+                        100.0 * timelineTracer->occupancy());
+        }
+        std::string check = "-";
+        if (app) {
+            AppCheckResult chk = app->check(machine);
+            check = chk.ok ? "PASS" : "FAIL: " + chk.message;
+        }
+
+        std::printf("model=%s procs=%d threads=%d latency=%llu\n",
+                    std::string(switchModelName(cfg.model)).c_str(),
+                    cfg.numProcs, cfg.threadsPerProc,
+                    (unsigned long long)cfg.network.roundTrip);
+        std::printf("cycles=%llu instructions=%llu utilization=%.3f "
+                    "self-check=%s\n",
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)r.cpu.instructions,
+                    r.utilization(), check.c_str());
+        if (wantStats) {
+            std::printf(
+                "busy=%llu stall=%llu idle=%llu switches=%llu "
+                "(skipped=%llu, slice-forced=%llu)\n",
+                (unsigned long long)r.cpu.busyCycles,
+                (unsigned long long)r.cpu.stallCycles,
+                (unsigned long long)r.cpu.idleCycles,
+                (unsigned long long)r.cpu.switchesTaken,
+                (unsigned long long)r.cpu.switchesSkipped,
+                (unsigned long long)r.cpu.sliceLimitSwitches);
+            std::printf(
+                "shared: loads=%llu stores=%llu faa=%llu spin=%llu "
+                "grouping-factor=%.2f\n",
+                (unsigned long long)r.cpu.sharedLoads,
+                (unsigned long long)r.cpu.sharedStores,
+                (unsigned long long)r.cpu.fetchAdds,
+                (unsigned long long)r.cpu.spinLoads, r.groupingFactor());
+            std::printf("run-lengths: mean=%.1f dist=[%s]\n",
+                        r.cpu.runLengths.mean(),
+                        r.cpu.runLengths.format().c_str());
+            std::printf("network: msgs=%llu bits/cycle/proc=%.2f "
+                        "(inval=%llu)\n",
+                        (unsigned long long)r.net.messages,
+                        r.bitsPerCycle(),
+                        (unsigned long long)r.net.invalMsgs);
+            if (modelUsesCache(cfg.model))
+                std::printf("cache: hit-rate=%.3f (hits=%llu misses=%llu "
+                            "merges=%llu invalidations=%llu)\n",
+                            r.cache.hitRate(),
+                            (unsigned long long)r.cache.hits,
+                            (unsigned long long)r.cache.misses,
+                            (unsigned long long)r.cache.mergedMisses,
+                            (unsigned long long)
+                                r.cache.invalidationsReceived);
+            if (cfg.groupEstimate)
+                std::printf("estimate-cache: hit-rate=%.3f\n",
+                            r.estimateHitRate());
+            if (useGrouped)
+                std::printf("grouping pass: %zu blocks, %zu loads, %zu "
+                            "load groups, static factor %.2f\n",
+                            gs.basicBlocks, gs.sharedLoads, gs.loadGroups,
+                            gs.staticGroupingFactor());
+        }
+        return check.rfind("FAIL", 0) == 0 ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mtsim: %s\n", e.what());
+        return 1;
+    }
+}
