@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dash_mp3d.dir/bench_dash_mp3d.cpp.o"
+  "CMakeFiles/bench_dash_mp3d.dir/bench_dash_mp3d.cpp.o.d"
+  "bench_dash_mp3d"
+  "bench_dash_mp3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dash_mp3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

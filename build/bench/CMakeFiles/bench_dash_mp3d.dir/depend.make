@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dash_mp3d.
+# This may be replaced when dependencies are built.

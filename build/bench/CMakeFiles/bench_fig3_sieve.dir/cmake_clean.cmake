@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sieve.dir/bench_fig3_sieve.cpp.o"
+  "CMakeFiles/bench_fig3_sieve.dir/bench_fig3_sieve.cpp.o.d"
+  "bench_fig3_sieve"
+  "bench_fig3_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

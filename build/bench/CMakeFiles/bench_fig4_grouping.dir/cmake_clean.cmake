@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_grouping.dir/bench_fig4_grouping.cpp.o"
+  "CMakeFiles/bench_fig4_grouping.dir/bench_fig4_grouping.cpp.o.d"
+  "bench_fig4_grouping"
+  "bench_fig4_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

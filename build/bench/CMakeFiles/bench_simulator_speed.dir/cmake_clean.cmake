@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_speed.dir/bench_simulator_speed.cpp.o"
+  "CMakeFiles/bench_simulator_speed.dir/bench_simulator_speed.cpp.o.d"
+  "bench_simulator_speed"
+  "bench_simulator_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

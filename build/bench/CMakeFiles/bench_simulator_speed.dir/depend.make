@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_simulator_speed.
+# This may be replaced when dependencies are built.

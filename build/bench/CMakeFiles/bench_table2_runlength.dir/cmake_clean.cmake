@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_runlength.dir/bench_table2_runlength.cpp.o"
+  "CMakeFiles/bench_table2_runlength.dir/bench_table2_runlength.cpp.o.d"
+  "bench_table2_runlength"
+  "bench_table2_runlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_runlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sol.dir/bench_table3_sol.cpp.o"
+  "CMakeFiles/bench_table3_sol.dir/bench_table3_sol.cpp.o.d"
+  "bench_table3_sol"
+  "bench_table3_sol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

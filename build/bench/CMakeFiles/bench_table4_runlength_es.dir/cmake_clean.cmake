@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_runlength_es.dir/bench_table4_runlength_es.cpp.o"
+  "CMakeFiles/bench_table4_runlength_es.dir/bench_table4_runlength_es.cpp.o.d"
+  "bench_table4_runlength_es"
+  "bench_table4_runlength_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_runlength_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

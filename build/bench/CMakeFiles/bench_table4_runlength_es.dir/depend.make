@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_runlength_es.
+# This may be replaced when dependencies are built.

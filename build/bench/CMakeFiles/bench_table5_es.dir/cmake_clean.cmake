@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_es.dir/bench_table5_es.cpp.o"
+  "CMakeFiles/bench_table5_es.dir/bench_table5_es.cpp.o.d"
+  "bench_table5_es"
+  "bench_table5_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_interblock.dir/bench_table6_interblock.cpp.o"
+  "CMakeFiles/bench_table6_interblock.dir/bench_table6_interblock.cpp.o.d"
+  "bench_table6_interblock"
+  "bench_table6_interblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_interblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

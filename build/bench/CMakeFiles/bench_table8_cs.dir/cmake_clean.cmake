@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_cs.dir/bench_table8_cs.cpp.o"
+  "CMakeFiles/bench_table8_cs.dir/bench_table8_cs.cpp.o.d"
+  "bench_table8_cs"
+  "bench_table8_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

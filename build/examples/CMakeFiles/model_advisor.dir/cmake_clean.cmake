@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_advisor.dir/model_advisor.cpp.o"
+  "CMakeFiles/model_advisor.dir/model_advisor.cpp.o.d"
+  "model_advisor"
+  "model_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

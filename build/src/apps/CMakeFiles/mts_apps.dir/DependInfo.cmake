@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_blkmat.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_blkmat.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_blkmat.cpp.o.d"
+  "/root/repo/src/apps/app_locus.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_locus.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_locus.cpp.o.d"
+  "/root/repo/src/apps/app_mp3d.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_mp3d.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_mp3d.cpp.o.d"
+  "/root/repo/src/apps/app_sieve.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_sieve.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_sieve.cpp.o.d"
+  "/root/repo/src/apps/app_sor.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_sor.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_sor.cpp.o.d"
+  "/root/repo/src/apps/app_ugray.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_ugray.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_ugray.cpp.o.d"
+  "/root/repo/src/apps/app_water.cpp" "src/apps/CMakeFiles/mts_apps.dir/app_water.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/app_water.cpp.o.d"
+  "/root/repo/src/apps/prelude.cpp" "src/apps/CMakeFiles/mts_apps.dir/prelude.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/prelude.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/mts_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/mts_apps.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mts_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mts_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mts_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mts_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_apps.dir/app_blkmat.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_blkmat.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_locus.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_locus.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_mp3d.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_mp3d.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_sieve.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_sieve.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_sor.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_sor.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_ugray.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_ugray.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/app_water.cpp.o"
+  "CMakeFiles/mts_apps.dir/app_water.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/prelude.cpp.o"
+  "CMakeFiles/mts_apps.dir/prelude.cpp.o.d"
+  "CMakeFiles/mts_apps.dir/registry.cpp.o"
+  "CMakeFiles/mts_apps.dir/registry.cpp.o.d"
+  "libmts_apps.a"
+  "libmts_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

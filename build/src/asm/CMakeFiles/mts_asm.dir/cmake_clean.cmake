@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_asm.dir/assembler.cpp.o"
+  "CMakeFiles/mts_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/mts_asm.dir/lexer.cpp.o"
+  "CMakeFiles/mts_asm.dir/lexer.cpp.o.d"
+  "CMakeFiles/mts_asm.dir/program.cpp.o"
+  "CMakeFiles/mts_asm.dir/program.cpp.o.d"
+  "libmts_asm.a"
+  "libmts_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

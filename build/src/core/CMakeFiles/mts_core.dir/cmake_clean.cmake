@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_core.dir/experiment.cpp.o"
+  "CMakeFiles/mts_core.dir/experiment.cpp.o.d"
+  "libmts_core.a"
+  "libmts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

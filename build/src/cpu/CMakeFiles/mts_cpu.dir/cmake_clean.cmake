@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_cpu.dir/switch_model.cpp.o"
+  "CMakeFiles/mts_cpu.dir/switch_model.cpp.o.d"
+  "libmts_cpu.a"
+  "libmts_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

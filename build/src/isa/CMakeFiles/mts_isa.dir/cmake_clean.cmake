@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_isa.dir/instruction.cpp.o"
+  "CMakeFiles/mts_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/mts_isa.dir/opcode.cpp.o"
+  "CMakeFiles/mts_isa.dir/opcode.cpp.o.d"
+  "libmts_isa.a"
+  "libmts_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

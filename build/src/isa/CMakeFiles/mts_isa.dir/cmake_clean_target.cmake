@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmts_isa.a"
+)

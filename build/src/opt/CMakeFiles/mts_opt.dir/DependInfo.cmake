@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/basic_blocks.cpp" "src/opt/CMakeFiles/mts_opt.dir/basic_blocks.cpp.o" "gcc" "src/opt/CMakeFiles/mts_opt.dir/basic_blocks.cpp.o.d"
+  "/root/repo/src/opt/grouping_pass.cpp" "src/opt/CMakeFiles/mts_opt.dir/grouping_pass.cpp.o" "gcc" "src/opt/CMakeFiles/mts_opt.dir/grouping_pass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/mts_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mts_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_opt.dir/basic_blocks.cpp.o"
+  "CMakeFiles/mts_opt.dir/basic_blocks.cpp.o.d"
+  "CMakeFiles/mts_opt.dir/grouping_pass.cpp.o"
+  "CMakeFiles/mts_opt.dir/grouping_pass.cpp.o.d"
+  "libmts_opt.a"
+  "libmts_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

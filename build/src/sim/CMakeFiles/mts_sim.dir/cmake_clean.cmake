@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_sim.dir/machine.cpp.o"
+  "CMakeFiles/mts_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mts_sim.dir/processor.cpp.o"
+  "CMakeFiles/mts_sim.dir/processor.cpp.o.d"
+  "libmts_sim.a"
+  "libmts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_trace.dir/text_tracer.cpp.o"
+  "CMakeFiles/mts_trace.dir/text_tracer.cpp.o.d"
+  "CMakeFiles/mts_trace.dir/timeline.cpp.o"
+  "CMakeFiles/mts_trace.dir/timeline.cpp.o.d"
+  "libmts_trace.a"
+  "libmts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_util.dir/error.cpp.o"
+  "CMakeFiles/mts_util.dir/error.cpp.o.d"
+  "CMakeFiles/mts_util.dir/histogram.cpp.o"
+  "CMakeFiles/mts_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mts_util.dir/strings.cpp.o"
+  "CMakeFiles/mts_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mts_util.dir/table.cpp.o"
+  "CMakeFiles/mts_util.dir/table.cpp.o.d"
+  "libmts_util.a"
+  "libmts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps_integration.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_apps_integration.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_apps_integration.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_grouping_pass.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_grouping_pass.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_grouping_pass.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_machine_exec.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_machine_exec.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_machine_exec.cpp.o.d"
+  "/root/repo/tests/test_memory_timing.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_memory_timing.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_memory_timing.cpp.o.d"
+  "/root/repo/tests/test_runtime_sync.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_runtime_sync.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_runtime_sync.cpp.o.d"
+  "/root/repo/tests/test_switch_models.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_switch_models.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_switch_models.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util_modules.cpp" "tests/CMakeFiles/mtsim_tests.dir/test_util_modules.cpp.o" "gcc" "tests/CMakeFiles/mtsim_tests.dir/test_util_modules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mts_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mts_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mts_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mts_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mts_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtopt.dir/mtopt_main.cpp.o"
+  "CMakeFiles/mtopt.dir/mtopt_main.cpp.o.d"
+  "mtopt"
+  "mtopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtsim.dir/mtsim_main.cpp.o"
+  "CMakeFiles/mtsim.dir/mtsim_main.cpp.o.d"
+  "mtsim"
+  "mtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
