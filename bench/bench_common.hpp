@@ -6,6 +6,11 @@
  * sizes default to the scaled-down sizes documented in EXPERIMENTS.md;
  * set MTS_SCALE (e.g. MTS_SCALE=4) to run closer to paper sizes, and
  * MTS_FAST=1 to shrink them further for smoke runs.
+ *
+ * Independent simulations are fanned across host cores through
+ * SweepRunner; set MTS_JOBS to pin the worker count (default: the
+ * hardware concurrency; MTS_JOBS=1 runs serially). The printed tables
+ * are byte-identical at any job count.
  */
 #ifndef MTS_BENCH_BENCH_COMMON_HPP
 #define MTS_BENCH_BENCH_COMMON_HPP
@@ -13,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "core/mtsim.hpp"
@@ -31,6 +37,14 @@ scaleFromEnv(double dflt = 1.0)
     if (const char *s = std::getenv("MTS_SCALE"))
         return std::atof(s) > 0 ? std::atof(s) * dflt : dflt;
     return dflt;
+}
+
+/** Host worker count: MTS_JOBS, or the hardware concurrency when unset
+ *  (mirrors scaleFromEnv). */
+inline unsigned
+jobsFromEnv()
+{
+    return ThreadPool::defaultWorkers();
 }
 
 /** Percent with no decimals, matching the paper's tables. */

@@ -16,6 +16,7 @@ main()
     double scale = scaleFromEnv();
     banner("Section 7 DASH comparison (mp3d)", scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
     const App &app = mp3dApp();
     const int procs = app.tableProcs();
 
@@ -24,7 +25,9 @@ main()
     t.header({"threads/proc", "switch-on-miss (lat 100)",
               "explicit-switch (lat 200)",
               "conditional-switch (lat 200)"});
-    for (int mt : {1, 2, 3, 4, 6, 8}) {
+    const int mtLevels[] = {1, 2, 3, 4, 6, 8};
+    auto rows = sweep.map(std::size(mtLevels), [&](std::size_t i) {
+        int mt = mtLevels[i];
         auto som = runner.run(app, ExperimentRunner::makeConfig(
                                        SwitchModel::SwitchOnMiss, procs,
                                        mt, 100));
@@ -34,9 +37,13 @@ main()
         auto cs = runner.run(app, ExperimentRunner::makeConfig(
                                       SwitchModel::ConditionalSwitch,
                                       procs, mt, 200));
-        t.row({std::to_string(mt), pct(som.efficiency),
-               pct(es.efficiency), pct(cs.efficiency)});
-    }
+        return std::vector<std::string>{std::to_string(mt),
+                                        pct(som.efficiency),
+                                        pct(es.efficiency),
+                                        pct(cs.efficiency)};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     t.print(std::cout);
     std::puts("\npaper: DASH reported ~50% efficiency at level 4 under "
               "switch-on-miss; the\nexplicit-switch model achieves "

@@ -16,22 +16,26 @@ main()
     banner("Figure 1 (multithreading-model design space, quantified)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     for (const App *app : {&sorApp(), &mp3dApp()}) {
         Table t("All models on " + app->name() +
                 " (8 procs x 6 threads, 200-cycle latency)");
         t.header({"Model", "Efficiency", "Utilization", "Switches",
                   "Mean run-len", "Bits/cyc/proc"});
-        for (SwitchModel m : kAllModels) {
+        auto rows = sweep.map(std::size(kAllModels), [&](std::size_t i) {
+            SwitchModel m = kAllModels[i];
             auto cfg = ExperimentRunner::makeConfig(m, 8, 6);
             auto run = runner.run(*app, cfg);
-            t.row({std::string(switchModelName(m)),
-                   pct(run.efficiency),
-                   pct(run.result.utilization()),
-                   Table::num(run.result.cpu.switchesTaken),
-                   Table::num(run.result.cpu.runLengths.mean(), 1),
-                   Table::num(run.result.bitsPerCycle(), 2)});
-        }
+            return std::vector<std::string>{
+                std::string(switchModelName(m)), pct(run.efficiency),
+                pct(run.result.utilization()),
+                Table::num(run.result.cpu.switchesTaken),
+                Table::num(run.result.cpu.runLengths.mean(), 1),
+                Table::num(run.result.bitsPerCycle(), 2)};
+        });
+        for (const auto &row : rows)
+            t.row(row);
         t.print(std::cout);
         std::puts("");
     }

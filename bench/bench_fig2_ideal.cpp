@@ -17,6 +17,7 @@ main()
     double scale = scaleFromEnv();
     banner("Figure 2 (efficiency on the ideal machine)", scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     const int procCounts[] = {1, 2, 4, 8, 16, 32, 64, 128};
     Table t("Figure 2: efficiency vs processors (ideal machine)");
@@ -25,13 +26,21 @@ main()
         head.push_back("P=" + std::to_string(p));
     t.header(head);
 
-    for (const App *app : allApps()) {
-        std::vector<std::string> row = {app->name()};
-        for (int p : procCounts) {
-            auto run = runner.run(*app, ExperimentRunner::makeConfig(
-                                            SwitchModel::Ideal, p, 1, 0));
-            row.push_back(pct(run.efficiency));
-        }
+    // One task per (application, processor-count) cell: the row loop
+    // below then reads the flat cell array in submission order.
+    const auto &apps = allApps();
+    const std::size_t nP = std::size(procCounts);
+    auto cells = sweep.map(apps.size() * nP, [&](std::size_t i) {
+        const App *app = apps[i / nP];
+        int p = procCounts[i % nP];
+        auto run = runner.run(*app, ExperimentRunner::makeConfig(
+                                        SwitchModel::Ideal, p, 1, 0));
+        return pct(run.efficiency);
+    });
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::vector<std::string> row = {apps[a]->name()};
+        for (std::size_t p = 0; p < nP; ++p)
+            row.push_back(cells[a * nP + p]);
         t.row(row);
     }
     t.print(std::cout);
@@ -40,17 +49,23 @@ main()
     // efficiency rises when the thread count divides evenly).
     std::puts("\nwater static-balancing quirk (paper Section 3.2):");
     ExperimentRunner wr(scale);
+    SweepRunner wsweep(wr, jobsFromEnv());
     const PreparedApp &pa = wr.prepare(waterApp());
     std::int64_t n = pa.original.constValue("N");
     Table w("water: divisor vs non-divisor processor counts (N = " +
             std::to_string(n) + ")");
     w.header({"P", "divides N?", "efficiency"});
-    for (int p : {7, 8, 9, 10, 11, 12}) {
+    const int quirkProcs[] = {7, 8, 9, 10, 11, 12};
+    auto quirkRows = wsweep.map(std::size(quirkProcs), [&](std::size_t i) {
+        int p = quirkProcs[i];
         auto run = wr.run(waterApp(), ExperimentRunner::makeConfig(
                                           SwitchModel::Ideal, p, 1, 0));
-        w.row({std::to_string(p), n % p == 0 ? "yes" : "no",
-               pct(run.efficiency)});
-    }
+        return std::vector<std::string>{std::to_string(p),
+                                        n % p == 0 ? "yes" : "no",
+                                        pct(run.efficiency)};
+    });
+    for (const auto &row : quirkRows)
+        w.row(row);
     w.print(std::cout);
     std::puts("\npaper: mp3d reaches speedup 778 at 1024 procs (eff .76); "
               "water is erratic\n(eff .56 at 256 procs vs .79 at 343).");

@@ -16,6 +16,7 @@ main()
     banner("Figure 3 (sieve: efficiency vs processors and MT level)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
     const App &app = sieveApp();
 
     const int procCounts[] = {1, 2, 4, 8, 16};
@@ -27,25 +28,24 @@ main()
         head.push_back("P=" + std::to_string(p));
     t.header(head);
 
-    {
-        std::vector<std::string> row = {"ideal (lat 0)"};
+    // Row 0 is the ideal (0-latency) curve; rows 1..n sweep MT levels.
+    auto rows = sweep.map(1 + std::size(mtLevels), [&](std::size_t i) {
+        std::vector<std::string> row = {
+            i == 0 ? std::string("ideal (lat 0)")
+                   : std::to_string(mtLevels[i - 1])};
         for (int p : procCounts) {
-            auto run = runner.run(app, ExperimentRunner::makeConfig(
-                                           SwitchModel::Ideal, p, 1, 0));
-            row.push_back(pct(run.efficiency));
+            auto cfg = i == 0
+                           ? ExperimentRunner::makeConfig(
+                                 SwitchModel::Ideal, p, 1, 0)
+                           : ExperimentRunner::makeConfig(
+                                 SwitchModel::SwitchOnLoad, p,
+                                 mtLevels[i - 1], 200);
+            row.push_back(pct(runner.run(app, cfg).efficiency));
         }
+        return row;
+    });
+    for (const auto &row : rows)
         t.row(row);
-    }
-    for (int mt : mtLevels) {
-        std::vector<std::string> row = {std::to_string(mt)};
-        for (int p : procCounts) {
-            auto run = runner.run(
-                app, ExperimentRunner::makeConfig(
-                         SwitchModel::SwitchOnLoad, p, mt, 200));
-            row.push_back(pct(run.efficiency));
-        }
-        t.row(row);
-    }
     t.print(std::cout);
     std::puts("\npaper: without multithreading processors are busy only "
               "9% of the time; at a\nmultithreading level of 12 nearly "

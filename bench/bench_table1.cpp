@@ -14,17 +14,22 @@ main()
     double scale = scaleFromEnv();
     banner("Table 1 (parallel applications)", scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     Table t("Table 1: Parallel Applications");
     t.header({"Application", "Cycles (M)", "Shared loads", "Description"});
-    for (const App *app : allApps()) {
+    const auto &apps = allApps();
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto run = runner.run(*app, ExperimentRunner::makeConfig(
                                         SwitchModel::Ideal, 1, 1, 0));
-        t.row({app->name(),
-               Table::num(static_cast<double>(run.result.cycles) / 1e6, 2),
-               Table::num(run.result.cpu.sharedLoads),
-               app->description()});
-    }
+        return std::vector<std::string>{
+            app->name(),
+            Table::num(static_cast<double>(run.result.cycles) / 1e6, 2),
+            Table::num(run.result.cpu.sharedLoads), app->description()};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     t.print(std::cout);
     std::puts("\npaper: sieve 106M, blkmat 87M, sor 258M, ugray 1353M, "
               "water 1082M, locus 665M, mp3d 192M\n"

@@ -16,21 +16,26 @@ main()
     banner("Table 2 (run-lengths between shared loads, switch-on-load)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     Table t("Table 2: Run-Length Distributions (switch-on-load)");
     t.header({"Application", "Mean", "1", "2", "3-4", "5-8", "9-16",
               "17-32", ">32"});
-    for (const App *app : allApps()) {
+    const auto &apps = allApps();
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto cfg = ExperimentRunner::makeConfig(SwitchModel::SwitchOnLoad,
                                                 app->tableProcs(), 4);
         auto run = runner.run(*app, cfg);
         const Histogram &h = run.result.cpu.runLengths;
-        t.row({app->name(), Table::num(h.mean(), 1),
-               pct(h.fractionAt(1)), pct(h.fractionAt(2)),
-               pct(h.fractionAt(3)), pct(h.fractionAt(5)),
-               pct(h.fractionAt(9)), pct(h.fractionAt(17)),
-               pct(1.0 - h.fractionAtMost(32))});
-    }
+        return std::vector<std::string>{
+            app->name(), Table::num(h.mean(), 1), pct(h.fractionAt(1)),
+            pct(h.fractionAt(2)), pct(h.fractionAt(3)),
+            pct(h.fractionAt(5)), pct(h.fractionAt(9)),
+            pct(h.fractionAt(17)), pct(1.0 - h.fractionAtMost(32))};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     t.print(std::cout);
     std::puts("\npaper: sieve has a fairly constant distribution; blkmat "
               "an exceptionally high\nmean (private block copies); sor has"

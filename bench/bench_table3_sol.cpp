@@ -15,11 +15,14 @@ main()
     double scale = scaleFromEnv();
     banner("Table 3 (switch-on-load: threads for efficiency)", scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
     Table t("Table 3: Switch-on-Load — multithreading level needed");
     t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%"});
-    for (const App *app : allApps()) {
+    const auto &apps = allApps();
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto base = ExperimentRunner::makeConfig(
             SwitchModel::SwitchOnLoad, app->tableProcs(), 1);
         std::vector<std::string> row = {
@@ -27,8 +30,10 @@ main()
         for (double target : targets)
             row.push_back(threadsCell(
                 runner.threadsForEfficiency(*app, base, target, 32)));
+        return row;
+    });
+    for (const auto &row : rows)
         t.row(row);
-    }
     t.print(std::cout);
     std::puts("\npaper: sieve reaches 90% at level 11; sor and ugray are "
               "capped near 60%\nbecause of their short run-lengths; '-' "

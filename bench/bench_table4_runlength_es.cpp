@@ -15,29 +15,35 @@ main()
     banner("Table 4 (run-lengths after grouping, explicit-switch)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
+    const auto &apps = allApps();
 
     Table t("Table 4: Run-Length Distributions (explicit-switch)");
     t.header({"Application", "Mean", "1", "2", "3-4", "5-8", "9-16",
               "17-32", ">32", "Grouping"});
-    for (const App *app : allApps()) {
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto cfg = ExperimentRunner::makeConfig(
             SwitchModel::ExplicitSwitch, app->tableProcs(), 4);
         auto run = runner.run(*app, cfg);
         const Histogram &h = run.result.cpu.runLengths;
-        t.row({app->name(), Table::num(h.mean(), 1),
-               pct(h.fractionAt(1)), pct(h.fractionAt(2)),
-               pct(h.fractionAt(3)), pct(h.fractionAt(5)),
-               pct(h.fractionAt(9)), pct(h.fractionAt(17)),
-               pct(1.0 - h.fractionAtMost(32)),
-               Table::num(run.result.groupingFactor(), 2)});
-    }
+        return std::vector<std::string>{
+            app->name(), Table::num(h.mean(), 1), pct(h.fractionAt(1)),
+            pct(h.fractionAt(2)), pct(h.fractionAt(3)),
+            pct(h.fractionAt(5)), pct(h.fractionAt(9)),
+            pct(h.fractionAt(17)), pct(1.0 - h.fractionAtMost(32)),
+            Table::num(run.result.groupingFactor(), 2)};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     t.print(std::cout);
 
     // Side-by-side mean comparison (the grouping payoff).
     Table c("Grouping payoff: mean run-length and switch count");
     c.header({"Application", "mean rl (sol)", "mean rl (es)",
               "switches (sol)", "switches (es)", "eliminated"});
-    for (const App *app : allApps()) {
+    auto payoff = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto sol = runner.run(*app,
                               ExperimentRunner::makeConfig(
                                   SwitchModel::SwitchOnLoad,
@@ -52,12 +58,14 @@ main()
                             static_cast<double>(
                                 sol.result.cpu.switchesTaken)
                 : 0.0;
-        c.row({app->name(),
-               Table::num(sol.result.cpu.runLengths.mean(), 1),
-               Table::num(es.result.cpu.runLengths.mean(), 1),
-               Table::num(sol.result.cpu.switchesTaken),
-               Table::num(es.result.cpu.switchesTaken), pct(elim)});
-    }
+        return std::vector<std::string>{
+            app->name(), Table::num(sol.result.cpu.runLengths.mean(), 1),
+            Table::num(es.result.cpu.runLengths.mean(), 1),
+            Table::num(sol.result.cpu.switchesTaken),
+            Table::num(es.result.cpu.switchesTaken), pct(elim)};
+    });
+    for (const auto &row : payoff)
+        c.row(row);
     c.print(std::cout);
     std::puts("\npaper: grouping eliminates 50-80% of context switches; "
               "sor and water benefit\nmost (sor's 5-load stencil groups "

@@ -16,12 +16,15 @@ main()
     banner("Table 5 (explicit-switch: threads for efficiency + penalty)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
     Table t("Table 5: Explicit-Switch — multithreading level needed");
     t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%",
               "Penalty"});
-    for (const App *app : allApps()) {
+    const auto &apps = allApps();
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto base = ExperimentRunner::makeConfig(
             SwitchModel::ExplicitSwitch, app->tableProcs(), 1);
         std::vector<std::string> row = {
@@ -46,8 +49,10 @@ main()
                 static_cast<double>(runner.referenceCycles(*app)) -
             1.0;
         row.push_back(pct(penalty));
+        return row;
+    });
+    for (const auto &row : rows)
         t.row(row);
-    }
     t.print(std::cout);
     std::puts("\npaper: all applications except locus reach 70%+ with 14 "
               "or fewer threads; the\nreorganization penalty is a few "

@@ -15,11 +15,14 @@ main()
     double scale = scaleFromEnv();
     banner("Table 6 (inter-block grouping estimate, Section 5.2)", scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
+    const auto &apps = allApps();
 
     Table e("Section 5.2: one-line 32-word cache hit rates and grouping");
     e.header({"Application", "Estimate hit rate", "Grouping (intra)",
               "Grouping (w/ inter-block)"});
-    for (const App *app : allApps()) {
+    auto estRows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto intra = runner.run(*app,
                                 ExperimentRunner::makeConfig(
                                     SwitchModel::ExplicitSwitch,
@@ -28,17 +31,21 @@ main()
             SwitchModel::ExplicitSwitch, app->tableProcs(), 4);
         cfg.groupEstimate = true;
         auto inter = runner.run(*app, cfg);
-        e.row({app->name(), pct(inter.result.estimateHitRate()),
-               Table::num(intra.result.groupingFactor(), 2),
-               Table::num(inter.result.groupingFactor(), 2)});
-    }
+        return std::vector<std::string>{
+            app->name(), pct(inter.result.estimateHitRate()),
+            Table::num(intra.result.groupingFactor(), 2),
+            Table::num(inter.result.groupingFactor(), 2)};
+    });
+    for (const auto &row : estRows)
+        e.row(row);
     e.print(std::cout);
 
     const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
     Table t("Table 6: revised multithreading levels (with inter-block "
             "grouping)");
     t.header({"Application (procs)", "50%", "60%", "70%", "80%", "90%"});
-    for (const App *app : allApps()) {
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto base = ExperimentRunner::makeConfig(
             SwitchModel::ExplicitSwitch, app->tableProcs(), 1);
         base.groupEstimate = true;
@@ -47,8 +54,10 @@ main()
         for (double target : targets)
             row.push_back(threadsCell(
                 runner.threadsForEfficiency(*app, base, target, 32)));
+        return row;
+    });
+    for (const auto &row : rows)
         t.row(row);
-    }
     t.print(std::cout);
     std::puts("\npaper: ugray 42% hits, grouping 1.3 -> 1.9; locus 84% "
               "hits, grouping 1.05 -> 6.6\n— a dramatic showing of the "

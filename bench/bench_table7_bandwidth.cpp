@@ -16,13 +16,16 @@ main()
     banner("Table 7 (cache hit rates and network bandwidth, Section 6.1)",
            scale);
     ExperimentRunner runner(scale);
+    SweepRunner sweep(runner, jobsFromEnv());
 
     Table t("Table 7: bandwidth without and with caches "
             "(bits/cycle/proc is the channel-sizing rate; Mbits is the "
             "total demand)");
     t.header({"Application", "es b/cyc", "cs b/cyc", "es Mbits",
               "cs Mbits", "hit rate", "traffic cut", "inval msgs"});
-    for (const App *app : allApps()) {
+    const auto &apps = allApps();
+    auto rows = sweep.map(apps.size(), [&](std::size_t i) {
+        const App *app = apps[i];
         auto es = runner.run(*app,
                              ExperimentRunner::makeConfig(
                                  SwitchModel::ExplicitSwitch,
@@ -33,13 +36,16 @@ main()
                                  app->tableProcs(), 6));
         double esBits = static_cast<double>(es.result.net.totalBits());
         double csBits = static_cast<double>(cs.result.net.totalBits());
-        t.row({app->name(), Table::num(es.result.bitsPerCycle(), 2),
-               Table::num(cs.result.bitsPerCycle(), 2),
-               Table::num(esBits / 1e6, 1), Table::num(csBits / 1e6, 1),
-               pct(cs.result.cache.hitRate()),
-               esBits > 0 ? pct(1.0 - csBits / esBits) : "-",
-               Table::num(cs.result.net.invalMsgs)});
-    }
+        return std::vector<std::string>{
+            app->name(), Table::num(es.result.bitsPerCycle(), 2),
+            Table::num(cs.result.bitsPerCycle(), 2),
+            Table::num(esBits / 1e6, 1), Table::num(csBits / 1e6, 1),
+            pct(cs.result.cache.hitRate()),
+            esBits > 0 ? pct(1.0 - csBits / esBits) : "-",
+            Table::num(cs.result.net.invalMsgs)};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     t.print(std::cout);
     std::puts("\npaper: with caches, hit rates are above 90% and "
               "bandwidth falls well under\n4.0 bits/cycle (2-bit channels"

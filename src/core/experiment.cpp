@@ -1,5 +1,10 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -11,41 +16,54 @@ ExperimentRunner::ExperimentRunner(double scale) : problemScale(scale)
     MTS_REQUIRE(scale > 0, "scale must be positive");
 }
 
+template <typename T>
+ExperimentRunner::OnceEntry<T> &
+ExperimentRunner::entryFor(
+    std::map<std::string, std::unique_ptr<OnceEntry<T>>> &table,
+    const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mapsMutex);
+    std::unique_ptr<OnceEntry<T>> &slot = table[key];
+    if (!slot)
+        slot = std::make_unique<OnceEntry<T>>();
+    return *slot;
+}
+
 const PreparedApp &
 ExperimentRunner::prepare(const App &app)
 {
-    auto it = prepared.find(app.name());
-    if (it != prepared.end())
-        return it->second;
-
-    PreparedApp pa;
-    pa.app = &app;
-    pa.options = app.options(problemScale);
-    pa.original = assemble(app.source(), pa.options);
-    pa.grouped = applyGroupingPass(pa.original, &pa.groupingStats);
-    return prepared.emplace(app.name(), std::move(pa)).first->second;
+    OnceEntry<PreparedApp> &entry = entryFor(prepared, app.name());
+    std::call_once(entry.once, [&] {
+        PreparedApp pa;
+        pa.app = &app;
+        pa.options = app.options(problemScale);
+        pa.original = assemble(app.source(), pa.options);
+        pa.grouped = applyGroupingPass(pa.original, &pa.groupingStats);
+        entry.value = std::move(pa);
+    });
+    return entry.value;
 }
 
 Cycle
 ExperimentRunner::referenceCycles(const App &app)
 {
-    auto it = refCycles.find(app.name());
-    if (it != refCycles.end())
-        return it->second;
-
-    const PreparedApp &pa = prepare(app);
-    MachineConfig cfg;
-    cfg.numProcs = 1;
-    cfg.threadsPerProc = 1;
-    cfg.model = SwitchModel::Ideal;
-    cfg.network.roundTrip = 0;
-    Machine machine(pa.original, cfg);
-    app.init(machine);
-    RunResult r = machine.run();
-    AppCheckResult chk = app.check(machine);
-    MTS_REQUIRE(chk.ok, "reference run failed self-check: " << chk.message);
-    refCycles[app.name()] = r.cycles;
-    return r.cycles;
+    OnceEntry<Cycle> &entry = entryFor(refCycles, app.name());
+    std::call_once(entry.once, [&] {
+        const PreparedApp &pa = prepare(app);
+        MachineConfig cfg;
+        cfg.numProcs = 1;
+        cfg.threadsPerProc = 1;
+        cfg.model = SwitchModel::Ideal;
+        cfg.network.roundTrip = 0;
+        Machine machine(pa.original, cfg);
+        app.init(machine);
+        RunResult r = machine.run();
+        AppCheckResult chk = app.check(machine);
+        MTS_REQUIRE(chk.ok,
+                    "reference run failed self-check: " << chk.message);
+        entry.value = r.cycles;
+    });
+    return entry.value;
 }
 
 ExperimentRun
@@ -84,12 +102,10 @@ ExperimentRunner::efficiencyAt(const App &app, MachineConfig config)
         static_cast<unsigned long long>(config.network.roundTrip),
         config.groupEstimate ? 1 : 0,
         static_cast<int>(config.sliceLimit));
-    auto it = effCache.find(key);
-    if (it != effCache.end())
-        return it->second;
-    double eff = run(app, config).efficiency;
-    effCache[key] = eff;
-    return eff;
+    OnceEntry<double> &entry = entryFor(effCache, key);
+    std::call_once(entry.once,
+                   [&] { entry.value = run(app, config).efficiency; });
+    return entry.value;
 }
 
 int
@@ -97,10 +113,48 @@ ExperimentRunner::threadsForEfficiency(const App &app, MachineConfig base,
                                        double targetEfficiency,
                                        int maxThreads)
 {
-    for (int t = 1; t <= maxThreads; ++t) {
-        base.threadsPerProc = t;
-        if (efficiencyAt(app, base) >= targetEfficiency)
-            return t;
+    const unsigned width = ladderWidth;
+    if (width <= 1) {
+        for (int t = 1; t <= maxThreads; ++t) {
+            base.threadsPerProc = t;
+            if (efficiencyAt(app, base) >= targetEfficiency)
+                return t;
+        }
+        return -1;
+    }
+
+    // Speculative parallel ladder: evaluate candidate levels in waves of
+    // `width`. Within a wave every rung runs concurrently (the effCache's
+    // once-entries dedupe overlapping requests); the scan afterwards is
+    // in ascending order, so the smallest passing level is returned —
+    // identical to the serial search, some rungs just run "for nothing".
+    for (int lo = 1; lo <= maxThreads;
+         lo += static_cast<int>(width)) {
+        int hi = std::min(lo + static_cast<int>(width) - 1, maxThreads);
+        std::vector<double> eff(static_cast<std::size_t>(hi - lo + 1));
+        std::vector<std::exception_ptr> errors(eff.size());
+        std::vector<std::thread> rungs;
+        rungs.reserve(eff.size());
+        for (int t = lo; t <= hi; ++t) {
+            rungs.emplace_back([&, t] {
+                std::size_t i = static_cast<std::size_t>(t - lo);
+                try {
+                    MachineConfig cfg = base;
+                    cfg.threadsPerProc = t;
+                    eff[i] = efficiencyAt(app, cfg);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread &r : rungs)
+            r.join();
+        for (std::size_t i = 0; i < eff.size(); ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+            if (eff[i] >= targetEfficiency)
+                return lo + static_cast<int>(i);
+        }
     }
     return -1;
 }

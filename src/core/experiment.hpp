@@ -5,11 +5,18 @@
  * provides the measurements the paper's tables are built from
  * (efficiency, threads-needed-for-efficiency, run-length distributions,
  * bandwidth).
+ *
+ * The runner is thread-safe: all caches are mutex-guarded maps of
+ * once-initialised entries, so concurrent sweep workers (see
+ * core/sweep.hpp) share prepared programs and reference runs without
+ * ever assembling or measuring the same thing twice.
  */
 #ifndef MTS_CORE_EXPERIMENT_HPP
 #define MTS_CORE_EXPERIMENT_HPP
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "apps/app.hpp"
@@ -42,6 +49,9 @@ struct ExperimentRun
  * Runs simulations of the prepared applications and computes the paper's
  * metrics. Reference runs (1 processor, 0 latency, original code — the
  * paper's Table 1 "Cycles" column) are cached per application.
+ *
+ * Every public method may be called concurrently from sweep workers;
+ * cached results are computed exactly once (per-entry once-flags).
  */
 class ExperimentRunner
 {
@@ -56,7 +66,26 @@ class ExperimentRunner
         return problemScale;
     }
 
-    /** Assemble + group (cached). */
+    /**
+     * Worker count for the speculative threadsForEfficiency ladder
+     * (default 1 = serial). The parallel ladder evaluates candidate
+     * multithreading levels in waves of this width and still returns the
+     * smallest passing level, so results are identical to the serial
+     * search.
+     */
+    void
+    setLadderJobs(unsigned jobs)
+    {
+        ladderWidth = jobs ? jobs : 1;
+    }
+
+    unsigned
+    ladderJobs() const
+    {
+        return ladderWidth;
+    }
+
+    /** Assemble + group (cached; computed once even under contention). */
     const PreparedApp &prepare(const App &app);
 
     /** 0-latency single-processor cycles of the original code (cached). */
@@ -74,7 +103,8 @@ class ExperimentRunner
     /**
      * The paper's Tables 3/5/6/8 metric: the smallest multithreading
      * level reaching @p targetEfficiency, or -1 if none up to
-     * @p maxThreads does.
+     * @p maxThreads does. With setLadderJobs(>1) the ladder is evaluated
+     * speculatively in parallel; the answer is unchanged.
      */
     int threadsForEfficiency(const App &app, MachineConfig base,
                              double targetEfficiency, int maxThreads = 32);
@@ -84,11 +114,28 @@ class ExperimentRunner
                                     int threads, Cycle latency = 200);
 
   private:
+    /** A cache slot computed exactly once under its own flag. */
+    template <typename T>
+    struct OnceEntry
+    {
+        std::once_flag once;
+        T value{};
+    };
+
     double problemScale;
-    std::map<std::string, PreparedApp> prepared;
-    std::map<std::string, Cycle> refCycles;
+    unsigned ladderWidth = 1;
+
+    std::mutex mapsMutex;  ///< guards the three maps' structure only
+    std::map<std::string, std::unique_ptr<OnceEntry<PreparedApp>>>
+        prepared;
+    std::map<std::string, std::unique_ptr<OnceEntry<Cycle>>> refCycles;
     // memoised threads-for-efficiency runs: key is app|model|procs|lat|T
-    std::map<std::string, double> effCache;
+    std::map<std::string, std::unique_ptr<OnceEntry<double>>> effCache;
+
+    template <typename T>
+    OnceEntry<T> &entryFor(
+        std::map<std::string, std::unique_ptr<OnceEntry<T>>> &table,
+        const std::string &key);
 
     double efficiencyAt(const App &app, MachineConfig config);
 };

@@ -20,6 +20,7 @@
 #include "apps/app.hpp"
 #include "asm/assembler.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "cpu/switch_model.hpp"
 #include "opt/grouping_pass.hpp"
 #include "sim/machine.hpp"

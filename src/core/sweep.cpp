@@ -1,0 +1,22 @@
+#include "core/sweep.hpp"
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+SweepRunner::SweepRunner(ExperimentRunner &runner, unsigned jobs)
+    : runner(runner), pool(jobs)
+{
+}
+
+std::vector<ExperimentRun>
+SweepRunner::runAll(const std::vector<Job> &jobs)
+{
+    return map(jobs.size(), [this, &jobs](std::size_t i) {
+        MTS_REQUIRE(jobs[i].app, "sweep job " << i << " has no app");
+        return runner.run(*jobs[i].app, jobs[i].config);
+    });
+}
+
+} // namespace mts

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Host-parallel sweep engine. Every paper table/figure is a sweep of
+ * independent Machine simulations (app x model x threads x latency); each
+ * simulation is single-threaded and deterministic, so the sweep is
+ * embarrassingly parallel across host cores. SweepRunner fans tasks over
+ * a fixed worker pool and aggregates results in submission order, which
+ * makes parallel output byte-identical to a serial run (see DESIGN.md,
+ * "Host parallelism & determinism").
+ */
+#ifndef MTS_CORE_SWEEP_HPP
+#define MTS_CORE_SWEEP_HPP
+
+#include <cstddef>
+#include <future>
+#include <type_traits>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mts
+{
+
+/**
+ * Fans independent simulation tasks across host cores. Results are
+ * always collected in submission order, regardless of which worker
+ * finishes first; a task's exception is rethrown at its position in the
+ * aggregation, mirroring where a serial loop would have failed.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param runner Shared (thread-safe) experiment driver.
+     * @param jobs   Worker count; 0 means MTS_JOBS or, if unset, the
+     *               hardware concurrency. 1 reproduces serial execution.
+     */
+    explicit SweepRunner(ExperimentRunner &runner, unsigned jobs = 0);
+
+    ExperimentRunner &
+    experiments()
+    {
+        return runner;
+    }
+
+    unsigned
+    jobs() const
+    {
+        return pool.size();
+    }
+
+    /** One (application, machine configuration) simulation. */
+    struct Job
+    {
+        const App *app = nullptr;
+        MachineConfig config;
+    };
+
+    /** Run every job concurrently; results in submission order. */
+    std::vector<ExperimentRun> runAll(const std::vector<Job> &jobs);
+
+    /**
+     * Deterministic parallel map: evaluates fn(0..count-1) on the pool
+     * and returns the results in index order. The workhorse behind the
+     * bench drivers — each index computes one table row.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn, std::size_t>>
+    {
+        using R = std::invoke_result_t<Fn, std::size_t>;
+        std::vector<std::future<R>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            futures.push_back(pool.submit([fn, i] { return fn(i); }));
+        std::vector<R> results;
+        results.reserve(count);
+        for (std::future<R> &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
+  private:
+    ExperimentRunner &runner;
+    ThreadPool pool;
+};
+
+} // namespace mts
+
+#endif // MTS_CORE_SWEEP_HPP

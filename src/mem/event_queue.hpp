@@ -2,22 +2,37 @@
  * @file
  * Global event queue driving the simulation.
  *
- * Two event streams are kept in separate heaps so the Machine can compute
- * the conservative execution horizon in O(1):
+ * Two event streams are kept apart so the Machine can compute the
+ * conservative execution horizon in O(1):
  *
  *  - memory arrivals (shared-access messages reaching the memory modules,
  *    one network one-way latency after issue), and
  *  - processor resumptions.
  *
- * Ordering rule: at equal timestamps, memory arrivals are processed before
- * processor runs, and ties beyond that break on a monotone sequence number
- * so simulations are fully deterministic.
+ * Tie rule (documented here, nowhere else): at equal timestamps, memory
+ * arrivals are processed before processor runs; within a stream, the
+ * oldest sequence number wins, so simulations are fully deterministic.
+ *
+ * Layout: instead of one binary heap per stream, each stream is an
+ * *indexed lane queue* — one ordered lane per event source (the issuing
+ * processor). The network's per-source ordered delivery makes memory
+ * arrivals monotone per processor (Machine::issueMem enforces it via
+ * lastArrival), and a processor's resume times are monotone because
+ * simulated time only moves forward; so a push is an O(1) append to its
+ * source lane almost always (out-of-order pushes fall back to a sorted
+ * insert, kept for API generality). The global minimum is the smallest
+ * lane head: the head (time, seq) keys are mirrored into flat arrays
+ * with a winner tree of lane indices on top, so the front event is read
+ * in O(1) and a head change replays ceil(log2 numProcs) tree entries.
+ * This removes the O(log n) sift-down that copied 70-byte MemEvent
+ * payloads around the heap on every push/pop.
  */
 #ifndef MTS_MEM_EVENT_QUEUE_HPP
 #define MTS_MEM_EVENT_QUEUE_HPP
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "isa/addressing.hpp"
@@ -52,7 +67,7 @@ struct MemOp
     Cycle returnTime = 0;      ///< set by Machine::issueMem (fill validFrom)
 };
 
-/** Heap entry. */
+/** Memory-arrival event. */
 struct MemEvent
 {
     Cycle time = 0;
@@ -60,7 +75,7 @@ struct MemEvent
     MemOp op;
 };
 
-/** Processor-resume heap entry. */
+/** Processor-resume event. */
 struct ProcEvent
 {
     Cycle time = 0;
@@ -71,92 +86,281 @@ struct ProcEvent
 /** Sentinel "no event" time. */
 constexpr Cycle kNever = ~Cycle(0);
 
-/** The two-heap event queue. */
-class EventQueue
+/**
+ * One event stream: a lane of near-monotone events per source, with the
+ * lane-head sort keys mirrored into flat arrays and a winner tree
+ * (segment-tree minimum of lane indices) on top. peek()/nextTime() read
+ * the tree root in O(1) — as cheap as a heap's top() — and a head change
+ * replays only the ceil(log2 P) tree levels above that lane, touching a
+ * handful of contiguous 32-bit entries. Event must expose .time/.seq.
+ */
+template <typename Event>
+class LaneQueue
 {
   public:
+    /** Pre-size the lane table for sources [0, count). */
     void
-    pushMem(Cycle time, MemOp op)
+    reserve(std::size_t count)
     {
-        memHeap.push(MemEvent{time, nextSeq++, op});
-    }
-
-    void
-    pushProc(Cycle time, std::uint16_t proc)
-    {
-        procHeap.push(ProcEvent{time, nextSeq++, proc});
-    }
-
-    Cycle
-    nextMemTime() const
-    {
-        return memHeap.empty() ? kNever : memHeap.top().time;
-    }
-
-    Cycle
-    nextProcTime() const
-    {
-        return procHeap.empty() ? kNever : procHeap.top().time;
+        if (count > lanes.size())
+            grow(count);
     }
 
     bool
     empty() const
     {
-        return memHeap.empty() && procHeap.empty();
+        return live == 0;
+    }
+
+    Cycle
+    nextTime() const
+    {
+        if (live == 0)
+            return kNever;
+        return headTime[tree[1]];
+    }
+
+    void
+    push(std::size_t source, const Event &ev)
+    {
+        if (source >= lanes.size())
+            grow(source + 1);
+        Lane &lane = lanes[source];
+        bool newHead;
+        if (lane.size() == 0 || !before(ev, lane.back())) {
+            newHead = lane.size() == 0;
+            lane.buf.push_back(ev);  // the near-monotone fast path
+        } else {
+            // Rare out-of-order push (direct API use): sorted insert.
+            auto at = lane.buf.begin() +
+                      static_cast<std::ptrdiff_t>(lane.first);
+            auto it = std::upper_bound(
+                at, lane.buf.end(), ev,
+                [](const Event &a, const Event &b) { return before(a, b); });
+            newHead = it == at;
+            lane.buf.insert(it, ev);
+        }
+        ++live;
+        if (newHead) {
+            headTime[source] = ev.time;
+            headSeq[source] = ev.seq;
+            replay(source);
+        }
+    }
+
+    /** The globally smallest event; valid until the next push/pop. */
+    const Event &
+    peek() const
+    {
+        return lanes[tree[1]].head();
+    }
+
+    /** Drop the event peek() refers to. */
+    void
+    drop()
+    {
+        std::size_t i = tree[1];
+        Lane &lane = lanes[i];
+        ++lane.first;
+        --live;
+        if (lane.first == lane.buf.size()) {
+            lane.buf.clear();
+            lane.first = 0;
+            headTime[i] = kNever;
+            headSeq[i] = ~std::uint64_t(0);
+        } else {
+            if (lane.first >= 64 && lane.first * 2 >= lane.buf.size()) {
+                // Amortized compaction keeps the lane from growing
+                // without bound while it stays non-empty.
+                lane.buf.erase(lane.buf.begin(),
+                               lane.buf.begin() +
+                                   static_cast<std::ptrdiff_t>(lane.first));
+                lane.first = 0;
+            }
+            headTime[i] = lane.head().time;
+            headSeq[i] = lane.head().seq;
+        }
+        replay(i);
+    }
+
+    Event
+    pop()
+    {
+        Event e = peek();
+        drop();
+        return e;
+    }
+
+  private:
+    struct Lane
+    {
+        std::vector<Event> buf;
+        std::size_t first = 0;  ///< index of the lane head within buf
+
+        std::size_t
+        size() const
+        {
+            return buf.size() - first;
+        }
+
+        const Event &
+        head() const
+        {
+            return buf[first];
+        }
+
+        const Event &
+        back() const
+        {
+            return buf.back();
+        }
+    };
+
+    static bool
+    before(const Event &a, const Event &b)
+    {
+        return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    }
+
+    /** (time, seq) order over the mirrored head keys. Empty lanes carry
+     *  (kNever, maxSeq), so they lose against every real event and no
+     *  emptiness test is needed. */
+    bool
+    keyBefore(std::uint32_t a, std::uint32_t b) const
+    {
+        return headTime[a] != headTime[b] ? headTime[a] < headTime[b]
+                                          : headSeq[a] < headSeq[b];
+    }
+
+    /** Recompute the winner on the path from lane i's leaf to the root
+     *  after headTime/headSeq[i] changed. */
+    void
+    replay(std::size_t i)
+    {
+        for (std::size_t n = (cap + i) >> 1; n >= 1; n >>= 1) {
+            std::uint32_t l = tree[2 * n];
+            std::uint32_t r = tree[2 * n + 1];
+            tree[n] = keyBefore(r, l) ? r : l;
+        }
+    }
+
+    /** Grow to at least `count` lanes: pad the key arrays to the next
+     *  power of two (phantom lanes stay empty forever) and rebuild the
+     *  winner tree bottom-up. Rare: once per Machine via reserve(). */
+    void
+    grow(std::size_t count)
+    {
+        lanes.resize(count);
+        std::size_t newCap = 1;
+        while (newCap < count)
+            newCap <<= 1;
+        if (newCap > cap) {
+            cap = newCap;
+            headTime.resize(cap, kNever);
+            headSeq.resize(cap, ~std::uint64_t(0));
+            tree.assign(2 * cap, 0);
+            for (std::size_t i = 0; i < cap; ++i)
+                tree[cap + i] = static_cast<std::uint32_t>(i);
+            for (std::size_t n = cap - 1; n >= 1; --n) {
+                std::uint32_t l = tree[2 * n];
+                std::uint32_t r = tree[2 * n + 1];
+                tree[n] = keyBefore(r, l) ? r : l;
+            }
+        }
+    }
+
+    std::vector<Lane> lanes;
+    std::size_t cap = 0;                 ///< padded lane count (power of 2)
+    std::vector<Cycle> headTime;         ///< per-lane head time (kNever
+                                         ///  when the lane is empty)
+    std::vector<std::uint64_t> headSeq;  ///< per-lane head seq
+    std::vector<std::uint32_t> tree;     ///< winner tree; tree[1] = argmin
+    std::size_t live = 0;
+};
+
+/** The two-stream event queue. */
+class EventQueue
+{
+  public:
+    /** Pre-size both streams' lane tables for `numProcs` sources. */
+    void
+    reserve(std::size_t numProcs)
+    {
+        memLanes.reserve(numProcs);
+        procLanes.reserve(numProcs);
+    }
+
+    void
+    pushMem(Cycle time, MemOp op)
+    {
+        std::size_t source = op.proc;
+        memLanes.push(source, MemEvent{time, nextSeq++, op});
+    }
+
+    void
+    pushProc(Cycle time, std::uint16_t proc)
+    {
+        procLanes.push(proc, ProcEvent{time, nextSeq++, proc});
+    }
+
+    Cycle
+    nextMemTime() const
+    {
+        return memLanes.nextTime();
+    }
+
+    Cycle
+    nextProcTime() const
+    {
+        return procLanes.nextTime();
+    }
+
+    bool
+    empty() const
+    {
+        return memLanes.empty() && procLanes.empty();
     }
 
     /** True if the next event overall is a memory arrival. */
     bool
     memIsNext() const
     {
-        if (memHeap.empty())
+        if (memLanes.empty())
             return false;
-        if (procHeap.empty())
-            return true;
-        const auto &m = memHeap.top();
-        const auto &p = procHeap.top();
-        // Memory arrivals win ties; otherwise oldest seq wins same-kind.
-        return m.time < p.time || (m.time == p.time);
+        // Memory-before-processor at equal times (see file comment).
+        return memLanes.nextTime() <= procLanes.nextTime();
+    }
+
+    /** Smallest memory arrival, without copying the 70-byte payload.
+     *  The reference is valid until the next queue mutation. */
+    const MemEvent &
+    peekMem() const
+    {
+        return memLanes.peek();
+    }
+
+    /** Drop the event peekMem() refers to. */
+    void
+    dropMem()
+    {
+        memLanes.drop();
     }
 
     MemEvent
     popMem()
     {
-        MemEvent e = memHeap.top();
-        memHeap.pop();
-        return e;
+        return memLanes.pop();
     }
 
     ProcEvent
     popProc()
     {
-        ProcEvent e = procHeap.top();
-        procHeap.pop();
-        return e;
+        return procLanes.pop();
     }
 
   private:
-    struct MemLater
-    {
-        bool
-        operator()(const MemEvent &a, const MemEvent &b) const
-        {
-            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-        }
-    };
-
-    struct ProcLater
-    {
-        bool
-        operator()(const ProcEvent &a, const ProcEvent &b) const
-        {
-            return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<MemEvent, std::vector<MemEvent>, MemLater> memHeap;
-    std::priority_queue<ProcEvent, std::vector<ProcEvent>, ProcLater>
-        procHeap;
+    LaneQueue<MemEvent> memLanes;
+    LaneQueue<ProcEvent> procLanes;
     std::uint64_t nextSeq = 0;
 };
 

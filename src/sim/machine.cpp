@@ -30,7 +30,8 @@ Machine::Machine(const Program &program, const MachineConfig &config,
     : prog(program), cfg(config),
       mem(roundUpTo(program.sharedWords + extraSharedWords +
                         config.cache.lineWords,
-                    config.cache.lineWords))
+                    config.cache.lineWords)),
+      portFree(config.network.memPortCycles ? 1024 : 0)
 {
     MTS_REQUIRE(cfg.numProcs > 0 && cfg.threadsPerProc > 0,
                 "need at least one processor and one thread");
@@ -57,6 +58,7 @@ Machine::Machine(const Program &program, const MachineConfig &config,
     };
 
     injectFree.assign(cfg.numProcs, 0);
+    queue.reserve(static_cast<std::size_t>(cfg.numProcs));
     lastArrival.assign(cfg.numProcs, 0);
 
     procs.reserve(cfg.numProcs);
@@ -235,7 +237,10 @@ Machine::run()
 
     while (!queue.empty()) {
         if (queue.memIsNext()) {
-            processArrival(queue.popMem());
+            // Process in place: processArrival never mutates the queue,
+            // so the reference stays valid until dropMem().
+            processArrival(queue.peekMem());
+            queue.dropMem();
             continue;
         }
         ProcEvent pe = queue.popProc();

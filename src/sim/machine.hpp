@@ -20,7 +20,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "asm/program.hpp"
@@ -31,6 +30,7 @@
 #include "sim/machine_config.hpp"
 #include "sim/processor.hpp"
 #include "sim/run_result.hpp"
+#include "util/flat_map.hpp"
 
 namespace mts
 {
@@ -124,7 +124,7 @@ class Machine
     NetworkStats netStats;
     std::vector<Cycle> injectFree;   ///< channel-contention state per proc
     std::vector<Cycle> lastArrival;  ///< per-source ordered delivery
-    std::unordered_map<Addr, Cycle> portFree;  ///< hot-spot model state
+    AddrCycleMap portFree;  ///< hot-spot model state (flat, pre-reserved)
     std::vector<std::unique_ptr<Processor>> procs;
     std::function<void(const std::string &)> printHandler;
     bool ran = false;

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Open-addressed flat hash map from Addr to Cycle, for per-address
+ * hot-path state (the Machine's memory-port contention table). One flat
+ * slot array, linear probing, power-of-two capacity reserved up front —
+ * no per-node allocation and no pointer chasing on the lookup that the
+ * simulator performs once per contended shared access.
+ *
+ * The all-ones address is reserved as the empty-slot marker (it can never
+ * name a real shared word: SharedMemory is far smaller than 2^64 words).
+ * Erasure is not supported — the simulator only ever inserts or updates.
+ */
+#ifndef MTS_UTIL_FLAT_MAP_HPP
+#define MTS_UTIL_FLAT_MAP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/addressing.hpp"
+
+namespace mts
+{
+
+/** Open-addressed Addr -> Cycle map with linear probing. */
+class AddrCycleMap
+{
+  public:
+    /** @param expected Expected number of distinct keys; capacity is
+     *         reserved up front so the hot path never rehashes. */
+    explicit AddrCycleMap(std::size_t expected = 0)
+    {
+        if (expected)
+            rehash(tableSizeFor(expected));
+    }
+
+    /** Value reference for @p key, default-initialised to 0 if absent.
+     *  Invalidated by any later insertion. */
+    Cycle &
+    operator[](Addr key)
+    {
+        if (slots.empty())
+            rehash(kMinCapacity);
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.key == key)
+                return s.value;
+            if (s.key == kEmptyKey) {
+                if ((used + 1) * 10 > slots.size() * 7) {
+                    rehash(slots.size() * 2);
+                    return (*this)[key];
+                }
+                ++used;
+                s.key = key;
+                s.value = 0;
+                return s.value;
+            }
+        }
+    }
+
+    std::size_t
+    size() const
+    {
+        return used;
+    }
+
+    std::size_t
+    capacity() const
+    {
+        return slots.size();
+    }
+
+  private:
+    static constexpr Addr kEmptyKey = ~Addr(0);
+    static constexpr std::size_t kMinCapacity = 16;
+
+    struct Slot
+    {
+        Addr key = kEmptyKey;
+        Cycle value = 0;
+    };
+
+    static std::size_t
+    tableSizeFor(std::size_t expected)
+    {
+        // Keep the load factor at/below 0.7 for the expected key count.
+        std::size_t cap = kMinCapacity;
+        while (cap * 7 < expected * 10)
+            cap *= 2;
+        return cap;
+    }
+
+    std::size_t
+    indexOf(Addr key) const
+    {
+        // Fibonacci hashing spreads the mostly-sequential word addresses.
+        return static_cast<std::size_t>(
+                   (key * 0x9E3779B97F4A7C15ull) >> 32) &
+               mask;
+    }
+
+    void
+    rehash(std::size_t newCap)
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(newCap, Slot{});
+        mask = newCap - 1;
+        used = 0;
+        for (const Slot &s : old) {
+            if (s.key == kEmptyKey)
+                continue;
+            for (std::size_t i = indexOf(s.key);; i = (i + 1) & mask) {
+                if (slots[i].key == kEmptyKey) {
+                    slots[i] = s;
+                    ++used;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    std::size_t used = 0;
+};
+
+} // namespace mts
+
+#endif // MTS_UTIL_FLAT_MAP_HPP

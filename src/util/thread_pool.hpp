@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fixed-size host worker pool used to fan independent simulations across
+ * cores. Tasks are submitted as callables and return std::futures;
+ * exceptions thrown inside a task propagate through the future, so a
+ * failed simulation surfaces exactly where its result is consumed.
+ *
+ * The worker count defaults to the MTS_JOBS environment variable, or the
+ * hardware concurrency when MTS_JOBS is unset (see EXPERIMENTS.md).
+ */
+#ifndef MTS_UTIL_THREAD_POOL_HPP
+#define MTS_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mts
+{
+
+/** A fixed set of worker threads draining one FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param workers Worker count; 0 means defaultWorkers(). */
+    explicit ThreadPool(unsigned workers = 0)
+    {
+        if (workers == 0)
+            workers = defaultWorkers();
+        if (workers == 0)
+            workers = 1;
+        threads.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        wake.notify_all();
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    size() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /** Enqueue @p fn; the returned future yields its result (or rethrows
+     *  its exception). */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            queue.emplace_back([task] { (*task)(); });
+        }
+        wake.notify_one();
+        return result;
+    }
+
+    /**
+     * Worker count from the environment: MTS_JOBS if set and positive,
+     * otherwise the hardware concurrency (at least 1).
+     */
+    static unsigned
+    defaultWorkers()
+    {
+        if (const char *env = std::getenv("MTS_JOBS")) {
+            long n = std::atol(env);
+            if (n > 0)
+                return static_cast<unsigned>(n);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock,
+                          [this] { return stopping || !queue.empty(); });
+                if (queue.empty())
+                    return;  // stopping, and no work left
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable wake;
+    bool stopping = false;
+};
+
+} // namespace mts
+
+#endif // MTS_UTIL_THREAD_POOL_HPP

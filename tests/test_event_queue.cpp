@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "mem/event_queue.hpp"
+#include "util/rng.hpp"
 
 using namespace mts;
 
@@ -57,4 +61,62 @@ TEST(EventQueue, ProcEventsCarryProcessor)
     EXPECT_EQ(q.popProc().proc, 1);
     EXPECT_EQ(q.popProc().proc, 3);
     EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeekThenDropMatchesPop)
+{
+    EventQueue q;
+    MemOp a, b;
+    a.addr = 11;
+    b.addr = 22;
+    q.pushMem(4, a);
+    q.pushMem(2, b);
+    EXPECT_EQ(q.peekMem().op.addr, 22u);
+    q.dropMem();
+    EXPECT_EQ(q.peekMem().op.addr, 11u);
+    q.dropMem();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedOrderMatchesReferenceSort)
+{
+    // The lane queue must behave exactly like a (time, seq)-sorted list
+    // even for adversarial per-source orderings across many sources.
+    Rng rng(0xfeedu);
+    EventQueue q;
+    struct Ref
+    {
+        Cycle time;
+        std::uint64_t seq;
+    };
+    std::vector<Ref> expected;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 2000; ++i) {
+        MemOp op;
+        op.proc = static_cast<std::uint16_t>(rng.next() % 7);
+        Cycle t = rng.next() % 97;
+        op.addr = static_cast<Addr>(seq);  // tag to identify the event
+        q.pushMem(t, op);
+        expected.push_back({t, seq++});
+        // Interleave proc events so both streams stay exercised.
+        if (i % 3 == 0)
+            q.pushProc(rng.next() % 97,
+                       static_cast<std::uint16_t>(rng.next() % 5));
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.time != b.time ? a.time < b.time
+                                                 : a.seq < b.seq;
+                     });
+    for (const Ref &r : expected) {
+        ASSERT_FALSE(q.empty());
+        // Drain any proc events due strictly before the next mem event.
+        while (!q.memIsNext())
+            q.popProc();
+        MemEvent e = q.popMem();
+        EXPECT_EQ(e.time, r.time);
+        EXPECT_EQ(e.op.addr, static_cast<Addr>(r.seq));
+    }
+    while (!q.empty())
+        q.popProc();
 }

@@ -1,0 +1,196 @@
+/**
+ * Host-parallel sweep engine: determinism of single simulations, parity
+ * of parallel sweeps with serial execution, the speculative
+ * threads-for-efficiency ladder, and the thread pool / flat map
+ * utilities underneath.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/mtsim.hpp"
+#include "util/flat_map.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace mts;
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, ResultsArriveInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, DrainsMoreTasksThanWorkers)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 200; ++i)
+            futures.push_back(pool.submit([&done] { ++done; }));
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultWorkersHonorsMtsJobs)
+{
+    setenv("MTS_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkers(), 3u);
+    unsetenv("MTS_JOBS");
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+// ------------------------------------------------------------ flat map
+
+TEST(FlatMap, InsertLookupAndGrowth)
+{
+    AddrCycleMap m(4);
+    for (Addr a = 0; a < 500; ++a)
+        m[a] = a * 3;
+    EXPECT_EQ(m.size(), 500u);
+    for (Addr a = 0; a < 500; ++a)
+        EXPECT_EQ(m[a], a * 3);
+    EXPECT_EQ(m.size(), 500u);  // lookups insert nothing new
+    m[17] = 999;
+    EXPECT_EQ(m[17], 999u);
+}
+
+TEST(FlatMap, AbsentKeysDefaultToZero)
+{
+    AddrCycleMap m;
+    EXPECT_EQ(m[12345], 0u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+// --------------------------------------------------------------- sweep
+
+TEST(Sweep, SimulationIsDeterministic)
+{
+    // Two independent runners, same config: identical cycle counts.
+    auto cfg =
+        ExperimentRunner::makeConfig(SwitchModel::SwitchOnLoad, 2, 3);
+    ExperimentRunner r1(0.05);
+    ExperimentRunner r2(0.05);
+    auto a = r1.run(sieveApp(), cfg);
+    auto b = r2.run(sieveApp(), cfg);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.cpu.instructions, b.result.cpu.instructions);
+    EXPECT_EQ(a.result.net.messages, b.result.net.messages);
+    EXPECT_DOUBLE_EQ(a.efficiency, b.efficiency);
+}
+
+namespace
+{
+
+std::vector<SweepRunner::Job>
+parityJobs()
+{
+    std::vector<SweepRunner::Job> jobs;
+    for (const App *app : {&sieveApp(), &sorApp()})
+        for (int threads : {1, 2, 4})
+            jobs.push_back({app, ExperimentRunner::makeConfig(
+                                     SwitchModel::SwitchOnLoad, 2,
+                                     threads)});
+    return jobs;
+}
+
+/** Render a run the way a table row would, for byte-level comparison. */
+std::string
+renderRun(const ExperimentRun &run)
+{
+    return std::to_string(run.result.cycles) + "|" +
+           std::to_string(run.result.cpu.instructions) + "|" +
+           std::to_string(run.efficiency) + "|" +
+           std::to_string(run.referenceCycles);
+}
+
+} // namespace
+
+TEST(Sweep, ParallelResultsMatchSerialByteForByte)
+{
+    ExperimentRunner serialRunner(0.05);
+    SweepRunner serial(serialRunner, 1);
+    auto serialRuns = serial.runAll(parityJobs());
+
+    ExperimentRunner parallelRunner(0.05);
+    SweepRunner parallel(parallelRunner, 8);
+    EXPECT_EQ(parallel.jobs(), 8u);
+    auto parallelRuns = parallel.runAll(parityJobs());
+
+    ASSERT_EQ(serialRuns.size(), parallelRuns.size());
+    for (std::size_t i = 0; i < serialRuns.size(); ++i)
+        EXPECT_EQ(renderRun(serialRuns[i]), renderRun(parallelRuns[i]))
+            << "sweep job " << i;
+}
+
+TEST(Sweep, MapKeepsSubmissionOrderAndPropagatesExceptions)
+{
+    ExperimentRunner runner(0.05);
+    SweepRunner sweep(runner, 4);
+    auto values = sweep.map(
+        32, [](std::size_t i) { return static_cast<int>(i) * 2; });
+    ASSERT_EQ(values.size(), 32u);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(values[i], static_cast<int>(i) * 2);
+
+    EXPECT_THROW(sweep.map(4,
+                           [](std::size_t i) -> int {
+                               if (i == 2)
+                                   throw std::runtime_error("task 2");
+                               return 0;
+                           }),
+                 std::runtime_error);
+}
+
+TEST(Sweep, ParallelLadderMatchesSerialForAllApps)
+{
+    // Satellite (c): the speculative parallel ladder must return the
+    // same minimal multithreading level as the serial search, app by app.
+    ExperimentRunner serialRunner(0.08);
+    ExperimentRunner parallelRunner(0.08);
+    parallelRunner.setLadderJobs(4);
+    for (const App *app : allApps()) {
+        auto base = ExperimentRunner::makeConfig(
+            SwitchModel::SwitchOnLoad, 2, 1);
+        int serial =
+            serialRunner.threadsForEfficiency(*app, base, 0.5, 6);
+        int parallel =
+            parallelRunner.threadsForEfficiency(*app, base, 0.5, 6);
+        EXPECT_EQ(serial, parallel) << app->name();
+    }
+}
+
+TEST(Sweep, ConcurrentPrepareAssemblesOnce)
+{
+    // Many workers preparing the same app must agree on one PreparedApp
+    // instance (per-app once-flags, not per-worker copies).
+    ExperimentRunner runner(0.05);
+    SweepRunner sweep(runner, 8);
+    auto addrs = sweep.map(16, [&](std::size_t) {
+        return &runner.prepare(sieveApp());
+    });
+    for (const PreparedApp *pa : addrs)
+        EXPECT_EQ(pa, addrs[0]);
+}

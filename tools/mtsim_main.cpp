@@ -45,6 +45,14 @@ usage()
         "  --line-words N      cache line size in words (default 4)\n"
         "  --slice-limit N     conditional-switch run-length limit "
         "(default 200; 0 = off)\n"
+        "  --eff-target X      instead of one run, report the smallest "
+        "multithreading level\n"
+        "                      reaching efficiency X (the paper's Table "
+        "3/5/6/8 search)\n"
+        "  --jobs N            host worker threads for the --eff-target "
+        "ladder\n"
+        "                      (default: MTS_JOBS, else hardware "
+        "concurrency)\n"
         "  --group-estimate    enable the Section 5.2 inter-block "
         "grouping estimator\n"
         "  --no-group          skip the grouping pass (raw code)\n"
@@ -68,6 +76,8 @@ main(int argc, char **argv)
     MachineConfig cfg;
     cfg.model = SwitchModel::SwitchOnLoad;
     double scale = 1.0;
+    double effTarget = 0.0;
+    unsigned jobs = 0;  // 0 = MTS_JOBS / hardware concurrency
     bool wantStats = false;
     bool wantListing = false;
     std::uint64_t traceEvents = 0;
@@ -106,6 +116,10 @@ main(int argc, char **argv)
                 cfg.cache.lineWords = static_cast<unsigned>(intArg(i));
             } else if (a == "--slice-limit") {
                 cfg.sliceLimit = static_cast<Cycle>(intArg(i));
+            } else if (a == "--eff-target" && i + 1 < argc) {
+                effTarget = std::atof(argv[++i]);
+            } else if (a == "--jobs") {
+                jobs = static_cast<unsigned>(intArg(i));
             } else if (a == "--group-estimate") {
                 cfg.groupEstimate = true;
             } else if (a == "--no-group") {
@@ -141,6 +155,33 @@ main(int argc, char **argv)
     }
 
     try {
+        if (effTarget > 0) {
+            // Minimal-multithreading-level search (Tables 3/5/6/8), with
+            // the ladder evaluated speculatively across host workers.
+            if (appName.empty()) {
+                std::fprintf(stderr,
+                             "mtsim: --eff-target requires --app\n");
+                return 2;
+            }
+            const App &app = findApp(appName);
+            ExperimentRunner runner(scale);
+            runner.setLadderJobs(jobs ? jobs
+                                      : ThreadPool::defaultWorkers());
+            int level = runner.threadsForEfficiency(app, cfg, effTarget);
+            std::printf("model=%s procs=%d latency=%llu target=%.0f%%\n",
+                        std::string(switchModelName(cfg.model)).c_str(),
+                        cfg.numProcs,
+                        (unsigned long long)cfg.network.roundTrip,
+                        100.0 * effTarget);
+            if (level < 0) {
+                std::printf("threads-for-efficiency=unreachable (up to "
+                            "32 threads/proc)\n");
+                return 1;
+            }
+            std::printf("threads-for-efficiency=%d\n", level);
+            return 0;
+        }
+
         Program prog;
         const App *app = nullptr;
         if (!asmFile.empty()) {
