@@ -10,12 +10,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("ablations", argc, argv);
     double scale = scaleFromEnv(0.5);
-    banner("Ablations (latency, slice limit, cache geometry, penalty)",
+    rep.banner("Ablations (latency, slice limit, cache geometry, penalty)",
            scale);
     ExperimentRunner runner(scale);
 
@@ -34,8 +35,8 @@ main()
             }
             t.row(row);
         }
-        t.print(std::cout);
-        std::puts("");
+        rep.table(t);
+        rep.gap();
     }
 
     // ---- (2) run-length limit vs lock contention (Section 6.2) ----
@@ -102,8 +103,8 @@ stream:
                        "livelock (watchdog)", "-", "-"});
             }
         }
-        t.print(std::cout);
-        std::puts("paper (6.2): without the limit, long cache-hit runs "
+        rep.table(t);
+        rep.note("paper (6.2): without the limit, long cache-hit runs "
                   "keep lock holders from\nresuming and locks are held "
                   "far longer than needed.\n");
     }
@@ -125,8 +126,8 @@ stream:
             }
             t.row(row);
         }
-        t.print(std::cout);
-        std::puts("(hit rate tracks spatial locality: longer lines help "
+        rep.table(t);
+        rep.note("(hit rate tracks spatial locality: longer lines help "
                   "sieve's sequential scan)\n");
     }
 
@@ -143,10 +144,10 @@ stream:
             t.row({std::to_string(pen), pct(run.efficiency),
                    pct(run.result.utilization())});
         }
-        t.print(std::cout);
-        std::puts("paper (Section 3): opcode-implied switches cost zero "
+        rep.table(t);
+        rep.note("paper (Section 3): opcode-implied switches cost zero "
                   "cycles; miss-detected\nswitches waste pipeline slots — "
                   "one of the arguments for explicit switching.");
     }
-    return 0;
+    return rep.finish();
 }

@@ -17,11 +17,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/mtsim.hpp"
+#include "metrics/run_record.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace mts::bench
@@ -69,6 +73,142 @@ banner(const std::string &what, double scale)
                 "EXPERIMENTS.md)\n\n",
                 what.c_str(), scale);
 }
+
+/**
+ * Splits a bench driver into compute-record and render: every banner,
+ * table and note goes through the reporter, which prints it exactly as
+ * the drivers always have (byte-identical text output) while also
+ * accumulating a structured record of the run. With `--json <path>` on
+ * the command line, finish() additionally writes that record as a
+ * "mts.bench/1" JSON document — tables keyed by column name with cell
+ * values exactly as printed, plus any attached RunRecords.
+ */
+class Reporter
+{
+  public:
+    /** @param benchName Short driver name ("table1", "fig2_ideal"...).
+     *  Parses `--json <path>` from the command line; any other argument
+     *  is an error naming the offending flag. */
+    Reporter(std::string benchName, int argc, char **argv)
+        : bench(std::move(benchName))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--json" && i + 1 < argc) {
+                jsonPath = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "bench_%s: unknown option '%s'\n"
+                             "usage: bench_%s [--json <path>]\n",
+                             bench.c_str(), a.c_str(), bench.c_str());
+                std::exit(2);
+            }
+        }
+    }
+
+    /** Standard header line; also records the title and scale. */
+    void
+    banner(const std::string &what, double scale_)
+    {
+        mts::bench::banner(what, scale_);
+        title = what;
+        scale = scale_;
+    }
+
+    /** Print @p t to stdout and record its cells. */
+    void
+    table(const Table &t)
+    {
+        t.print(std::cout);
+        tables.push_back(t);
+    }
+
+    /** Print a blank separator line (not recorded). */
+    void
+    gap()
+    {
+        std::puts("");
+    }
+
+    /** Print a trailing note (recorded verbatim). */
+    void
+    note(const std::string &text)
+    {
+        std::puts(text.c_str());
+        notes.push_back(text);
+    }
+
+    /** Attach a structured run record to the JSON output. */
+    void
+    attach(const RunRecord &record)
+    {
+        records.push_back(record);
+    }
+
+    /** Write the JSON file if requested; returns the process exit code. */
+    int
+    finish()
+    {
+        if (jsonPath.empty())
+            return 0;
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "bench_%s: cannot write '%s'\n",
+                         bench.c_str(), jsonPath.c_str());
+            return 1;
+        }
+        out << toJson().dump(2) << '\n';
+        return out.good() ? 0 : 1;
+    }
+
+    /** The structured record (schema "mts.bench/1"). */
+    JsonValue
+    toJson() const
+    {
+        JsonValue doc = JsonValue::object();
+        doc["schema"] = JsonValue("mts.bench/1");
+        doc["bench"] = JsonValue(bench);
+        doc["title"] = JsonValue(title);
+        doc["scale"] = JsonValue(scale);
+        doc["jobs"] = JsonValue(jobsFromEnv());
+        doc["tables"] = JsonValue::array();
+        for (const Table &t : tables) {
+            JsonValue jt = JsonValue::object();
+            jt["title"] = JsonValue(t.titleText());
+            jt["columns"] = JsonValue::array();
+            for (const std::string &c : t.headerCells())
+                jt["columns"].push(JsonValue(c));
+            jt["rows"] = JsonValue::array();
+            for (const auto &row : t.rowCells()) {
+                JsonValue jr = JsonValue::object();
+                for (std::size_t i = 0; i < row.size(); ++i) {
+                    std::string key = i < t.headerCells().size()
+                                          ? t.headerCells()[i]
+                                          : "col" + std::to_string(i);
+                    jr[key] = JsonValue(row[i]);
+                }
+                jt["rows"].push(jr);
+            }
+            doc["tables"].push(jt);
+        }
+        doc["notes"] = JsonValue::array();
+        for (const std::string &n : notes)
+            doc["notes"].push(JsonValue(n));
+        doc["records"] = JsonValue::array();
+        for (const RunRecord &r : records)
+            doc["records"].push(r.toJson());
+        return doc;
+    }
+
+  private:
+    std::string bench;
+    std::string jsonPath;
+    std::string title;
+    double scale = 1.0;
+    std::vector<Table> tables;
+    std::vector<std::string> notes;
+    std::vector<RunRecord> records;
+};
 
 } // namespace mts::bench
 

@@ -9,12 +9,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("dash_mp3d", argc, argv);
     double scale = scaleFromEnv();
-    banner("Section 7 DASH comparison (mp3d)", scale);
+    rep.banner("Section 7 DASH comparison (mp3d)", scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
     const App &app = mp3dApp();
@@ -37,16 +38,22 @@ main()
         auto cs = runner.run(app, ExperimentRunner::makeConfig(
                                       SwitchModel::ConditionalSwitch,
                                       procs, mt, 200));
-        return std::vector<std::string>{std::to_string(mt),
+        std::vector<std::string> row = {std::to_string(mt),
                                         pct(som.efficiency),
                                         pct(es.efficiency),
                                         pct(cs.efficiency)};
+        return std::make_pair(
+            row,
+            std::vector<RunRecord>{som.record, es.record, cs.record});
     });
-    for (const auto &row : rows)
+    for (const auto &[row, records] : rows) {
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: DASH reported ~50% efficiency at level 4 under "
-              "switch-on-miss; the\nexplicit-switch model achieves "
-              "similar efficiency at double the latency.");
-    return 0;
+        for (const RunRecord &r : records)
+            rep.attach(r);
+    }
+    rep.table(t);
+    rep.note("\npaper: DASH reported ~50% efficiency at level 4 under "
+             "switch-on-miss; the\nexplicit-switch model achieves "
+             "similar efficiency at double the latency.");
+    return rep.finish();
 }

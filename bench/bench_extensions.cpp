@@ -19,12 +19,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("extensions", argc, argv);
     double scale = scaleFromEnv(0.5);
-    banner("Extensions (channel width, combining trees, priority "
+    rep.banner("Extensions (channel width, combining trees, priority "
            "scheduling)",
            scale);
 
@@ -45,8 +46,8 @@ main()
             }
             t.row(row);
         }
-        t.print(std::cout);
-        std::puts("paper 6.1: without caches the bandwidth need is high; "
+        rep.table(t);
+        rep.note("paper 6.1: without caches the bandwidth need is high; "
                   "with caches \"channels\nas narrow as 2 bits ... would "
                   "have sufficient bandwidth\".\n");
     }
@@ -108,8 +109,8 @@ loop:
                                   static_cast<double>(tr),
                               2)});
         }
-        t.print(std::cout);
-        std::puts("paper Section 3 / [26]: a combining tree bounds the "
+        rep.table(t);
+        rep.note("paper Section 3 / [26]: a combining tree bounds the "
                   "fan-in per memory word\nto 4, so barrier latency grows "
                   "logarithmically instead of linearly.\n");
     }
@@ -167,10 +168,10 @@ stream:
                        m.sharedMem().readInt(
                            prog.sharedAddr("counter"))))});
         }
-        t.print(std::cout);
-        std::puts("paper 6.2: the slice limit is \"adequate for this "
+        rep.table(t);
+        rep.note("paper 6.2: the slice limit is \"adequate for this "
                   "study, but there is room\nfor improvement\" via "
                   "priority scheduling — implemented here.");
     }
-    return 0;
+    return rep.finish();
 }

@@ -8,13 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("fig1_models", argc, argv);
     double scale = scaleFromEnv();
-    banner("Figure 1 (multithreading-model design space, quantified)",
-           scale);
+    rep.banner("Figure 1 (multithreading-model design space, quantified)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -27,20 +28,23 @@ main()
             SwitchModel m = kAllModels[i];
             auto cfg = ExperimentRunner::makeConfig(m, 8, 6);
             auto run = runner.run(*app, cfg);
-            return std::vector<std::string>{
+            std::vector<std::string> row = {
                 std::string(switchModelName(m)), pct(run.efficiency),
                 pct(run.result.utilization()),
                 Table::num(run.result.cpu.switchesTaken),
                 Table::num(run.result.cpu.runLengths.mean(), 1),
                 Table::num(run.result.bitsPerCycle(), 2)};
+            return std::make_pair(row, run.record);
         });
-        for (const auto &row : rows)
+        for (const auto &[row, record] : rows) {
             t.row(row);
-        t.print(std::cout);
-        std::puts("");
+            rep.attach(record);
+        }
+        rep.table(t);
+        rep.gap();
     }
-    std::puts("paper (Section 2): grouping models need fewer switches "
-              "and fewer threads;\ncache models trade network bandwidth "
-              "for hardware.");
-    return 0;
+    rep.note("paper (Section 2): grouping models need fewer switches "
+             "and fewer threads;\ncache models trade network bandwidth "
+             "for hardware.");
+    return rep.finish();
 }

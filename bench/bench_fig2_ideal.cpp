@@ -10,12 +10,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("fig2_ideal", argc, argv);
     double scale = scaleFromEnv();
-    banner("Figure 2 (efficiency on the ideal machine)", scale);
+    rep.banner("Figure 2 (efficiency on the ideal machine)", scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -43,11 +44,11 @@ main()
             row.push_back(cells[a * nP + p]);
         t.row(row);
     }
-    t.print(std::cout);
+    rep.table(t);
 
     // Water's divisibility quirk, explicitly (paper: molecules = 343,
     // efficiency rises when the thread count divides evenly).
-    std::puts("\nwater static-balancing quirk (paper Section 3.2):");
+    rep.note("\nwater static-balancing quirk (paper Section 3.2):");
     ExperimentRunner wr(scale);
     SweepRunner wsweep(wr, jobsFromEnv());
     const PreparedApp &pa = wr.prepare(waterApp());
@@ -66,8 +67,8 @@ main()
     });
     for (const auto &row : quirkRows)
         w.row(row);
-    w.print(std::cout);
-    std::puts("\npaper: mp3d reaches speedup 778 at 1024 procs (eff .76); "
-              "water is erratic\n(eff .56 at 256 procs vs .79 at 343).");
-    return 0;
+    rep.table(w);
+    rep.note("\npaper: mp3d reaches speedup 778 at 1024 procs (eff .76); "
+             "water is erratic\n(eff .56 at 256 procs vs .79 at 343).");
+    return rep.finish();
 }

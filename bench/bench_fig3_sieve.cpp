@@ -8,13 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("fig3_sieve", argc, argv);
     double scale = scaleFromEnv();
-    banner("Figure 3 (sieve: efficiency vs processors and MT level)",
-           scale);
+    rep.banner("Figure 3 (sieve: efficiency vs processors and MT level)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
     const App &app = sieveApp();
@@ -46,10 +47,10 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: without multithreading processors are busy only "
-              "9% of the time; at a\nmultithreading level of 12 nearly "
-              "100% efficiency is achieved, and the curve\nshape is "
-              "independent of the processor count in the linear region.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: without multithreading processors are busy only "
+             "9% of the time; at a\nmultithreading level of 12 nearly "
+             "100% efficiency is achieved, and the curve\nshape is "
+             "independent of the processor count in the linear region.");
+    return rep.finish();
 }

@@ -8,72 +8,76 @@
 #include "bench_common.hpp"
 
 #include "opt/basic_blocks.hpp"
+#include "util/strings.hpp"
 
 namespace
 {
 
-/** Print the basic block containing @p label from @p prog. */
-void
-printBlockAround(const mts::Program &prog, const std::string &label)
+/** The basic block containing @p label from @p prog, as listing text
+ *  (one line per instruction, no trailing newline). */
+std::string
+blockListingAround(const mts::Program &prog, const std::string &label)
 {
     using namespace mts;
     std::int32_t at = -1;
     for (const auto &[index, name] : prog.labelAt)
         if (name == label)
             at = index;
-    if (at < 0) {
-        std::printf("  (label %s not found)\n", label.c_str());
-        return;
-    }
-    // Print the labelled block and the one after it (the loop body).
+    if (at < 0)
+        return "  (label " + label + " not found)";
+    // List the labelled block and the one after it (the loop body).
     auto blocks = findBasicBlocks(prog);
     auto resolver = [&](std::int32_t t) { return prog.labelFor(t); };
-    bool printing = false;
-    int blocksPrinted = 0;
+    std::string out;
+    bool listing = false;
+    int blocksListed = 0;
     for (const auto &b : blocks) {
         if (b.begin == at)
-            printing = true;
-        if (!printing)
+            listing = true;
+        if (!listing)
             continue;
         for (std::int32_t i = b.begin; i < b.end; ++i) {
             std::string lbl = prog.labelFor(i);
             if (!lbl.empty())
-                std::printf("%s:\n", lbl.c_str());
-            std::printf("    %s\n",
-                        disassemble(prog.code[i], resolver).c_str());
+                out += lbl + ":\n";
+            out += "    " + disassemble(prog.code[i], resolver) + "\n";
         }
-        if (++blocksPrinted == 2)
+        if (++blocksListed == 2)
             break;
     }
+    if (!out.empty() && out.back() == '\n')
+        out.pop_back();
+    return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
-    banner("Figure 4 (sor inner loop, before/after grouping)", 1.0);
+    Reporter rep("fig4_grouping", argc, argv);
+    rep.banner("Figure 4 (sor inner loop, before/after grouping)", 1.0);
 
     const App &app = sorApp();
     Program original = assemble(app.source(), app.options(1.0));
     GroupingStats gs;
     Program grouped = applyGroupingPass(original, &gs);
 
-    std::puts("---- (a) original: every flds causes a context switch "
-              "under switch-on-load ----");
-    printBlockAround(original, "col_loop");
-    std::puts("\n---- (b) grouped: five loads issued together, one "
-              "explicit cswitch ----");
-    printBlockAround(grouped, "col_loop");
+    rep.note("---- (a) original: every flds causes a context switch "
+             "under switch-on-load ----");
+    rep.note(blockListingAround(original, "col_loop"));
+    rep.note("\n---- (b) grouped: five loads issued together, one "
+             "explicit cswitch ----");
+    rep.note(blockListingAround(grouped, "col_loop"));
 
-    std::printf("\ngrouping pass: %zu shared loads in %zu load groups "
-                "(static factor %.2f), %zu cswitch inserted\n",
-                gs.sharedLoads, gs.loadGroups, gs.staticGroupingFactor(),
-                gs.switchesInserted);
-    std::puts("paper: \"Rather than having four short run-lengths "
-              "followed by one long\nrun-length, there is now just a "
-              "single long run-length.\"");
-    return 0;
+    rep.note(format("\ngrouping pass: %zu shared loads in %zu load "
+                    "groups (static factor %.2f), %zu cswitch inserted",
+                    gs.sharedLoads, gs.loadGroups,
+                    gs.staticGroupingFactor(), gs.switchesInserted));
+    rep.note("paper: \"Rather than having four short run-lengths "
+             "followed by one long\nrun-length, there is now just a "
+             "single long run-length.\"");
+    return rep.finish();
 }

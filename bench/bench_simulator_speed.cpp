@@ -7,6 +7,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/mtsim.hpp"
 
 using namespace mts;
@@ -94,4 +97,33 @@ BENCHMARK(BM_ConditionalSwitch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Assemble)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GroupingPass)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the same `--json
+// <path>` flag the table/figure drivers take, translating it to
+// google-benchmark's JSON file reporter so CI collects one artifact
+// format across all drivers.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::string outFlag, fmtFlag;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (i > 0 && a == "--json" && i + 1 < argc) {
+            outFlag = "--benchmark_out=" + std::string(argv[++i]);
+            fmtFlag = "--benchmark_out_format=json";
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    if (!outFlag.empty()) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

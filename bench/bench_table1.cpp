@@ -7,12 +7,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table1", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 1 (parallel applications)", scale);
+    rep.banner("Table 1 (parallel applications)", scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -23,16 +24,19 @@ main()
         const App *app = apps[i];
         auto run = runner.run(*app, ExperimentRunner::makeConfig(
                                         SwitchModel::Ideal, 1, 1, 0));
-        return std::vector<std::string>{
+        std::vector<std::string> row = {
             app->name(),
             Table::num(static_cast<double>(run.result.cycles) / 1e6, 2),
             Table::num(run.result.cpu.sharedLoads), app->description()};
+        return std::make_pair(row, run.record);
     });
-    for (const auto &row : rows)
+    for (const auto &[row, record] : rows) {
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: sieve 106M, blkmat 87M, sor 258M, ugray 1353M, "
-              "water 1082M, locus 665M, mp3d 192M\n"
-              "(our sizes are scaled down; see EXPERIMENTS.md)");
-    return 0;
+        rep.attach(record);
+    }
+    rep.table(t);
+    rep.note("\npaper: sieve 106M, blkmat 87M, sor 258M, ugray 1353M, "
+             "water 1082M, locus 665M, mp3d 192M\n"
+             "(our sizes are scaled down; see EXPERIMENTS.md)");
+    return rep.finish();
 }

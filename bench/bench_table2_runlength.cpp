@@ -8,13 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table2_runlength", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 2 (run-lengths between shared loads, switch-on-load)",
-           scale);
+    rep.banner("Table 2 (run-lengths between shared loads, switch-on-load)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -36,10 +37,10 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: sieve has a fairly constant distribution; blkmat "
-              "an exceptionally high\nmean (private block copies); sor has"
-              " 39% 1-cycle and 39% 2-cycle run-lengths;\nsor, locus and "
-              "mp3d are dominated by very short run-lengths.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: sieve has a fairly constant distribution; blkmat "
+             "an exceptionally high\nmean (private block copies); sor has"
+             " 39% 1-cycle and 39% 2-cycle run-lengths;\nsor, locus and "
+             "mp3d are dominated by very short run-lengths.");
+    return rep.finish();
 }

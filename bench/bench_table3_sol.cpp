@@ -8,12 +8,13 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table3_sol", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 3 (switch-on-load: threads for efficiency)", scale);
+    rep.banner("Table 3 (switch-on-load: threads for efficiency)", scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -34,9 +35,9 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: sieve reaches 90% at level 11; sor and ugray are "
-              "capped near 60%\nbecause of their short run-lengths; '-' "
-              "means the target is unreachable.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: sieve reaches 90% at level 11; sor and ugray are "
+             "capped near 60%\nbecause of their short run-lengths; '-' "
+             "means the target is unreachable.");
+    return rep.finish();
 }

@@ -7,13 +7,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table4_runlength_es", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 4 (run-lengths after grouping, explicit-switch)",
-           scale);
+    rep.banner("Table 4 (run-lengths after grouping, explicit-switch)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
     const auto &apps = allApps();
@@ -36,7 +37,7 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
+    rep.table(t);
 
     // Side-by-side mean comparison (the grouping payoff).
     Table c("Grouping payoff: mean run-length and switch count");
@@ -66,11 +67,11 @@ main()
     });
     for (const auto &row : payoff)
         c.row(row);
-    c.print(std::cout);
-    std::puts("\npaper: grouping eliminates 50-80% of context switches; "
-              "sor and water benefit\nmost (sor's 5-load stencil groups "
-              "completely); sieve and blkmat are unchanged\nbut already "
-              "well-behaved; locus and ugray improve little within basic "
-              "blocks.");
-    return 0;
+    rep.table(c);
+    rep.note("\npaper: grouping eliminates 50-80% of context switches; "
+             "sor and water benefit\nmost (sor's 5-load stencil groups "
+             "completely); sieve and blkmat are unchanged\nbut already "
+             "well-behaved; locus and ugray improve little within basic "
+             "blocks.");
+    return rep.finish();
 }

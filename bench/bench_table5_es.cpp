@@ -8,13 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table5_es", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 5 (explicit-switch: threads for efficiency + penalty)",
-           scale);
+    rep.banner("Table 5 (explicit-switch: threads for efficiency + penalty)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -53,9 +54,9 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: all applications except locus reach 70%+ with 14 "
-              "or fewer threads; the\nreorganization penalty is a few "
-              "percent and always outweighed by grouping.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: all applications except locus reach 70%+ with 14 "
+             "or fewer threads; the\nreorganization penalty is a few "
+             "percent and always outweighed by grouping.");
+    return rep.finish();
 }

@@ -8,12 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table6_interblock", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 6 (inter-block grouping estimate, Section 5.2)", scale);
+    rep.banner("Table 6 (inter-block grouping estimate, Section 5.2)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
     const auto &apps = allApps();
@@ -38,7 +40,7 @@ main()
     });
     for (const auto &row : estRows)
         e.row(row);
-    e.print(std::cout);
+    rep.table(e);
 
     const double targets[] = {0.5, 0.6, 0.7, 0.8, 0.9};
     Table t("Table 6: revised multithreading levels (with inter-block "
@@ -58,9 +60,9 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: ugray 42% hits, grouping 1.3 -> 1.9; locus 84% "
-              "hits, grouping 1.05 -> 6.6\n— a dramatic showing of the "
-              "potential for compiler-based inter-block grouping.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: ugray 42% hits, grouping 1.3 -> 1.9; locus 84% "
+             "hits, grouping 1.05 -> 6.6\n— a dramatic showing of the "
+             "potential for compiler-based inter-block grouping.");
+    return rep.finish();
 }

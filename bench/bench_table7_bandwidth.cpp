@@ -8,13 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table7_bandwidth", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 7 (cache hit rates and network bandwidth, Section 6.1)",
-           scale);
+    rep.banner("Table 7 (cache hit rates and network bandwidth, Section 6.1)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -36,20 +37,25 @@ main()
                                  app->tableProcs(), 6));
         double esBits = static_cast<double>(es.result.net.totalBits());
         double csBits = static_cast<double>(cs.result.net.totalBits());
-        return std::vector<std::string>{
+        std::vector<std::string> row = {
             app->name(), Table::num(es.result.bitsPerCycle(), 2),
             Table::num(cs.result.bitsPerCycle(), 2),
             Table::num(esBits / 1e6, 1), Table::num(csBits / 1e6, 1),
             pct(cs.result.cache.hitRate()),
             esBits > 0 ? pct(1.0 - csBits / esBits) : "-",
             Table::num(cs.result.net.invalMsgs)};
+        return std::make_pair(
+            row, std::vector<RunRecord>{es.record, cs.record});
     });
-    for (const auto &row : rows)
+    for (const auto &[row, records] : rows) {
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: with caches, hit rates are above 90% and "
-              "bandwidth falls well under\n4.0 bits/cycle (2-bit channels"
-              " would suffice) for all applications except\nmp3d, whose "
-              "poor reference locality benefits little from caching.");
-    return 0;
+        for (const RunRecord &r : records)
+            rep.attach(r);
+    }
+    rep.table(t);
+    rep.note("\npaper: with caches, hit rates are above 90% and "
+             "bandwidth falls well under\n4.0 bits/cycle (2-bit channels"
+             " would suffice) for all applications except\nmp3d, whose "
+             "poor reference locality benefits little from caching.");
+    return rep.finish();
 }

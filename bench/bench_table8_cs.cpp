@@ -8,12 +8,14 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mts;
     using namespace mts::bench;
+    Reporter rep("table8_cs", argc, argv);
     double scale = scaleFromEnv();
-    banner("Table 8 (conditional-switch: threads for efficiency)", scale);
+    rep.banner("Table 8 (conditional-switch: threads for efficiency)",
+               scale);
     ExperimentRunner runner(scale);
     SweepRunner sweep(runner, jobsFromEnv());
 
@@ -34,9 +36,9 @@ main()
     });
     for (const auto &row : rows)
         t.row(row);
-    t.print(std::cout);
-    std::puts("\npaper: efficiencies of 80% or better with 6 threads or "
-              "less (small register\nfiles); mp3d (32 procs) needs "
-              "3/4/5/6/9 threads for 50/60/70/80/90%.");
-    return 0;
+    rep.table(t);
+    rep.note("\npaper: efficiencies of 80% or better with 6 threads or "
+             "less (small register\nfiles); mp3d (32 procs) needs "
+             "3/4/5/6/9 threads for 50/60/70/80/90%.");
+    return rep.finish();
 }

@@ -89,6 +89,11 @@ ExperimentRunner::run(const App &app, MachineConfig config)
                             static_cast<double>(out.result.cycles)
                       : 0.0;
     out.efficiency = out.speedup / config.numProcs;
+    out.record = makeRunRecord(out.result, config, app.name());
+    out.record.hasEfficiency = true;
+    out.record.efficiency = out.efficiency;
+    out.record.speedup = out.speedup;
+    out.record.referenceCycles = out.referenceCycles;
     return out;
 }
 

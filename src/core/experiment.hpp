@@ -20,6 +20,7 @@
 #include <string>
 
 #include "apps/app.hpp"
+#include "metrics/run_record.hpp"
 #include "opt/grouping_pass.hpp"
 #include "sim/machine.hpp"
 
@@ -43,6 +44,13 @@ struct ExperimentRun
     double efficiency = 0.0;  ///< speedup / processors (paper Figure 2)
     double speedup = 0.0;
     Cycle referenceCycles = 0;
+
+    /**
+     * The structured product of the run (app, config, aggregate
+     * metrics, efficiency context) — what sweeps aggregate and the
+     * bench drivers emit as JSON.
+     */
+    RunRecord record;
 };
 
 /**

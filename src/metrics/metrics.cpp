@@ -1,0 +1,193 @@
+#include "metrics/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+MetricsRegistry::Metric &
+MetricsRegistry::slot(const std::string &name, Kind kind)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        Metric &m = entries[it->second];
+        MTS_REQUIRE(m.kind == kind,
+                    "metric '" << name << "' re-registered with a "
+                                          "different kind");
+        return m;
+    }
+    index.emplace(name, entries.size());
+    entries.emplace_back();
+    Metric &m = entries.back();
+    m.name = name;
+    m.kind = kind;
+    return m;
+}
+
+void
+MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    slot(name, Kind::Counter).count += delta;
+}
+
+void
+MetricsRegistry::max(const std::string &name, std::uint64_t value)
+{
+    Metric &m = slot(name, Kind::MaxCounter);
+    if (value > m.count)
+        m.count = value;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    slot(name, Kind::Real).real = value;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return slot(name, Kind::Hist).hist;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        return 0;
+    const Metric &m = entries[it->second];
+    MTS_REQUIRE(m.kind == Kind::Counter || m.kind == Kind::MaxCounter,
+                "metric '" << name << "' is not a counter");
+    return m.count;
+}
+
+double
+MetricsRegistry::real(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        return 0.0;
+    const Metric &m = entries[it->second];
+    MTS_REQUIRE(m.kind == Kind::Real,
+                "metric '" << name << "' is not a real gauge");
+    return m.real;
+}
+
+const Histogram *
+MetricsRegistry::hist(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        return nullptr;
+    const Metric &m = entries[it->second];
+    MTS_REQUIRE(m.kind == Kind::Hist,
+                "metric '" << name << "' is not a histogram");
+    return &m.hist;
+}
+
+void
+MetricsRegistry::combineInto(const Metric &src, const std::string &dstName)
+{
+    Metric &dst = slot(dstName, src.kind);
+    switch (src.kind) {
+      case Kind::Counter:
+        dst.count += src.count;
+        break;
+      case Kind::MaxCounter:
+        if (src.count > dst.count)
+            dst.count = src.count;
+        break;
+      case Kind::Real:
+        dst.real = src.real;
+        break;
+      case Kind::Hist:
+        dst.hist.merge(src.hist);
+        break;
+    }
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const Metric &m : other.entries)
+        combineInto(m, m.name);
+}
+
+void
+MetricsRegistry::rollUp(const std::string &parent)
+{
+    const std::string prefix = parent + ".p";
+    // entries grows as totals are appended; bound the scan to the
+    // pre-roll-up population.
+    const std::size_t n = entries.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string &name = entries[i].name;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        std::size_t pos = prefix.size();
+        std::size_t digits = 0;
+        while (pos + digits < name.size() &&
+               name[pos + digits] >= '0' && name[pos + digits] <= '9')
+            ++digits;
+        if (!digits || pos + digits >= name.size() ||
+            name[pos + digits] != '.')
+            continue;
+        std::string rest = name.substr(pos + digits + 1);
+        // Copy: combineInto may reallocate the index but entries is a
+        // deque, so the reference stays valid; the copy guards against
+        // self-combination anyway.
+        Metric src = entries[i];
+        combineInto(src, parent + "." + rest);
+    }
+}
+
+JsonValue
+MetricsRegistry::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const Metric &m : entries) {
+        // Walk/create the nested scopes named by the dotted prefix.
+        JsonValue *node = &root;
+        std::size_t start = 0;
+        while (true) {
+            std::size_t dot = m.name.find('.', start);
+            if (dot == std::string::npos)
+                break;
+            node = &(*node)[m.name.substr(start, dot - start)];
+            start = dot + 1;
+        }
+        JsonValue &leaf = (*node)[m.name.substr(start)];
+        switch (m.kind) {
+          case Kind::Counter:
+          case Kind::MaxCounter:
+            leaf = JsonValue(m.count);
+            break;
+          case Kind::Real:
+            leaf = JsonValue(m.real);
+            break;
+          case Kind::Hist: {
+            JsonValue h = JsonValue::object();
+            h["count"] = JsonValue(m.hist.count());
+            h["mean"] = JsonValue(m.hist.mean());
+            JsonValue buckets = JsonValue::object();
+            for (const auto &[label, count] :
+                 m.hist.populatedBucketCounts())
+                buckets[label] = JsonValue(count);
+            h["buckets"] = std::move(buckets);
+            leaf = std::move(h);
+            break;
+          }
+        }
+    }
+    return root;
+}
+
+void
+MetricsRegistry::clear()
+{
+    entries.clear();
+    index.clear();
+}
+
+} // namespace mts

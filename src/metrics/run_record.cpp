@@ -1,0 +1,62 @@
+#include "metrics/run_record.hpp"
+
+#include "metrics/stat_publish.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/run_result.hpp"
+
+namespace mts
+{
+
+RunRecord
+makeRunRecord(const RunResult &result, const MachineConfig &config,
+              std::string appName)
+{
+    RunRecord rec;
+    rec.app = std::move(appName);
+    rec.model = std::string(switchModelName(config.model));
+    rec.numProcs = result.numProcs;
+    rec.threadsPerProc = result.threadsPerProc;
+    rec.latency = config.network.roundTrip;
+    rec.cycles = result.cycles;
+
+    publishCpuStats(rec.metrics, "cpu", result.cpu);
+    if (config.cachesEnabled())
+        publishCacheStats(rec.metrics, "cache", result.cache);
+    publishNetworkStats(rec.metrics, "net", result.net);
+    if (config.groupEstimate) {
+        rec.metrics.add("estimate.hits", result.estimateHits);
+        rec.metrics.add("estimate.misses", result.estimateMisses);
+        rec.metrics.set("derived.estimate_hit_rate",
+                        result.estimateHitRate());
+    }
+    rec.metrics.set("derived.utilization", result.utilization());
+    rec.metrics.set("derived.grouping_factor", result.groupingFactor());
+    rec.metrics.set("derived.bits_per_cycle_per_proc",
+                    result.bitsPerCycle());
+    if (config.cachesEnabled())
+        rec.metrics.set("derived.cache_hit_rate", result.cache.hitRate());
+    return rec;
+}
+
+JsonValue
+RunRecord::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v["schema"] = JsonValue(RunRecord::kSchema);
+    if (!app.empty())
+        v["app"] = JsonValue(app);
+    v["model"] = JsonValue(model);
+    v["procs"] = JsonValue(numProcs);
+    v["threads"] = JsonValue(threadsPerProc);
+    v["latency"] = JsonValue(latency);
+    v["cycles"] = JsonValue(cycles);
+    if (hasEfficiency) {
+        v["efficiency"] = JsonValue(efficiency);
+        v["speedup"] = JsonValue(speedup);
+        v["reference_cycles"] = JsonValue(referenceCycles);
+    }
+    v["metrics"] = metrics.toJson();
+    return v;
+}
+
+} // namespace mts

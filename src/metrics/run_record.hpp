@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RunRecord: the single structured product of one simulation run.
+ *
+ * Where RunResult is the in-memory working set (merged stat structs plus
+ * the full per-processor registry), a RunRecord is the compact, named,
+ * self-describing form everything machine-readable flows through: the
+ * machine configuration that produced the run, the aggregate metric
+ * scopes, derived rates, and — when produced by ExperimentRunner — the
+ * efficiency context against the reference run. `mtsim --json`, the
+ * bench Reporter and the sweep aggregation all emit RunRecords.
+ */
+#ifndef MTS_METRICS_RUN_RECORD_HPP
+#define MTS_METRICS_RUN_RECORD_HPP
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "util/json.hpp"
+
+namespace mts
+{
+
+struct MachineConfig;
+struct RunResult;
+
+/** Structured record of one run (see file comment). */
+struct RunRecord
+{
+    /** Schema tag emitted into every JSON record. */
+    static constexpr const char *kSchema = "mts.run/1";
+
+    std::string app;    ///< application name ("" for raw programs)
+    std::string model;  ///< switch-model name
+    int numProcs = 0;
+    int threadsPerProc = 0;
+    std::uint64_t latency = 0;  ///< network round-trip cycles
+    std::uint64_t cycles = 0;   ///< completion time
+
+    /** Aggregate scopes only (cpu, cache, net, estimate, derived). */
+    MetricsRegistry metrics;
+
+    /// @name Efficiency context (ExperimentRunner-produced records).
+    /// @{
+    bool hasEfficiency = false;
+    double efficiency = 0.0;
+    double speedup = 0.0;
+    std::uint64_t referenceCycles = 0;
+    /// @}
+
+    JsonValue toJson() const;
+};
+
+/** Build the record of @p result under @p config. */
+RunRecord makeRunRecord(const RunResult &result,
+                        const MachineConfig &config,
+                        std::string appName = {});
+
+} // namespace mts
+
+#endif // MTS_METRICS_RUN_RECORD_HPP

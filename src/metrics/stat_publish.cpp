@@ -1,0 +1,103 @@
+#include "metrics/stat_publish.hpp"
+
+namespace mts
+{
+
+void
+publishCpuStats(MetricsRegistry &reg, const std::string &scope,
+                const CpuStats &s)
+{
+    reg.add(scope + ".instructions", s.instructions);
+    reg.add(scope + ".cycles.busy", s.busyCycles);
+    reg.add(scope + ".cycles.stall", s.stallCycles);
+    reg.add(scope + ".cycles.idle", s.idleCycles);
+    reg.add(scope + ".switches.taken", s.switchesTaken);
+    reg.add(scope + ".switches.skipped", s.switchesSkipped);
+    reg.add(scope + ".switches.slice_limit", s.sliceLimitSwitches);
+    reg.add(scope + ".loads.shared", s.sharedLoads);
+    reg.add(scope + ".loads.spin", s.spinLoads);
+    reg.add(scope + ".stores.shared", s.sharedStores);
+    reg.add(scope + ".fetch_adds", s.fetchAdds);
+    reg.add(scope + ".estimate_hits", s.estimateHits);
+    reg.max(scope + ".finish_time", s.finishTime);
+    reg.histogram(scope + ".run_lengths").merge(s.runLengths);
+}
+
+CpuStats
+cpuStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
+{
+    CpuStats s;
+    s.instructions = reg.counter(scope + ".instructions");
+    s.busyCycles = reg.counter(scope + ".cycles.busy");
+    s.stallCycles = reg.counter(scope + ".cycles.stall");
+    s.idleCycles = reg.counter(scope + ".cycles.idle");
+    s.switchesTaken = reg.counter(scope + ".switches.taken");
+    s.switchesSkipped = reg.counter(scope + ".switches.skipped");
+    s.sliceLimitSwitches = reg.counter(scope + ".switches.slice_limit");
+    s.sharedLoads = reg.counter(scope + ".loads.shared");
+    s.spinLoads = reg.counter(scope + ".loads.spin");
+    s.sharedStores = reg.counter(scope + ".stores.shared");
+    s.fetchAdds = reg.counter(scope + ".fetch_adds");
+    s.estimateHits = reg.counter(scope + ".estimate_hits");
+    s.finishTime = reg.counter(scope + ".finish_time");
+    if (const Histogram *h = reg.hist(scope + ".run_lengths"))
+        s.runLengths.merge(*h);
+    return s;
+}
+
+void
+publishCacheStats(MetricsRegistry &reg, const std::string &scope,
+                  const CacheStats &s)
+{
+    reg.add(scope + ".hits", s.hits);
+    reg.add(scope + ".misses", s.misses);
+    reg.add(scope + ".merged_misses", s.mergedMisses);
+    reg.add(scope + ".invalidations", s.invalidationsReceived);
+    reg.add(scope + ".store_throughs", s.storeThroughs);
+}
+
+CacheStats
+cacheStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
+{
+    CacheStats s;
+    s.hits = reg.counter(scope + ".hits");
+    s.misses = reg.counter(scope + ".misses");
+    s.mergedMisses = reg.counter(scope + ".merged_misses");
+    s.invalidationsReceived = reg.counter(scope + ".invalidations");
+    s.storeThroughs = reg.counter(scope + ".store_throughs");
+    return s;
+}
+
+void
+publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
+                    const NetworkStats &s)
+{
+    reg.add(scope + ".messages", s.messages);
+    reg.add(scope + ".bits.forward", s.forwardBits);
+    reg.add(scope + ".bits.return", s.returnBits);
+    reg.add(scope + ".msgs.load", s.loadMsgs);
+    reg.add(scope + ".msgs.store", s.storeMsgs);
+    reg.add(scope + ".msgs.faa", s.faaMsgs);
+    reg.add(scope + ".msgs.fill", s.fillMsgs);
+    reg.add(scope + ".msgs.inval", s.invalMsgs);
+    reg.add(scope + ".msgs.spin", s.spinMsgs);
+}
+
+NetworkStats
+networkStatsFromMetrics(const MetricsRegistry &reg,
+                        const std::string &scope)
+{
+    NetworkStats s;
+    s.messages = reg.counter(scope + ".messages");
+    s.forwardBits = reg.counter(scope + ".bits.forward");
+    s.returnBits = reg.counter(scope + ".bits.return");
+    s.loadMsgs = reg.counter(scope + ".msgs.load");
+    s.storeMsgs = reg.counter(scope + ".msgs.store");
+    s.faaMsgs = reg.counter(scope + ".msgs.faa");
+    s.fillMsgs = reg.counter(scope + ".msgs.fill");
+    s.invalMsgs = reg.counter(scope + ".msgs.inval");
+    s.spinMsgs = reg.counter(scope + ".msgs.spin");
+    return s;
+}
+
+} // namespace mts

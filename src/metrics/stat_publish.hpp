@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bridge between the hot-path stat structs (CpuStats, CacheStats,
+ * NetworkStats) and MetricsRegistry scopes.
+ *
+ * The structs remain the collection format updated during simulation;
+ * at the end of a run each component's struct is published into a named
+ * scope ("cpu.p3", "cache.p3", "net") and machine-wide totals are
+ * produced by MetricsRegistry::rollUp — the readback functions then
+ * reconstitute the merged structs from the aggregated scope, making the
+ * registry the single aggregation path. publish/readback are exact
+ * inverses; tests/test_metrics.cpp pins the equivalence against the
+ * legacy merge() chains.
+ */
+#ifndef MTS_METRICS_STAT_PUBLISH_HPP
+#define MTS_METRICS_STAT_PUBLISH_HPP
+
+#include <string>
+
+#include "cache/cache.hpp"
+#include "cpu/cpu_stats.hpp"
+#include "mem/network.hpp"
+#include "metrics/metrics.hpp"
+
+namespace mts
+{
+
+/// @name Publish one component's counters under @p scope.
+/// @{
+void publishCpuStats(MetricsRegistry &reg, const std::string &scope,
+                     const CpuStats &s);
+void publishCacheStats(MetricsRegistry &reg, const std::string &scope,
+                       const CacheStats &s);
+void publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
+                         const NetworkStats &s);
+/// @}
+
+/// @name Reconstitute a struct from an (aggregated) scope.
+/// @{
+CpuStats cpuStatsFromMetrics(const MetricsRegistry &reg,
+                             const std::string &scope);
+CacheStats cacheStatsFromMetrics(const MetricsRegistry &reg,
+                                 const std::string &scope);
+NetworkStats networkStatsFromMetrics(const MetricsRegistry &reg,
+                                     const std::string &scope);
+/// @}
+
+} // namespace mts
+
+#endif // MTS_METRICS_STAT_PUBLISH_HPP

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "metrics/stat_publish.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace mts
@@ -265,19 +267,41 @@ Machine::run()
     RunResult r;
     r.numProcs = cfg.numProcs;
     r.threadsPerProc = cfg.threadsPerProc;
-    for (auto &p : procs) {
-        r.cpu.merge(p->stats);
-        if (p->cache())
-            r.cache.merge(p->cache()->statistics());
+
+    // Publish every component into the metrics registry under its own
+    // scope; machine-wide totals are produced by the registry roll-up
+    // and the merged structs reconstituted from the aggregated scopes.
+    MetricsRegistry &reg = r.metrics;
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        const std::string tag = ".p" + std::to_string(p);
+        publishCpuStats(reg, "cpu" + tag, procs[p]->stats);
+        if (const SharedCache *c = procs[p]->cache())
+            publishCacheStats(reg, "cache" + tag, c->statistics());
+        std::uint64_t estHits = 0, estMisses = 0;
         for (int t = 0; t < cfg.threadsPerProc; ++t) {
-            const auto &g = p->thread(static_cast<std::uint16_t>(t))
+            const auto &g = procs[p]
+                                ->thread(static_cast<std::uint16_t>(t))
                                 .groupEstimate;
-            r.estimateHits += g.hits();
-            r.estimateMisses += g.misses();
+            estHits += g.hits();
+            estMisses += g.misses();
         }
+        reg.add("estimate" + tag + ".hits", estHits);
+        reg.add("estimate" + tag + ".misses", estMisses);
     }
+    publishNetworkStats(reg, "net", netStats);
+    reg.rollUp("cpu");
+    reg.rollUp("cache");
+    reg.rollUp("estimate");
+
+    r.cpu = cpuStatsFromMetrics(reg, "cpu");
+    r.cache = cacheStatsFromMetrics(reg, "cache");
+    r.net = networkStatsFromMetrics(reg, "net");
+    r.estimateHits = reg.counter("estimate.hits");
+    r.estimateMisses = reg.counter("estimate.misses");
     r.cycles = r.cpu.finishTime;
-    r.net = netStats;
+
+    if (cfg.tracer)
+        cfg.tracer->onMetricsSnapshot(r.cycles, reg);
     return r;
 }
 

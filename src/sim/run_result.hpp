@@ -8,6 +8,7 @@
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
 #include "mem/network.hpp"
+#include "metrics/metrics.hpp"
 
 namespace mts
 {
@@ -19,9 +20,18 @@ struct RunResult
     int numProcs = 0;
     int threadsPerProc = 0;
 
-    CpuStats cpu;               ///< merged over all processors
+    /**
+     * Every published metric of the run: per-processor scopes
+     * ("cpu.p3.instructions", "cache.p3.hits") plus the rolled-up
+     * machine-wide totals ("cpu.instructions") the structs below are
+     * reconstituted from. See metrics/run_record.hpp for the compact
+     * exported form.
+     */
+    MetricsRegistry metrics;
+
+    CpuStats cpu;               ///< rolled up over all processors
     NetworkStats net;
-    CacheStats cache;           ///< merged over all processor caches
+    CacheStats cache;           ///< rolled up over all processor caches
 
     std::uint64_t estimateHits = 0;    ///< §5.2 per-thread estimator
     std::uint64_t estimateMisses = 0;

@@ -17,6 +17,8 @@
 namespace mts
 {
 
+class MetricsRegistry;
+
 /** Why a processor switched threads. */
 enum class SwitchReason
 {
@@ -74,6 +76,19 @@ class Tracer
         (void)proc;
         (void)thread;
         (void)op;
+    }
+
+    /**
+     * The run completed at @p cycle and its metrics were published:
+     * @p metrics holds every per-processor scope plus the rolled-up
+     * totals (see metrics/metrics.hpp). Called once, after the event
+     * loop drains and before Machine::run returns.
+     */
+    virtual void
+    onMetricsSnapshot(Cycle cycle, const MetricsRegistry &metrics)
+    {
+        (void)cycle;
+        (void)metrics;
     }
 };
 

@@ -104,6 +104,19 @@ Histogram::bucketLabel(std::uint64_t value)
     return buf;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+Histogram::populatedBucketCounts() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        if (!buckets[b])
+            continue;
+        std::uint64_t repr = (b == 0) ? 1 : (1ull << b);
+        out.emplace_back(bucketLabel(repr), buckets[b]);
+    }
+    return out;
+}
+
 std::string
 Histogram::format() const
 {

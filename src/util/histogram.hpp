@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mts
@@ -44,6 +45,10 @@ class Histogram
 
     /** Number of buckets with at least one sample. */
     std::size_t populatedBuckets() const;
+
+    /** (label, count) for every populated bucket, in value order. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    populatedBucketCounts() const;
 
     /** Human-readable label for the bucket containing @p value. */
     static std::string bucketLabel(std::uint64_t value);

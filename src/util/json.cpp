@@ -1,0 +1,540 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+bool
+JsonValue::asBool() const
+{
+    MTS_REQUIRE(kind_ == Kind::Bool, "JSON value is not a bool");
+    return boolV;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    if (kind_ == Kind::Uint)
+        return uintV;
+    if (kind_ == Kind::Int && intV >= 0)
+        return static_cast<std::uint64_t>(intV);
+    MTS_FATAL("JSON value is not a non-negative integer");
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return intV;
+    if (kind_ == Kind::Uint) {
+        MTS_REQUIRE(uintV <= 0x7fffffffffffffffull,
+                    "JSON integer exceeds int64 range");
+        return static_cast<std::int64_t>(uintV);
+    }
+    MTS_FATAL("JSON value is not an integer");
+}
+
+double
+JsonValue::asNumber() const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return static_cast<double>(uintV);
+      case Kind::Int:
+        return static_cast<double>(intV);
+      case Kind::Real:
+        return realV;
+      default:
+        MTS_FATAL("JSON value is not a number");
+    }
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    MTS_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+    return strV;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr.size();
+    if (kind_ == Kind::Object)
+        return obj.size();
+    MTS_FATAL("JSON value is not a container");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    MTS_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+    MTS_REQUIRE(i < arr.size(), "JSON array index out of range");
+    return arr[i];
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    MTS_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+    arr.push_back(std::move(v));
+    return arr.back();
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    MTS_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+    for (auto &[k, v] : obj)
+        if (k == key)
+            return v;
+    obj.emplace_back(key, JsonValue());
+    return obj.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::items() const
+{
+    MTS_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+    return obj;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+writeNumber(std::string &out, double v)
+{
+    // Non-finite values are not representable in JSON; emit null (the
+    // metrics layer never produces them, but a derived rate could).
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::write(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolV ? "true" : "false";
+        break;
+      case Kind::Uint: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof buf, uintV);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Int: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof buf, intV);
+        out.append(buf, res.ptr);
+        break;
+      }
+      case Kind::Real:
+        writeNumber(out, realV);
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(strV);
+        out += '"';
+        break;
+      case Kind::Array: {
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const JsonValue &v : arr) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent)
+                newlineIndent(out, indent, depth + 1);
+            v.write(out, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : obj) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent)
+                newlineIndent(out, indent, depth + 1);
+            out += '"';
+            out += jsonEscape(k);
+            out += "\":";
+            if (indent)
+                out += ' ';
+            v.write(out, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    if (indent)
+        out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a complete document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        MTS_REQUIRE(pos == s.size(),
+                    "JSON: trailing characters at offset " << pos);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        MTS_REQUIRE(pos < s.size(), "JSON: unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        MTS_REQUIRE(pos < s.size() && s[pos] == c,
+                    "JSON: expected '" << c << "' at offset " << pos);
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::string(w).size();
+        if (s.compare(pos, n, w) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return objectValue();
+          case '[':
+            return arrayValue();
+          case '"':
+            return JsonValue(stringValue());
+          case 't':
+            MTS_REQUIRE(consumeWord("true"), "JSON: bad literal");
+            return JsonValue(true);
+          case 'f':
+            MTS_REQUIRE(consumeWord("false"), "JSON: bad literal");
+            return JsonValue(false);
+          case 'n':
+            MTS_REQUIRE(consumeWord("null"), "JSON: bad literal");
+            return JsonValue();
+          default:
+            return numberValue();
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = stringValue();
+            skipWs();
+            expect(':');
+            v[key] = value();
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.push(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    stringValue()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            MTS_REQUIRE(pos < s.size(), "JSON: unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            MTS_REQUIRE(pos < s.size(), "JSON: unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                MTS_REQUIRE(pos + 4 <= s.size(),
+                            "JSON: truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        MTS_FATAL("JSON: bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (BMP only; surrogate pairs are not
+                // produced by our writer).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                MTS_FATAL("JSON: unknown escape '\\" << e << "'");
+            }
+        }
+    }
+
+    JsonValue
+    numberValue()
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        bool isReal = false;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c >= '0' && c <= '9') {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isReal = isReal || c == '.' || c == 'e' || c == 'E';
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        MTS_REQUIRE(pos > start, "JSON: expected a value at offset "
+                                     << start);
+        const char *b = s.data() + start;
+        const char *e = s.data() + pos;
+        if (!isReal) {
+            if (*b == '-') {
+                std::int64_t v = 0;
+                auto res = std::from_chars(b, e, v);
+                MTS_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                            "JSON: bad integer");
+                return JsonValue(v);
+            }
+            std::uint64_t v = 0;
+            auto res = std::from_chars(b, e, v);
+            MTS_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                        "JSON: bad integer");
+            return JsonValue(v);
+        }
+        double v = 0;
+        auto res = std::from_chars(b, e, v);
+        MTS_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                    "JSON: bad number");
+        return JsonValue(v);
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace mts

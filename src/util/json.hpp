@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Dependency-free JSON tree: the machine-readable output format of the
+ * metrics layer (RunRecord, Reporter, `mtsim --json`).
+ *
+ * Deliberately small: insertion-ordered objects (so emitted files are
+ * deterministic and diffable), exact 64-bit integer round-trips (cycle
+ * and bit counters exceed 2^53), shortest-round-trip doubles via
+ * std::to_chars, and a strict parser used by the tests and by external
+ * consumers of the BENCH_*.json trajectory files.
+ */
+#ifndef MTS_UTIL_JSON_HPP
+#define MTS_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mts
+{
+
+/** One JSON value; objects preserve insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Uint,
+        Int,
+        Real,
+        String,
+        Array,
+        Object
+    };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), boolV(b) {}
+    JsonValue(std::uint64_t v) : kind_(Kind::Uint), uintV(v) {}
+    JsonValue(std::int64_t v) : kind_(Kind::Int), intV(v) {}
+    JsonValue(int v) : kind_(Kind::Int), intV(v) {}
+    JsonValue(unsigned v) : kind_(Kind::Uint), uintV(v) {}
+    JsonValue(double v) : kind_(Kind::Real), realV(v) {}
+    JsonValue(std::string s) : kind_(Kind::String), strV(std::move(s)) {}
+    JsonValue(const char *s) : kind_(Kind::String), strV(s) {}
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    /** True for Uint, Int and Real. */
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Uint || kind_ == Kind::Int ||
+               kind_ == Kind::Real;
+    }
+
+    bool asBool() const;
+    std::uint64_t asUint() const;    ///< exact; fatal on mismatch
+    std::int64_t asInt() const;
+    double asNumber() const;         ///< any numeric kind, widened
+    const std::string &asString() const;
+
+    /** Array elements / object entry count (fatal on other kinds). */
+    std::size_t size() const;
+
+    /** Array element access (fatal unless Array). */
+    const JsonValue &at(std::size_t i) const;
+
+    /** Append to an Array (fatal unless Array/Null; Null promotes). */
+    JsonValue &push(JsonValue v);
+
+    /** Object field access, inserting a Null on first use (promotes
+     *  Null to Object). */
+    JsonValue &operator[](const std::string &key);
+
+    /** Lookup without insertion; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool
+    contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    /** Object entries in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    items() const;
+
+    /**
+     * Serialize. @p indent 0 renders compact one-line JSON; positive
+     * values pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool boolV = false;
+    std::uint64_t uintV = 0;
+    std::int64_t intV = 0;
+    double realV = 0.0;
+    std::string strV;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** Parse a complete JSON document; fatal (FatalError) on malformed
+ *  input or trailing garbage. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace mts
+
+#endif // MTS_UTIL_JSON_HPP

@@ -34,6 +34,24 @@ class Table
     /** Render with box-drawing-free ASCII alignment. */
     void print(std::ostream &os) const;
 
+    const std::string &
+    titleText() const
+    {
+        return title;
+    }
+
+    const std::vector<std::string> &
+    headerCells() const
+    {
+        return head;
+    }
+
+    const std::vector<std::vector<std::string>> &
+    rowCells() const
+    {
+        return rows;
+    }
+
   private:
     std::string title;
     std::vector<std::string> head;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * util/json.hpp: escaping, exact 64-bit round-trips, nested scopes, and
+ * parser strictness. The writer/parser pair is what makes the
+ * BENCH_*.json trajectory files trustworthy, so round-trips are tested
+ * through actual serialize -> parse cycles.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using namespace mts;
+
+TEST(Json, ScalarsRender)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(std::int64_t(-7)).dump(), "-7");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+    EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+}
+
+TEST(Json, EscapingSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape(std::string("ctrl\x01")), "ctrl\\u0001");
+    // UTF-8 passes through untouched.
+    EXPECT_EQ(jsonEscape("§ 5.2 — ok"), "§ 5.2 — ok");
+}
+
+TEST(Json, EscapedStringsRoundTrip)
+{
+    const std::string nasty =
+        "quote\" backslash\\ newline\n tab\t ctrl\x02 unicode§";
+    JsonValue v = JsonValue::object();
+    v["s"] = JsonValue(nasty);
+    JsonValue back = parseJson(v.dump());
+    EXPECT_EQ(back.find("s")->asString(), nasty);
+}
+
+TEST(Json, LargeUint64CountersRoundTripExactly)
+{
+    // Cycle/bit counters exceed 2^53; doubles would corrupt them.
+    const std::uint64_t big = 18446744073709551615ull;  // 2^64-1
+    const std::uint64_t odd = (1ull << 60) + 1;
+    JsonValue v = JsonValue::object();
+    v["max"] = JsonValue(big);
+    v["odd"] = JsonValue(odd);
+    std::string text = v.dump();
+    EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+    JsonValue back = parseJson(text);
+    EXPECT_EQ(back.find("max")->asUint(), big);
+    EXPECT_EQ(back.find("odd")->asUint(), odd);
+}
+
+TEST(Json, NegativeIntegersRoundTrip)
+{
+    JsonValue v = JsonValue::object();
+    v["t"] = JsonValue(std::int64_t(-123456789012345ll));
+    JsonValue back = parseJson(v.dump());
+    EXPECT_EQ(back.find("t")->asInt(), -123456789012345ll);
+}
+
+TEST(Json, DoublesRoundTripShortest)
+{
+    JsonValue v = JsonValue::array();
+    v.push(JsonValue(0.1));
+    v.push(JsonValue(0.8533333333333334));
+    v.push(JsonValue(1e300));
+    JsonValue back = parseJson(v.dump());
+    EXPECT_DOUBLE_EQ(back.at(0).asNumber(), 0.1);
+    EXPECT_DOUBLE_EQ(back.at(1).asNumber(), 0.8533333333333334);
+    EXPECT_DOUBLE_EQ(back.at(2).asNumber(), 1e300);
+}
+
+TEST(Json, NestedScopesRoundTripAndPreserveOrder)
+{
+    JsonValue v = JsonValue::object();
+    v["cpu"]["p0"]["instructions"] = JsonValue(std::uint64_t(123));
+    v["cpu"]["p1"]["instructions"] = JsonValue(std::uint64_t(456));
+    v["net"]["bits"]["forward"] = JsonValue(std::uint64_t(789));
+    v["tables"] = JsonValue::array();
+    v["tables"].push(JsonValue("t1"));
+
+    JsonValue back = parseJson(v.dump(2));
+    EXPECT_EQ(back.find("cpu")->find("p1")->find("instructions")->asUint(),
+              456u);
+    EXPECT_EQ(back.find("net")->find("bits")->find("forward")->asUint(),
+              789u);
+    ASSERT_EQ(back.find("tables")->size(), 1u);
+    EXPECT_EQ(back.find("tables")->at(0).asString(), "t1");
+    // Insertion order survives the round trip.
+    const auto &items = back.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, "cpu");
+    EXPECT_EQ(items[1].first, "net");
+    EXPECT_EQ(items[2].first, "tables");
+}
+
+TEST(Json, PrettyAndCompactParseTheSame)
+{
+    JsonValue v = JsonValue::object();
+    v["a"] = JsonValue(1);
+    v["b"]["c"] = JsonValue("x");
+    JsonValue fromCompact = parseJson(v.dump(0));
+    JsonValue fromPretty = parseJson(v.dump(4));
+    EXPECT_EQ(fromCompact.dump(), fromPretty.dump());
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), FatalError);
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\":1,}"), FatalError);
+    EXPECT_THROW(parseJson("[1 2]"), FatalError);
+    EXPECT_THROW(parseJson("\"unterminated"), FatalError);
+    EXPECT_THROW(parseJson("nul"), FatalError);
+    EXPECT_THROW(parseJson("{} trailing"), FatalError);
+}
+
+TEST(Json, TypeMismatchesAreFatal)
+{
+    JsonValue arr = JsonValue::array();
+    EXPECT_THROW(arr["key"], FatalError);
+    JsonValue num = JsonValue(1.5);
+    EXPECT_THROW(num.asUint(), FatalError);
+    EXPECT_THROW(JsonValue("s").asNumber(), FatalError);
+}

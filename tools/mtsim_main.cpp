@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "core/mtsim.hpp"
+#include "metrics/run_record.hpp"
 #include "trace/text_tracer.hpp"
 #include "trace/timeline.hpp"
 #include "util/strings.hpp"
@@ -58,11 +59,14 @@ usage()
         "  --no-group          skip the grouping pass (raw code)\n"
         "  -D NAME=VALUE       define/override an assembly constant\n"
         "  --stats             print detailed statistics\n"
+        "  --json FILE         also write the run record (schema "
+        "mts.run/1) as JSON\n"
         "  --trace N           print the first N trace events\n"
         "  --timeline          print an ASCII occupancy timeline\n"
         "  --listing           print the (grouped) program listing and "
         "exit\n"
-        "  --list              list the benchmark applications\n");
+        "  --list              list the benchmark applications\n"
+        "  --list-models       list the switch-model names\n");
 }
 
 } // namespace
@@ -80,6 +84,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;  // 0 = MTS_JOBS / hardware concurrency
     bool wantStats = false;
     bool wantListing = false;
+    std::string jsonPath;
     std::uint64_t traceEvents = 0;
     bool wantTimeline = false;
     bool noGroup = false;
@@ -137,6 +142,8 @@ main(int argc, char **argv)
                 wantTimeline = true;
             } else if (a == "--stats") {
                 wantStats = true;
+            } else if (a == "--json" && i + 1 < argc) {
+                jsonPath = argv[++i];
             } else if (a == "--listing") {
                 wantListing = true;
             } else if (a == "--list") {
@@ -144,9 +151,20 @@ main(int argc, char **argv)
                     std::printf("%-8s %s\n", app->name().c_str(),
                                 app->description().c_str());
                 return 0;
-            } else {
+            } else if (a == "--list-models") {
+                for (SwitchModel m : kAllModels)
+                    std::printf("%s\n",
+                                std::string(switchModelName(m)).c_str());
+                return 0;
+            } else if (a == "--help" || a == "-h") {
                 usage();
-                return a == "--help" || a == "-h" ? 0 : 2;
+                return 0;
+            } else {
+                std::fprintf(stderr, "mtsim: unknown option '%s'\n",
+                             a.c_str());
+                std::fprintf(stderr,
+                             "run 'mtsim --help' for the option list\n");
+                return 2;
             }
         } catch (const FatalError &e) {
             std::fprintf(stderr, "mtsim: %s\n", e.what());
@@ -294,6 +312,17 @@ main(int argc, char **argv)
                             "load groups, static factor %.2f\n",
                             gs.basicBlocks, gs.sharedLoads, gs.loadGroups,
                             gs.staticGroupingFactor());
+        }
+        if (!jsonPath.empty()) {
+            RunRecord rec =
+                makeRunRecord(r, cfg, app ? app->name() : asmFile);
+            std::ofstream jout(jsonPath);
+            if (!jout) {
+                std::fprintf(stderr, "mtsim: cannot write %s\n",
+                             jsonPath.c_str());
+                return 1;
+            }
+            jout << rec.toJson().dump(2) << '\n';
         }
         return check.rfind("FAIL", 0) == 0 ? 1 : 0;
     } catch (const FatalError &e) {
