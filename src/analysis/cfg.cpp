@@ -1,0 +1,272 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Successor edges excluding Call (the intraprocedural view). */
+bool
+isIntraEdge(const CfgEdge &e)
+{
+    return e.kind != EdgeKind::Call;
+}
+
+} // namespace
+
+Cfg::Cfg(const Program &program) : prog(&program)
+{
+    auto ranges = findBasicBlocks(program);
+    blocks_.resize(ranges.size());
+    blockOf_.assign(program.code.size(), -1);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        blocks_[i].id = static_cast<std::int32_t>(i);
+        blocks_[i].range = ranges[i];
+        for (std::int32_t pc = ranges[i].begin; pc < ranges[i].end; ++pc)
+            blockOf_[static_cast<std::size_t>(pc)] =
+                static_cast<std::int32_t>(i);
+    }
+    buildEdges();
+    computeCycles();
+    computeRoutineEntries();
+}
+
+std::int32_t
+Cfg::blockOf(std::int32_t inst) const
+{
+    MTS_ASSERT(inst >= 0 &&
+                   static_cast<std::size_t>(inst) < blockOf_.size(),
+               "blockOf: instruction " << inst << " out of range");
+    return blockOf_[static_cast<std::size_t>(inst)];
+}
+
+std::int32_t
+Cfg::entryBlock() const
+{
+    if (blocks_.empty())
+        return -1;
+    return blockOf(prog->entry);
+}
+
+void
+Cfg::buildEdges()
+{
+    const auto &code = prog->code;
+    for (CfgBlock &b : blocks_) {
+        auto addEdge = [&](std::int32_t to, EdgeKind kind) {
+            b.succs.push_back({to, kind});
+        };
+        const bool hasNext = b.id + 1 < numBlocks();
+        if (b.size() == 0) {
+            if (hasNext)
+                addEdge(b.id + 1, EdgeKind::Fallthrough);
+            continue;
+        }
+        const Instruction &last =
+            code[static_cast<std::size_t>(b.range.end - 1)];
+        switch (last.op) {
+          case Opcode::HALT:
+          case Opcode::JR:
+            break;  // thread end / routine return: no successors
+          case Opcode::J:
+            if (last.target >= 0)
+                addEdge(blockOf(last.target), EdgeKind::Jump);
+            break;
+          case Opcode::JAL:
+            if (last.target >= 0) {
+                addEdge(blockOf(last.target), EdgeKind::Call);
+                callTargets_.push_back(blockOf(last.target));
+            }
+            if (hasNext)
+                addEdge(b.id + 1, EdgeKind::Fallthrough);
+            break;
+          default:
+            if (isBranch(last.op) && last.target >= 0)
+                addEdge(blockOf(last.target), EdgeKind::Branch);
+            if (hasNext)
+                addEdge(b.id + 1, EdgeKind::Fallthrough);
+            break;
+        }
+    }
+    // A jal that is *not* a block terminator cannot occur (jal is a
+    // control instruction, so findBasicBlocks ends the block after it),
+    // but mid-block call targets are still collected above.
+    std::sort(callTargets_.begin(), callTargets_.end());
+    callTargets_.erase(
+        std::unique(callTargets_.begin(), callTargets_.end()),
+        callTargets_.end());
+    for (const CfgBlock &b : blocks_)
+        for (const CfgEdge &e : b.succs)
+            blocks_[static_cast<std::size_t>(e.block)].preds.push_back(
+                {b.id, e.kind});
+}
+
+void
+Cfg::computeCycles()
+{
+    // Iterative Tarjan SCC over intraprocedural edges; a block is "in a
+    // cycle" when its SCC has more than one member or it has a self
+    // edge (one-block spin loops).
+    const std::int32_t n = numBlocks();
+    inCycle_.assign(static_cast<std::size_t>(n), false);
+    sccOf_.assign(static_cast<std::size_t>(n), -1);
+    std::int32_t sccCounter = 0;
+    std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
+    std::vector<std::int32_t> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+    std::vector<std::int32_t> stack;
+    std::int32_t counter = 0;
+
+    struct Frame
+    {
+        std::int32_t block;
+        std::size_t edge;
+    };
+    for (std::int32_t root = 0; root < n; ++root) {
+        if (index[static_cast<std::size_t>(root)] != -1)
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[static_cast<std::size_t>(root)] =
+            low[static_cast<std::size_t>(root)] = counter++;
+        stack.push_back(root);
+        onStack[static_cast<std::size_t>(root)] = true;
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &succs =
+                blocks_[static_cast<std::size_t>(f.block)].succs;
+            if (f.edge < succs.size()) {
+                const CfgEdge &e = succs[f.edge++];
+                if (!isIntraEdge(e))
+                    continue;
+                std::int32_t w = e.block;
+                if (index[static_cast<std::size_t>(w)] == -1) {
+                    index[static_cast<std::size_t>(w)] =
+                        low[static_cast<std::size_t>(w)] = counter++;
+                    stack.push_back(w);
+                    onStack[static_cast<std::size_t>(w)] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[static_cast<std::size_t>(w)]) {
+                    low[static_cast<std::size_t>(f.block)] =
+                        std::min(low[static_cast<std::size_t>(f.block)],
+                                 index[static_cast<std::size_t>(w)]);
+                }
+            } else {
+                std::int32_t v = f.block;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    std::int32_t parent = frames.back().block;
+                    low[static_cast<std::size_t>(parent)] = std::min(
+                        low[static_cast<std::size_t>(parent)],
+                        low[static_cast<std::size_t>(v)]);
+                }
+                if (low[static_cast<std::size_t>(v)] ==
+                    index[static_cast<std::size_t>(v)]) {
+                    std::vector<std::int32_t> scc;
+                    const std::int32_t sccId = sccCounter++;
+                    while (true) {
+                        std::int32_t w = stack.back();
+                        stack.pop_back();
+                        onStack[static_cast<std::size_t>(w)] = false;
+                        sccOf_[static_cast<std::size_t>(w)] = sccId;
+                        scc.push_back(w);
+                        if (w == v)
+                            break;
+                    }
+                    bool cyclic = scc.size() > 1;
+                    if (!cyclic)
+                        for (const CfgEdge &e :
+                             blocks_[static_cast<std::size_t>(v)].succs)
+                            if (isIntraEdge(e) && e.block == v)
+                                cyclic = true;
+                    if (cyclic)
+                        for (std::int32_t w : scc)
+                            inCycle_[static_cast<std::size_t>(w)] = true;
+                }
+            }
+        }
+    }
+}
+
+void
+Cfg::computeRoutineEntries()
+{
+    if (blocks_.empty())
+        return;
+    routineEntries_.push_back(entryBlock());
+    for (std::int32_t t : callTargets_)
+        if (t != entryBlock())
+            routineEntries_.push_back(t);
+
+    // Iteratively promote labelled-but-unreachable blocks to entries so
+    // uncalled library routines (e.g. an unused prelude lock) still get
+    // analyzed.
+    std::vector<bool> reached(blocks_.size(), false);
+    auto bfs = [&](std::int32_t from) {
+        std::vector<std::int32_t> work{from};
+        reached[static_cast<std::size_t>(from)] = true;
+        while (!work.empty()) {
+            std::int32_t v = work.back();
+            work.pop_back();
+            for (const CfgEdge &e :
+                 blocks_[static_cast<std::size_t>(v)].succs) {
+                if (!isIntraEdge(e) ||
+                    reached[static_cast<std::size_t>(e.block)])
+                    continue;
+                reached[static_cast<std::size_t>(e.block)] = true;
+                work.push_back(e.block);
+            }
+        }
+    };
+    for (std::int32_t e : routineEntries_)
+        if (!reached[static_cast<std::size_t>(e)])
+            bfs(e);
+    for (const auto &[index, name] : prog->labelAt) {
+        if (index < 0 ||
+            static_cast<std::size_t>(index) >= prog->code.size())
+            continue;
+        std::int32_t b = blockOf(index);
+        if (!reached[static_cast<std::size_t>(b)] &&
+            block(b).range.begin == index) {
+            routineEntries_.push_back(b);
+            bfs(b);
+        }
+    }
+}
+
+std::vector<std::int32_t>
+Cfg::routineBlocks(std::int32_t entry) const
+{
+    // Iterative DFS computing post-order, then reverse it.
+    std::vector<bool> seen(blocks_.size(), false);
+    std::vector<std::int32_t> post;
+    struct Frame
+    {
+        std::int32_t block;
+        std::size_t edge;
+    };
+    std::vector<Frame> frames{{entry, 0}};
+    seen[static_cast<std::size_t>(entry)] = true;
+    while (!frames.empty()) {
+        Frame &f = frames.back();
+        const auto &succs = blocks_[static_cast<std::size_t>(f.block)].succs;
+        if (f.edge < succs.size()) {
+            const CfgEdge &e = succs[f.edge++];
+            if (!isIntraEdge(e) || seen[static_cast<std::size_t>(e.block)])
+                continue;
+            seen[static_cast<std::size_t>(e.block)] = true;
+            frames.push_back({e.block, 0});
+        } else {
+            post.push_back(f.block);
+            frames.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+} // namespace mts

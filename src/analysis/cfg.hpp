@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Control-flow graph over an assembled Program.
+ *
+ * Layered on findBasicBlocks: every basic block becomes a node with
+ * explicit successor/predecessor edges. Edge kinds distinguish
+ * fallthrough, conditional-branch targets, unconditional jumps and
+ * `jal` call edges; `jr` and `halt` terminate a block with no
+ * intraprocedural successors (a `jr` is a routine return, a `halt` ends
+ * the thread).
+ *
+ * Two views of the graph coexist:
+ *  - the *intraprocedural* view ignores Call edges and treats a
+ *    terminating `jal` as falling through to the next block (the callee
+ *    is summarized by the analysis using the graph); this is the view
+ *    the dataflow engine and the checkers run on, partitioned into
+ *    routines (program entry + every `jal` target + labelled blocks not
+ *    otherwise reachable, so uncalled runtime routines still get
+ *    analyzed);
+ *  - the raw edge lists (Call edges included) for whole-program
+ *    reachability and call-graph construction.
+ */
+#ifndef MTS_ANALYSIS_CFG_HPP
+#define MTS_ANALYSIS_CFG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "opt/basic_blocks.hpp"
+
+namespace mts
+{
+
+/** How control reaches the edge's destination block. */
+enum class EdgeKind : std::uint8_t
+{
+    Fallthrough,  ///< next block in layout order (incl. after a `jal`)
+    Branch,       ///< taken conditional branch
+    Jump,         ///< unconditional `j`
+    Call,         ///< `jal` target (interprocedural)
+};
+
+/** One CFG edge; @p to / @p from is a block id. */
+struct CfgEdge
+{
+    std::int32_t block;
+    EdgeKind kind;
+};
+
+/** One basic block with explicit edges. */
+struct CfgBlock
+{
+    std::int32_t id = 0;
+    BlockRange range{0, 0};
+    std::vector<CfgEdge> succs;
+    std::vector<CfgEdge> preds;
+
+    std::int32_t
+    size() const
+    {
+        return range.end - range.begin;
+    }
+};
+
+/** Control-flow graph of one Program (see file comment). */
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &program);
+
+    const Program &program() const { return *prog; }
+    const std::vector<CfgBlock> &blocks() const { return blocks_; }
+
+    const CfgBlock &
+    block(std::int32_t id) const
+    {
+        return blocks_[static_cast<std::size_t>(id)];
+    }
+
+    std::int32_t
+    numBlocks() const
+    {
+        return static_cast<std::int32_t>(blocks_.size());
+    }
+
+    /** Block containing instruction @p inst (-1 for empty programs). */
+    std::int32_t blockOf(std::int32_t inst) const;
+
+    /** Block containing the program entry point (-1 when empty). */
+    std::int32_t entryBlock() const;
+
+    /**
+     * Routine entry blocks: the program entry, every `jal` target, and
+     * (iteratively) any labelled block not reachable from the entries
+     * found so far — so uncalled library routines are still covered.
+     */
+    const std::vector<std::int32_t> &routineEntries() const
+    {
+        return routineEntries_;
+    }
+
+    /**
+     * Blocks of the routine rooted at @p entry, in reverse post-order
+     * over intraprocedural edges (Call edges skipped, `jal` falls
+     * through). Routines that share tail blocks overlap.
+     */
+    std::vector<std::int32_t> routineBlocks(std::int32_t entry) const;
+
+    /** True if @p block lies on an intraprocedural cycle. */
+    bool
+    blockInCycle(std::int32_t block) const
+    {
+        return inCycle_[static_cast<std::size_t>(block)];
+    }
+
+    /** Strongly-connected-component id of @p block (intraprocedural
+     *  edges; ids are arbitrary but stable per Cfg). */
+    std::int32_t
+    sccOf(std::int32_t block) const
+    {
+        return sccOf_[static_cast<std::size_t>(block)];
+    }
+
+    /** Call targets (block ids) of `jal` instructions, deduplicated. */
+    const std::vector<std::int32_t> &callTargets() const
+    {
+        return callTargets_;
+    }
+
+  private:
+    void buildEdges();
+    void computeCycles();
+    void computeRoutineEntries();
+
+    const Program *prog;
+    std::vector<CfgBlock> blocks_;
+    std::vector<std::int32_t> blockOf_;  ///< inst index -> block id
+    std::vector<std::int32_t> routineEntries_;
+    std::vector<std::int32_t> callTargets_;
+    std::vector<std::int32_t> sccOf_;
+    std::vector<bool> inCycle_;
+};
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_CFG_HPP

@@ -1,0 +1,525 @@
+#include "analysis/checkers.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+std::string
+regName(RegId r)
+{
+    return format("%c%u", r < 32 ? 'r' : 'f', r < 32 ? r : r - 32);
+}
+
+/** Routine entry blocks paired with the registers defined on entry. */
+std::vector<std::pair<std::int32_t, RegSet>>
+routineEntryStates(const Cfg &cfg, const LintOptions &opts)
+{
+    std::vector<std::pair<std::int32_t, RegSet>> entries;
+    for (std::int32_t e : cfg.routineEntries()) {
+        // Called routines assume a well-formed caller: everything the
+        // callee reads is the caller's responsibility, so all registers
+        // count as defined. Only the program entry starts cold.
+        RegSet defined =
+            e == cfg.entryBlock() ? opts.entryDefined : ~RegSet{0};
+        entries.push_back({e, defined});
+    }
+    return entries;
+}
+
+// ---------------------------------------------------------------------
+// use-before-def
+// ---------------------------------------------------------------------
+
+/** Forward undefined-register analysis; union meet gives "maybe
+ *  undefined along some path", intersection gives "undefined along
+ *  every path". */
+struct UndefDomain
+{
+    using Value = RegSet;
+
+    const Cfg &cfg;
+    RegSet entryUndef;
+    bool mayAnalysis;  ///< union meet (else intersection)
+
+    Value boundary() const { return entryUndef; }
+    Value top() const { return mayAnalysis ? RegSet{0} : ~RegSet{0}; }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        if (mayAnalysis)
+            into |= from;
+        else
+            into &= from;
+    }
+
+    Value
+    transfer(std::int32_t block, Value v) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+            v &= ~instDefs(code[static_cast<std::size_t>(pc)]);
+        return v;
+    }
+};
+
+void
+useBeforeDefInRoutine(const Cfg &cfg, std::int32_t entry, RegSet defined,
+                      std::set<std::pair<std::int32_t, RegId>> &seen,
+                      LintReport &report)
+{
+    auto blocks = cfg.routineBlocks(entry);
+    UndefDomain may{cfg, ~defined, true};
+    UndefDomain must{cfg, ~defined, false};
+    auto maySol = solveDataflow(cfg, Direction::Forward, may, blocks);
+    auto mustSol = solveDataflow(cfg, Direction::Forward, must, blocks);
+
+    const Program &prog = cfg.program();
+    std::string entryName =
+        prog.positionOf(cfg.block(entry).range.begin);
+    for (std::int32_t b : blocks) {
+        RegSet mayU = maySol.in[static_cast<std::size_t>(b)];
+        RegSet mustU = mustSol.in[static_cast<std::size_t>(b)];
+        const CfgBlock &blk = cfg.block(b);
+        for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+             ++pc) {
+            const Instruction &inst =
+                prog.code[static_cast<std::size_t>(pc)];
+            RegSet uses = instUses(inst);
+            for (RegId r = 0; r < kNumRegIds; ++r) {
+                if (!(uses & regBit(r)))
+                    continue;
+                if (mustU & regBit(r)) {
+                    if (seen.insert({pc, r}).second)
+                        report.add(
+                            prog, Severity::Error, "use-before-def", pc,
+                            format("%s is read but never written on any "
+                                   "path from %s",
+                                   regName(r).c_str(),
+                                   entryName.c_str()));
+                } else if (mayU & regBit(r)) {
+                    if (seen.insert({pc, r}).second)
+                        report.add(
+                            prog, Severity::Warning, "use-before-def",
+                            pc,
+                            format("%s may be read before it is written "
+                                   "(some path from %s skips the "
+                                   "write)",
+                                   regName(r).c_str(),
+                                   entryName.c_str()));
+                }
+            }
+            mayU &= ~instDefs(inst);
+            mustU &= ~instDefs(inst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// split-phase hazard
+// ---------------------------------------------------------------------
+
+/** In-flight shared-load destinations with no `cswitch` since issue. */
+struct InFlightDomain
+{
+    using Value = RegSet;
+
+    const Cfg &cfg;
+
+    Value boundary() const { return 0; }
+    Value top() const { return 0; }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        into |= from;
+    }
+
+    static RegSet
+    step(const Instruction &inst, RegSet v)
+    {
+        if (inst.op == Opcode::CSWITCH)
+            return 0;
+        v &= ~instDefs(inst);
+        if (isSharedLoad(inst.op))
+            v |= instDefs(inst);
+        return v;
+    }
+
+    Value
+    transfer(std::int32_t block, Value v) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+            v = step(code[static_cast<std::size_t>(pc)], v);
+        return v;
+    }
+};
+
+// ---------------------------------------------------------------------
+// spin/lock discipline: priority lattice
+// ---------------------------------------------------------------------
+
+/**
+ * Abstract thread priority: Bot = unreachable, Entry = whatever it was
+ * at routine entry (symbolic), Low/High = setpri 0/1, Top = differs by
+ * path. The same values serve as routine summaries (Entry = identity,
+ * Low/High = sets-to, Top = unknown, Bot = never returns).
+ */
+enum class Pri : std::uint8_t
+{
+    Bot,
+    Entry,
+    Low,
+    High,
+    Top
+};
+
+Pri
+meetPri(Pri a, Pri b)
+{
+    if (a == Pri::Bot)
+        return b;
+    if (b == Pri::Bot)
+        return a;
+    return a == b ? a : Pri::Top;
+}
+
+/** Value after a call given the callee summary. */
+Pri
+applySummary(Pri summary, Pri v)
+{
+    switch (summary) {
+      case Pri::Bot:
+        return Pri::Bot;  // callee never returns
+      case Pri::Entry:
+        return v;  // callee leaves priority alone
+      case Pri::Low:
+      case Pri::High:
+        return summary;
+      case Pri::Top:
+        return Pri::Top;
+    }
+    return Pri::Top;
+}
+
+struct PriDomain
+{
+    using Value = Pri;
+
+    const Cfg &cfg;
+    const std::map<std::int32_t, Pri> &summaries;  ///< entry block -> effect
+    Pri entryValue;
+
+    Value boundary() const { return entryValue; }
+    Value top() const { return Pri::Bot; }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        into = meetPri(into, from);
+    }
+
+    Pri
+    stepInst(const Instruction &inst, Pri v) const
+    {
+        if (v == Pri::Bot)
+            return v;
+        if (inst.op == Opcode::SETPRI)
+            return inst.imm == 0 ? Pri::Low
+                   : inst.imm == 1 ? Pri::High
+                                   : Pri::Top;
+        if (inst.op == Opcode::JAL && inst.target >= 0) {
+            auto it = summaries.find(cfg.blockOf(inst.target));
+            return applySummary(
+                it == summaries.end() ? Pri::Top : it->second, v);
+        }
+        return v;
+    }
+
+    Value
+    transfer(std::int32_t block, Value v) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+            v = stepInst(code[static_cast<std::size_t>(pc)], v);
+        return v;
+    }
+};
+
+/** Summary of one routine under the current summary map: the meet of
+ *  the out-values of its `jr`-terminated blocks with symbolic entry. */
+Pri
+routineSummary(const Cfg &cfg, std::int32_t entry,
+               const std::map<std::int32_t, Pri> &summaries)
+{
+    auto blocks = cfg.routineBlocks(entry);
+    PriDomain dom{cfg, summaries, Pri::Entry};
+    auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+    Pri out = Pri::Bot;
+    const auto &code = cfg.program().code;
+    for (std::int32_t b : blocks) {
+        const CfgBlock &blk = cfg.block(b);
+        if (blk.size() > 0 &&
+            code[static_cast<std::size_t>(blk.range.end - 1)].op ==
+                Opcode::JR)
+            out = meetPri(out, sol.out[static_cast<std::size_t>(b)]);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// public checkers
+// ---------------------------------------------------------------------
+
+void
+checkUseBeforeDef(const Cfg &cfg, const LintOptions &opts,
+                  LintReport &report)
+{
+    std::set<std::pair<std::int32_t, RegId>> seen;
+    for (const auto &[entry, defined] : routineEntryStates(cfg, opts))
+        useBeforeDefInRoutine(cfg, entry, defined, seen, report);
+}
+
+void
+checkSplitPhase(const Cfg &cfg, const LintOptions &opts,
+                LintReport &report)
+{
+    (void)opts;
+    const Program &prog = cfg.program();
+    std::set<std::pair<std::int32_t, RegId>> seen;
+    for (std::int32_t entry : cfg.routineEntries()) {
+        auto blocks = cfg.routineBlocks(entry);
+        InFlightDomain dom{cfg};
+        auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+        for (std::int32_t b : blocks) {
+            RegSet inflight = sol.in[static_cast<std::size_t>(b)];
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                const Instruction &inst =
+                    prog.code[static_cast<std::size_t>(pc)];
+                RegSet hazard = instUses(inst) & inflight;
+                for (RegId r = 0; r < kNumRegIds; ++r)
+                    if ((hazard & regBit(r)) &&
+                        seen.insert({pc, r}).second)
+                        report.add(
+                            prog, Severity::Error, "split-phase", pc,
+                            format("%s holds an in-flight shared-load "
+                                   "result; explicit-switch hardware "
+                                   "needs a cswitch between the load "
+                                   "and this use",
+                                   regName(r).c_str()));
+                inflight = InFlightDomain::step(inst, inflight);
+            }
+        }
+    }
+}
+
+void
+checkRunLength(const Cfg &cfg, const LintOptions &opts,
+               LintReport &report)
+{
+    const Program &prog = cfg.program();
+    const auto &code = prog.code;
+    const std::uint64_t limit = opts.sliceLimit;
+    if (limit == 0)
+        return;
+
+    // Loops with no context-switch point run unboundedly long under
+    // conditional-switch (the slice limit can only act at a cswitch).
+    std::map<std::int32_t, std::int32_t> sccHead;  // scc id -> first block
+    std::map<std::int32_t, bool> sccHasSwitch;
+    for (const CfgBlock &b : cfg.blocks()) {
+        if (!cfg.blockInCycle(b.id))
+            continue;
+        std::int32_t scc = cfg.sccOf(b.id);
+        if (!sccHead.count(scc))
+            sccHead[scc] = b.id;
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+            if (code[static_cast<std::size_t>(pc)].op == Opcode::CSWITCH)
+                sccHasSwitch[scc] = true;
+    }
+    for (const auto &[scc, head] : sccHead) {
+        if (sccHasSwitch.count(scc))
+            continue;
+        report.add(prog, Severity::Warning, "run-length",
+                   cfg.block(head).range.begin,
+                   "loop contains no context-switch point: run length "
+                   "is unbounded under conditional-switch");
+    }
+
+    // Worst-case acyclic run length between switch points, per routine.
+    // Retreating edges are excluded from propagation (the loop case is
+    // reported above); the static cycle estimate charges every
+    // instruction its full result latency (serial-chain worst case,
+    // shared accesses assumed to hit).
+    std::set<std::int32_t> reported;
+    for (std::int32_t entry : cfg.routineEntries()) {
+        auto blocks = cfg.routineBlocks(entry);
+        std::unordered_map<std::int32_t, std::size_t> rpoIndex;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            rpoIndex[blocks[i]] = i;
+        std::unordered_map<std::int32_t, std::uint64_t> runOut;
+        for (std::int32_t b : blocks) {
+            std::uint64_t runIn = 0;
+            for (const CfgEdge &e : cfg.block(b).preds) {
+                if (e.kind == EdgeKind::Call)
+                    continue;
+                auto it = rpoIndex.find(e.block);
+                if (it == rpoIndex.end() ||
+                    it->second >= rpoIndex[b])  // retreating edge
+                    continue;
+                auto ro = runOut.find(e.block);
+                if (ro != runOut.end())
+                    runIn = std::max(runIn, ro->second);
+            }
+            std::uint64_t acc = runIn;
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                const Instruction &inst =
+                    code[static_cast<std::size_t>(pc)];
+                if (inst.op == Opcode::CSWITCH) {
+                    acc = 0;
+                    continue;
+                }
+                std::uint64_t prev = acc;
+                acc += static_cast<std::uint64_t>(
+                    std::max(1, resultLatency(inst.op)));
+                if (prev <= limit && acc > limit &&
+                    reported.insert(pc).second)
+                    report.add(
+                        prog, Severity::Warning, "run-length", pc,
+                        format("worst-case run reaches %llu cycles "
+                               "here with no context-switch point "
+                               "(conditional-switch slice limit is "
+                               "%llu)",
+                               (unsigned long long)acc,
+                               (unsigned long long)limit));
+            }
+            std::uint64_t &slot = runOut[b];
+            slot = std::max(slot, acc);
+        }
+    }
+}
+
+void
+checkSpinLock(const Cfg &cfg, const LintOptions &opts, LintReport &report)
+{
+    (void)opts;
+    const Program &prog = cfg.program();
+    const auto &code = prog.code;
+
+    // lds.spin must spin: its block must lie on a CFG cycle.
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].op != Opcode::LDS_SPIN)
+            continue;
+        if (!cfg.blockInCycle(cfg.blockOf(static_cast<std::int32_t>(pc))))
+            report.add(prog, Severity::Error, "spin-lock",
+                       static_cast<std::int32_t>(pc),
+                       "lds.spin outside any loop: spin loads are "
+                       "excluded from bandwidth accounting and must "
+                       "only be used for spinning");
+    }
+
+    // setpri pairing: fixpoint over per-routine priority summaries,
+    // then a diagnostic pass with concrete entry values.
+    std::map<std::int32_t, Pri> summaries;
+    for (std::int32_t entry : cfg.routineEntries())
+        summaries[entry] = Pri::Bot;
+    for (int iter = 0; iter < 3 * static_cast<int>(summaries.size()) + 3;
+         ++iter) {
+        bool changed = false;
+        for (auto &[entry, current] : summaries) {
+            Pri next = routineSummary(cfg, entry, summaries);
+            if (next != current) {
+                current = next;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    std::set<std::int32_t> seen;
+    for (std::int32_t entry : cfg.routineEntries()) {
+        auto blocks = cfg.routineBlocks(entry);
+        Pri entryValue =
+            entry == cfg.entryBlock() ? Pri::Low : Pri::Entry;
+        PriDomain dom{cfg, summaries, entryValue};
+        auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+        for (std::int32_t b : blocks) {
+            Pri v = sol.in[static_cast<std::size_t>(b)];
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                const Instruction &inst =
+                    code[static_cast<std::size_t>(pc)];
+                if (inst.op == Opcode::HALT && seen.insert(pc).second) {
+                    if (v == Pri::High)
+                        report.add(prog, Severity::Error, "spin-lock",
+                                   pc,
+                                   "thread halts with raised priority: "
+                                   "setpri 1 has no matching setpri 0 "
+                                   "on this path");
+                    else if (v == Pri::Top)
+                        report.add(prog, Severity::Warning, "spin-lock",
+                                   pc,
+                                   "priority at halt depends on the "
+                                   "path taken (unbalanced setpri "
+                                   "pairing)");
+                }
+                if (inst.op == Opcode::SETPRI &&
+                    ((inst.imm == 1 && v == Pri::High) ||
+                     (inst.imm == 0 && v == Pri::Low)) &&
+                    seen.insert(pc).second)
+                    report.add(prog, Severity::Info, "spin-lock", pc,
+                               format("redundant setpri %lld: priority "
+                                      "is already %s on every path "
+                                      "here",
+                                      (long long)inst.imm,
+                                      inst.imm ? "raised" : "normal"));
+                if (inst.op == Opcode::JR && v == Pri::Top &&
+                    seen.insert(pc).second)
+                    report.add(prog, Severity::Warning, "spin-lock", pc,
+                               "routine returns with path-dependent "
+                               "priority (unbalanced setpri pairing)");
+                v = dom.stepInst(inst, v);
+            }
+        }
+    }
+}
+
+LintReport
+runLint(const Program &prog, const LintOptions &opts)
+{
+    LintReport report;
+    if (prog.code.empty())
+        return report;
+    Cfg cfg(prog);
+    checkUseBeforeDef(cfg, opts, report);
+    if (opts.grouped) {
+        checkSplitPhase(cfg, opts, report);
+        checkRunLength(cfg, opts, report);
+    }
+    checkSpinLock(cfg, opts, report);
+    report.sort();
+    return report;
+}
+
+} // namespace mts

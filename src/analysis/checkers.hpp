@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The mtlint checker suite.
+ *
+ * Four CFG/dataflow checkers run over any program (the fifth checker,
+ * grouping-pass translation validation, lives in verify_grouping.hpp
+ * because it compares two programs):
+ *
+ *  - use-before-def: a register read before any write along some
+ *    (warning) or every (error) path from its routine entry;
+ *  - split-phase: the destination of an in-flight shared load consumed
+ *    with no intervening `cswitch` — the invariant explicit-switch
+ *    hardware depends on, so it only applies to grouped code;
+ *  - run-length: worst-case static cycles between context-switch
+ *    points, against the conditional-switch slice limit (Section 5.2);
+ *    loops with no switch point are reported as unbounded;
+ *  - spin-lock: `lds.spin` must sit inside a spin loop (a CFG cycle) —
+ *    the bandwidth accounting of paper footnote 2 assumes it — and
+ *    `setpri 1`/`setpri 0` must pair up on every path, checked
+ *    interprocedurally through per-routine priority summaries.
+ */
+#ifndef MTS_ANALYSIS_CHECKERS_HPP
+#define MTS_ANALYSIS_CHECKERS_HPP
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace mts
+{
+
+/** Registers architecturally defined at thread startup: r0, a0 = thread
+ *  id, a1 = thread count, sp = top of local memory. */
+constexpr RegSet kEntryDefinedRegs =
+    regBit(intReg(kRegZero)) | regBit(intReg(kRegArg0)) |
+    regBit(intReg(kRegArg1)) | regBit(intReg(kRegSp));
+
+/** Tuning knobs shared by the checkers. */
+struct LintOptions
+{
+    /**
+     * The program is grouping-pass output (destined for the explicit-
+     * or conditional-switch models). Enables the split-phase and
+     * run-length checkers, which are meaningless on raw code — raw
+     * code relies on hardware use-detection and has no switch points.
+     */
+    bool grouped = false;
+
+    /** Conditional-switch run-length limit in cycles (Section 5.2). */
+    std::uint64_t sliceLimit = 200;
+
+    /** Registers assumed defined at program entry. */
+    RegSet entryDefined = kEntryDefinedRegs;
+};
+
+/// @name Individual checkers (append findings to @p report).
+/// @{
+void checkUseBeforeDef(const Cfg &cfg, const LintOptions &opts,
+                       LintReport &report);
+void checkSplitPhase(const Cfg &cfg, const LintOptions &opts,
+                     LintReport &report);
+void checkRunLength(const Cfg &cfg, const LintOptions &opts,
+                    LintReport &report);
+void checkSpinLock(const Cfg &cfg, const LintOptions &opts,
+                   LintReport &report);
+/// @}
+
+/**
+ * Run every applicable checker over @p prog (split-phase and run-length
+ * only when opts.grouped). Translation validation is separate — see
+ * verifyGroupingPass().
+ */
+LintReport runLint(const Program &prog, const LintOptions &opts = {});
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_CHECKERS_HPP

@@ -1,0 +1,42 @@
+#include "analysis/dataflow.hpp"
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+RegSet
+instUses(const Instruction &inst)
+{
+    Operands ops = getOperands(inst);
+    RegSet s = 0;
+    for (int i = 0; i < ops.numUses; ++i)
+        s |= regBit(ops.uses[i]);
+    return s & ~regBit(intReg(kRegZero));  // r0 always reads as 0
+}
+
+RegSet
+instDefs(const Instruction &inst)
+{
+    Operands ops = getOperands(inst);  // addDef already drops r0
+    RegSet s = 0;
+    for (int i = 0; i < ops.numDefs; ++i)
+        s |= regBit(ops.defs[i]);
+    return s;
+}
+
+std::string
+regSetNames(RegSet s)
+{
+    std::string out;
+    for (RegId r = 0; r < kNumRegIds; ++r) {
+        if (!(s & regBit(r)))
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += format("%c%u", r < 32 ? 'r' : 'f', r < 32 ? r : r - 32);
+    }
+    return out;
+}
+
+} // namespace mts

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Generic worklist dataflow engine over a Cfg, plus the 64-bit register
+ * set the register-level analyses share.
+ *
+ * The engine is direction-parametric (forward / backward) and solves the
+ * usual meet-over-paths fixpoint on a *subset* of blocks (a routine, as
+ * produced by Cfg::routineBlocks) using only intraprocedural edges. A
+ * Domain supplies the lattice:
+ *
+ *     struct Domain {
+ *         using Value = ...;        // equality-comparable
+ *         Value boundary() const;   // entry (fwd) / exit (bwd) value
+ *         Value top() const;        // meet identity, initial value
+ *         void  meetInto(Value &into, const Value &from) const;
+ *         Value transfer(std::int32_t block, Value v) const;
+ *     };
+ *
+ * Both banks fit one word: RegSet is a 64-bit mask over bank-tagged
+ * RegIds (bits 0..31 integer, 32..63 floating point), so the register
+ * analyses (liveness, use-before-def) are plain bitwise transfers.
+ */
+#ifndef MTS_ANALYSIS_DATAFLOW_HPP
+#define MTS_ANALYSIS_DATAFLOW_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "isa/instruction.hpp"
+
+namespace mts
+{
+
+/// @name Register sets (both banks in one 64-bit mask).
+/// @{
+using RegSet = std::uint64_t;
+
+constexpr RegSet
+regBit(RegId r)
+{
+    return RegSet{1} << r;
+}
+
+constexpr RegSet kIntRegMask = 0x00000000FFFFFFFFull;
+constexpr RegSet kFpRegMask = 0xFFFFFFFF00000000ull;
+
+/** Registers read by @p inst. */
+RegSet instUses(const Instruction &inst);
+
+/** Registers written by @p inst (r0 excluded — never a real def). */
+RegSet instDefs(const Instruction &inst);
+
+/** Render a set as "r4, r5, f2" for diagnostics. */
+std::string regSetNames(RegSet s);
+/// @}
+
+enum class Direction
+{
+    Forward,
+    Backward
+};
+
+/** Fixpoint solution: per-block entry and exit values (block-id indexed;
+ *  blocks outside the solved subset keep top()). */
+template <class Domain>
+struct DataflowResult
+{
+    std::vector<typename Domain::Value> in;
+    std::vector<typename Domain::Value> out;
+};
+
+/**
+ * Solve @p dom over @p blocks (a reverse-post-order routine as returned
+ * by Cfg::routineBlocks; the first element is the routine entry).
+ * Intraprocedural edges only; edges leaving the subset are ignored.
+ */
+template <class Domain>
+DataflowResult<Domain>
+solveDataflow(const Cfg &cfg, Direction dir, const Domain &dom,
+              const std::vector<std::int32_t> &blocks)
+{
+    using Value = typename Domain::Value;
+    const std::size_t n = static_cast<std::size_t>(cfg.numBlocks());
+    DataflowResult<Domain> res;
+    res.in.assign(n, dom.top());
+    res.out.assign(n, dom.top());
+    if (blocks.empty())
+        return res;
+
+    std::vector<bool> inSubset(n, false);
+    for (std::int32_t b : blocks)
+        inSubset[static_cast<std::size_t>(b)] = true;
+
+    // Boundary: the routine entry for forward problems; every block
+    // without an intraprocedural successor inside the subset (halt/jr
+    // exits) for backward ones.
+    const bool fwd = dir == Direction::Forward;
+    auto edgesIn = [&](std::int32_t b) {
+        return fwd ? cfg.block(b).preds : cfg.block(b).succs;
+    };
+
+    std::deque<std::int32_t> work;
+    std::vector<bool> queued(n, false);
+    // Seed in iteration order: RPO for forward, reverse RPO for backward.
+    if (fwd)
+        for (std::int32_t b : blocks)
+            work.push_back(b);
+    else
+        for (auto it = blocks.rbegin(); it != blocks.rend(); ++it)
+            work.push_back(*it);
+    for (std::int32_t b : blocks)
+        queued[static_cast<std::size_t>(b)] = true;
+
+    auto isBoundary = [&](std::int32_t b) {
+        if (fwd)
+            return b == blocks.front();
+        for (const CfgEdge &e : cfg.block(b).succs)
+            if (e.kind != EdgeKind::Call &&
+                inSubset[static_cast<std::size_t>(e.block)])
+                return false;
+        return true;
+    };
+
+    while (!work.empty()) {
+        std::int32_t b = work.front();
+        work.pop_front();
+        queued[static_cast<std::size_t>(b)] = false;
+
+        Value entry = isBoundary(b) ? dom.boundary() : dom.top();
+        for (const CfgEdge &e : edgesIn(b)) {
+            if (e.kind == EdgeKind::Call ||
+                !inSubset[static_cast<std::size_t>(e.block)])
+                continue;
+            const Value &flow =
+                fwd ? res.out[static_cast<std::size_t>(e.block)]
+                    : res.in[static_cast<std::size_t>(e.block)];
+            dom.meetInto(entry, flow);
+        }
+
+        Value &stored = fwd ? res.in[static_cast<std::size_t>(b)]
+                            : res.out[static_cast<std::size_t>(b)];
+        stored = entry;
+        Value exit = dom.transfer(b, std::move(entry));
+        Value &storedOut = fwd ? res.out[static_cast<std::size_t>(b)]
+                               : res.in[static_cast<std::size_t>(b)];
+        const bool changed = !(storedOut == exit);
+        storedOut = std::move(exit);
+        if (changed) {
+            const auto &next =
+                fwd ? cfg.block(b).succs : cfg.block(b).preds;
+            for (const CfgEdge &e : next) {
+                if (e.kind == EdgeKind::Call ||
+                    !inSubset[static_cast<std::size_t>(e.block)] ||
+                    queued[static_cast<std::size_t>(e.block)])
+                    continue;
+                queued[static_cast<std::size_t>(e.block)] = true;
+                work.push_back(e.block);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_DATAFLOW_HPP

@@ -1,0 +1,112 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+std::string_view
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+void
+LintReport::add(const Program &prog, Severity severity,
+                std::string_view checker, std::int32_t pc,
+                std::string message)
+{
+    Diag d;
+    d.severity = severity;
+    d.checker = std::string(checker);
+    d.pc = pc;
+    d.message = std::move(message);
+    if (pc >= 0 && static_cast<std::size_t>(pc) < prog.code.size()) {
+        d.line = prog.code[static_cast<std::size_t>(pc)].srcLine;
+        d.label = prog.positionOf(pc);
+    }
+    diags_.push_back(std::move(d));
+}
+
+std::size_t
+LintReport::count(Severity s) const
+{
+    std::size_t n = 0;
+    for (const Diag &d : diags_)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+void
+LintReport::sort()
+{
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diag &a, const Diag &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         if (a.severity != b.severity)
+                             return a.severity > b.severity;
+                         return a.checker < b.checker;
+                     });
+}
+
+std::string
+LintReport::renderText(const Program &prog) const
+{
+    std::ostringstream os;
+    for (const Diag &d : diags_) {
+        os << severityName(d.severity) << ": [" << d.checker << "] ";
+        if (d.pc >= 0) {
+            os << d.label << " (pc " << d.pc;
+            if (d.line)
+                os << ", line " << d.line;
+            os << "): ";
+        }
+        os << d.message << "\n";
+        std::string src = prog.sourceLine(d.line);
+        if (!src.empty())
+            os << "    > " << src << "\n";
+    }
+    return os.str();
+}
+
+JsonValue
+LintReport::toJson(const std::string &programName, bool grouped) const
+{
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = kSchema;
+    doc["program"] = programName;
+    doc["grouped"] = grouped;
+    JsonValue counts = JsonValue::object();
+    counts["error"] = std::uint64_t(count(Severity::Error));
+    counts["warning"] = std::uint64_t(count(Severity::Warning));
+    counts["info"] = std::uint64_t(count(Severity::Info));
+    doc["counts"] = std::move(counts);
+    JsonValue arr = JsonValue::array();
+    for (const Diag &d : diags_) {
+        JsonValue j = JsonValue::object();
+        j["severity"] = std::string(severityName(d.severity));
+        j["checker"] = d.checker;
+        j["pc"] = d.pc;
+        j["line"] = std::uint64_t(d.line);
+        j["label"] = d.label;
+        j["message"] = d.message;
+        arr.push(std::move(j));
+    }
+    doc["diagnostics"] = std::move(arr);
+    return doc;
+}
+
+} // namespace mts

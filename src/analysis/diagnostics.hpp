@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Diagnostics produced by the mtlint checkers and the grouping-pass
+ * translation validator.
+ *
+ * A Diag pins one finding to an instruction (pc), its source line and
+ * its "label+offset" position; a LintReport collects, orders and
+ * renders them — as compiler-style text (quoting the offending source
+ * line when the Program carries its source) and as an `mts.lint/1`
+ * JSON document through src/util/json.hpp.
+ */
+#ifndef MTS_ANALYSIS_DIAGNOSTICS_HPP
+#define MTS_ANALYSIS_DIAGNOSTICS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "util/json.hpp"
+
+namespace mts
+{
+
+enum class Severity : std::uint8_t
+{
+    Info,
+    Warning,
+    Error
+};
+
+std::string_view severityName(Severity s);
+
+/** One finding. */
+struct Diag
+{
+    Severity severity = Severity::Warning;
+    std::string checker;       ///< checker id ("use-before-def", ...)
+    std::int32_t pc = -1;      ///< instruction index (-1: whole program)
+    std::uint32_t line = 0;    ///< 1-based source line (0: unknown)
+    std::string label;         ///< "label+offset" position
+    std::string message;
+};
+
+/** Ordered collection of findings for one analyzed program. */
+class LintReport
+{
+  public:
+    /** Schema tag of the JSON document. */
+    static constexpr const char *kSchema = "mts.lint/1";
+
+    /** Record a finding against instruction @p pc (fills line/label
+     *  from @p prog; pass pc -1 for program-level findings). */
+    void add(const Program &prog, Severity severity,
+             std::string_view checker, std::int32_t pc,
+             std::string message);
+
+    const std::vector<Diag> &diags() const { return diags_; }
+    std::size_t count(Severity s) const;
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Stable order: by pc, then severity (worst first), then checker. */
+    void sort();
+
+    /** Compiler-style text, one finding per line, quoting the source
+     *  line when available; "" when there are no findings. */
+    std::string renderText(const Program &prog) const;
+
+    /** The `mts.lint/1` document. @p programName names what was
+     *  analyzed; @p grouped records whether the grouping pass ran. */
+    JsonValue toJson(const std::string &programName, bool grouped) const;
+
+  private:
+    std::vector<Diag> diags_;
+};
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_DIAGNOSTICS_HPP

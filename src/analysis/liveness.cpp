@@ -1,0 +1,67 @@
+#include "analysis/liveness.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+struct LivenessDomain
+{
+    using Value = RegSet;
+
+    const Cfg &cfg;
+    RegSet exitLive;
+
+    Value boundary() const { return exitLive; }
+    Value top() const { return 0; }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        into |= from;  // may-analysis: union
+    }
+
+    Value
+    transfer(std::int32_t block, Value liveOut) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.end - 1; pc >= b.range.begin;
+             --pc) {
+            const Instruction &inst =
+                code[static_cast<std::size_t>(pc)];
+            liveOut &= ~instDefs(inst);
+            liveOut |= instUses(inst);
+        }
+        return liveOut;
+    }
+};
+
+} // namespace
+
+RegSet
+LivenessResult::liveBefore(const Cfg &cfg, std::int32_t pc) const
+{
+    std::int32_t blockId = cfg.blockOf(pc);
+    const CfgBlock &b = cfg.block(blockId);
+    RegSet live = liveOut[static_cast<std::size_t>(blockId)];
+    const auto &code = cfg.program().code;
+    for (std::int32_t i = b.range.end - 1; i >= pc; --i) {
+        const Instruction &inst = code[static_cast<std::size_t>(i)];
+        live &= ~instDefs(inst);
+        live |= instUses(inst);
+    }
+    return live;
+}
+
+LivenessResult
+computeLiveness(const Cfg &cfg, const std::vector<std::int32_t> &blocks,
+                RegSet exitLive)
+{
+    LivenessDomain dom{cfg, exitLive};
+    auto sol = solveDataflow(cfg, Direction::Backward, dom, blocks);
+    return {std::move(sol.in), std::move(sol.out)};
+}
+
+} // namespace mts

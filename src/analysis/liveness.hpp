@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Register liveness over both banks: the classic backward may-analysis
+ * instantiated on the generic dataflow engine.
+ */
+#ifndef MTS_ANALYSIS_LIVENESS_HPP
+#define MTS_ANALYSIS_LIVENESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+
+namespace mts
+{
+
+/** Per-block liveness solution for one routine. */
+struct LivenessResult
+{
+    /** Registers live on entry / exit of each block (block-id indexed;
+     *  blocks outside the routine hold 0). */
+    std::vector<RegSet> liveIn;
+    std::vector<RegSet> liveOut;
+
+    /** Registers live immediately before instruction @p pc. */
+    RegSet liveBefore(const Cfg &cfg, std::int32_t pc) const;
+};
+
+/**
+ * Solve liveness for the routine @p blocks (Cfg::routineBlocks order).
+ *
+ * @param exitLive Registers considered live at routine exits: pass
+ *        ~RegSet{0} for `jr` routines (the caller may read anything) or
+ *        0 when the routine ends the thread (`halt`).
+ */
+LivenessResult computeLiveness(const Cfg &cfg,
+                               const std::vector<std::int32_t> &blocks,
+                               RegSet exitLive);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_LIVENESS_HPP

@@ -1,0 +1,152 @@
+#include "analysis/reaching_defs.hpp"
+
+#include <array>
+#include <unordered_map>
+
+namespace mts
+{
+
+namespace
+{
+
+using Bits = std::vector<std::uint64_t>;
+
+void
+setBit(Bits &b, std::size_t i)
+{
+    b[i / 64] |= std::uint64_t{1} << (i % 64);
+}
+
+bool
+getBit(const Bits &b, std::size_t i)
+{
+    return (b[i / 64] >> (i % 64)) & 1;
+}
+
+struct ReachingDomain
+{
+    using Value = Bits;
+
+    const Cfg &cfg;
+    const std::vector<DefSite> &sites;
+    std::size_t words;
+    /** Sites defining each register (for kill sets). */
+    const std::array<Bits, kNumRegIds> &sitesOfReg;
+    /** Sites at each instruction (gen sets). */
+    const std::unordered_map<std::int32_t, Bits> &sitesAtPc;
+    Bits entryValue;
+
+    Value boundary() const { return entryValue; }
+    Value top() const { return Bits(words, 0); }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        for (std::size_t i = 0; i < words; ++i)
+            into[i] |= from[i];
+    }
+
+    Value
+    transfer(std::int32_t block, Value v) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc) {
+            RegSet defs = instDefs(code[static_cast<std::size_t>(pc)]);
+            if (!defs)
+                continue;
+            for (RegId r = 0; r < kNumRegIds; ++r)
+                if (defs & regBit(r))
+                    for (std::size_t i = 0; i < words; ++i)
+                        v[i] &= ~sitesOfReg[r][i];
+            auto it = sitesAtPc.find(pc);
+            if (it != sitesAtPc.end())
+                for (std::size_t i = 0; i < words; ++i)
+                    v[i] |= it->second[i];
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+std::vector<DefSite>
+ReachingDefsResult::reachingAt(const Cfg &cfg, std::int32_t pc,
+                               RegId reg) const
+{
+    std::int32_t blockId = cfg.blockOf(pc);
+    const CfgBlock &b = cfg.block(blockId);
+    Bits cur = in[static_cast<std::size_t>(blockId)];
+    const auto &code = cfg.program().code;
+    // Replay the block prefix up to (not including) pc.
+    for (std::int32_t i = b.range.begin; i < pc; ++i) {
+        RegSet defs = instDefs(code[static_cast<std::size_t>(i)]);
+        if (!defs)
+            continue;
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+            if (defs & regBit(sites[s].reg)) {
+                if (sites[s].pc == i)
+                    setBit(cur, s);
+                else
+                    cur[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+            }
+        }
+    }
+    std::vector<DefSite> result;
+    for (std::size_t s = 0; s < sites.size(); ++s)
+        if (sites[s].reg == reg && getBit(cur, s))
+            result.push_back(sites[s]);
+    return result;
+}
+
+ReachingDefsResult
+computeReachingDefs(const Cfg &cfg,
+                    const std::vector<std::int32_t> &blocks)
+{
+    ReachingDefsResult res;
+    const auto &code = cfg.program().code;
+
+    // Enumerate definition sites: one entry pseudo-def per register,
+    // then every (instruction, defined register) pair in the routine.
+    for (RegId r = 0; r < kNumRegIds; ++r)
+        res.sites.push_back({-1, r});
+    for (std::int32_t b : blocks) {
+        const CfgBlock &blk = cfg.block(b);
+        for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+             ++pc) {
+            RegSet defs = instDefs(code[static_cast<std::size_t>(pc)]);
+            for (RegId r = 0; r < kNumRegIds; ++r)
+                if (defs & regBit(r))
+                    res.sites.push_back({pc, r});
+        }
+    }
+
+    const std::size_t nSites = res.sites.size();
+    const std::size_t words = (nSites + 63) / 64;
+    std::array<Bits, kNumRegIds> sitesOfReg;
+    for (auto &b : sitesOfReg)
+        b.assign(words, 0);
+    std::unordered_map<std::int32_t, Bits> sitesAtPc;
+    Bits entryValue(words, 0);
+    for (std::size_t s = 0; s < nSites; ++s) {
+        sitesOfReg[res.sites[s].reg][s / 64] |= std::uint64_t{1}
+                                                << (s % 64);
+        if (res.sites[s].pc < 0) {
+            setBit(entryValue, s);
+        } else {
+            auto it =
+                sitesAtPc.try_emplace(res.sites[s].pc, Bits(words, 0))
+                    .first;
+            setBit(it->second, s);
+        }
+    }
+
+    ReachingDomain dom{cfg,       res.sites, words,
+                       sitesOfReg, sitesAtPc, std::move(entryValue)};
+    auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+    res.in = std::move(sol.in);
+    res.out = std::move(sol.out);
+    return res;
+}
+
+} // namespace mts

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reaching definitions over both register banks: the classic forward
+ * may-analysis instantiated on the generic dataflow engine.
+ *
+ * A definition site is one (instruction, register) pair; the entry of
+ * the routine contributes one *pseudo-definition* per register (site
+ * pc == -1), which is how use-before-def queries fall out of the same
+ * solution: a use reached by the entry pseudo-def of a register the
+ * routine does not guarantee at entry is a use of an unwritten
+ * register along some path.
+ */
+#ifndef MTS_ANALYSIS_REACHING_DEFS_HPP
+#define MTS_ANALYSIS_REACHING_DEFS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+
+namespace mts
+{
+
+/** One definition site. */
+struct DefSite
+{
+    std::int32_t pc;  ///< instruction index, or -1 for the entry pseudo-def
+    RegId reg;
+};
+
+/** Reaching-definitions solution for one routine. */
+struct ReachingDefsResult
+{
+    std::vector<DefSite> sites;
+
+    /** Per-block bitvectors over @p sites (block-id indexed). */
+    std::vector<std::vector<std::uint64_t>> in;
+    std::vector<std::vector<std::uint64_t>> out;
+
+    /** Definition sites of @p reg reaching the point before @p pc. */
+    std::vector<DefSite> reachingAt(const Cfg &cfg, std::int32_t pc,
+                                    RegId reg) const;
+};
+
+/** Solve reaching definitions for the routine @p blocks. */
+ReachingDefsResult
+computeReachingDefs(const Cfg &cfg,
+                    const std::vector<std::int32_t> &blocks);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_REACHING_DEFS_HPP

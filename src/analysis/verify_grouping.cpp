@@ -1,0 +1,398 @@
+#include "analysis/verify_grouping.hpp"
+
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "opt/basic_blocks.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+constexpr const char *kChecker = "translation";
+
+/** Accesses whose in-flight results force a wait before use (mirrors
+ *  the pass: dead-result faa is fire-and-forget). */
+bool
+isSwitchCausing(const Instruction &inst)
+{
+    if (inst.op == Opcode::FAA && inst.rd == kRegZero)
+        return false;
+    return isSharedLoad(inst.op);
+}
+
+/** Instructions the pass must not move (full scheduling barriers). */
+bool
+isBarrier(Opcode op)
+{
+    return op == Opcode::CSWITCH || op == Opcode::PRINT ||
+           op == Opcode::FPRINT || op == Opcode::SETPRI;
+}
+
+/** Matching key: every Instruction field except the branch target
+ *  (targets are global indices, checked through the block map). */
+using InstKey = std::tuple<Opcode, std::uint8_t, std::uint8_t,
+                           std::uint8_t, bool, std::int64_t, double,
+                           std::uint32_t>;
+
+InstKey
+keyOf(const Instruction &i)
+{
+    return {i.op, i.rd, i.rs1, i.rs2, i.useImm, i.imm, i.fimm, i.srcLine};
+}
+
+/**
+ * Independent re-derivation of the pass's per-block dependence edges:
+ * register RAW/WAW/WAR, pessimistic memory aliasing (any shared
+ * write/sync conflicts with every shared access; local accesses
+ * conflict on a store unless provably disjoint displacements off the
+ * same unmodified base; local and shared spaces are disjoint), barrier
+ * ordering, and the terminator pinned last.
+ */
+class BlockDeps
+{
+  public:
+    BlockDeps(const std::vector<Instruction> &code, BlockRange range)
+        : insts(code.begin() + range.begin, code.begin() + range.end)
+    {
+        const int n = static_cast<int>(insts.size());
+        ops.resize(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            ops[static_cast<std::size_t>(i)] = getOperands(insts[i]);
+    }
+
+    int size() const { return static_cast<int>(insts.size()); }
+
+    /** True when instruction @p i must stay before @p j (i < j). */
+    bool
+    mustPrecede(int i, int j) const
+    {
+        const Operands &oi = ops[static_cast<std::size_t>(i)];
+        const Operands &oj = ops[static_cast<std::size_t>(j)];
+        for (int d = 0; d < oi.numDefs; ++d) {
+            RegId r = oi.defs[d];
+            for (int u = 0; u < oj.numUses; ++u)
+                if (oj.uses[u] == r)
+                    return true;  // RAW
+            for (int d2 = 0; d2 < oj.numDefs; ++d2)
+                if (oj.defs[d2] == r)
+                    return true;  // WAW
+        }
+        for (int u = 0; u < oi.numUses; ++u) {
+            RegId r = oi.uses[u];
+            for (int d2 = 0; d2 < oj.numDefs; ++d2)
+                if (oj.defs[d2] == r)
+                    return true;  // WAR
+        }
+        if (memConflict(i, j))
+            return true;
+        if (isBarrier(insts[static_cast<std::size_t>(i)].op) ||
+            isBarrier(insts[static_cast<std::size_t>(j)].op))
+            return true;
+        const int n = size();
+        if (j == n - 1 &&
+            isControl(insts[static_cast<std::size_t>(n - 1)].op))
+            return true;
+        return false;
+    }
+
+    /** True when register reads of @p j consume the result of the
+     *  switch-causing access @p i (the split-phase dependence). */
+    bool
+    consumesResult(int i, int j) const
+    {
+        const Operands &oi = ops[static_cast<std::size_t>(i)];
+        const Operands &oj = ops[static_cast<std::size_t>(j)];
+        for (int d = 0; d < oi.numDefs; ++d)
+            for (int u = 0; u < oj.numUses; ++u)
+                if (oj.uses[u] == oi.defs[d])
+                    return true;
+        return false;
+    }
+
+  private:
+    bool
+    memConflict(int i, int j) const
+    {
+        const Instruction &x = insts[static_cast<std::size_t>(i)];
+        const Instruction &y = insts[static_cast<std::size_t>(j)];
+        const bool xs = isSharedMem(x.op);
+        const bool ys = isSharedMem(y.op);
+        const bool xl = isLocalMem(x.op);
+        const bool yl = isLocalMem(y.op);
+
+        if (xs && ys) {
+            auto writesOrSyncs = [](Opcode op) {
+                return isSharedStore(op) || op == Opcode::FAA ||
+                       op == Opcode::LDS_SPIN;
+            };
+            return writesOrSyncs(x.op) || writesOrSyncs(y.op);
+        }
+        if (xl && yl) {
+            if (!isLocalStore(x.op) && !isLocalStore(y.op))
+                return false;
+            if (x.rs1 == y.rs1 && x.imm != y.imm &&
+                !baseRedefinedBetween(i, j, x.rs1))
+                return false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    baseRedefinedBetween(int i, int j, std::uint8_t base) const
+    {
+        for (int k = i; k < j; ++k)
+            for (int d = 0;
+                 d < ops[static_cast<std::size_t>(k)].numDefs; ++d)
+                if (ops[static_cast<std::size_t>(k)].defs[d] ==
+                    intReg(base))
+                    return true;
+        return false;
+    }
+
+    std::vector<Instruction> insts;
+    std::vector<Operands> ops;
+};
+
+/** Validator state for one orig/xform block pair. */
+struct BlockMatch
+{
+    // xform position (block-relative) -> orig position, -1 for an
+    // inserted cswitch, -2 for a foreign instruction.
+    std::vector<int> toOrig;
+    // orig position -> xform position, -1 when dropped.
+    std::vector<int> toXform;
+};
+
+BlockMatch
+matchBlock(const std::vector<Instruction> &origCode, BlockRange ob,
+           const std::vector<Instruction> &xformCode, BlockRange xb)
+{
+    BlockMatch m;
+    m.toOrig.assign(static_cast<std::size_t>(xb.end - xb.begin), -2);
+    m.toXform.assign(static_cast<std::size_t>(ob.end - ob.begin), -1);
+
+    std::map<InstKey, std::deque<int>> pending;
+    for (std::int32_t pc = ob.begin; pc < ob.end; ++pc)
+        pending[keyOf(origCode[static_cast<std::size_t>(pc)])].push_back(
+            pc - ob.begin);
+
+    for (std::int32_t pc = xb.begin; pc < xb.end; ++pc) {
+        const Instruction &inst = xformCode[static_cast<std::size_t>(pc)];
+        auto it = pending.find(keyOf(inst));
+        if (it != pending.end() && !it->second.empty()) {
+            int o = it->second.front();
+            it->second.pop_front();
+            m.toOrig[static_cast<std::size_t>(pc - xb.begin)] = o;
+            m.toXform[static_cast<std::size_t>(o)] = pc - xb.begin;
+        } else if (inst.op == Opcode::CSWITCH) {
+            m.toOrig[static_cast<std::size_t>(pc - xb.begin)] = -1;
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+bool
+verifyGroupingPass(const Program &orig, const Program &xform,
+                   LintReport &report)
+{
+    const std::size_t before = report.count(Severity::Error);
+
+    auto origBlocks = findBasicBlocks(orig);
+    auto xformBlocks = findBasicBlocks(xform);
+
+    if (origBlocks.size() != xformBlocks.size()) {
+        report.add(xform, Severity::Error, kChecker, -1,
+                   format("basic-block structure changed: %zu blocks "
+                          "before the pass, %zu after",
+                          origBlocks.size(), xformBlocks.size()));
+        return false;
+    }
+
+    // Block-leader correspondence (orig leader index -> xform leader).
+    std::map<std::int32_t, std::int32_t> leaderMap;
+    for (std::size_t b = 0; b < origBlocks.size(); ++b)
+        leaderMap[origBlocks[b].begin] = xformBlocks[b].begin;
+
+    for (std::size_t b = 0; b < origBlocks.size(); ++b) {
+        const BlockRange ob = origBlocks[b];
+        const BlockRange xb = xformBlocks[b];
+        BlockDeps deps(orig.code, ob);
+        BlockMatch m = matchBlock(orig.code, ob, xform.code, xb);
+
+        // Nothing dropped...
+        for (std::int32_t o = 0; o < ob.end - ob.begin; ++o)
+            if (m.toXform[static_cast<std::size_t>(o)] < 0)
+                report.add(
+                    xform, Severity::Error, kChecker, xb.begin,
+                    format("instruction dropped from block: `%s` (was "
+                           "%s)",
+                           disassemble(
+                               orig.code[static_cast<std::size_t>(
+                                   ob.begin + o)])
+                               .c_str(),
+                           orig.positionOf(ob.begin + o).c_str()));
+        // ...nothing invented or duplicated (inserted cswitch aside).
+        for (std::int32_t x = 0; x < xb.end - xb.begin; ++x)
+            if (m.toOrig[static_cast<std::size_t>(x)] == -2)
+                report.add(
+                    xform, Severity::Error, kChecker, xb.begin + x,
+                    format("instruction not in the source block: `%s` "
+                           "(invented or duplicated)",
+                           disassemble(
+                               xform.code[static_cast<std::size_t>(
+                                   xb.begin + x)])
+                               .c_str()));
+
+        // Dependence edges preserved by the permutation.
+        for (int j = 0; j < deps.size(); ++j) {
+            int xj = m.toXform[static_cast<std::size_t>(j)];
+            if (xj < 0)
+                continue;
+            for (int i = 0; i < j; ++i) {
+                int xi = m.toXform[static_cast<std::size_t>(i)];
+                if (xi < 0 || xi < xj || !deps.mustPrecede(i, j))
+                    continue;
+                report.add(
+                    xform, Severity::Error, kChecker, xb.begin + xj,
+                    format("dependence violated: `%s` was reordered "
+                           "before `%s` it depends on",
+                           disassemble(
+                               xform.code[static_cast<std::size_t>(
+                                   xb.begin + xj)])
+                               .c_str(),
+                           disassemble(
+                               xform.code[static_cast<std::size_t>(
+                                   xb.begin + xi)])
+                               .c_str()));
+            }
+        }
+
+        // Branch targets of matched instructions remap through the
+        // block correspondence.
+        for (std::int32_t x = 0; x < xb.end - xb.begin; ++x) {
+            int o = m.toOrig[static_cast<std::size_t>(x)];
+            if (o < 0)
+                continue;
+            const Instruction &oi =
+                orig.code[static_cast<std::size_t>(ob.begin + o)];
+            const Instruction &xi =
+                xform.code[static_cast<std::size_t>(xb.begin + x)];
+            std::int32_t want = -1;
+            if (oi.target >= 0) {
+                auto it = leaderMap.find(oi.target);
+                if (it == leaderMap.end()) {
+                    report.add(xform, Severity::Error, kChecker,
+                               xb.begin + x,
+                               format("source branch target %d is not "
+                                      "a block leader",
+                                      oi.target));
+                    continue;
+                }
+                want = it->second;
+            }
+            if (xi.target != want)
+                report.add(xform, Severity::Error, kChecker,
+                           xb.begin + x,
+                           format("branch target remapped to %d, "
+                                  "expected %d",
+                                  xi.target, want));
+        }
+
+        // Every switch-causing access committed by a cswitch before its
+        // result is read and before the block ends.
+        {
+            std::vector<int> inflight;  // xform block-relative positions
+            for (std::int32_t x = 0; x < xb.end - xb.begin; ++x) {
+                const Instruction &xi =
+                    xform.code[static_cast<std::size_t>(xb.begin + x)];
+                if (xi.op == Opcode::CSWITCH) {
+                    inflight.clear();
+                    continue;
+                }
+                RegSet uses = instUses(xi);
+                for (int f : inflight) {
+                    const Instruction &load =
+                        xform.code[static_cast<std::size_t>(xb.begin +
+                                                            f)];
+                    if (uses & instDefs(load))
+                        report.add(
+                            xform, Severity::Error, kChecker,
+                            xb.begin + x,
+                            format("result of `%s` consumed with no "
+                                   "intervening cswitch",
+                                   disassemble(load).c_str()));
+                }
+                if (isSwitchCausing(xi))
+                    inflight.push_back(x);
+            }
+            if (!inflight.empty())
+                report.add(xform, Severity::Error, kChecker,
+                           xb.end - 1,
+                           format("%zu shared access(es) still "
+                                  "in-flight at block end: group not "
+                                  "closed by a cswitch",
+                                  inflight.size()));
+        }
+    }
+
+    // Program-level metadata.
+    auto mapped = [&](std::int32_t old) {
+        auto it = leaderMap.find(old);
+        return it == leaderMap.end() ? std::int32_t{-1} : it->second;
+    };
+    if (xform.entry != mapped(orig.entry))
+        report.add(xform, Severity::Error, kChecker, -1,
+                   format("entry point %d does not correspond to the "
+                          "source entry %d",
+                          xform.entry, orig.entry));
+    for (const auto &[index, name] : orig.labelAt) {
+        std::int32_t want = mapped(index);
+        auto it = xform.labelAt.find(want);
+        if (want < 0 || it == xform.labelAt.end() ||
+            it->second != name)
+            report.add(xform, Severity::Error, kChecker, -1,
+                       format("label '%s' lost or moved by the pass",
+                              name.c_str()));
+    }
+    if (xform.labelAt.size() != orig.labelAt.size())
+        report.add(xform, Severity::Error, kChecker, -1,
+                   "label table size changed by the pass");
+    if (xform.sharedWords != orig.sharedWords ||
+        xform.localStaticWords != orig.localStaticWords)
+        report.add(xform, Severity::Error, kChecker, -1,
+                   "data segment sizes changed by the pass");
+    for (const auto &[name, sym] : orig.symbols) {
+        auto it = xform.symbols.find(name);
+        if (it == xform.symbols.end() || it->second.kind != sym.kind) {
+            report.add(xform, Severity::Error, kChecker, -1,
+                       format("symbol '%s' lost or re-kinded by the "
+                              "pass",
+                              name.c_str()));
+            continue;
+        }
+        std::int64_t want =
+            sym.kind == SymbolKind::Label
+                ? mapped(static_cast<std::int32_t>(sym.value))
+                : sym.value;
+        if (it->second.value != want)
+            report.add(xform, Severity::Error, kChecker, -1,
+                       format("symbol '%s' value %lld, expected %lld",
+                              name.c_str(),
+                              (long long)it->second.value,
+                              (long long)want));
+    }
+
+    return report.count(Severity::Error) == before;
+}
+
+} // namespace mts

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Translation validation for the grouping pass.
+ *
+ * Instead of trusting applyGroupingPass, the validator independently
+ * re-derives the per-block dependence graph of the *source* program
+ * under the paper's pessimistic alias rule (footnote 1) and checks that
+ * the transformed program is exactly a legal output:
+ *
+ *  - same basic-block structure, blocks corresponding by position;
+ *  - each block a permutation of the source block plus inserted
+ *    `cswitch` instructions only (nothing dropped, duplicated or
+ *    rewritten);
+ *  - every dependence edge of the source block preserved by the
+ *    permutation;
+ *  - every in-flight switch-causing access committed by a `cswitch`
+ *    before its result is read and before the block ends;
+ *  - entry point, branch targets, labels and label symbols remapped
+ *    consistently; data-segment sizes untouched.
+ *
+ * Findings are reported against *transformed*-program coordinates where
+ * an offending instruction exists there, under checker id
+ * "translation".
+ */
+#ifndef MTS_ANALYSIS_VERIFY_GROUPING_HPP
+#define MTS_ANALYSIS_VERIFY_GROUPING_HPP
+
+#include "analysis/diagnostics.hpp"
+#include "asm/program.hpp"
+
+namespace mts
+{
+
+/**
+ * Validate that @p xform is a dependence-preserving grouping of
+ * @p orig (see file comment). Appends findings to @p report; returns
+ * true when no error-severity finding was added.
+ */
+bool verifyGroupingPass(const Program &orig, const Program &xform,
+                        LintReport &report);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_VERIFY_GROUPING_HPP

@@ -142,6 +142,7 @@ class Assembler
             if (end == std::string_view::npos)
                 end = src.size();
             ++lineNo;
+            prog.sourceLines.emplace_back(src.substr(start, end - start));
             scanLine(src.substr(start, end - start), lineNo);
             start = end + 1;
         }

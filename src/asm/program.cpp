@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace mts
 {
@@ -32,6 +33,27 @@ Program::labelFor(std::int32_t index) const
 {
     auto it = labelAt.find(index);
     return it == labelAt.end() ? std::string() : it->second;
+}
+
+std::string
+Program::sourceLine(std::uint32_t line) const
+{
+    if (line == 0 || line > sourceLines.size())
+        return {};
+    return std::string(trim(sourceLines[line - 1]));
+}
+
+std::string
+Program::positionOf(std::int32_t index) const
+{
+    auto it = labelAt.upper_bound(index);
+    if (it == labelAt.begin())
+        return format("@%d", index);
+    --it;
+    std::int32_t off = index - it->first;
+    if (off == 0)
+        return it->second;
+    return format("%s+%d", it->second.c_str(), off);
 }
 
 std::string

@@ -46,6 +46,13 @@ struct Program
     std::unordered_map<std::string, Symbol> symbols;
     std::map<std::int32_t, std::string> labelAt;  ///< index -> label name
 
+    /**
+     * The assembly source, one entry per line (1-based via Instruction
+     * srcLine), kept so diagnostics can quote the offending text.
+     * Transform passes must propagate it unchanged.
+     */
+    std::vector<std::string> sourceLines;
+
     /** Address of a Shared symbol; fatal if missing or wrong kind. */
     Addr sharedAddr(const std::string &name) const;
 
@@ -54,6 +61,15 @@ struct Program
 
     /** Label name at instruction index, or "" if none. */
     std::string labelFor(std::int32_t index) const;
+
+    /** Trimmed source text of 1-based line @p line, or "" if unknown. */
+    std::string sourceLine(std::uint32_t line) const;
+
+    /**
+     * "label+offset" position of instruction @p index relative to the
+     * nearest preceding label ("@index" when the program has no labels).
+     */
+    std::string positionOf(std::int32_t index) const;
 
     /** Full disassembly listing (labels + instructions), for tooling. */
     std::string listing() const;

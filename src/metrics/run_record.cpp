@@ -59,4 +59,26 @@ RunRecord::toJson() const
     return v;
 }
 
+JsonValue
+OptRecord::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v["schema"] = JsonValue(OptRecord::kSchema);
+    v["program"] = JsonValue(program);
+    v["basic_blocks"] = JsonValue(std::uint64_t(stats.basicBlocks));
+    v["instructions_in"] =
+        JsonValue(std::uint64_t(stats.instructionsIn));
+    v["instructions_out"] =
+        JsonValue(std::uint64_t(stats.instructionsOut));
+    v["shared_loads"] = JsonValue(std::uint64_t(stats.sharedLoads));
+    v["switches_inserted"] =
+        JsonValue(std::uint64_t(stats.switchesInserted));
+    v["load_groups"] = JsonValue(std::uint64_t(stats.loadGroups));
+    v["reordered_blocks"] =
+        JsonValue(std::uint64_t(stats.reorderedBlocks));
+    v["static_grouping_factor"] =
+        JsonValue(stats.staticGroupingFactor());
+    return v;
+}
+
 } // namespace mts

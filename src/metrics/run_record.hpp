@@ -16,6 +16,7 @@
 #include <string>
 
 #include "metrics/metrics.hpp"
+#include "opt/grouping_pass.hpp"
 #include "util/json.hpp"
 
 namespace mts
@@ -55,6 +56,19 @@ struct RunRecord
 RunRecord makeRunRecord(const RunResult &result,
                         const MachineConfig &config,
                         std::string appName = {});
+
+/** Structured record of one grouping-pass run: the static statistics
+ *  `mtopt` prints, in the same machine-readable form as mts.run/1. */
+struct OptRecord
+{
+    /** Schema tag emitted into every JSON record. */
+    static constexpr const char *kSchema = "mts.opt/1";
+
+    std::string program;  ///< app name or assembly file
+    GroupingStats stats;
+
+    JsonValue toJson() const;
+};
 
 } // namespace mts
 

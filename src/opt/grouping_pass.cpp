@@ -330,6 +330,7 @@ applyGroupingPass(const Program &program, GroupingStats *statsOut)
     out.sharedWords = program.sharedWords;
     out.localStaticWords = program.localStaticWords;
     out.symbols = program.symbols;
+    out.sourceLines = program.sourceLines;
 
     std::unordered_map<std::int32_t, std::int32_t> leaderMap;
     for (const BlockRange &b : blocks) {

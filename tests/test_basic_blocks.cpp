@@ -1,0 +1,123 @@
+/**
+ * Edge-case tests of findBasicBlocks: degenerate programs, terminator
+ * placement, and the partition property every consumer (grouping pass,
+ * CFG) relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "opt/basic_blocks.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+/** Assert the ranges exactly partition [0, code.size()). */
+void
+expectPartition(const Program &p)
+{
+    auto blocks = findBasicBlocks(p);
+    std::int32_t expect = 0;
+    for (const BlockRange &b : blocks) {
+        EXPECT_EQ(b.begin, expect);
+        EXPECT_LT(b.begin, b.end);
+        expect = b.end;
+    }
+    EXPECT_EQ(expect, static_cast<std::int32_t>(p.code.size()));
+}
+
+} // namespace
+
+TEST(BasicBlocksEdge, EmptyProgramHasNoBlocks)
+{
+    Program p;
+    EXPECT_TRUE(findBasicBlocks(p).empty());
+}
+
+TEST(BasicBlocksEdge, ProgramEndingInBranch)
+{
+    // The final instruction is a control instruction: no trailing
+    // fallthrough block must be invented past the end.
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+    beq r1, 0, main
+)");
+    auto blocks = findBasicBlocks(p);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].begin, 0);
+    EXPECT_EQ(blocks[0].end, 2);
+    expectPartition(p);
+}
+
+TEST(BasicBlocksEdge, BackToBackLabelsShareOneLeader)
+{
+    // Two labels on the same instruction produce one block, not an
+    // empty one.
+    Program p = assemble(R"(
+main:
+    li r1, 1
+a:
+b:
+    add r1, r1, 1
+    halt
+)");
+    auto blocks = findBasicBlocks(p);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[1].begin, 1);
+    EXPECT_EQ(blocks[1].end, 3);
+    expectPartition(p);
+}
+
+TEST(BasicBlocksEdge, JrTerminatesABlock)
+{
+    Program p = assemble(R"(
+main:
+    jal fn
+    halt
+fn:
+    add r2, r4, r5
+    jr  ra
+)");
+    auto blocks = findBasicBlocks(p);
+    // jal ends block 0; halt is its own block (leader after control);
+    // fn: starts a block ending at the jr.
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].end, 1);
+    EXPECT_EQ(blocks[1].end, 2);
+    EXPECT_EQ(blocks[2].begin, 2);
+    EXPECT_EQ(blocks[2].end, 4);
+    EXPECT_EQ(p.code[3].op, Opcode::JR);
+    expectPartition(p);
+}
+
+TEST(BasicBlocksEdge, BranchTargetMidProgramSplitsBlock)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+    li  r2, 0
+back:
+    add r1, r1, 1
+    blt r1, 4, back
+    halt
+)");
+    auto blocks = findBasicBlocks(p);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[1].begin, 2);  // the branch target
+    expectPartition(p);
+}
+
+TEST(BasicBlocksEdge, RangesPartitionEveryApp)
+{
+    // Property: for every benchmark app the block ranges are a gapless,
+    // non-overlapping partition of [0, |code|).
+    for (const App *app : allApps()) {
+        SCOPED_TRACE(app->name());
+        Program p = assemble(app->source(), app->options(1.0));
+        expectPartition(p);
+        Program g = applyGroupingPass(p);
+        expectPartition(g);
+    }
+}

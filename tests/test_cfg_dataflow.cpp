@@ -1,0 +1,173 @@
+/**
+ * Tests of the analysis layer below the checkers: CFG edge
+ * construction, routine partitioning, cycle detection, and the
+ * liveness / reaching-definitions instances of the dataflow engine.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/reaching_defs.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+bool
+hasEdge(const Cfg &cfg, std::int32_t from, std::int32_t to, EdgeKind kind)
+{
+    for (const CfgEdge &e : cfg.block(from).succs)
+        if (e.block == to && e.kind == kind)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Cfg, BranchFallthroughJumpAndTerminatorEdges)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+loop:
+    add r1, r1, 1
+    blt r1, 10, loop
+    j   end
+mid:
+    nop
+end:
+    halt
+)");
+    Cfg cfg(p);
+    // main[0..1) loop[1..3) [3..4) mid[4..5) end[5..6)
+    ASSERT_EQ(cfg.numBlocks(), 5);
+    EXPECT_TRUE(hasEdge(cfg, 0, 1, EdgeKind::Fallthrough));
+    EXPECT_TRUE(hasEdge(cfg, 1, 1, EdgeKind::Branch));
+    EXPECT_TRUE(hasEdge(cfg, 1, 2, EdgeKind::Fallthrough));
+    EXPECT_TRUE(hasEdge(cfg, 2, 4, EdgeKind::Jump));
+    EXPECT_FALSE(hasEdge(cfg, 2, 3, EdgeKind::Fallthrough));  // after j
+    EXPECT_TRUE(cfg.block(4).succs.empty());                  // halt
+    // Preds mirror succs.
+    ASSERT_EQ(cfg.block(4).preds.size(), 2u);  // from j and from mid
+    EXPECT_TRUE(cfg.blockInCycle(1));
+    EXPECT_FALSE(cfg.blockInCycle(0));
+    EXPECT_NE(cfg.sccOf(0), cfg.sccOf(1));
+}
+
+TEST(Cfg, CallEdgesAndRoutinePartition)
+{
+    Program p = assemble(R"(
+main:
+    jal fn
+    halt
+fn:
+    add r2, r4, r5
+    jr  ra
+orphan:
+    sub r3, r3, 1
+    jr  ra
+)");
+    Cfg cfg(p);
+    // Blocks: main[0..1) [1..2) fn[2..4) orphan[4..6)
+    ASSERT_EQ(cfg.numBlocks(), 4);
+    EXPECT_TRUE(hasEdge(cfg, 0, 2, EdgeKind::Call));
+    EXPECT_TRUE(hasEdge(cfg, 0, 1, EdgeKind::Fallthrough));
+    EXPECT_TRUE(cfg.block(2).succs.empty());  // jr: routine return
+
+    // Routine partition: entry, the jal target, and the labelled
+    // routine nothing calls.
+    auto entries = cfg.routineEntries();
+    EXPECT_NE(std::find(entries.begin(), entries.end(), 0),
+              entries.end());
+    EXPECT_NE(std::find(entries.begin(), entries.end(), 2),
+              entries.end());
+    EXPECT_NE(std::find(entries.begin(), entries.end(), 3),
+              entries.end());
+
+    // Intraprocedural traversal of main skips into the callee but does
+    // fall through across the jal.
+    auto blocks = cfg.routineBlocks(0);
+    EXPECT_NE(std::find(blocks.begin(), blocks.end(), 1), blocks.end());
+    EXPECT_EQ(std::find(blocks.begin(), blocks.end(), 2), blocks.end());
+}
+
+TEST(Cfg, RoutineBlocksAreReversePostOrder)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+    beq r1, 0, right
+    li  r2, 1
+    j   join
+right:
+    li  r2, 2
+join:
+    halt
+)");
+    Cfg cfg(p);
+    auto rpo = cfg.routineBlocks(cfg.entryBlock());
+    ASSERT_FALSE(rpo.empty());
+    EXPECT_EQ(rpo.front(), cfg.entryBlock());
+    // join must come after both arms.
+    auto pos = [&](std::int32_t b) {
+        return std::find(rpo.begin(), rpo.end(), b) - rpo.begin();
+    };
+    std::int32_t join = cfg.blockOf(p.code.size() - 1);
+    for (const CfgEdge &e : cfg.block(join).preds)
+        EXPECT_LT(pos(e.block), pos(join));
+}
+
+TEST(Liveness, BackwardFlowThroughALoop)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+    li  r2, 10
+loop:
+    add r1, r1, 1
+    blt r1, r2, loop
+    halt
+)");
+    Cfg cfg(p);
+    auto blocks = cfg.routineBlocks(cfg.entryBlock());
+    auto live = computeLiveness(cfg, blocks, 0);
+    // Before the loop header both the counter and the bound are live.
+    std::int32_t loop = cfg.blockOf(2);
+    EXPECT_TRUE(live.liveIn[loop] & regBit(intReg(1)));
+    EXPECT_TRUE(live.liveIn[loop] & regBit(intReg(2)));
+    // At program entry nothing is live (both are defined first).
+    EXPECT_FALSE(live.liveIn[cfg.entryBlock()] & regBit(intReg(1)));
+    // liveBefore at the branch still sees r2.
+    EXPECT_TRUE(live.liveBefore(cfg, 3) & regBit(intReg(2)));
+}
+
+TEST(ReachingDefs, EntryPseudoDefsAndRedefinition)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 1
+    beq r4, 0, skip
+    li  r1, 2
+skip:
+    add r2, r1, r1
+    halt
+)");
+    Cfg cfg(p);
+    auto blocks = cfg.routineBlocks(cfg.entryBlock());
+    auto rd = computeReachingDefs(cfg, blocks);
+    // At the add, both writes of r1 reach (the join of the two paths).
+    std::int32_t addPc = 3;
+    ASSERT_EQ(p.code[addPc].op, Opcode::ADD);
+    auto sites = rd.reachingAt(cfg, addPc, intReg(1));
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].pc, 0);
+    EXPECT_EQ(sites[1].pc, 2);
+    // r4 is only defined by the entry pseudo-def.
+    auto r4sites = rd.reachingAt(cfg, 1, intReg(4));
+    ASSERT_EQ(r4sites.size(), 1u);
+    EXPECT_EQ(r4sites[0].pc, -1);
+}

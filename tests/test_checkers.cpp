@@ -1,0 +1,304 @@
+/**
+ * Tests of the mtlint checker suite: use-before-def, split-phase,
+ * run-length and spin/lock discipline.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/checkers.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+std::size_t
+countFrom(const LintReport &r, std::string_view checker, Severity sev)
+{
+    std::size_t n = 0;
+    for (const Diag &d : r.diags())
+        if (d.checker == checker && d.severity == sev)
+            ++n;
+    return n;
+}
+
+const Diag *
+firstFrom(const LintReport &r, std::string_view checker)
+{
+    for (const Diag &d : r.diags())
+        if (d.checker == checker)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(UseBeforeDef, CleanProgramIsSilent)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 3
+    add r2, r1, r4
+    halt
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Error), 0u);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Warning), 0u);
+}
+
+TEST(UseBeforeDef, ReadOnEveryPathIsAnError)
+{
+    Program p = assemble(R"(
+main:
+    add r2, r1, r1
+    halt
+)");
+    LintReport r = runLint(p);
+    ASSERT_EQ(countFrom(r, "use-before-def", Severity::Error), 1u);
+    const Diag *d = firstFrom(r, "use-before-def");
+    EXPECT_EQ(d->pc, 0);
+    EXPECT_NE(d->message.find("r1"), std::string::npos);
+}
+
+TEST(UseBeforeDef, ReadOnSomePathIsAWarning)
+{
+    Program p = assemble(R"(
+main:
+    beq r4, 0, use
+    li  r1, 7
+use:
+    add r2, r1, 0
+    halt
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Error), 0u);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Warning), 1u);
+}
+
+TEST(UseBeforeDef, CalleeAssumesCallerDefinedEverything)
+{
+    // r7 is written by main before the call; the callee must not
+    // complain about reading it.
+    Program p = assemble(R"(
+main:
+    li  r7, 5
+    jal fn
+    halt
+fn:
+    add r2, r7, 1
+    jr  ra
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Error), 0u);
+    EXPECT_EQ(countFrom(r, "use-before-def", Severity::Warning), 0u);
+}
+
+TEST(SplitPhase, UseWithoutCswitchIsAnError)
+{
+    // Hand-written "grouped" code that forgot the cswitch.
+    Program p = assemble(R"(
+.shared x, 4
+main:
+    li  r1, x
+    lds r2, 0(r1)
+    add r3, r2, 1
+    halt
+)");
+    LintOptions opts;
+    opts.grouped = true;
+    LintReport r = runLint(p, opts);
+    ASSERT_EQ(countFrom(r, "split-phase", Severity::Error), 1u);
+    EXPECT_EQ(firstFrom(r, "split-phase")->pc, 2);
+}
+
+TEST(SplitPhase, CswitchCommitsTheGroup)
+{
+    Program p = assemble(R"(
+.shared x, 4
+main:
+    li  r1, x
+    lds r2, 0(r1)
+    cswitch
+    add r3, r2, 1
+    halt
+)");
+    LintOptions opts;
+    opts.grouped = true;
+    LintReport r = runLint(p, opts);
+    EXPECT_EQ(countFrom(r, "split-phase", Severity::Error), 0u);
+}
+
+TEST(SplitPhase, HazardFlowsAcrossBlocks)
+{
+    Program p = assemble(R"(
+.shared x, 4
+main:
+    li  r1, x
+    lds r2, 0(r1)
+    beq r4, 0, done
+    nop
+done:
+    add r3, r2, 1
+    halt
+)");
+    LintOptions opts;
+    opts.grouped = true;
+    LintReport r = runLint(p, opts);
+    EXPECT_EQ(countFrom(r, "split-phase", Severity::Error), 1u);
+}
+
+TEST(RunLength, LoopWithoutSwitchPointWarns)
+{
+    Program p = assemble(R"(
+main:
+    li  r1, 0
+loop:
+    add r1, r1, 1
+    blt r1, 100, loop
+    halt
+)");
+    LintOptions opts;
+    opts.grouped = true;
+    LintReport r = runLint(p, opts);
+    EXPECT_EQ(countFrom(r, "run-length", Severity::Warning), 1u);
+
+    // The same loop with a cswitch is quiet.
+    Program q = assemble(R"(
+main:
+    li  r1, 0
+loop:
+    add r1, r1, 1
+    cswitch
+    blt r1, 100, loop
+    halt
+)");
+    LintReport r2 = runLint(q, opts);
+    EXPECT_EQ(countFrom(r2, "run-length", Severity::Warning), 0u);
+}
+
+TEST(RunLength, StraightLineOverTheSliceLimitWarns)
+{
+    // Six divides: 6 * 35 = 210 static cycles > the 200-cycle limit.
+    Program p = assemble(R"(
+main:
+    li  r1, 90
+    div r1, r1, 3
+    div r1, r1, 3
+    div r1, r1, 3
+    div r1, r1, 3
+    div r1, r1, 3
+    div r1, r1, 3
+    halt
+)");
+    LintOptions opts;
+    opts.grouped = true;
+    LintReport r = runLint(p, opts);
+    EXPECT_EQ(countFrom(r, "run-length", Severity::Warning), 1u);
+
+    // Raising the limit silences it; 0 disables the checker.
+    opts.sliceLimit = 1000;
+    EXPECT_EQ(countFrom(runLint(p, opts), "run-length",
+                        Severity::Warning),
+              0u);
+    opts.sliceLimit = 0;
+    EXPECT_EQ(countFrom(runLint(p, opts), "run-length",
+                        Severity::Warning),
+              0u);
+}
+
+TEST(SpinLock, SpinLoadOutsideALoopIsAnError)
+{
+    Program p = assemble(R"(
+.shared flag, 1
+main:
+    li       r1, flag
+    lds.spin r2, 0(r1)
+    halt
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "spin-lock", Severity::Error), 1u);
+}
+
+TEST(SpinLock, SpinLoopIsClean)
+{
+    Program p = assemble(R"(
+.shared flag, 1
+main:
+    li       r1, flag
+wait:
+    lds.spin r2, 0(r1)
+    beq      r2, 0, wait
+    halt
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "spin-lock", Severity::Error), 0u);
+}
+
+TEST(SpinLock, HaltWithRaisedPriorityIsAnError)
+{
+    Program p = assemble(R"(
+main:
+    setpri 1
+    halt
+)");
+    LintReport r = runLint(p);
+    ASSERT_EQ(countFrom(r, "spin-lock", Severity::Error), 1u);
+    EXPECT_NE(firstFrom(r, "spin-lock")->message.find("setpri"),
+              std::string::npos);
+}
+
+TEST(SpinLock, BalancedPairIsClean)
+{
+    Program p = assemble(R"(
+main:
+    setpri 1
+    add r1, r4, r5
+    setpri 0
+    halt
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "spin-lock", Severity::Error), 0u);
+}
+
+TEST(SpinLock, RaiseInCalleeLowerInOtherCalleeIsClean)
+{
+    // The lock/unlock shape of the runtime prelude: one routine raises,
+    // a different routine lowers; pairing is only visible
+    // interprocedurally through the routine summaries.
+    Program p = assemble(R"(
+main:
+    jal raise
+    add r1, r4, r5
+    jal lower
+    halt
+raise:
+    setpri 1
+    jr ra
+lower:
+    setpri 0
+    jr ra
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "spin-lock", Severity::Error), 0u);
+}
+
+TEST(SpinLock, RaiseInCalleeNeverLoweredIsAnError)
+{
+    Program p = assemble(R"(
+main:
+    jal raise
+    halt
+raise:
+    setpri 1
+    jr ra
+)");
+    LintReport r = runLint(p);
+    EXPECT_EQ(countFrom(r, "spin-lock", Severity::Error), 1u);
+}
+
+TEST(Lint, EmptyProgramProducesNoFindings)
+{
+    Program p;
+    LintReport r = runLint(p);
+    EXPECT_TRUE(r.diags().empty());
+}

@@ -1,0 +1,205 @@
+/**
+ * Translation validation of the grouping pass: legitimate pass output
+ * must verify clean, and each seeded miscompile must be caught with the
+ * right diagnostic.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/verify_grouping.hpp"
+#include "opt/basic_blocks.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+const char *kSource = R"(
+.shared u, 100
+.shared total, 1
+main:
+    li   r1, u
+    li   r9, total
+    lds  r2, 0(r1)
+    lds  r3, 1(r1)
+    add  r5, r2, r3
+    sts  r5, 0(r9)
+    lds  r6, 2(r1)
+    blt  r6, r5, main
+    halt
+)";
+
+/** Pass output for the fixture source (verified clean first). */
+Program
+groupedFixture(Program &orig)
+{
+    orig = assemble(kSource);
+    return applyGroupingPass(orig);
+}
+
+/** True when some "translation" finding mentions @p needle. */
+bool
+caught(const LintReport &r, const std::string &needle)
+{
+    for (const Diag &d : r.diags())
+        if (d.checker == "translation" &&
+            d.severity == Severity::Error &&
+            d.message.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::size_t
+indexOf(const Program &p, Opcode op, std::size_t nth = 0)
+{
+    for (std::size_t i = 0; i < p.code.size(); ++i)
+        if (p.code[i].op == op && nth-- == 0)
+            return i;
+    ADD_FAILURE() << "opcode not found";
+    return 0;
+}
+
+} // namespace
+
+TEST(VerifyGrouping, RealPassOutputVerifies)
+{
+    Program orig;
+    Program g = groupedFixture(orig);
+    LintReport r;
+    EXPECT_TRUE(verifyGroupingPass(orig, g, r));
+    EXPECT_EQ(r.count(Severity::Error), 0u);
+}
+
+TEST(VerifyGrouping, EveryAppVerifies)
+{
+    for (const App *app : allApps()) {
+        SCOPED_TRACE(app->name());
+        Program p = assemble(app->source(), app->options(1.0));
+        Program g = applyGroupingPass(p);
+        LintReport r;
+        EXPECT_TRUE(verifyGroupingPass(p, g, r))
+            << r.renderText(g);
+    }
+}
+
+TEST(VerifyGrouping, SwapDependentInstructionsCaught)
+{
+    // Swap the add with the load producing its operand (RAW violated).
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t add = indexOf(g, Opcode::ADD);
+    std::size_t lds = add - 1;
+    ASSERT_TRUE(isSharedLoad(g.code[lds].op) ||
+                g.code[lds].op == Opcode::CSWITCH);
+    // Find the last shared load before the add and swap them.
+    while (!isSharedLoad(g.code[lds].op))
+        --lds;
+    std::swap(g.code[lds], g.code[add]);
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "dependence violated")) << r.renderText(g);
+}
+
+TEST(VerifyGrouping, DroppedCswitchCaught)
+{
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t sw = indexOf(g, Opcode::CSWITCH);
+    g.code.erase(g.code.begin() + static_cast<std::ptrdiff_t>(sw));
+    for (Instruction &inst : g.code)
+        if (inst.target > static_cast<std::int32_t>(sw))
+            --inst.target;
+    if (g.entry > static_cast<std::int32_t>(sw))
+        --g.entry;
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    // The load group is no longer committed before its results are
+    // consumed (or before the block ends).
+    EXPECT_TRUE(caught(r, "cswitch") || caught(r, "in-flight"))
+        << r.renderText(g);
+}
+
+TEST(VerifyGrouping, ReorderAcrossSharedStoreCaught)
+{
+    // Move the load of 2(r1) above the store it must follow (the
+    // pessimistic alias rule orders every shared load after any shared
+    // store).
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t sts = indexOf(g, Opcode::STS);
+    // The next shared load after the store.
+    std::size_t lds = sts + 1;
+    while (lds < g.code.size() && !isSharedLoad(g.code[lds].op))
+        ++lds;
+    ASSERT_LT(lds, g.code.size());
+    Instruction moved = g.code[lds];
+    g.code.erase(g.code.begin() + static_cast<std::ptrdiff_t>(lds));
+    g.code.insert(g.code.begin() + static_cast<std::ptrdiff_t>(sts),
+                  moved);
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "dependence violated") ||
+                caught(r, "cswitch") || caught(r, "in-flight"))
+        << r.renderText(g);
+}
+
+TEST(VerifyGrouping, DuplicatedInstructionCaught)
+{
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t add = indexOf(g, Opcode::ADD);
+    g.code.insert(g.code.begin() + static_cast<std::ptrdiff_t>(add),
+                  g.code[add]);
+    for (Instruction &inst : g.code)
+        if (inst.target >= static_cast<std::int32_t>(add))
+            ++inst.target;
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "invented or duplicated")) << r.renderText(g);
+}
+
+TEST(VerifyGrouping, DroppedInstructionCaught)
+{
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t add = indexOf(g, Opcode::ADD);
+    g.code.erase(g.code.begin() + static_cast<std::ptrdiff_t>(add));
+    for (Instruction &inst : g.code)
+        if (inst.target > static_cast<std::int32_t>(add))
+            --inst.target;
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "dropped")) << r.renderText(g);
+}
+
+TEST(VerifyGrouping, RewrittenOperandCaught)
+{
+    // Changing a register operand shows up as one instruction dropped
+    // plus one invented.
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t add = indexOf(g, Opcode::ADD);
+    g.code[add].rs2 = 7;
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "dropped")) << r.renderText(g);
+    EXPECT_TRUE(caught(r, "invented or duplicated")) << r.renderText(g);
+}
+
+TEST(VerifyGrouping, RetargetedBranchCaught)
+{
+    Program orig;
+    Program g = groupedFixture(orig);
+    std::size_t br = indexOf(g, Opcode::BLT);
+    // Redirect the loop branch at some other block leader.
+    auto blocks = findBasicBlocks(g);
+    ASSERT_GE(blocks.size(), 2u);
+    std::int32_t wrong = blocks.back().begin;
+    ASSERT_NE(g.code[br].target, wrong);
+    g.code[br].target = wrong;
+    LintReport r;
+    EXPECT_FALSE(verifyGroupingPass(orig, g, r));
+    EXPECT_TRUE(caught(r, "branch target")) << r.renderText(g);
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * mtlint — static analysis for MTS assembly.
+ *
+ * Runs the CFG/dataflow checker suite (use-before-def, split-phase,
+ * run-length, spin-lock) over a benchmark app or a raw assembly file;
+ * with --grouped the grouping pass is applied first, its output is
+ * translation-validated against the source program, and the
+ * grouped-only checkers are enabled.
+ *
+ *     mtlint --app water                 # lint the raw program
+ *     mtlint --app water --grouped       # lint + validate pass output
+ *     mtlint file.s -D N=128 --json out.json
+ *
+ * Exit status: 0 clean (warnings allowed), 1 error-severity findings,
+ * 2 usage error.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/checkers.hpp"
+#include "analysis/verify_grouping.hpp"
+#include "core/mtsim.hpp"
+#include "util/strings.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: mtlint (--app NAME | FILE.s) [options]\n"
+        "  --app NAME       benchmark app (sieve blkmat sor ugray water"
+        " locus mp3d)\n"
+        "  -D NAME=VALUE    define/override an assembly constant\n"
+        "  --grouped        apply the grouping pass first, validate the\n"
+        "                   translation and enable the grouped-only "
+        "checkers\n"
+        "  --slice-limit N  conditional-switch run-length limit "
+        "(default 200; 0 = off)\n"
+        "  --json FILE      write the report (schema mts.lint/1) as "
+        "JSON\n"
+        "  --quiet          suppress the text report (exit status "
+        "only)\n"
+        "  --help, -h       show this help");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mts;
+    std::string appName;
+    std::string file;
+    std::string jsonPath;
+    AsmOptions defs;
+    LintOptions lintOpts;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--app" && i + 1 < argc) {
+            appName = argv[++i];
+        } else if (a == "-D" && i + 1 < argc) {
+            auto kv = split(argv[++i], '=');
+            if (kv.size() != 2) {
+                std::fprintf(stderr,
+                             "mtlint: bad define '%s' (want "
+                             "NAME=VALUE)\n",
+                             argv[i]);
+                return 2;
+            }
+            defs.defines[kv[0]] = std::atoll(kv[1].c_str());
+        } else if (a == "--grouped") {
+            lintOpts.grouped = true;
+        } else if (a == "--slice-limit" && i + 1 < argc) {
+            lintOpts.sliceLimit =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (a == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] != '-') {
+            file = a;
+        } else {
+            std::fprintf(stderr, "mtlint: unknown option '%s'\n",
+                         a.c_str());
+            std::fprintf(stderr,
+                         "run 'mtlint --help' for the option list\n");
+            return 2;
+        }
+    }
+
+    try {
+        Program prog;
+        std::string progName;
+        if (!appName.empty()) {
+            const App &app = findApp(appName);
+            AsmOptions opts = app.options(1.0);
+            for (const auto &[k, v] : defs.defines)
+                opts.defines[k] = v;
+            prog = assemble(app.source(), opts);
+            progName = app.name();
+        } else if (!file.empty()) {
+            std::ifstream in(file);
+            if (!in) {
+                std::fprintf(stderr, "mtlint: cannot open %s\n",
+                             file.c_str());
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            prog = assemble(ss.str(), defs);
+            progName = file;
+        } else {
+            usage();
+            return 2;
+        }
+
+        Program analyzed = prog;
+        LintReport report;
+        if (lintOpts.grouped) {
+            analyzed = applyGroupingPass(prog);
+            verifyGroupingPass(prog, analyzed, report);
+        }
+        LintReport lint = runLint(analyzed, lintOpts);
+        for (const Diag &d : lint.diags())
+            report.add(analyzed, d.severity, d.checker, d.pc, d.message);
+        report.sort();
+
+        if (!quiet)
+            std::fputs(report.renderText(analyzed).c_str(), stdout);
+        std::printf("mtlint: %s%s: %zu error(s), %zu warning(s), "
+                    "%zu note(s) in %zu instructions\n",
+                    progName.c_str(),
+                    lintOpts.grouped ? " (grouped)" : "",
+                    report.count(Severity::Error),
+                    report.count(Severity::Warning),
+                    report.count(Severity::Info), analyzed.code.size());
+
+        if (!jsonPath.empty()) {
+            std::ofstream jout(jsonPath);
+            if (!jout) {
+                std::fprintf(stderr, "mtlint: cannot write %s\n",
+                             jsonPath.c_str());
+                return 1;
+            }
+            jout << report.toJson(progName, lintOpts.grouped).dump(2)
+                 << '\n';
+        }
+        return report.hasErrors() ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "mtlint: %s\n", e.what());
+        return 1;
+    }
+}

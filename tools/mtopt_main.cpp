@@ -3,17 +3,41 @@
  * mtopt — apply the shared-load grouping pass to MTS assembly and show
  * the result (the paper's Figure 4, live).
  *
- *     mtopt --app sor              # before/after listing of an app
- *     mtopt file.s -D N=128        # optimize a raw assembly file
- *     mtopt --app locus --diff     # only blocks that changed
+ *     mtopt --app sor                # before/after listing of an app
+ *     mtopt file.s -D N=128          # optimize a raw assembly file
+ *     mtopt --app locus --verify     # translation-validate the output
+ *     mtopt --app water --json out.json --stats
  */
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "analysis/verify_grouping.hpp"
 #include "core/mtsim.hpp"
+#include "metrics/run_record.hpp"
 #include "util/strings.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: mtopt (--app NAME | FILE.s) [options]\n"
+        "  --app NAME      benchmark app (sieve blkmat sor ugray water"
+        " locus mp3d)\n"
+        "  -D NAME=VALUE   define/override an assembly constant\n"
+        "  --stats         print only the grouping statistics\n"
+        "  --verify        translation-validate the pass output "
+        "(non-zero exit on error)\n"
+        "  --json FILE     write the statistics (schema mts.opt/1) as "
+        "JSON\n"
+        "  --help, -h      show this help");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -21,8 +45,10 @@ main(int argc, char **argv)
     using namespace mts;
     std::string appName;
     std::string file;
+    std::string jsonPath;
     AsmOptions defs;
     bool statsOnly = false;
+    bool verify = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -30,27 +56,43 @@ main(int argc, char **argv)
             appName = argv[++i];
         } else if (a == "-D" && i + 1 < argc) {
             auto kv = split(argv[++i], '=');
-            if (kv.size() == 2)
-                defs.defines[kv[0]] = std::atoll(kv[1].c_str());
+            if (kv.size() != 2) {
+                std::fprintf(stderr,
+                             "mtopt: bad define '%s' (want NAME=VALUE)\n",
+                             argv[i]);
+                return 2;
+            }
+            defs.defines[kv[0]] = std::atoll(kv[1].c_str());
         } else if (a == "--stats") {
             statsOnly = true;
-        } else if (a[0] != '-') {
+        } else if (a == "--verify") {
+            verify = true;
+        } else if (a == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] != '-') {
             file = a;
         } else {
-            std::puts("usage: mtopt (--app NAME | FILE.s) [-D N=V] "
-                      "[--stats]");
-            return a == "--help" || a == "-h" ? 0 : 2;
+            std::fprintf(stderr, "mtopt: unknown option '%s'\n",
+                         a.c_str());
+            std::fprintf(stderr,
+                         "run 'mtopt --help' for the option list\n");
+            return 2;
         }
     }
 
     try {
         Program prog;
+        std::string progName;
         if (!appName.empty()) {
             const App &app = findApp(appName);
             AsmOptions opts = app.options(1.0);
             for (const auto &[k, v] : defs.defines)
                 opts.defines[k] = v;
             prog = assemble(app.source(), opts);
+            progName = app.name();
         } else if (!file.empty()) {
             std::ifstream in(file);
             if (!in) {
@@ -61,15 +103,15 @@ main(int argc, char **argv)
             std::ostringstream ss;
             ss << in.rdbuf();
             prog = assemble(ss.str(), defs);
+            progName = file;
         } else {
-            std::puts("usage: mtopt (--app NAME | FILE.s) [-D N=V] "
-                      "[--stats]");
+            usage();
             return 2;
         }
 
         GroupingStats gs;
         Program grouped = applyGroupingPass(prog, &gs);
-        if (!statsOnly) {
+        if (!statsOnly && !verify) {
             std::puts("==== original ====");
             std::fputs(prog.listing().c_str(), stdout);
             std::puts("\n==== after grouping pass ====");
@@ -82,6 +124,30 @@ main(int argc, char **argv)
             gs.basicBlocks, gs.sharedLoads, gs.loadGroups,
             gs.switchesInserted, gs.staticGroupingFactor(),
             gs.reorderedBlocks, gs.instructionsIn, gs.instructionsOut);
+
+        if (!jsonPath.empty()) {
+            OptRecord rec;
+            rec.program = progName;
+            rec.stats = gs;
+            std::ofstream jout(jsonPath);
+            if (!jout) {
+                std::fprintf(stderr, "mtopt: cannot write %s\n",
+                             jsonPath.c_str());
+                return 1;
+            }
+            jout << rec.toJson().dump(2) << '\n';
+        }
+
+        if (verify) {
+            LintReport report;
+            bool ok = verifyGroupingPass(prog, grouped, report);
+            std::fputs(report.renderText(grouped).c_str(), stdout);
+            std::printf("verify: %s (%zu checked, %zu error(s))\n",
+                        ok ? "OK" : "FAILED", grouped.code.size(),
+                        report.count(Severity::Error));
+            if (!ok)
+                return 1;
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "mtopt: %s\n", e.what());
