@@ -170,6 +170,19 @@ class SharedCache
         ++stats.storeThroughs;
     }
 
+    /**
+     * Statistics-free variant of updateOwn for store-buffer forwarding
+     * onto a freshly installed line: the fill read memory before this
+     * (already counted) in-flight store arrived there.
+     */
+    void
+    refresh(Addr addr, std::uint64_t value)
+    {
+        Line &ln = line(addr);
+        if (ln.valid && ln.base == lineBase(addr))
+            ln.data[addr - ln.base] = value;
+    }
+
     /** True if the line containing @p addr is present (any validFrom). */
     bool
     present(Addr addr) const

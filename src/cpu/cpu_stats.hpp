@@ -23,6 +23,7 @@ struct CpuStats
     std::uint64_t switchesTaken = 0;
     std::uint64_t switchesSkipped = 0;  ///< conditional switches not taken
     std::uint64_t sliceLimitSwitches = 0;  ///< forced by run-length limit
+    std::uint64_t zeroRuns = 0;  ///< taken switches ending a 0-cycle run
     std::uint64_t sharedLoads = 0;   ///< data loads (spin loads excluded)
     std::uint64_t spinLoads = 0;     ///< lds.spin accesses
     std::uint64_t sharedStores = 0;
@@ -43,6 +44,7 @@ struct CpuStats
         switchesTaken += o.switchesTaken;
         switchesSkipped += o.switchesSkipped;
         sliceLimitSwitches += o.sliceLimitSwitches;
+        zeroRuns += o.zeroRuns;
         sharedLoads += o.sharedLoads;
         spinLoads += o.spinLoads;
         sharedStores += o.sharedStores;

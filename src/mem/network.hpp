@@ -118,6 +118,7 @@ struct NetworkStats
     std::uint64_t fillMsgs = 0;
     std::uint64_t invalMsgs = 0;
     std::uint64_t spinMsgs = 0;  ///< counted separately, not in bits
+    std::uint64_t pairMsgs = 0;  ///< subset of loadMsgs (2-word returns)
 
     std::uint64_t
     totalBits() const
@@ -148,6 +149,7 @@ struct NetworkStats
         fillMsgs += o.fillMsgs;
         invalMsgs += o.invalMsgs;
         spinMsgs += o.spinMsgs;
+        pairMsgs += o.pairMsgs;
     }
 
     /**
@@ -171,10 +173,13 @@ struct NetworkStats
         switch (op.kind) {
           case MemOpKind::Load:
           case MemOpKind::LoadPair:
-            if (op.fillLine)
+            if (op.fillLine) {
                 ++fillMsgs;
-            else
+            } else {
                 ++loadMsgs;
+                if (op.kind == MemOpKind::LoadPair)
+                    ++pairMsgs;
+            }
             break;
           case MemOpKind::Store:
             ++storeMsgs;

@@ -1,0 +1,37 @@
+#include "metrics/fuzz_record.hpp"
+
+namespace mts
+{
+
+JsonValue
+FuzzRecord::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v["schema"] = JsonValue(FuzzRecord::kSchema);
+    v["first_seed"] = JsonValue(firstSeed);
+    v["seeds_run"] = JsonValue(seedsRun);
+    v["threads"] = JsonValue(threads);
+    v["latency"] = JsonValue(latency);
+    v["machine_runs"] = JsonValue(machineRuns);
+    v["ok"] = JsonValue(ok());
+    JsonValue fails = JsonValue::array();
+    for (const FuzzFailureRecord &f : failures) {
+        JsonValue e = JsonValue::object();
+        e["seed"] = JsonValue(f.seed);
+        e["kind"] = JsonValue(f.kind);
+        e["config"] = JsonValue(f.config);
+        e["detail"] = JsonValue(f.detail);
+        e["divergences"] = JsonValue(f.divergences);
+        if (!f.minimizedSource.empty()) {
+            e["minimized_source"] = JsonValue(f.minimizedSource);
+            e["minimized_instructions"] =
+                JsonValue(f.minimizedInstructions);
+            e["shrink_attempts"] = JsonValue(f.shrinkAttempts);
+        }
+        fails.push(std::move(e));
+    }
+    v["failures"] = std::move(fails);
+    return v;
+}
+
+} // namespace mts

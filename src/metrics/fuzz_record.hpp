@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FuzzRecord: the structured product of one mtfuzz campaign (schema
+ * mts.fuzz/1), mirroring mts.run/1 and mts.opt/1 for runs and grouping.
+ *
+ * Plain-field struct on purpose: the metrics layer stays independent of
+ * src/verify/ (the verify layer converts its reports into records).
+ */
+#ifndef MTS_METRICS_FUZZ_RECORD_HPP
+#define MTS_METRICS_FUZZ_RECORD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mts
+{
+
+/** One failing seed, as exported. */
+struct FuzzFailureRecord
+{
+    std::uint64_t seed = 0;
+    std::string kind;    ///< divergence kind ("digest", "invariant", ...)
+    std::string config;  ///< machine configuration that diverged
+    std::string detail;
+    int divergences = 0;  ///< total divergences this seed produced
+
+    std::string minimizedSource;   ///< "" when shrinking was disabled
+    int minimizedInstructions = 0;
+    int shrinkAttempts = 0;
+};
+
+/** Structured record of one fuzz campaign. */
+struct FuzzRecord
+{
+    /** Schema tag emitted into every JSON record. */
+    static constexpr const char *kSchema = "mts.fuzz/1";
+
+    std::uint64_t firstSeed = 0;
+    int seedsRun = 0;
+    int threads = 0;
+    std::uint64_t latency = 0;
+    int machineRuns = 0;  ///< total Machine configurations executed
+    std::vector<FuzzFailureRecord> failures;
+
+    bool
+    ok() const
+    {
+        return failures.empty();
+    }
+
+    JsonValue toJson() const;
+};
+
+} // namespace mts
+
+#endif // MTS_METRICS_FUZZ_RECORD_HPP

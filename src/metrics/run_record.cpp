@@ -3,6 +3,7 @@
 #include "metrics/stat_publish.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/run_result.hpp"
+#include "util/strings.hpp"
 
 namespace mts
 {
@@ -18,6 +19,8 @@ makeRunRecord(const RunResult &result, const MachineConfig &config,
     rec.threadsPerProc = result.threadsPerProc;
     rec.latency = config.network.roundTrip;
     rec.cycles = result.cycles;
+    rec.digestShared = result.digest.sharedHash;
+    rec.digestRegs = result.digest.regHash;
 
     publishCpuStats(rec.metrics, "cpu", result.cpu);
     if (config.cachesEnabled())
@@ -50,6 +53,10 @@ RunRecord::toJson() const
     v["threads"] = JsonValue(threadsPerProc);
     v["latency"] = JsonValue(latency);
     v["cycles"] = JsonValue(cycles);
+    v["digest_shared"] = JsonValue(format("0x%016llx",
+        static_cast<unsigned long long>(digestShared)));
+    v["digest_regs"] = JsonValue(format("0x%016llx",
+        static_cast<unsigned long long>(digestRegs)));
     if (hasEfficiency) {
         v["efficiency"] = JsonValue(efficiency);
         v["speedup"] = JsonValue(speedup);

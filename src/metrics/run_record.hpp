@@ -38,6 +38,12 @@ struct RunRecord
     std::uint64_t latency = 0;  ///< network round-trip cycles
     std::uint64_t cycles = 0;   ///< completion time
 
+    /// @name Final-state digest (see sim/state_digest.hpp).
+    /// @{
+    std::uint64_t digestShared = 0;
+    std::uint64_t digestRegs = 0;
+    /// @}
+
     /** Aggregate scopes only (cpu, cache, net, estimate, derived). */
     MetricsRegistry metrics;
 

@@ -14,6 +14,7 @@ publishCpuStats(MetricsRegistry &reg, const std::string &scope,
     reg.add(scope + ".switches.taken", s.switchesTaken);
     reg.add(scope + ".switches.skipped", s.switchesSkipped);
     reg.add(scope + ".switches.slice_limit", s.sliceLimitSwitches);
+    reg.add(scope + ".switches.zero_run", s.zeroRuns);
     reg.add(scope + ".loads.shared", s.sharedLoads);
     reg.add(scope + ".loads.spin", s.spinLoads);
     reg.add(scope + ".stores.shared", s.sharedStores);
@@ -34,6 +35,7 @@ cpuStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
     s.switchesTaken = reg.counter(scope + ".switches.taken");
     s.switchesSkipped = reg.counter(scope + ".switches.skipped");
     s.sliceLimitSwitches = reg.counter(scope + ".switches.slice_limit");
+    s.zeroRuns = reg.counter(scope + ".switches.zero_run");
     s.sharedLoads = reg.counter(scope + ".loads.shared");
     s.spinLoads = reg.counter(scope + ".loads.spin");
     s.sharedStores = reg.counter(scope + ".stores.shared");
@@ -81,6 +83,7 @@ publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
     reg.add(scope + ".msgs.fill", s.fillMsgs);
     reg.add(scope + ".msgs.inval", s.invalMsgs);
     reg.add(scope + ".msgs.spin", s.spinMsgs);
+    reg.add(scope + ".msgs.pair", s.pairMsgs);
 }
 
 NetworkStats
@@ -97,6 +100,7 @@ networkStatsFromMetrics(const MetricsRegistry &reg,
     s.fillMsgs = reg.counter(scope + ".msgs.fill");
     s.invalMsgs = reg.counter(scope + ".msgs.inval");
     s.spinMsgs = reg.counter(scope + ".msgs.spin");
+    s.pairMsgs = reg.counter(scope + ".msgs.pair");
     return s;
 }
 

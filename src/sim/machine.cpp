@@ -62,6 +62,8 @@ Machine::Machine(const Program &program, const MachineConfig &config,
     injectFree.assign(cfg.numProcs, 0);
     queue.reserve(static_cast<std::size_t>(cfg.numProcs));
     lastArrival.assign(cfg.numProcs, 0);
+    if (cfg.cachesEnabled())
+        pendingStores.resize(static_cast<std::size_t>(cfg.numProcs));
 
     procs.reserve(cfg.numProcs);
     for (int p = 0; p < cfg.numProcs; ++p)
@@ -80,6 +82,8 @@ Machine::issueMem(MemOp op)
             static_cast<std::uint32_t>(op.proc) * cfg.threadsPerProc +
                 op.thread,
             op);
+    if (op.kind == MemOpKind::Store && cfg.cachesEnabled())
+        pendingStores[op.proc].push_back({op.addr, op.value});
     if (cfg.network.roundTrip == 0) {
         // Ideal network: the access completes at issue, in the bounded
         // causality window enforced by the zero-latency quantum.
@@ -176,12 +180,15 @@ Machine::processArrival(const MemEvent &ev)
         mem.write(op.addr, op.value);
         if (cfg.cachesEnabled()) {
             invalidateSharers(op.addr, op.proc);
-            // Re-apply to the writer's own copy: a fill issued by another
-            // thread of this processor before this store reached memory
-            // may have installed pre-store data after the issue-time
-            // store-buffer update.
-            if (SharedCache *wc = procs[op.proc]->cache())
-                wc->updateOwn(op.addr, op.value);
+            // Now visible in memory: retire from the writer's store
+            // buffer. Ordered delivery retires stores in issue order, so
+            // the head must be this store. (The writer's own cached copy
+            // was already updated at issue; re-applying op.value here
+            // would roll back any younger store to the same word.)
+            auto &sb = pendingStores[op.proc];
+            MTS_ASSERT(!sb.empty() && sb.front().addr == op.addr,
+                       "store buffer out of sync with arrival order");
+            sb.pop_front();
         }
         break;
 
@@ -214,6 +221,12 @@ Machine::processArrival(const MemEvent &ev)
             for (unsigned w = 0; w < cfg.cache.lineWords; ++w)
                 line[w] = mem.read(base + w);
             c->install(base, line, op.returnTime);
+            // The memory image lags this processor's own stores still in
+            // flight; forward them (in issue order) onto the fresh line
+            // so its hits respect the processor's program order.
+            for (const PendingStore &ps : pendingStores[op.proc])
+                if (c->lineBase(ps.addr) == base)
+                    c->refresh(ps.addr, ps.value);
             directory.addSharer(base, op.proc);
         }
         if (op.deliver)
@@ -267,6 +280,21 @@ Machine::run()
     RunResult r;
     r.numProcs = cfg.numProcs;
     r.threadsPerProc = cfg.threadsPerProc;
+
+    // Canonical final-state digest: the shared static segment (scratch
+    // words and line padding excluded so cache geometry cannot leak in),
+    // then every thread's termination registers in global-id order.
+    for (Addr a = 0; a < prog.sharedWords; ++a)
+        r.digest.addSharedWord(mem.read(kSharedBase + a));
+    for (int p = 0; p < cfg.numProcs; ++p)
+        for (int t = 0; t < cfg.threadsPerProc; ++t) {
+            const ThreadContext &th =
+                procs[p]->thread(static_cast<std::uint16_t>(t));
+            r.digest.addThreadRegs(th.iregs[kDigestIntReg0],
+                                   th.iregs[kDigestIntReg1],
+                                   th.fregs[kDigestFpReg0],
+                                   th.fregs[kDigestFpReg1]);
+        }
 
     // Publish every component into the metrics registry under its own
     // scope; machine-wide totals are produced by the registry roll-up

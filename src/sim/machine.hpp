@@ -17,6 +17,7 @@
 #ifndef MTS_SIM_MACHINE_HPP
 #define MTS_SIM_MACHINE_HPP
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -58,6 +59,13 @@ class Machine
     sharedMem()
     {
         return mem;
+    }
+
+    /** Post-run state inspection (divergence reporting, app checkers). */
+    Processor &
+    processor(int p)
+    {
+        return *procs[p];
     }
 
     const MachineConfig &
@@ -124,6 +132,21 @@ class Machine
     NetworkStats netStats;
     std::vector<Cycle> injectFree;   ///< channel-contention state per proc
     std::vector<Cycle> lastArrival;  ///< per-source ordered delivery
+
+    /** One store in flight between issue and memory arrival. */
+    struct PendingStore
+    {
+        Addr addr;
+        std::uint64_t value;
+    };
+    /**
+     * Per-processor store buffer (caches only): every issued store stays
+     * here until it reaches memory. A miss fill reads memory, which lags
+     * the issuing processor by a one-way latency, so the installed line
+     * must have the buffered stores re-applied on top or later hits
+     * would read pre-store data.
+     */
+    std::vector<std::deque<PendingStore>> pendingStores;
     AddrCycleMap portFree;  ///< hot-spot model state (flat, pre-reserved)
     std::vector<std::unique_ptr<Processor>> procs;
     std::function<void(const std::string &)> printHandler;

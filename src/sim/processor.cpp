@@ -57,6 +57,8 @@ Processor::takeSwitch(ThreadContext &th, Cycle runEnd, Cycle threadReady,
     ++stats.switchesTaken;
     if (runEnd > th.runStart)
         stats.runLengths.add(runEnd - th.runStart);
+    else
+        ++stats.zeroRuns;  // decode-time switch right after switch-in
     th.readyAt = std::max(threadReady, runEnd);
     std::uint32_t from = th.globalId;
     rotate();
@@ -306,6 +308,20 @@ Processor::step(ThreadContext &th, Cycle &now)
             pendingReady = std::max(pendingReady, rdy);
         srcReady = std::max(srcReady, rdy);
     }
+    for (int i = 0; i < ops.numDefs; ++i) {
+        RegId d = ops.defs[i];
+        Cycle rdy = th.regReady[d];
+        if (rdy <= now) {
+            th.pendingShared[d] = false;
+            continue;
+        }
+        if (!th.pendingShared[d])
+            continue;  // pipeline-latency result: overwriting is in order
+        // WAW on an in-flight load: its late delivery would overwrite
+        // this instruction's result, so the write must wait it out.
+        pendingReady = std::max(pendingReady, rdy);
+        srcReady = std::max(srcReady, rdy);
+    }
 
     if (useModel && pendingReady > now) {
         // The use of an in-flight shared value: switch instead of stall.
@@ -552,13 +568,19 @@ Processor::step(ThreadContext &th, Cycle &now)
             break;
         memReady = ready;
 
-        // Destination scoreboard entries.
+        // Destination scoreboard entries. An in-flight delivery owns the
+        // destination until it lands: pendingShared drives both the
+        // switch-on-use decode check and the WAW interlock in step().
         RegId d0 = isFpOp(inst.op) && !isFaa ? fpReg(inst.rd)
                                              : intReg(inst.rd);
         th.regReady[d0] = ready;
+        if (missed && ready > now + 1)
+            th.pendingShared[d0] = true;
         if (isPair) {
             RegId d1 = static_cast<RegId>(d0 + 1);
             th.regReady[d1] = ready;
+            if (missed && ready > now + 1)
+                th.pendingShared[d1] = true;
         }
 
         // Cache-based models must bound hit streaks (the Section 6.2
@@ -576,11 +598,7 @@ Processor::step(ThreadContext &th, Cycle &now)
             break;
           case SwitchModel::SwitchOnUse:
           case SwitchModel::SwitchOnUseMiss:
-            if (missed && ready > now + 1) {
-                th.pendingShared[d0] = true;
-                if (isPair)
-                    th.pendingShared[static_cast<RegId>(d0 + 1)] = true;
-            } else if (!missed && sliceExpired) {
+            if (!missed && sliceExpired) {
                 switchReady = ready;
                 switchReason = SwitchReason::SliceLimit;
                 ++stats.sliceLimitSwitches;
@@ -642,6 +660,8 @@ Processor::step(ThreadContext &th, Cycle &now)
             stats.finishTime = now;
         if (now > th.runStart)
             stats.runLengths.add(now - th.runStart);
+        else
+            ++stats.zeroRuns;
         if (liveThreads > 0) {
             rotate();
             freshRun = true;

@@ -9,6 +9,7 @@
 #include "cpu/cpu_stats.hpp"
 #include "mem/network.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/state_digest.hpp"
 
 namespace mts
 {
@@ -32,6 +33,14 @@ struct RunResult
     CpuStats cpu;               ///< rolled up over all processors
     NetworkStats net;
     CacheStats cache;           ///< rolled up over all processor caches
+
+    /**
+     * Canonical final-state digest (shared static segment + per-thread
+     * termination registers; see sim/state_digest.hpp). Identical across
+     * every switch model, thread count and cache geometry for a given
+     * program — the dynamic oracle mts_verify checks against.
+     */
+    StateDigest digest;
 
     std::uint64_t estimateHits = 0;    ///< §5.2 per-thread estimator
     std::uint64_t estimateMisses = 0;

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Canonical final-state digest of one program execution.
+ *
+ * The digest is the machine-checkable form of the paper's central
+ * invariant (Section 4): the multithreading models and the grouping pass
+ * change *timing*, never *results*. Any two executors of the same
+ * program — the event-driven Machine under any switch model, and the
+ * zero-latency reference interpreter in src/verify/ — must agree on it.
+ *
+ * Definition (see DESIGN.md §10):
+ *  - the shared static segment, word by word, for the program's
+ *    `sharedWords` (extra scratch words and cache-line padding excluded
+ *    so the digest is independent of cache geometry), then
+ *  - per thread, in global-id order, the termination registers: integer
+ *    v0/v1 (r2/r3) and floating-point f0/f1, as raw 64-bit words.
+ *
+ * Scratch registers are deliberately excluded: values such as ticket-lock
+ * tickets are interleaving-dependent even in programs whose results are
+ * not. Programs that want a value checked either store it to shared
+ * memory or move it into a termination register before halting.
+ *
+ * Both hash streams use FNV-1a over 64-bit words, which is cheap enough
+ * to compute unconditionally at the end of every run.
+ */
+#ifndef MTS_SIM_STATE_DIGEST_HPP
+#define MTS_SIM_STATE_DIGEST_HPP
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+/// @name Termination-register convention (digested per thread).
+/// @{
+constexpr std::uint8_t kDigestIntReg0 = kRegRet0;      ///< v0 (r2)
+constexpr std::uint8_t kDigestIntReg1 = kRegRet0 + 1;  ///< v1 (r3)
+constexpr std::uint8_t kDigestFpReg0 = 0;              ///< f0
+constexpr std::uint8_t kDigestFpReg1 = 1;              ///< f1
+/// @}
+
+/** Accumulating final-state digest (see file comment for the stream). */
+struct StateDigest
+{
+    static constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+    std::uint64_t sharedHash = kFnvOffset;  ///< shared static segment
+    std::uint64_t regHash = kFnvOffset;     ///< termination registers
+    std::uint64_t sharedWords = 0;          ///< words folded into sharedHash
+    std::uint32_t threads = 0;              ///< threads folded into regHash
+
+    static std::uint64_t
+    mix(std::uint64_t h, std::uint64_t word)
+    {
+        return (h ^ word) * kFnvPrime;
+    }
+
+    void
+    addSharedWord(std::uint64_t word)
+    {
+        sharedHash = mix(sharedHash, word);
+        ++sharedWords;
+    }
+
+    /** Fold one thread's termination registers (global-id order). */
+    void
+    addThreadRegs(std::int64_t v0, std::int64_t v1, double f0, double f1)
+    {
+        regHash = mix(regHash, static_cast<std::uint64_t>(v0));
+        regHash = mix(regHash, static_cast<std::uint64_t>(v1));
+        regHash = mix(regHash, std::bit_cast<std::uint64_t>(f0));
+        regHash = mix(regHash, std::bit_cast<std::uint64_t>(f1));
+        ++threads;
+    }
+
+    /** Single 64-bit summary of both streams plus their extents. */
+    std::uint64_t
+    combined() const
+    {
+        std::uint64_t h = mix(kFnvOffset, sharedHash);
+        h = mix(h, regHash);
+        h = mix(h, sharedWords);
+        return mix(h, threads);
+    }
+
+    bool
+    operator==(const StateDigest &o) const
+    {
+        return sharedHash == o.sharedHash && regHash == o.regHash &&
+               sharedWords == o.sharedWords && threads == o.threads;
+    }
+
+    bool
+    operator!=(const StateDigest &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** "shared=0x.../regs=0x..." form for divergence reports. */
+    std::string
+    hex() const
+    {
+        return format("shared=0x%016llx/regs=0x%016llx",
+                      static_cast<unsigned long long>(sharedHash),
+                      static_cast<unsigned long long>(regHash));
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_STATE_DIGEST_HPP

@@ -1,0 +1,352 @@
+#include "verify/differential.hpp"
+
+#include "apps/app.hpp"
+#include "asm/assembler.hpp"
+#include "metrics/stat_publish.hpp"
+#include "opt/grouping_pass.hpp"
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+std::string_view
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::Digest: return "digest";
+      case DivergenceKind::Invariant: return "invariant";
+      case DivergenceKind::RunError: return "run-error";
+      case DivergenceKind::Unstable: return "unstable";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Shared-segment symbol covering word offset @p off, or "". */
+std::string
+sharedSymbolAt(const Program &prog, Addr off)
+{
+    Addr addr = kSharedBase + off;
+    for (const auto &[name, sym] : prog.symbols) {
+        if (sym.kind != SymbolKind::Shared)
+            continue;
+        Addr base = static_cast<Addr>(sym.value);
+        if (addr >= base && addr < base + (sym.size ? sym.size : 1))
+            return format("%s+%llu", name.c_str(),
+                          static_cast<unsigned long long>(addr - base));
+    }
+    return "";
+}
+
+/** First few shared-word and register differences, for the report. */
+std::string
+describeDigestDiff(const Program &prog, const RefResult &ref,
+                   Machine &machine, const MachineConfig &cfg)
+{
+    std::string out;
+    int shown = 0;
+    for (Addr w = 0; w < prog.sharedWords && shown < 4; ++w) {
+        std::uint64_t got = machine.sharedMem().read(kSharedBase + w);
+        std::uint64_t want = ref.sharedImage[static_cast<std::size_t>(w)];
+        if (got == want)
+            continue;
+        std::string sym = sharedSymbolAt(prog, w);
+        out += format("  shared[%llu]%s%s: machine=%llu reference=%llu\n",
+                      static_cast<unsigned long long>(w),
+                      sym.empty() ? "" : " ", sym.c_str(),
+                      static_cast<unsigned long long>(got),
+                      static_cast<unsigned long long>(want));
+        ++shown;
+    }
+    for (int p = 0; p < cfg.numProcs && shown < 8; ++p)
+        for (int t = 0; t < cfg.threadsPerProc && shown < 8; ++t) {
+            const ThreadContext &th =
+                machine.processor(p).thread(static_cast<std::uint16_t>(t));
+            int gid = p * cfg.threadsPerProc + t;
+            const RefThreadState &rt =
+                ref.threads[static_cast<std::size_t>(gid)];
+            if (th.iregs[kDigestIntReg0] != rt.iregs[kDigestIntReg0] ||
+                th.iregs[kDigestIntReg1] != rt.iregs[kDigestIntReg1]) {
+                out += format("  thread %d v0/v1: machine=%lld/%lld "
+                              "reference=%lld/%lld\n",
+                              gid,
+                              static_cast<long long>(
+                                  th.iregs[kDigestIntReg0]),
+                              static_cast<long long>(
+                                  th.iregs[kDigestIntReg1]),
+                              static_cast<long long>(
+                                  rt.iregs[kDigestIntReg0]),
+                              static_cast<long long>(
+                                  rt.iregs[kDigestIntReg1]));
+                ++shown;
+            }
+            if (th.fregs[kDigestFpReg0] != rt.fregs[kDigestFpReg0] ||
+                th.fregs[kDigestFpReg1] != rt.fregs[kDigestFpReg1]) {
+                out += format("  thread %d f0/f1: machine=%.17g/%.17g "
+                              "reference=%.17g/%.17g\n",
+                              gid, th.fregs[kDigestFpReg0],
+                              th.fregs[kDigestFpReg1],
+                              rt.fregs[kDigestFpReg0],
+                              rt.fregs[kDigestFpReg1]);
+                ++shown;
+            }
+        }
+    if (out.empty())
+        out = "  (hash mismatch with no visible word/register diff)\n";
+    return out;
+}
+
+/** Check the metrics accounting identities of one finished run. */
+void
+checkInvariants(const RunResult &r, const MachineConfig &cfg,
+                const std::string &label,
+                std::vector<Divergence> &divergences)
+{
+    auto fail = [&](const std::string &detail) {
+        divergences.push_back(
+            {DivergenceKind::Invariant, label, detail});
+    };
+
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        CpuStats c = cpuStatsFromMetrics(
+            r.metrics, "cpu.p" + std::to_string(p));
+        Cycle accounted = c.busyCycles + c.stallCycles + c.idleCycles;
+        if (accounted != c.finishTime)
+            fail(format("cpu.p%d: busy+stall+idle = %llu != finish_time "
+                        "%llu",
+                        p, static_cast<unsigned long long>(accounted),
+                        static_cast<unsigned long long>(c.finishTime)));
+        std::uint64_t runsEnded = c.runLengths.count() + c.zeroRuns;
+        std::uint64_t runsExpected =
+            c.switchesTaken +
+            static_cast<std::uint64_t>(cfg.threadsPerProc);
+        if (runsEnded != runsExpected)
+            fail(format("cpu.p%d: run_lengths mass + zero_runs = %llu != "
+                        "switches.taken + threads = %llu",
+                        p, static_cast<unsigned long long>(runsEnded),
+                        static_cast<unsigned long long>(runsExpected)));
+    }
+
+    const NetworkStats &n = r.net;
+    std::uint64_t msgSum = n.loadMsgs + n.storeMsgs + n.faaMsgs +
+                           n.fillMsgs + n.invalMsgs;
+    if (n.messages != msgSum)
+        fail(format("net: messages %llu != per-type sum %llu",
+                    static_cast<unsigned long long>(n.messages),
+                    static_cast<unsigned long long>(msgSum)));
+
+    std::uint64_t fwd = (n.loadMsgs + n.fillMsgs) *
+                            (kHeaderBits + kAddrBits) +
+                        (n.storeMsgs + n.faaMsgs) *
+                            (kHeaderBits + kAddrBits + kDataBits) +
+                        n.invalMsgs * (kHeaderBits + kAddrBits);
+    if (n.forwardBits != fwd)
+        fail(format("net: forward bits %llu != reconstruction %llu",
+                    static_cast<unsigned long long>(n.forwardBits),
+                    static_cast<unsigned long long>(fwd)));
+
+    std::uint64_t lineBits =
+        kHeaderBits + cfg.cache.lineWords * kDataBits;
+    std::uint64_t ret = (n.loadMsgs - n.pairMsgs) *
+                            (kHeaderBits + kDataBits) +
+                        n.pairMsgs * (kHeaderBits + 2 * kDataBits) +
+                        n.fillMsgs * lineBits + n.storeMsgs * kHeaderBits +
+                        n.faaMsgs * (kHeaderBits + kDataBits) +
+                        n.invalMsgs * kHeaderBits;
+    if (n.returnBits != ret)
+        fail(format("net: return bits %llu != reconstruction %llu",
+                    static_cast<unsigned long long>(n.returnBits),
+                    static_cast<unsigned long long>(ret)));
+}
+
+} // namespace
+
+std::string
+DiffReport::summary() const
+{
+    if (divergences.empty())
+        return format("ok (%d machine runs, reference %s)\n", machineRuns,
+                      refDigest.hex().c_str());
+    std::string out = format("%zu divergence(s) in %d machine runs:\n",
+                             divergences.size(), machineRuns);
+    for (const Divergence &d : divergences) {
+        out += format("[%s] %s\n",
+                      std::string(divergenceKindName(d.kind)).c_str(),
+                      d.config.c_str());
+        out += d.detail;
+        if (!d.detail.empty() && d.detail.back() != '\n')
+            out += '\n';
+    }
+    return out;
+}
+
+DiffReport
+runDifferential(const std::string &userSource, const DiffOptions &opts)
+{
+    DiffReport report;
+
+    Program raw = assemble(runtimePrelude() + userSource);
+
+    // Interleaving-independence screen: the reference digest must be the
+    // same under two different round-robin schedules. A racy program
+    // would turn every digest comparison below into noise.
+    //
+    // A reference failure (livelock budget, runtime fault) is reported
+    // as a RunError divergence rather than thrown: one bad program must
+    // not abort a whole fuzz campaign.
+    RefOptions refOpts = opts.ref;
+    refOpts.threads = opts.threads;
+    RefResult ref;
+    try {
+        ref = runReference(raw, refOpts);
+    } catch (const FatalError &e) {
+        report.divergences.push_back({DivergenceKind::RunError,
+                                      "reference run",
+                                      format("  %s\n", e.what())});
+        return report;
+    }
+    {
+        RefOptions alt = refOpts;
+        alt.quantum = refOpts.quantum == 3 ? 5 : 3;
+        RefResult ref2;
+        try {
+            ref2 = runReference(raw, alt);
+        } catch (const FatalError &e) {
+            // Terminates under one schedule but faults under another:
+            // order-dependent by definition.
+            report.divergences.push_back(
+                {DivergenceKind::Unstable, "reference self-check",
+                 format("  quantum %llu ok, quantum %llu failed: %s\n",
+                        static_cast<unsigned long long>(refOpts.quantum),
+                        static_cast<unsigned long long>(alt.quantum),
+                        e.what())});
+            report.refDigest = ref.digest;
+            return report;
+        }
+        if (ref.digest != ref2.digest) {
+            report.divergences.push_back(
+                {DivergenceKind::Unstable, "reference self-check",
+                 format("  quantum %llu -> %s\n  quantum %llu -> %s\n",
+                        static_cast<unsigned long long>(refOpts.quantum),
+                        ref.digest.hex().c_str(),
+                        static_cast<unsigned long long>(alt.quantum),
+                        ref2.digest.hex().c_str())});
+            report.refDigest = ref.digest;
+            return report;
+        }
+    }
+    report.refDigest = ref.digest;
+
+    Program grouped = opts.groupedTransform ? opts.groupedTransform(raw)
+                                            : applyGroupingPass(raw);
+
+    // The grouped program must still be architecturally equivalent.
+    {
+        RefResult refG;
+        try {
+            refG = runReference(grouped, refOpts);
+        } catch (const FatalError &e) {
+            report.divergences.push_back(
+                {DivergenceKind::RunError, "grouped reference",
+                 format("  %s\n", e.what())});
+            return report;
+        }
+        if (refG.digest != ref.digest) {
+            report.divergences.push_back(
+                {DivergenceKind::Digest, "grouped reference",
+                 format("  grouping changed the reference digest:\n"
+                        "  raw %s\n  grouped %s\n",
+                        ref.digest.hex().c_str(),
+                        refG.digest.hex().c_str())});
+            return report;
+        }
+    }
+
+    struct Variant
+    {
+        const char *name;
+        const Program *prog;
+    };
+    const Variant variants[] = {{"raw", &raw}, {"grouped", &grouped}};
+
+    std::vector<SwitchModel> models = opts.models;
+    if (models.empty())
+        models.assign(std::begin(kAllModels), std::end(kAllModels));
+
+    // Cache geometries: the default, plus a tiny thrashing cache that
+    // forces eviction/invalidation traffic.
+    const CacheConfig cacheVariants[] = {{2048, 4}, {8, 2}};
+
+    auto runOne = [&](const Variant &v, SwitchModel model, int tpp,
+                      const CacheConfig &cache, Cycle latency) {
+        MachineConfig cfg;
+        cfg.numProcs = opts.threads / tpp;
+        cfg.threadsPerProc = tpp;
+        cfg.model = model;
+        cfg.network.roundTrip = latency;
+        cfg.cache = cache;
+        cfg.maxCycles = opts.maxCycles;
+        std::string label = format(
+            "%s %s tpp=%d latency=%llu",
+            std::string(switchModelName(model)).c_str(), v.name, tpp,
+            static_cast<unsigned long long>(latency));
+        if (modelUsesCache(model))
+            label += format(" cache=%ux%u", cache.sizeWords,
+                            cache.lineWords);
+        ++report.machineRuns;
+        try {
+            Machine machine(*v.prog, cfg);
+            machine.setPrintHandler([](const std::string &) {});
+            RunResult r = machine.run();
+            if (r.digest != ref.digest)
+                report.divergences.push_back(
+                    {DivergenceKind::Digest, label,
+                     describeDigestDiff(*v.prog, ref, machine, cfg)});
+            if (opts.checkInvariants)
+                checkInvariants(r, cfg, label, report.divergences);
+        } catch (const FatalError &e) {
+            report.divergences.push_back(
+                {DivergenceKind::RunError, label,
+                 format("  %s\n", e.what())});
+        }
+    };
+
+    for (const Variant &v : variants)
+        for (SwitchModel model : models) {
+            // Raw code has no cswitch anywhere (including the prelude's
+            // spin loops), so cswitch-driven models would livelock.
+            if (v.prog == &raw && modelNeedsSwitchInstr(model))
+                continue;
+            for (int tpp : opts.tppList) {
+                if (tpp <= 0 || opts.threads % tpp != 0)
+                    continue;
+                if (modelUsesCache(model)) {
+                    for (const CacheConfig &cache : cacheVariants)
+                        runOne(v, model, tpp, cache, opts.latency);
+                } else {
+                    runOne(v, model, tpp, CacheConfig{}, opts.latency);
+                }
+            }
+        }
+
+    if (opts.includeZeroLatency) {
+        // Zero-latency machines take the direct-access fast path; one
+        // representative per variant keeps the matrix affordable.
+        int tpp = 1;
+        for (int t : opts.tppList)
+            if (t > tpp && opts.threads % t == 0)
+                tpp = t;
+        runOne(variants[0], SwitchModel::SwitchOnLoad, tpp, CacheConfig{},
+               0);
+        runOne(variants[1], SwitchModel::ExplicitSwitch, tpp,
+               CacheConfig{}, 0);
+    }
+
+    return report;
+}
+
+} // namespace mts

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Differential runner: one program, every machine configuration, one
+ * verdict.
+ *
+ * A program is assembled twice — raw and through the grouping pass — and
+ * executed on the reference interpreter and on the Machine across the
+ * configuration matrix (switch models x threads-per-processor splits x
+ * cache geometries x a zero-latency slice). Every run's final-state
+ * digest must equal the reference digest, and every run's metrics must
+ * satisfy the accounting invariants the simulator is supposed to
+ * maintain by construction:
+ *
+ *  - per processor, busy + stall + idle cycles == finish time;
+ *  - run-length histogram mass + zero-length runs
+ *        == taken switches + threads per processor
+ *    (every taken switch and every halt ends exactly one run);
+ *  - network messages == load + store + faa + fill + inval messages;
+ *  - forward/return bit totals == the per-type message counts times the
+ *    pinned per-message field sizes (header/address/data words).
+ *
+ * Raw (ungrouped) programs are excluded from the explicit-switch and
+ * conditional-switch models: those require `cswitch` instructions, and
+ * the runtime prelude's spin loops have none until the grouping pass
+ * inserts them.
+ */
+#ifndef MTS_VERIFY_DIFFERENTIAL_HPP
+#define MTS_VERIFY_DIFFERENTIAL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "cpu/switch_model.hpp"
+#include "sim/state_digest.hpp"
+#include "verify/reference_interp.hpp"
+
+namespace mts
+{
+
+/** Why one configuration diverged. */
+enum class DivergenceKind
+{
+    Digest,     ///< final state differs from the reference
+    Invariant,  ///< a metrics accounting identity is violated
+    RunError,   ///< the Machine rejected or failed a legal program
+    Unstable,   ///< reference digests differ across schedules (racy
+                ///< program: a generator bug, not a simulator bug)
+};
+
+std::string_view divergenceKindName(DivergenceKind kind);
+
+/** One divergence: what failed, where, and how. */
+struct Divergence
+{
+    DivergenceKind kind = DivergenceKind::Digest;
+    std::string config;  ///< "explicit-switch grouped tpp=4 cache=8x2"
+    std::string detail;  ///< first differing words, violated identity, ...
+};
+
+/** Configuration-matrix knobs of one differential run. */
+struct DiffOptions
+{
+    int threads = 4;             ///< total threads in every config
+    Cycle latency = 200;         ///< network round trip
+    bool includeZeroLatency = true;
+    bool checkInvariants = true;
+
+    /** Threads-per-processor splits (divisors of threads are used). */
+    std::vector<int> tppList{1, 2, 4};
+
+    /** Models to run (kAllModels when empty). */
+    std::vector<SwitchModel> models;
+
+    Cycle maxCycles = 400'000'000ull;
+    RefOptions ref;
+
+    /**
+     * Transform producing the "grouped" program. Defaults to the real
+     * grouping pass; tests inject deliberately-miscompiling transforms
+     * to prove the harness catches them.
+     */
+    std::function<Program(const Program &)> groupedTransform;
+};
+
+/** Everything one differential run produced. */
+struct DiffReport
+{
+    std::vector<Divergence> divergences;
+    int machineRuns = 0;       ///< Machine configurations executed
+    StateDigest refDigest;     ///< reference (schedule-stable) digest
+
+    bool
+    ok() const
+    {
+        return divergences.empty();
+    }
+
+    /** Multi-line human-readable summary of all divergences. */
+    std::string summary() const;
+};
+
+/**
+ * Run the full differential matrix on @p userSource (user assembly; the
+ * runtime prelude is prepended before assembly).
+ */
+DiffReport runDifferential(const std::string &userSource,
+                           const DiffOptions &opts = {});
+
+} // namespace mts
+
+#endif // MTS_VERIFY_DIFFERENTIAL_HPP

@@ -1,0 +1,180 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Outcome of one seed (worker-side). */
+struct SeedOutcome
+{
+    std::uint64_t seed = 0;
+    int machineRuns = 0;
+    bool failed = false;
+    FuzzFailure failure;
+};
+
+SeedOutcome
+runSeed(std::uint64_t seed, const FuzzOptions &opts)
+{
+    SeedOutcome out;
+    out.seed = seed;
+
+    GenOptions gen = opts.gen;
+    gen.seed = seed;
+    gen.threads = opts.diff.threads;
+    GeneratedProgram prog = generateProgram(gen);
+
+    DiffReport report = runDifferential(prog.source, opts.diff);
+    out.machineRuns = report.machineRuns;
+    if (!report.ok()) {
+        out.failed = true;
+        out.failure.seed = seed;
+        out.failure.first = report.divergences.front();
+        out.failure.divergences =
+            static_cast<int>(report.divergences.size());
+        out.failure.source = prog.source;
+    }
+    return out;
+}
+
+/**
+ * The shrink predicate: the candidate still produces a divergence of
+ * the original kind. Candidates that no longer assemble, no longer
+ * terminate, or turn racy (Unstable) are rejected unless the original
+ * failure itself was of that kind.
+ */
+bool
+candidateStillFails(const std::string &candidate, DivergenceKind kind,
+                    const DiffOptions &diff)
+{
+    try {
+        DiffReport rep = runDifferential(candidate, diff);
+        for (const Divergence &d : rep.divergences)
+            if (d.kind == kind)
+                return true;
+        return false;
+    } catch (const FatalError &) {
+        return false;  // does not even run: not a reproducer
+    }
+}
+
+} // namespace
+
+FuzzReport
+runFuzzCampaign(const FuzzOptions &opts,
+                const std::function<void(const std::string &)> &log)
+{
+    FuzzReport report;
+    if (opts.seeds <= 0)
+        return report;
+
+    std::mutex logMutex;
+    auto say = [&](const std::string &msg) {
+        if (log) {
+            std::lock_guard<std::mutex> lock(logMutex);
+            log(msg);
+        }
+    };
+
+    std::vector<SeedOutcome> outcomes(
+        static_cast<std::size_t>(opts.seeds));
+    {
+        ThreadPool pool(opts.jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(outcomes.size());
+        for (int i = 0; i < opts.seeds; ++i) {
+            std::uint64_t seed =
+                opts.firstSeed + static_cast<std::uint64_t>(i);
+            futures.push_back(pool.submit([&, i, seed] {
+                outcomes[static_cast<std::size_t>(i)] =
+                    runSeed(seed, opts);
+            }));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            futures[i].get();  // rethrows worker exceptions
+            const SeedOutcome &o = outcomes[i];
+            if (o.failed)
+                say(format(
+                    "seed %llu: %d divergence(s), first [%s] %s",
+                    static_cast<unsigned long long>(o.seed),
+                    o.failure.divergences,
+                    std::string(divergenceKindName(o.failure.first.kind))
+                        .c_str(),
+                    o.failure.first.config.c_str()));
+        }
+    }
+
+    report.seedsRun = opts.seeds;
+    for (const SeedOutcome &o : outcomes) {
+        report.machineRuns += o.machineRuns;
+        if (o.failed)
+            report.failures.push_back(o.failure);
+    }
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const FuzzFailure &a, const FuzzFailure &b) {
+                  return a.seed < b.seed;
+              });
+
+    if (opts.shrink) {
+        int shrunk = 0;
+        for (FuzzFailure &f : report.failures) {
+            if (shrunk++ >= opts.maxShrunkFailures)
+                break;
+            say(format("shrinking seed %llu (%d instructions)...",
+                       static_cast<unsigned long long>(f.seed),
+                       countInstructionLines(f.source)));
+            DivergenceKind kind = f.first.kind;
+            ShrinkResult sr = shrinkProgram(
+                f.source,
+                [&](const std::string &cand) {
+                    return candidateStillFails(cand, kind, opts.diff);
+                },
+                opts.shrinkOpts);
+            f.minimizedSource = sr.source;
+            f.minimizedInstructions = sr.instructions;
+            f.shrinkAttempts = sr.attempts;
+            say(format("seed %llu minimized to %d instructions "
+                       "(%d attempts)",
+                       static_cast<unsigned long long>(f.seed),
+                       sr.instructions, sr.attempts));
+        }
+    }
+
+    return report;
+}
+
+FuzzRecord
+makeFuzzRecord(const FuzzReport &report, const FuzzOptions &opts)
+{
+    FuzzRecord rec;
+    rec.firstSeed = opts.firstSeed;
+    rec.seedsRun = report.seedsRun;
+    rec.threads = opts.diff.threads;
+    rec.latency = opts.diff.latency;
+    rec.machineRuns = report.machineRuns;
+    for (const FuzzFailure &f : report.failures) {
+        FuzzFailureRecord fr;
+        fr.seed = f.seed;
+        fr.kind = std::string(divergenceKindName(f.first.kind));
+        fr.config = f.first.config;
+        fr.detail = f.first.detail;
+        fr.divergences = f.divergences;
+        fr.minimizedSource = f.minimizedSource;
+        fr.minimizedInstructions = f.minimizedInstructions;
+        fr.shrinkAttempts = f.shrinkAttempts;
+        rec.failures.push_back(std::move(fr));
+    }
+    return rec;
+}
+
+} // namespace mts

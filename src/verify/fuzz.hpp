@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fuzz campaign driver: generate -> differentially test -> shrink.
+ *
+ * Seeds are independent, so campaigns fan out across a host thread pool;
+ * results are collected in seed order so a campaign's outcome (and its
+ * mts.fuzz/1 record) is deterministic regardless of worker scheduling.
+ */
+#ifndef MTS_VERIFY_FUZZ_HPP
+#define MTS_VERIFY_FUZZ_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/fuzz_record.hpp"
+#include "verify/differential.hpp"
+#include "verify/program_gen.hpp"
+#include "verify/shrink.hpp"
+
+namespace mts
+{
+
+/** Campaign knobs. */
+struct FuzzOptions
+{
+    int seeds = 100;
+    std::uint64_t firstSeed = 1;
+
+    GenOptions gen;    ///< per-seed generator shape (seed overwritten)
+    DiffOptions diff;  ///< configuration matrix per program
+
+    bool shrink = true;
+    int maxShrunkFailures = 3;  ///< shrinking is expensive; bound it
+    ShrinkOptions shrinkOpts;
+
+    /** Worker threads; 0 = ThreadPool::defaultWorkers(). */
+    unsigned jobs = 0;
+};
+
+/** One failing seed. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;
+    Divergence first;     ///< first divergence (kind/config/detail)
+    int divergences = 0;  ///< total divergences for this seed
+    std::string source;   ///< full generated program
+
+    std::string minimizedSource;   ///< "" when not shrunk
+    int minimizedInstructions = 0;
+    int shrinkAttempts = 0;
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    int seedsRun = 0;
+    int machineRuns = 0;
+    std::vector<FuzzFailure> failures;  ///< sorted by seed
+
+    bool
+    ok() const
+    {
+        return failures.empty();
+    }
+};
+
+/**
+ * Run the campaign. @p log (optional) receives one-line progress
+ * messages ("seed 17: 3 divergences").
+ */
+FuzzReport
+runFuzzCampaign(const FuzzOptions &opts,
+                const std::function<void(const std::string &)> &log = {});
+
+/** Convert a report into the exportable mts.fuzz/1 record. */
+FuzzRecord makeFuzzRecord(const FuzzReport &report,
+                          const FuzzOptions &opts);
+
+} // namespace mts
+
+#endif // MTS_VERIFY_FUZZ_HPP

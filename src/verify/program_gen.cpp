@@ -1,0 +1,495 @@
+#include "verify/program_gen.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/**
+ * Emission state threaded through the segment generators.
+ *
+ * The body is generated first (labels, spin slots and fetch-and-add
+ * bounds are discovered along the way); the header with the segment
+ * directives and `.const` bounds is prepended afterwards.
+ */
+struct Gen
+{
+    const GenOptions &opts;
+    Rng rng;
+    std::string body;
+    int labelCounter = 0;
+    int spinSlots = 0;
+    bool usesRuntime = false;
+
+    /** Per-accumulator total ever added (for the live-FAA slt bound). */
+    std::uint64_t accTotal[4] = {};
+
+    explicit Gen(const GenOptions &o) : opts(o), rng(o.seed) {}
+
+    void
+    emit(const std::string &line)
+    {
+        body += "    ";
+        body += line;
+        body += "\n";
+    }
+
+    void
+    label(const std::string &name)
+    {
+        body += name;
+        body += ":\n";
+    }
+
+    std::string
+    newLabel(const char *stem)
+    {
+        return format("L%s_%d", stem, labelCounter++);
+    }
+
+    int
+    irnd(int bound)
+    {
+        return static_cast<int>(rng.nextBelow(
+            static_cast<std::uint64_t>(bound)));
+    }
+
+    /** Small signed constant, never zero (safe div/rem divisor). */
+    std::int64_t
+    smallNonZero()
+    {
+        return 1 + static_cast<std::int64_t>(rng.nextBelow(97));
+    }
+
+    std::int64_t
+    smallConst()
+    {
+        return static_cast<std::int64_t>(rng.nextBelow(50'000)) - 25'000;
+    }
+
+    // ---- scratch registers: t0-t7 for integers, f2-f7 for doubles ----
+
+    std::string
+    treg(int i)
+    {
+        return format("t%d", i);
+    }
+
+    std::string
+    freg(int i)
+    {
+        return format("f%d", 2 + i);
+    }
+
+    /** Fold an integer scratch register into the s0 checksum. */
+    void
+    foldInt(const std::string &r)
+    {
+        emit(irnd(2) ? format("xor s0, s0, %s", r.c_str())
+                     : format("add s0, s0, %s", r.c_str()));
+    }
+
+    /** Fold an FP scratch register into the f8 checksum. */
+    void
+    foldFp(const std::string &r)
+    {
+        emit(format("fadd f8, f8, %s", r.c_str()));
+    }
+
+    // ---- segment generators ----
+
+    /** Straight-line integer ALU chain folded into the checksum. */
+    void
+    aluChain(int length)
+    {
+        // Seed the scratch bank from constants and the thread id.
+        for (int i = 0; i < 4; ++i)
+            emit(format("li %s, %lld", treg(i).c_str(),
+                        static_cast<long long>(smallConst())));
+        emit("add t4, s7, 1");
+        emit("mul t5, s7, 17");
+        emit("xor t6, s0, t4");
+        emit("li t7, 3");
+        static const char *binops[] = {"add", "sub", "mul", "and",
+                                       "or",  "xor", "slt", "sle",
+                                       "seq", "sne"};
+        for (int i = 0; i < length; ++i) {
+            int d = irnd(8), s1 = irnd(8), s2 = irnd(8);
+            switch (irnd(10)) {
+              case 0:
+                emit(format("div %s, %s, %lld", treg(d).c_str(),
+                            treg(s1).c_str(),
+                            static_cast<long long>(smallNonZero())));
+                break;
+              case 1:
+                emit(format("rem %s, %s, %lld", treg(d).c_str(),
+                            treg(s1).c_str(),
+                            static_cast<long long>(smallNonZero())));
+                break;
+              case 2: {
+                static const char *shifts[] = {"sll", "srl", "sra"};
+                emit(format("%s %s, %s, %d", shifts[irnd(3)],
+                            treg(d).c_str(), treg(s1).c_str(), irnd(64)));
+                break;
+              }
+              default:
+                emit(format("%s %s, %s, %s",
+                            binops[irnd(10)], treg(d).c_str(),
+                            treg(s1).c_str(), treg(s2).c_str()));
+            }
+        }
+        foldInt(treg(irnd(8)));
+    }
+
+    /** FP latency chain (thread-local data only) folded into f8. */
+    void
+    fpChain(int length)
+    {
+        emit("cvtif f2, s7");
+        for (int i = 1; i < 6; ++i)
+            emit(format("fli %s, %.17g", freg(i).c_str(),
+                        rng.nextDouble(-4.0, 4.0)));
+        static const char *binops[] = {"fadd", "fsub", "fmul", "fmin",
+                                       "fmax"};
+        for (int i = 0; i < length; ++i) {
+            int d = irnd(6), s1 = irnd(6), s2 = irnd(6);
+            switch (irnd(8)) {
+              case 0:
+                emit(format("fneg %s, %s", freg(d).c_str(),
+                            freg(s1).c_str()));
+                break;
+              case 1:
+                // fabs-then-fsqrt keeps the chain NaN-free.
+                emit(format("fabs %s, %s", freg(d).c_str(),
+                            freg(s1).c_str()));
+                emit(format("fsqrt %s, %s", freg(d).c_str(),
+                            freg(d).c_str()));
+                break;
+              case 2:
+                emit(format("fdiv %s, %s, f7", freg(d).c_str(),
+                            freg(s1).c_str()));
+                break;
+              default:
+                emit(format("%s %s, %s, %s", binops[irnd(5)],
+                            freg(d).c_str(), freg(s1).c_str(),
+                            freg(s2).c_str()));
+            }
+        }
+        // f7 doubles as the constant fdiv divisor: keep it away from 0.
+        emit("fli f7, 1.5");
+        foldFp(freg(irnd(6)));
+    }
+
+    /** Point t0 at this thread's 8-word slice of gp_priv. */
+    void
+    privBase()
+    {
+        emit("la t0, gp_priv");
+        emit("mul t1, s7, 8");
+        emit("add t0, t0, t1");
+    }
+
+    /** Stores and loads confined to this thread's private shared slice. */
+    void
+    privateMem()
+    {
+        privBase();
+        int even = 2 * irnd(4);  // pair-aligned slot for the ldsd below
+        emit(format("li t2, %lld",
+                    static_cast<long long>(smallConst())));
+        emit("xor t3, t2, s7");
+        emit(format("sts t2, %d(t0)", even));
+        emit(format("sts t3, %d(t0)", even + 1));
+        emit(format("ldsd t4, %d(t0)", even));  // t4 <- [a], t5 <- [a+1]
+        foldInt("t4");
+        foldInt("t5");
+        if (opts.withFp) {
+            emit(format("fsts f8, %d(t0)", even));
+            emit(format("flds f2, %d(t0)", even));
+            emit(format("fsts f2, %d(t0)", even + 1));
+            emit(format("fldsd f4, %d(t0)", even));  // f4, f5
+            foldFp("f5");
+        }
+    }
+
+    /** Local (per-thread) memory traffic through the gl_buf static. */
+    void
+    localMem()
+    {
+        emit("la t0, gl_buf");
+        int slot = irnd(14);
+        emit(format("li t1, %lld",
+                    static_cast<long long>(smallConst())));
+        emit(format("stl t1, %d(t0)", slot));
+        emit(format("ldl t2, %d(t0)", slot));
+        foldInt("t2");
+        if (opts.withFp) {
+            emit(format("fstl f8, %d(t0)", slot));
+            emit(format("fldl f3, %d(t0)", slot));
+            foldFp("f3");
+        }
+    }
+
+    /**
+     * Fetch-and-add accumulator traffic.
+     *
+     * @param execsPerThread How many times this site runs per thread
+     *        (loop trip count when emitted inside a loop).
+     */
+    void
+    faaSite(std::uint64_t execsPerThread, bool allowLive)
+    {
+        int acc = irnd(4);
+        std::uint64_t addend = 1 + rng.nextBelow(1000);
+        accTotal[acc] +=
+            addend * execsPerThread *
+            static_cast<std::uint64_t>(opts.threads);
+        emit(format("la t6, gp_acc"));
+        emit(format("li t7, %llu",
+                    static_cast<unsigned long long>(addend)));
+        if (allowLive && irnd(2)) {
+            // Live result: interleaving-dependent, so collapse it to a
+            // constant via its statically-known bound (old < total).
+            emit(format("faa t5, %d(t6), t7", acc));
+            emit(format("li t4, GP_ACC_BOUND%d", acc));
+            emit("slt t5, t5, t4");
+            foldInt("t5");
+        } else {
+            emit(format("faa r0, %d(t6), t7", acc));
+        }
+    }
+
+    /** Ticket-lock protected read-modify-write of gp_prot. */
+    void
+    lockedRmw()
+    {
+        usesRuntime = true;
+        int word = irnd(2);
+        emit("la a0, gp_lk");
+        emit("call __mts_lock");
+        emit("la t0, gp_prot");
+        emit(format("lds t1, %d(t0)", word));
+        emit(format("add t1, t1, %lld",
+                    static_cast<long long>(smallNonZero())));
+        emit(format("sts t1, %d(t0)", word));
+        emit("la a0, gp_lk");
+        emit("call __mts_unlock");
+        // t1 (the value read) is interleaving-dependent: never folded.
+    }
+
+    /** All threads meet at the prelude sense-reversing barrier. */
+    void
+    barrier()
+    {
+        usesRuntime = true;
+        emit("la a0, gp_bar");
+        emit("mv a1, s6");
+        emit("call __mts_barrier");
+    }
+
+    /** Producer-consumer: one thread stores data then a flag. */
+    void
+    spinSegment()
+    {
+        int slot = spinSlots++;
+        int producer = slot % opts.threads;
+        std::int64_t value = smallConst() | 1;  // nonzero
+        std::string cons = newLabel("cons");
+        std::string spin = newLabel("spin");
+        emit(format("li t0, %d", producer));
+        emit(format("bne s7, t0, %s", cons.c_str()));
+        emit(format("li t1, %lld", static_cast<long long>(value)));
+        emit("la t2, gp_fdat");
+        emit(format("sts t1, %d(t2)", slot));
+        emit("la t2, gp_flag");
+        emit("li t1, 1");
+        emit(format("sts t1, %d(t2)", slot));  // flag after data
+        label(cons);
+        emit("la t2, gp_flag");
+        label(spin);
+        emit(format("lds.spin t1, %d(t2)", slot));
+        emit(format("beqz t1, %s", spin.c_str()));
+        emit("la t2, gp_fdat");
+        emit(format("lds t1, %d(t2)", slot));
+        foldInt("t1");
+    }
+
+    /** Counted loop around a small body (same trip count every thread). */
+    void
+    loopSegment()
+    {
+        int trips = 2 + irnd(opts.maxLoopTrips > 1 ? opts.maxLoopTrips - 1
+                                                   : 1);
+        std::string top = newLabel("loop");
+        emit(format("li s1, %d", trips));
+        label(top);
+        switch (irnd(3)) {
+          case 0:
+            aluChain(3);
+            break;
+          case 1:
+            if (opts.withFp) {
+                fpChain(3);
+                break;
+            }
+            [[fallthrough]];
+          default:
+            privateMem();
+            break;
+        }
+        if (opts.withFaa && irnd(2))
+            faaSite(static_cast<std::uint64_t>(trips), false);
+        emit("sub s1, s1, 1");
+        emit(format("bnez s1, %s", top.c_str()));
+    }
+
+    /** Thread-id-dependent but deterministic branchy segment. */
+    void
+    branchSegment()
+    {
+        std::string odd = newLabel("odd");
+        std::string done = newLabel("join");
+        emit("rem t0, s7, 2");
+        emit(format("bnez t0, %s", odd.c_str()));
+        aluChain(2);
+        emit(format("j %s", done.c_str()));
+        label(odd);
+        emit(format("li t1, %lld",
+                    static_cast<long long>(smallConst())));
+        foldInt("t1");
+        label(done);
+    }
+
+    void
+    segment()
+    {
+        // Weighted pick; gated kinds fall back to the ALU chain.
+        switch (irnd(10)) {
+          case 0:
+            if (opts.withFp) {
+                fpChain(4 + irnd(6));
+                return;
+            }
+            break;
+          case 1:
+            privateMem();
+            return;
+          case 2:
+            localMem();
+            return;
+          case 3:
+            if (opts.withFaa) {
+                faaSite(1, true);
+                return;
+            }
+            break;
+          case 4:
+            if (opts.withLocks && opts.threads > 1) {
+                lockedRmw();
+                return;
+            }
+            break;
+          case 5:
+            if (opts.withBarrier && opts.threads > 1) {
+                barrier();
+                return;
+            }
+            break;
+          case 6:
+            if (opts.withSpin && opts.threads > 1) {
+                spinSegment();
+                return;
+            }
+            break;
+          case 7:
+            loopSegment();
+            return;
+          case 8:
+            branchSegment();
+            return;
+          default:
+            break;
+        }
+        aluChain(4 + irnd(6));
+    }
+};
+
+} // namespace
+
+GeneratedProgram
+generateProgram(const GenOptions &opts)
+{
+    Gen g(opts);
+
+    g.label("main");
+    g.emit("mv s7, a0");  // thread id
+    g.emit("mv s6, a1");  // thread count
+    g.emit(format("li s0, %llu",
+                  static_cast<unsigned long long>(
+                      0x9e3779b9u ^ opts.seed)));
+    if (opts.withFp)
+        g.emit("fli f8, 1.0");
+
+    for (int s = 0; s < opts.segments; ++s) {
+        g.body += format("; -- segment %d --\n", s);
+        g.segment();
+        if (opts.withCswitch && g.irnd(3) == 0)
+            g.emit("cswitch");
+    }
+
+    // Publish the checksums: shared result slots + termination registers.
+    g.body += "; -- epilogue --\n";
+    g.emit("la t0, gp_out");
+    g.emit("add t0, t0, s7");
+    g.emit("sts s0, 0(t0)");
+    if (opts.withFp) {
+        g.emit("la t0, gp_fout");
+        g.emit("add t0, t0, s7");
+        g.emit("fsts f8, 0(t0)");
+    }
+    g.emit("mv v0, s0");
+    g.emit("li v1, 81985529216486895");  // 0x0123456789abcdef
+    if (opts.withFp) {
+        g.emit("fmv f0, f8");
+        g.emit("fli f1, 2.5");
+    }
+    g.emit("halt");
+
+    std::string header;
+    header += format("; mtfuzz generated program (seed %llu, %d threads)\n",
+                     static_cast<unsigned long long>(opts.seed),
+                     opts.threads);
+    header += ".entry main\n";
+    header += format(".shared gp_out, %d\n", opts.threads);
+    header += format(".shared gp_fout, %d\n", opts.threads);
+    header += format(".shared gp_priv, %d\n", opts.threads * 8);
+    header += ".shared gp_acc, 4\n";
+    header += ".shared gp_lk, 2\n";
+    header += ".shared gp_prot, 2\n";
+    header += ".shared gp_bar, 2\n";
+    if (g.spinSlots) {
+        header += format(".shared gp_flag, %d\n", g.spinSlots);
+        header += format(".shared gp_fdat, %d\n", g.spinSlots);
+    }
+    header += ".local gl_buf, 16\n";
+    for (int a = 0; a < 4; ++a)
+        header += format(".const GP_ACC_BOUND%d, %llu\n", a,
+                         static_cast<unsigned long long>(
+                             g.accTotal[a] + 1));
+    header += "\n";
+
+    GeneratedProgram out;
+    out.seed = opts.seed;
+    out.threads = opts.threads;
+    out.source = header + g.body;
+    out.usesRuntime = g.usesRuntime;
+    return out;
+}
+
+} // namespace mts

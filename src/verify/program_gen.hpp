@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Seeded random generator of interleaving-independent MTS programs.
+ *
+ * The fuzzer needs programs whose final state is the same under *every*
+ * legal execution order, so that a digest mismatch between the reference
+ * interpreter and the Machine always means a bug, never a racy program.
+ * Every construct the generator emits is order-independent by design:
+ *
+ *  - each thread stores only into its own disjoint slice of the shared
+ *    private region (and its own gp_out/gp_fout result slots);
+ *  - fetch-and-add accumulators only ever receive commutative additions;
+ *    a live FAA result (which IS order-dependent) is folded through
+ *    `slt` against a statically-known upper bound, which collapses it to
+ *    the constant 1;
+ *  - read-modify-write of a genuinely shared word happens only under the
+ *    prelude ticket lock, and the (order-dependent) value read there is
+ *    never folded into a checksum — only the (deterministic) final sum
+ *    is observable;
+ *  - producer/consumer values travel through a store-then-flag protocol
+ *    spun on with `lds.spin`;
+ *  - floating-point data never crosses threads except through that
+ *    protocol, so FP non-associativity cannot surface.
+ *
+ * Checksums accumulate in s0 (integer) and f8 (double) and are published
+ * to shared memory and to the termination registers v0/v1/f0/f1, making
+ * a single dropped, duplicated or reordered instruction almost surely
+ * visible in the digest.
+ */
+#ifndef MTS_VERIFY_PROGRAM_GEN_HPP
+#define MTS_VERIFY_PROGRAM_GEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace mts
+{
+
+/** Shape knobs of one generated program. */
+struct GenOptions
+{
+    std::uint64_t seed = 1;
+    int threads = 4;    ///< thread count the program is generated for
+    int segments = 10;  ///< top-level segments to emit
+
+    /** Maximum trip count of generated counted loops. */
+    int maxLoopTrips = 4;
+
+    /// @name Feature gates (all on by default).
+    /// @{
+    bool withLocks = true;  ///< prelude ticket-lock protected RMW
+    bool withFaa = true;    ///< fetch-and-add accumulators
+    bool withSpin = true;   ///< store-then-flag producer/consumer
+    bool withBarrier = true;
+    bool withFp = true;
+    bool withCswitch = true;  ///< sprinkle explicit cswitch instructions
+    /// @}
+};
+
+/** A generated program (assembly source only; assemble to run). */
+struct GeneratedProgram
+{
+    std::uint64_t seed = 0;
+    int threads = 0;
+
+    /**
+     * User assembly. Programs using locks/barriers call prelude routines,
+     * so assemble runtimePrelude() + source (see apps/app.hpp).
+     */
+    std::string source;
+
+    /** True if the program calls prelude routines. */
+    bool usesRuntime = false;
+};
+
+/** Generate one program; same options -> byte-identical source. */
+GeneratedProgram generateProgram(const GenOptions &opts);
+
+} // namespace mts
+
+#endif // MTS_VERIFY_PROGRAM_GEN_HPP

@@ -1,0 +1,369 @@
+#include "verify/reference_interp.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Per-thread state plus its lazily-grown local memory. */
+struct RefThread
+{
+    RefThreadState st;
+    std::vector<std::uint64_t> local;
+    Addr localWords = 0;
+
+    std::int64_t
+    readI(std::uint8_t r) const
+    {
+        return r == kRegZero ? 0 : st.iregs[r];
+    }
+
+    void
+    writeI(std::uint8_t r, std::int64_t v)
+    {
+        if (r != kRegZero)
+            st.iregs[r] = v;
+    }
+
+    std::uint64_t
+    localRead(Addr addr, std::uint32_t line)
+    {
+        MTS_REQUIRE(addr < localWords, "local load out of bounds: address "
+                                           << addr << " (line " << line
+                                           << ")");
+        return addr < local.size() ? local[addr] : 0;
+    }
+
+    void
+    localWrite(Addr addr, std::uint64_t v, std::uint32_t line)
+    {
+        MTS_REQUIRE(addr < localWords, "local store out of bounds: address "
+                                           << addr << " (line " << line
+                                           << ")");
+        if (addr >= local.size())
+            local.resize(static_cast<std::size_t>(addr) + 1, 0);
+        local[addr] = v;
+    }
+};
+
+} // namespace
+
+RefResult
+runReference(const Program &prog, const RefOptions &opts)
+{
+    MTS_REQUIRE(opts.threads > 0, "reference needs at least one thread");
+    MTS_REQUIRE(opts.quantum > 0, "reference quantum must be positive");
+    MTS_REQUIRE(!prog.code.empty(), "reference given an empty program");
+
+    RefResult res;
+    res.sharedImage.assign(
+        static_cast<std::size_t>(prog.sharedWords + opts.extraSharedWords),
+        0);
+
+    auto sharedSlot = [&](Addr addr,
+                          std::uint32_t line) -> std::uint64_t & {
+        MTS_REQUIRE(isSharedAddr(addr),
+                    "shared access to local address " << addr << " (line "
+                                                      << line << ")");
+        Addr off = addr - kSharedBase;
+        MTS_REQUIRE(off < res.sharedImage.size(),
+                    "shared access out of bounds: word "
+                        << off << " of " << res.sharedImage.size()
+                        << " (line " << line << ")");
+        return res.sharedImage[static_cast<std::size_t>(off)];
+    };
+
+    std::vector<RefThread> threads(static_cast<std::size_t>(opts.threads));
+    for (int t = 0; t < opts.threads; ++t) {
+        RefThread &th = threads[static_cast<std::size_t>(t)];
+        th.localWords = opts.localWords;
+        th.st.pc = prog.entry;
+        th.st.iregs[kRegArg0] = t;
+        th.st.iregs[kRegArg1] = opts.threads;
+        th.st.iregs[kRegSp] = static_cast<std::int64_t>(opts.localWords);
+    }
+
+    const std::vector<Instruction> &code = prog.code;
+    const auto codeSize = static_cast<std::int32_t>(code.size());
+    int live = opts.threads;
+
+    // One instruction (or quantum) per live thread, strictly round-robin.
+    // A spinning thread makes no progress on its own; the budget bounds
+    // programs whose spin condition is never satisfied.
+    while (live > 0) {
+        for (auto &th : threads) {
+            if (th.st.halted)
+                continue;
+            for (std::uint64_t q = 0; q < opts.quantum && !th.st.halted;
+                 ++q) {
+                MTS_REQUIRE(res.steps < opts.maxSteps,
+                            "reference interpreter exceeded "
+                                << opts.maxSteps
+                                << " instructions (livelock or runaway "
+                                   "spin?)");
+                MTS_REQUIRE(th.st.pc >= 0 && th.st.pc < codeSize,
+                            "pc " << th.st.pc
+                                  << " out of range (bad jr/fallthrough?)");
+                const Instruction &inst =
+                    code[static_cast<std::size_t>(th.st.pc)];
+                ++res.steps;
+                ++th.st.steps;
+
+                std::int32_t nextPc = th.st.pc + 1;
+
+                auto a = [&]() { return th.readI(inst.rs1); };
+                auto b = [&]() {
+                    return inst.useImm ? inst.imm : th.readI(inst.rs2);
+                };
+                auto wI = [&](std::int64_t v) { th.writeI(inst.rd, v); };
+                auto wF = [&](double v) { th.st.fregs[inst.rd] = v; };
+                auto fa = [&]() { return th.st.fregs[inst.rs1]; };
+                auto fb = [&]() { return th.st.fregs[inst.rs2]; };
+                auto effAddr = [&]() {
+                    return static_cast<Addr>(th.readI(inst.rs1) + inst.imm);
+                };
+
+                switch (inst.op) {
+                  case Opcode::NOP:
+                    break;
+                  case Opcode::HALT:
+                    th.st.halted = true;
+                    --live;
+                    break;
+
+                  // Timing-only instructions: architecturally nops.
+                  case Opcode::CSWITCH:
+                  case Opcode::SETPRI:
+                    break;
+
+                  // ---- integer ALU (wrapping two's complement) ----
+                  case Opcode::ADD:
+                    wI(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a()) +
+                        static_cast<std::uint64_t>(b())));
+                    break;
+                  case Opcode::SUB:
+                    wI(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a()) -
+                        static_cast<std::uint64_t>(b())));
+                    break;
+                  case Opcode::MUL:
+                    wI(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a()) *
+                        static_cast<std::uint64_t>(b())));
+                    break;
+                  case Opcode::DIV: {
+                    std::int64_t d = b();
+                    MTS_REQUIRE(d != 0, "div by zero at source line "
+                                            << inst.srcLine);
+                    wI(a() / d);
+                    break;
+                  }
+                  case Opcode::REM: {
+                    std::int64_t d = b();
+                    MTS_REQUIRE(d != 0, "rem by zero at source line "
+                                            << inst.srcLine);
+                    wI(a() % d);
+                    break;
+                  }
+                  case Opcode::AND: wI(a() & b()); break;
+                  case Opcode::OR: wI(a() | b()); break;
+                  case Opcode::XOR: wI(a() ^ b()); break;
+                  case Opcode::SLL:
+                    wI(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a()) << (b() & 63)));
+                    break;
+                  case Opcode::SRL:
+                    wI(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a()) >> (b() & 63)));
+                    break;
+                  case Opcode::SRA: wI(a() >> (b() & 63)); break;
+                  case Opcode::SLT: wI(a() < b() ? 1 : 0); break;
+                  case Opcode::SLE: wI(a() <= b() ? 1 : 0); break;
+                  case Opcode::SEQ: wI(a() == b() ? 1 : 0); break;
+                  case Opcode::SNE: wI(a() != b() ? 1 : 0); break;
+                  case Opcode::LI: wI(inst.imm); break;
+
+                  // ---- floating point ----
+                  case Opcode::FADD: wF(fa() + fb()); break;
+                  case Opcode::FSUB: wF(fa() - fb()); break;
+                  case Opcode::FMUL: wF(fa() * fb()); break;
+                  case Opcode::FDIV: wF(fa() / fb()); break;
+                  case Opcode::FSQRT: wF(std::sqrt(fa())); break;
+                  case Opcode::FNEG: wF(-fa()); break;
+                  case Opcode::FABS: wF(std::fabs(fa())); break;
+                  case Opcode::FMIN: wF(std::fmin(fa(), fb())); break;
+                  case Opcode::FMAX: wF(std::fmax(fa(), fb())); break;
+                  case Opcode::FMV: wF(fa()); break;
+                  case Opcode::FLI: wF(inst.fimm); break;
+                  case Opcode::CVTIF:
+                    wF(static_cast<double>(a()));
+                    break;
+                  case Opcode::CVTFI:
+                    wI(static_cast<std::int64_t>(std::trunc(fa())));
+                    break;
+                  case Opcode::FEQ: wI(fa() == fb() ? 1 : 0); break;
+                  case Opcode::FLT: wI(fa() < fb() ? 1 : 0); break;
+                  case Opcode::FLE: wI(fa() <= fb() ? 1 : 0); break;
+
+                  // ---- control flow ----
+                  case Opcode::BEQ:
+                    if (a() == b())
+                        nextPc = inst.target;
+                    break;
+                  case Opcode::BNE:
+                    if (a() != b())
+                        nextPc = inst.target;
+                    break;
+                  case Opcode::BLT:
+                    if (a() < b())
+                        nextPc = inst.target;
+                    break;
+                  case Opcode::BGE:
+                    if (a() >= b())
+                        nextPc = inst.target;
+                    break;
+                  case Opcode::J:
+                    nextPc = inst.target;
+                    break;
+                  case Opcode::JAL:
+                    th.writeI(kRegRa, th.st.pc + 1);
+                    nextPc = inst.target;
+                    break;
+                  case Opcode::JR:
+                    nextPc = static_cast<std::int32_t>(a());
+                    break;
+
+                  // ---- local memory ----
+                  case Opcode::LDL: {
+                    Addr addr = effAddr();
+                    MTS_REQUIRE(!isSharedAddr(addr),
+                                "ldl with shared address (line "
+                                    << inst.srcLine << ")");
+                    wI(static_cast<std::int64_t>(
+                        th.localRead(addr, inst.srcLine)));
+                    break;
+                  }
+                  case Opcode::FLDL: {
+                    Addr addr = effAddr();
+                    MTS_REQUIRE(!isSharedAddr(addr),
+                                "fldl with shared address (line "
+                                    << inst.srcLine << ")");
+                    wF(std::bit_cast<double>(
+                        th.localRead(addr, inst.srcLine)));
+                    break;
+                  }
+                  case Opcode::STL: {
+                    Addr addr = effAddr();
+                    MTS_REQUIRE(!isSharedAddr(addr),
+                                "stl with shared address (line "
+                                    << inst.srcLine << ")");
+                    th.localWrite(addr,
+                                  static_cast<std::uint64_t>(
+                                      th.readI(inst.rs2)),
+                                  inst.srcLine);
+                    break;
+                  }
+                  case Opcode::FSTL: {
+                    Addr addr = effAddr();
+                    MTS_REQUIRE(!isSharedAddr(addr),
+                                "fstl with shared address (line "
+                                    << inst.srcLine << ")");
+                    th.localWrite(
+                        addr,
+                        std::bit_cast<std::uint64_t>(th.st.fregs[inst.rs2]),
+                        inst.srcLine);
+                    break;
+                  }
+
+                  // ---- shared memory: immediate, atomic ----
+                  case Opcode::LDS:
+                  case Opcode::LDS_SPIN:
+                    wI(static_cast<std::int64_t>(
+                        sharedSlot(effAddr(), inst.srcLine)));
+                    break;
+                  case Opcode::FLDS:
+                    wF(std::bit_cast<double>(
+                        sharedSlot(effAddr(), inst.srcLine)));
+                    break;
+                  case Opcode::LDSD: {
+                    Addr addr = effAddr();
+                    std::uint64_t v0 = sharedSlot(addr, inst.srcLine);
+                    std::uint64_t v1 = sharedSlot(addr + 1, inst.srcLine);
+                    wI(static_cast<std::int64_t>(v0));
+                    th.writeI(static_cast<std::uint8_t>(inst.rd + 1),
+                              static_cast<std::int64_t>(v1));
+                    break;
+                  }
+                  case Opcode::FLDSD: {
+                    Addr addr = effAddr();
+                    std::uint64_t v0 = sharedSlot(addr, inst.srcLine);
+                    std::uint64_t v1 = sharedSlot(addr + 1, inst.srcLine);
+                    wF(std::bit_cast<double>(v0));
+                    th.st.fregs[inst.rd + 1] = std::bit_cast<double>(v1);
+                    break;
+                  }
+                  case Opcode::FAA: {
+                    std::uint64_t &slot =
+                        sharedSlot(effAddr(), inst.srcLine);
+                    std::uint64_t old = slot;
+                    slot = old + static_cast<std::uint64_t>(
+                                     th.readI(inst.rs2));
+                    wI(static_cast<std::int64_t>(old));
+                    break;
+                  }
+                  case Opcode::STS:
+                    sharedSlot(effAddr(), inst.srcLine) =
+                        static_cast<std::uint64_t>(th.readI(inst.rs2));
+                    break;
+                  case Opcode::FSTS:
+                    sharedSlot(effAddr(), inst.srcLine) =
+                        std::bit_cast<std::uint64_t>(
+                            th.st.fregs[inst.rs2]);
+                    break;
+
+                  case Opcode::PRINT:
+                    if (opts.collectPrints)
+                        res.prints.push_back(
+                            format("%lld", static_cast<long long>(a())));
+                    break;
+                  case Opcode::FPRINT:
+                    if (opts.collectPrints)
+                        res.prints.push_back(format("%.10g", fa()));
+                    break;
+
+                  default:
+                    MTS_PANIC("unimplemented opcode "
+                              << opcodeName(inst.op) << " at line "
+                              << inst.srcLine);
+                }
+
+                th.st.pc = nextPc;
+            }
+        }
+    }
+
+    // Digest: the static shared segment (extra scratch excluded, matching
+    // Machine::run), then termination registers in global-id order.
+    for (Addr w = 0; w < prog.sharedWords; ++w)
+        res.digest.addSharedWord(
+            res.sharedImage[static_cast<std::size_t>(w)]);
+    res.threads.reserve(threads.size());
+    for (RefThread &th : threads) {
+        res.digest.addThreadRegs(th.st.iregs[kDigestIntReg0],
+                                 th.st.iregs[kDigestIntReg1],
+                                 th.st.fregs[kDigestFpReg0],
+                                 th.st.fregs[kDigestFpReg1]);
+        res.threads.push_back(th.st);
+    }
+    return res;
+}
+
+} // namespace mts

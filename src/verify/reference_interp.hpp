@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Architectural reference interpreter: the differential-testing oracle.
+ *
+ * Executes an assembled Program with zero latency, strictly in order, one
+ * thread at a time under a fixed round-robin schedule. There is no
+ * scoreboard, no event queue, no cache and no switch model — the only
+ * code shared with the real Machine is the ISA description in src/isa/.
+ * Shared accesses take effect immediately and fetch-and-add is atomic by
+ * construction (threads are interleaved at instruction granularity).
+ *
+ * For interleaving-independent programs (the only kind the generator in
+ * program_gen.hpp emits) the final-state digest computed here must equal
+ * the digest of every Machine run of the same program, under every switch
+ * model, thread-per-processor split and cache configuration. Divergence
+ * means a simulator (or optimizer) bug — or a program that is not in
+ * fact interleaving-independent, which differential.cpp screens out by
+ * running the reference under two different round-robin quanta.
+ */
+#ifndef MTS_VERIFY_REFERENCE_INTERP_HPP
+#define MTS_VERIFY_REFERENCE_INTERP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "sim/state_digest.hpp"
+
+namespace mts
+{
+
+/** Knobs of one reference execution. */
+struct RefOptions
+{
+    int threads = 4;  ///< total thread count (r5 in every thread)
+
+    /** Per-thread local memory size in words (sp starts here). */
+    Addr localWords = kDefaultLocalWords;
+
+    /** Extra shared words past the program's static segment. */
+    Addr extraSharedWords = 0;
+
+    /**
+     * Instructions each live thread executes per round-robin turn.
+     * Running a program at two different quanta and comparing digests is
+     * the interleaving-independence screen used by the differential
+     * runner: order-dependent programs almost surely disagree.
+     */
+    std::uint64_t quantum = 1;
+
+    /** Total executed-instruction budget; exceeded = fatal (livelock). */
+    std::uint64_t maxSteps = 100'000'000;
+
+    bool collectPrints = true;  ///< capture PRINT/FPRINT output
+};
+
+/** Final architectural state of one reference thread. */
+struct RefThreadState
+{
+    std::int64_t iregs[32] = {};
+    double fregs[32] = {};
+    std::int32_t pc = 0;
+    bool halted = false;
+    std::uint64_t steps = 0;  ///< instructions this thread executed
+};
+
+/** Everything a reference execution produces. */
+struct RefResult
+{
+    StateDigest digest;
+
+    /** Final shared memory, sharedWords + extraSharedWords words. */
+    std::vector<std::uint64_t> sharedImage;
+
+    std::vector<RefThreadState> threads;
+    std::vector<std::string> prints;  ///< PRINT/FPRINT lines, exec order
+    std::uint64_t steps = 0;          ///< total instructions executed
+};
+
+/**
+ * Run @p prog to completion on the reference interpreter.
+ *
+ * Throws FatalError on the same user errors the Machine rejects
+ * (div/rem by zero, wrong address class, pc out of range, local access
+ * out of bounds) and on step-budget exhaustion.
+ */
+RefResult runReference(const Program &prog, const RefOptions &opts = {});
+
+} // namespace mts
+
+#endif // MTS_VERIFY_REFERENCE_INTERP_HPP

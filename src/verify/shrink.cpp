@@ -1,0 +1,115 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Is this trimmed line a removable instruction (vs. structure)? */
+bool
+isInstructionLine(std::string_view trimmed)
+{
+    if (trimmed.empty())
+        return false;
+    char first = trimmed.front();
+    if (first == ';' || first == '#' || first == '.')
+        return false;
+    // "name:" (possibly followed by a comment) is a label line.
+    std::size_t colon = trimmed.find(':');
+    if (colon != std::string_view::npos) {
+        std::string_view rest = trim(trimmed.substr(colon + 1));
+        if (rest.empty() || rest.front() == ';' || rest.front() == '#')
+            return false;  // pure label: structural
+    }
+    return true;
+}
+
+/** Join the lines whose indices are marked kept. */
+std::string
+rebuild(const std::vector<std::string> &lines,
+        const std::vector<bool> &kept)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        if (kept[i]) {
+            out += lines[i];
+            out += '\n';
+        }
+    return out;
+}
+
+} // namespace
+
+int
+countInstructionLines(const std::string &source)
+{
+    int n = 0;
+    for (const std::string &line : split(source, '\n'))
+        if (isInstructionLine(trim(line)))
+            ++n;
+    return n;
+}
+
+ShrinkResult
+shrinkProgram(const std::string &source, const ShrinkPredicate &stillFails,
+              const ShrinkOptions &opts)
+{
+    std::vector<std::string> lines = split(source, '\n');
+    std::vector<bool> kept(lines.size(), true);
+
+    // Indices of lines the shrinker may remove.
+    std::vector<std::size_t> removable;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        if (isInstructionLine(trim(lines[i])))
+            removable.push_back(i);
+
+    ShrinkResult res;
+
+    auto alive = [&]() {
+        std::vector<std::size_t> v;
+        for (std::size_t i : removable)
+            if (kept[i])
+                v.push_back(i);
+        return v;
+    };
+
+    // ddmin: try dropping chunks of the still-present instruction lines,
+    // halving the chunk size whenever a whole pass makes no progress.
+    std::vector<std::size_t> cur = alive();
+    std::size_t chunk = cur.size() ? (cur.size() + 1) / 2 : 0;
+    while (chunk >= 1 && res.attempts < opts.maxAttempts) {
+        bool progressed = false;
+        cur = alive();
+        for (std::size_t start = 0;
+             start < cur.size() && res.attempts < opts.maxAttempts;
+             start += chunk) {
+            std::size_t end = std::min(start + chunk, cur.size());
+            for (std::size_t k = start; k < end; ++k)
+                kept[cur[k]] = false;
+            ++res.attempts;
+            if (stillFails(rebuild(lines, kept))) {
+                progressed = true;  // the chunk was irrelevant: drop it
+            } else {
+                for (std::size_t k = start; k < end; ++k)
+                    kept[cur[k]] = true;
+            }
+        }
+        if (progressed && chunk > 1)
+            continue;  // retry at the same granularity on the remainder
+        if (chunk == 1)
+            break;
+        chunk = (chunk + 1) / 2;
+    }
+
+    res.source = rebuild(lines, kept);
+    res.instructions = countInstructionLines(res.source);
+    return res;
+}
+
+} // namespace mts

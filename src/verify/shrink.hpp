@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing fuzz programs.
+ *
+ * Classic ddmin over the *instruction* lines of an assembly source:
+ * directives, labels, comments and blank lines are structural and never
+ * removed, so every candidate is still a well-formed program skeleton.
+ * The caller-supplied predicate decides whether a candidate still
+ * reproduces the original failure; candidates that fail to assemble, do
+ * not terminate on the reference interpreter, or diverge for a different
+ * reason are simply predicates returning false, so the shrinker needs no
+ * knowledge of what "failing" means.
+ *
+ * The procedure is deterministic: same input + same predicate behaviour
+ * -> same minimized program.
+ */
+#ifndef MTS_VERIFY_SHRINK_HPP
+#define MTS_VERIFY_SHRINK_HPP
+
+#include <functional>
+#include <string>
+
+namespace mts
+{
+
+/** True if this candidate source still reproduces the failure. */
+using ShrinkPredicate = std::function<bool(const std::string &)>;
+
+/** Shrinker knobs. */
+struct ShrinkOptions
+{
+    /** Predicate-evaluation budget (each candidate costs one call). */
+    int maxAttempts = 2000;
+};
+
+/** Outcome of one shrink. */
+struct ShrinkResult
+{
+    std::string source;    ///< minimized program (1-minimal or budget-cut)
+    int instructions = 0;  ///< instruction lines remaining
+    int attempts = 0;      ///< predicate evaluations spent
+};
+
+/**
+ * Shrink @p source with ddmin. @p stillFails must be true for @p source
+ * itself (the original failure); the result is the smallest found
+ * program for which it stays true.
+ */
+ShrinkResult shrinkProgram(const std::string &source,
+                           const ShrinkPredicate &stillFails,
+                           const ShrinkOptions &opts = {});
+
+/** Instruction lines in @p source (the shrinker's size metric). */
+int countInstructionLines(const std::string &source);
+
+} // namespace mts
+
+#endif // MTS_VERIFY_SHRINK_HPP

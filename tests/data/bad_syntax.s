@@ -1,0 +1,6 @@
+; Deliberately malformed program for the mtsim CLI error-path tests:
+; the mnemonic on line 5 does not exist.
+.entry main
+main:
+    bogus r1, r2
+    halt

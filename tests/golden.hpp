@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Golden-file comparison helper. Expected outputs live in tests/golden/
+ * (path baked in via the MTS_TEST_DATA_DIR compile definition, so the
+ * tests run from any working directory). Running the test binary with
+ * `--update-golden` — or MTS_UPDATE_GOLDEN=1 — rewrites them.
+ */
+#ifndef MTS_TESTS_GOLDEN_HPP
+#define MTS_TESTS_GOLDEN_HPP
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mts::test
+{
+
+/** Set by gtest_main.cpp from --update-golden / MTS_UPDATE_GOLDEN. */
+extern bool gUpdateGolden;
+
+inline std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MTS_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+/**
+ * Compare @p actual against golden/@p name (or rewrite it in update
+ * mode). Use only for output that is deterministic by construction.
+ */
+inline void
+compareGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (gUpdateGolden) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << "; regenerate with: mtsim_verify_tests --update-golden";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "output changed; if intentional, regenerate with: "
+           "mtsim_verify_tests --update-golden";
+}
+
+} // namespace mts::test
+
+#endif // MTS_TESTS_GOLDEN_HPP

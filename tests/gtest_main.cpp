@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Custom gtest entry point for suites with golden-file tests: accepts
+ * `--update-golden` (or the environment variable MTS_UPDATE_GOLDEN=1)
+ * to rewrite the expected outputs in tests/golden/ instead of
+ * comparing against them. See tests/README.md.
+ */
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace mts::test
+{
+bool gUpdateGolden = false;
+}
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--update-golden"))
+            mts::test::gUpdateGolden = true;
+    if (const char *env = std::getenv("MTS_UPDATE_GOLDEN"))
+        if (*env && std::strcmp(env, "0") != 0)
+            mts::test::gUpdateGolden = true;
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the differential runner (src/verify/differential.cpp): a
+ * known-independent program must survive the whole configuration matrix,
+ * a racy program must be screened out as Unstable before any machine
+ * run, and a block of fixed generator seeds must stay divergence-free
+ * with the metrics invariants armed. These seeds are the fast, always-on
+ * slice of the fuzzing subsystem; the CI fuzz job runs fresh seeds.
+ */
+#include <gtest/gtest.h>
+
+#include "verify/differential.hpp"
+#include "verify/fuzz.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+/** Small matrix for single-program tests: full model set, one split. */
+DiffOptions
+quickOptions()
+{
+    DiffOptions opts;
+    opts.threads = 4;
+    opts.tppList = {1, 4};
+    return opts;
+}
+
+} // namespace
+
+TEST(Differential, IndependentProgramSurvivesMatrix)
+{
+    // Disjoint result slots + a commutative FAA accumulator: the digest
+    // is the same under every schedule, so every config must agree.
+    const std::string src = ".entry main\n"
+                            ".shared slots, 4\n"
+                            ".shared acc, 1\n"
+                            "main:\n"
+                            "    la t0, slots\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 13\n"
+                            "    add t1, t1, 5\n"
+                            "    sts t1, 0(t0)\n"
+                            "    li t2, 1\n"
+                            "    faa zero, acc, t2\n"
+                            "    mv v0, t1\n"
+                            "    fli f0, 0.5\n"
+                            "    halt\n";
+    DiffReport rep = runDifferential(src, quickOptions());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GT(rep.machineRuns, 0);
+}
+
+TEST(Differential, RacyProgramScreenedAsUnstable)
+{
+    // Last writer wins on one shared word and every thread reads it
+    // back: the result depends on the schedule, so the two-quanta
+    // reference screen must reject it before any machine run.
+    const std::string src = ".entry main\n"
+                            ".shared w, 1\n"
+                            "main:\n"
+                            "    la t0, w\n"
+                            "    sts a0, 0(t0)\n"
+                            "    lds t2, 0(t0)\n"
+                            "    mv v0, t2\n"
+                            "    halt\n";
+    DiffReport rep = runDifferential(src, quickOptions());
+    ASSERT_EQ(rep.divergences.size(), 1u) << rep.summary();
+    EXPECT_EQ(rep.divergences[0].kind, DivergenceKind::Unstable);
+    EXPECT_EQ(rep.machineRuns, 0);
+}
+
+TEST(Differential, ReferenceRunErrorIsReportedNotThrown)
+{
+    DiffReport rep = runDifferential(".entry main\nmain:\nLspin:\n"
+                                     "    j Lspin\n",
+                                     [] {
+                                         DiffOptions o = quickOptions();
+                                         o.ref.maxSteps = 10'000;
+                                         return o;
+                                     }());
+    ASSERT_FALSE(rep.ok());
+    EXPECT_EQ(rep.divergences[0].kind, DivergenceKind::RunError);
+}
+
+TEST(Differential, FixedSeedBlockIsDivergenceFree)
+{
+    // 64 pinned seeds through generate -> full matrix, invariants on.
+    // Any simulator or grouping-pass regression that changes results
+    // (not just timing) fails here, in-tree, without the CI fuzz job.
+    FuzzOptions opts;
+    opts.seeds = 64;
+    opts.firstSeed = 1;
+    opts.shrink = false;  // diagnosis belongs to mtfuzz, not this test
+    opts.diff.checkInvariants = true;
+
+    FuzzReport rep = runFuzzCampaign(opts);
+    EXPECT_EQ(rep.seedsRun, 64);
+    EXPECT_GT(rep.machineRuns, 0);
+    std::string firstFailure;
+    if (!rep.ok())
+        firstFailure = "seed " + std::to_string(rep.failures[0].seed) +
+                       ": " + rep.failures[0].first.config + ": " +
+                       rep.failures[0].first.detail;
+    EXPECT_TRUE(rep.ok()) << firstFailure;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * End-to-end proof that the fuzzing subsystem can actually catch a
+ * miscompile: a deliberately corrupted "grouping pass" is injected via
+ * DiffOptions::groupedTransform, the campaign must flag it, and the
+ * ddmin shrinker must cut the reproducer down to a handful of
+ * instructions — deterministically. Plus direct unit tests of
+ * shrinkProgram / countInstructionLines.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "opt/grouping_pass.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/shrink.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+/**
+ * A grouping pass with a planted bug: after the real pass, the first
+ * ADD writing v0 (the generated epilogue's `mv v0, s0` checksum
+ * publish) gets its source replaced with zero. Every generated program
+ * publishes a checksum, so every seed should now diverge at the
+ * grouped-reference self-check.
+ */
+Program
+corruptV0(const Program &p)
+{
+    Program g = applyGroupingPass(p);
+    for (Instruction &inst : g.code)
+        if (inst.op == Opcode::ADD && inst.rd == kRegRet0) {
+            inst.rs1 = kRegZero;
+            break;
+        }
+    return g;
+}
+
+FuzzOptions
+injectedMiscompileOptions()
+{
+    FuzzOptions opts;
+    opts.seeds = 1;
+    opts.firstSeed = 7;
+    opts.shrink = true;
+    opts.diff.groupedTransform = corruptV0;
+    // The failure is caught before any machine run, so the matrix knobs
+    // barely matter; keep the default ones for realism.
+    return opts;
+}
+
+} // namespace
+
+TEST(FuzzShrink, InjectedMiscompileIsCaughtAndShrunk)
+{
+    FuzzReport rep = runFuzzCampaign(injectedMiscompileOptions());
+    ASSERT_EQ(rep.failures.size(), 1u)
+        << "a corrupted grouping pass must be flagged";
+    const FuzzFailure &f = rep.failures[0];
+    EXPECT_EQ(f.seed, 7u);
+    EXPECT_EQ(f.first.kind, DivergenceKind::Digest);
+    EXPECT_EQ(f.first.config, "grouped reference")
+        << "miscompile should be caught by the self-check, "
+           "before any machine run";
+
+    // The shrinker must deliver a usable reproducer, far smaller than
+    // the generated program.
+    ASSERT_FALSE(f.minimizedSource.empty());
+    EXPECT_GT(f.shrinkAttempts, 0);
+    EXPECT_LE(f.minimizedInstructions, 15);
+    EXPECT_LT(f.minimizedInstructions,
+              countInstructionLines(f.source));
+    EXPECT_EQ(f.minimizedInstructions,
+              countInstructionLines(f.minimizedSource));
+}
+
+TEST(FuzzShrink, ShrinkingIsDeterministic)
+{
+    FuzzReport a = runFuzzCampaign(injectedMiscompileOptions());
+    FuzzReport b = runFuzzCampaign(injectedMiscompileOptions());
+    ASSERT_EQ(a.failures.size(), 1u);
+    ASSERT_EQ(b.failures.size(), 1u);
+    EXPECT_EQ(a.failures[0].source, b.failures[0].source);
+    EXPECT_EQ(a.failures[0].minimizedSource,
+              b.failures[0].minimizedSource);
+    EXPECT_EQ(a.failures[0].shrinkAttempts, b.failures[0].shrinkAttempts);
+}
+
+TEST(Shrink, CountsOnlyInstructionLines)
+{
+    EXPECT_EQ(countInstructionLines("; comment\n"
+                                    "# comment\n"
+                                    ".shared x, 1\n"
+                                    "main:\n"
+                                    "Lbl:   ; trailing comment\n"
+                                    "\n"
+                                    "    li t0, 1\n"
+                                    "    halt\n"),
+              2);
+    EXPECT_EQ(countInstructionLines(""), 0);
+}
+
+TEST(Shrink, DdminFindsTheTwoRelevantLines)
+{
+    // Predicate: "fails" iff both marker instructions survive. ddmin
+    // must strip all ten decoys and keep exactly the two markers.
+    const std::string src = "main:\n"
+                            "    li t0, 0\n"
+                            "    li t1, 1\n"
+                            "    li t2, 2\n"
+                            "    li t3, 3\n"
+                            "    add s0, t0, 77\n"
+                            "    li t4, 4\n"
+                            "    li t5, 5\n"
+                            "    li t6, 6\n"
+                            "    li t7, 7\n"
+                            "    add s1, s0, 99\n"
+                            "    li t8, 8\n"
+                            "    halt\n";
+    auto needsBothMarkers = [](const std::string &cand) {
+        return cand.find("77") != std::string::npos &&
+               cand.find("99") != std::string::npos;
+    };
+    ASSERT_TRUE(needsBothMarkers(src));
+
+    ShrinkResult r = shrinkProgram(src, needsBothMarkers);
+    EXPECT_EQ(r.instructions, 2);
+    EXPECT_NE(r.source.find("add s0, t0, 77"), std::string::npos);
+    EXPECT_NE(r.source.find("add s1, s0, 99"), std::string::npos);
+    EXPECT_NE(r.source.find("main:"), std::string::npos)
+        << "labels are structural and must survive";
+    EXPECT_GT(r.attempts, 0);
+
+    ShrinkResult again = shrinkProgram(src, needsBothMarkers);
+    EXPECT_EQ(again.source, r.source);
+    EXPECT_EQ(again.attempts, r.attempts);
+}
+
+TEST(Shrink, AttemptBudgetIsHonoured)
+{
+    std::string src = "main:\n";
+    for (int i = 0; i < 40; ++i)
+        src += "    li t0, " + std::to_string(i) + "\n";
+    src += "    halt\n";
+
+    int calls = 0;
+    ShrinkOptions opts;
+    opts.maxAttempts = 5;
+    ShrinkResult r = shrinkProgram(
+        src,
+        [&](const std::string &) {
+            ++calls;
+            return false;  // nothing removable: full passes, no progress
+        },
+        opts);
+    EXPECT_LE(r.attempts, 5);
+    EXPECT_EQ(calls, r.attempts);
+    EXPECT_EQ(r.instructions, countInstructionLines(src));
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the architectural reference interpreter (src/verify/):
+ * instruction semantics against hand-computed results, FAA atomicity
+ * under round-robin interleaving, pair-load register writes, digest
+ * determinism/sensitivity, and the error behaviour the differential
+ * runner relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "verify/reference_interp.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+RefResult
+runRef(const std::string &src, RefOptions opts = {})
+{
+    return runReference(assemble(src), opts);
+}
+
+} // namespace
+
+TEST(ReferenceInterp, AluChainMatchesHandComputation)
+{
+    RefResult r = runRef(".shared out, 1\n"
+                         "main:\n"
+                         "    li t0, 1000\n"
+                         "    mul t0, t0, 41\n"   // 41000
+                         "    add t0, t0, 7\n"    // 41007
+                         "    div t1, t0, 9\n"    // 4556
+                         "    rem t2, t0, 9\n"    // 3
+                         "    sll t1, t1, 2\n"    // 18224
+                         "    xor t0, t1, t2\n"   // 18227
+                         "    sts t0, out\n"
+                         "    mv v0, t0\n"
+                         "    halt\n",
+                         {.threads = 1});
+    EXPECT_EQ(r.sharedImage[0], 18227u);
+    EXPECT_EQ(r.threads[0].iregs[kRegRet0], 18227);
+    EXPECT_TRUE(r.threads[0].halted);
+}
+
+TEST(ReferenceInterp, FpChainAndPrints)
+{
+    RefResult r = runRef("main:\n"
+                         "    fli f1, 2.25\n"
+                         "    fli f2, -4.0\n"
+                         "    fabs f2, f2\n"
+                         "    fsqrt f2, f2\n"    // 2.0
+                         "    fmul f3, f1, f2\n" // 4.5
+                         "    fprint f3\n"
+                         "    fmv f0, f3\n"
+                         "    halt\n",
+                         {.threads = 1});
+    EXPECT_DOUBLE_EQ(r.threads[0].fregs[0], 4.5);
+    ASSERT_EQ(r.prints.size(), 1u);
+    EXPECT_EQ(r.prints[0], "4.5");
+}
+
+TEST(ReferenceInterp, PairLoadWritesBothRegisters)
+{
+    RefResult r = runRef(".shared pair, 2\n"
+                         "main:\n"
+                         "    la t0, pair\n"
+                         "    li t1, 111\n"
+                         "    li t2, 222\n"
+                         "    sts t1, 0(t0)\n"
+                         "    sts t2, 1(t0)\n"
+                         "    ldsd t3, 0(t0)\n"
+                         "    mv v0, t3\n"
+                         "    mv v1, t4\n"
+                         "    halt\n",
+                         {.threads = 1});
+    EXPECT_EQ(r.threads[0].iregs[kRegRet0], 111);
+    EXPECT_EQ(r.threads[0].iregs[kRegRet0 + 1], 222);
+}
+
+TEST(ReferenceInterp, FaaIsAtomicAcrossThreads)
+{
+    // 8 threads x 50 increments: any lost update would show in the sum.
+    const std::string src = ".shared acc, 1\n"
+                            ".const N, 50\n"
+                            "main:\n"
+                            "    li s1, N\n"
+                            "    li t7, 1\n"
+                            "Lloop:\n"
+                            "    faa zero, acc, t7\n"
+                            "    sub s1, s1, 1\n"
+                            "    bnez s1, Lloop\n"
+                            "    halt\n";
+    for (std::uint64_t q : {1ull, 3ull, 7ull}) {
+        RefResult r = runRef(src, {.threads = 8, .quantum = q});
+        EXPECT_EQ(r.sharedImage[0], 400u) << "quantum " << q;
+    }
+}
+
+TEST(ReferenceInterp, LiveFaaDeliversPreAddValue)
+{
+    RefResult r = runRef(".shared acc, 1\n"
+                         "main:\n"
+                         "    li t0, 5\n"
+                         "    sts t0, acc\n"
+                         "    li t2, 3\n"
+                         "    faa t1, acc, t2\n"
+                         "    mv v0, t1\n"
+                         "    halt\n",
+                         {.threads = 1});
+    EXPECT_EQ(r.threads[0].iregs[kRegRet0], 5);  // old value
+    EXPECT_EQ(r.sharedImage[0], 8u);             // 5 + 3
+}
+
+TEST(ReferenceInterp, DigestDeterministicAndScheduleStable)
+{
+    // Disjoint per-thread slots: interleaving-independent by design.
+    const std::string src = ".shared out, 4\n"
+                            "main:\n"
+                            "    la t0, out\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 17\n"
+                            "    add t1, t1, 3\n"
+                            "    sts t1, 0(t0)\n"
+                            "    mv v0, t1\n"
+                            "    halt\n";
+    RefResult a = runRef(src, {.threads = 4, .quantum = 1});
+    RefResult b = runRef(src, {.threads = 4, .quantum = 1});
+    RefResult c = runRef(src, {.threads = 4, .quantum = 5});
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.digest, c.digest);
+    EXPECT_EQ(a.digest.hex(), b.digest.hex());
+}
+
+TEST(ReferenceInterp, DigestSensitiveToSingleValueChange)
+{
+    const char *tmpl = ".shared out, 1\n"
+                       "main:\n"
+                       "    li t0, %d\n"
+                       "    sts t0, out\n"
+                       "    halt\n";
+    char s1[128], s2[128];
+    std::snprintf(s1, sizeof(s1), tmpl, 1234);
+    std::snprintf(s2, sizeof(s2), tmpl, 1235);
+    RefOptions one{.threads = 1};
+    EXPECT_NE(runRef(s1, one).digest, runRef(s2, one).digest);
+}
+
+TEST(ReferenceInterp, DigestSensitiveToTerminationRegisters)
+{
+    const std::string base = "main:\n    li v0, 7\n    halt\n";
+    const std::string other = "main:\n    li v0, 8\n    halt\n";
+    RefOptions one{.threads = 1};
+    EXPECT_NE(runRef(base, one).digest, runRef(other, one).digest);
+}
+
+TEST(ReferenceInterp, MatchesMachineDigestOnIndependentProgram)
+{
+    // The whole subsystem in miniature: the same program, run on the
+    // reference and on a real Machine, must produce one digest.
+    const std::string src = ".shared out, 2\n"
+                            "main:\n"
+                            "    la t0, out\n"
+                            "    add t0, t0, a0\n"
+                            "    li t1, 29\n"
+                            "    mul t1, t1, 3\n"
+                            "    sts t1, 0(t0)\n"
+                            "    mv v0, t1\n"
+                            "    fli f0, 1.5\n"
+                            "    halt\n";
+    Program prog = assemble(src);
+    RefResult ref = runReference(prog, {.threads = 2});
+
+    MachineConfig cfg = test::miniConfig();
+    cfg.numProcs = 2;
+    cfg.model = SwitchModel::SwitchOnUse;
+    Machine machine(prog, cfg);
+    RunResult r = machine.run();
+    EXPECT_EQ(r.digest, ref.digest);
+}
+
+TEST(ReferenceInterp, DivByZeroIsFatal)
+{
+    EXPECT_THROW(runRef("main:\n"
+                        "    li t0, 1\n"
+                        "    div t1, t0, zero\n"
+                        "    halt\n",
+                        {.threads = 1}),
+                 FatalError);
+}
+
+TEST(ReferenceInterp, StepBudgetCatchesLivelock)
+{
+    RefOptions opts{.threads = 1};
+    opts.maxSteps = 1000;
+    EXPECT_THROW(runRef("main:\nLspin:\n    j Lspin\n", opts), FatalError);
+}

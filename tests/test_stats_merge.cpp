@@ -28,6 +28,7 @@ sampleCpu(std::uint64_t base, Cycle finish)
     s.switchesTaken = base + 5;
     s.switchesSkipped = base + 6;
     s.sliceLimitSwitches = base + 7;
+    s.zeroRuns = base + 13;
     s.sharedLoads = base + 8;
     s.spinLoads = base + 9;
     s.sharedStores = base + 10;
@@ -53,6 +54,7 @@ TEST(StatsMerge, CpuStatsSumsEveryCounter)
     EXPECT_EQ(a.switchesTaken, 105u + 1005u);
     EXPECT_EQ(a.switchesSkipped, 106u + 1006u);
     EXPECT_EQ(a.sliceLimitSwitches, 107u + 1007u);
+    EXPECT_EQ(a.zeroRuns, 113u + 1013u);
     EXPECT_EQ(a.sharedLoads, 108u + 1008u);
     EXPECT_EQ(a.spinLoads, 109u + 1009u);
     EXPECT_EQ(a.sharedStores, 110u + 1010u);
@@ -106,6 +108,7 @@ TEST(StatsMerge, NetworkStatsSumsAllFields)
     a.fillMsgs = 4;
     a.invalMsgs = 5;
     a.spinMsgs = 6;
+    a.pairMsgs = 7;
     b = a;
     a.merge(b);
     EXPECT_EQ(a.messages, 6u);
@@ -117,6 +120,7 @@ TEST(StatsMerge, NetworkStatsSumsAllFields)
     EXPECT_EQ(a.fillMsgs, 8u);
     EXPECT_EQ(a.invalMsgs, 10u);
     EXPECT_EQ(a.spinMsgs, 12u);
+    EXPECT_EQ(a.pairMsgs, 14u);
     EXPECT_EQ(a.totalBits(), 600u);
 }
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Golden-file tests of the two trace renderers behind `mtsim --trace`
+ * and `mtsim --timeline`. The simulator is deterministic, so the exact
+ * byte stream each tracer produces for a fixed program and machine
+ * configuration is a stable regression surface: any change in issue
+ * timing, switch decisions or formatting shows up as a diff here.
+ *
+ * Expected outputs live in tests/golden/; regenerate intentionally
+ * changed ones with `mtsim_verify_tests --update-golden`.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "golden.hpp"
+#include "test_helpers.hpp"
+#include "trace/text_tracer.hpp"
+#include "trace/timeline.hpp"
+#include "util/strings.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+/**
+ * Fixed workload: each thread hammers its own shared slot a few times
+ * (misses + switches under switch-on-load) and publishes a checksum.
+ */
+const char *const kTracedSource = ".shared data, 16\n"
+                                  ".shared sink, 4\n"
+                                  "main:\n"
+                                  "    la t0, data\n"
+                                  "    add t0, t0, a0\n"
+                                  "    li s0, 0\n"
+                                  "    li s1, 3\n"
+                                  "Lloop:\n"
+                                  "    sts a0, 0(t0)\n"
+                                  "    lds t1, 0(t0)\n"
+                                  "    add s0, s0, t1\n"
+                                  "    sub s1, s1, 1\n"
+                                  "    bnez s1, Lloop\n"
+                                  "    la t2, sink\n"
+                                  "    add t2, t2, a0\n"
+                                  "    sts s0, 0(t2)\n"
+                                  "    mv v0, s0\n"
+                                  "    halt\n";
+
+MachineConfig
+tracedConfig()
+{
+    MachineConfig cfg = test::miniConfig();
+    cfg.numProcs = 2;
+    cfg.threadsPerProc = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceGolden, TextTraceMatchesGolden)
+{
+    std::ostringstream os;
+    TextTracer tracer(os, 0, 1500, 400);
+    MachineConfig cfg = tracedConfig();
+    cfg.tracer = &tracer;
+    test::runAsm(kTracedSource, cfg);
+    EXPECT_GT(tracer.eventsEmitted(), 0u);
+    test::compareGolden("trace_text.txt", os.str());
+}
+
+TEST(TraceGolden, TimelineMatchesGolden)
+{
+    TimelineTracer tracer(50);
+    MachineConfig cfg = tracedConfig();
+    cfg.tracer = &tracer;
+    test::runAsm(kTracedSource, cfg);
+
+    // Render plus the summary numbers the CLI derives from the tracer,
+    // pinned to stable text form.
+    std::string out = tracer.render(110);
+    out += format("switches: %llu\n",
+                  static_cast<unsigned long long>(tracer.switches()));
+    out += format("occupancy: %.4f\n", tracer.occupancy());
+    test::compareGolden("timeline.txt", out);
+}
+
+TEST(TraceGolden, TextTracerHonoursWindowAndCap)
+{
+    // Companion sanity check so a golden regeneration cannot silently
+    // bless a broken window/cap: a [200, 400) window must emit a strict
+    // subset, and a cap of 5 exactly 5.
+    std::ostringstream whole, windowed, capped;
+    {
+        TextTracer tracer(whole);
+        MachineConfig cfg = tracedConfig();
+        cfg.tracer = &tracer;
+        test::runAsm(kTracedSource, cfg);
+    }
+    {
+        TextTracer tracer(windowed, 200, 400);
+        MachineConfig cfg = tracedConfig();
+        cfg.tracer = &tracer;
+        test::runAsm(kTracedSource, cfg);
+    }
+    {
+        TextTracer tracer(capped, 0, ~Cycle(0), 5);
+        MachineConfig cfg = tracedConfig();
+        cfg.tracer = &tracer;
+        test::runAsm(kTracedSource, cfg);
+        EXPECT_EQ(tracer.eventsEmitted(), 5u);
+    }
+    EXPECT_FALSE(windowed.str().empty());
+    EXPECT_LT(windowed.str().size(), whole.str().size());
+    EXPECT_EQ(split(capped.str(), '\n').size(), 6u);  // 5 lines + ""
+}

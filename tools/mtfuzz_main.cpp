@@ -1,0 +1,185 @@
+/**
+ * @file
+ * mtfuzz — differential fuzzer for the MTS simulator.
+ *
+ * Generates interleaving-independent random programs, runs each on the
+ * architectural reference interpreter and on the Machine across every
+ * switch model / thread split / cache geometry, and reports any
+ * final-state or metrics-invariant divergence, shrunk to a minimal
+ * reproducer.
+ *
+ *     mtfuzz --seeds 500                 # fuzz seeds 1..500
+ *     mtfuzz --seed 1234 --seeds 1       # replay one seed
+ *     mtfuzz --emit 1234                 # print a seed's program
+ *     mtfuzz --seeds 200 --json out.json # export mts.fuzz/1 record
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "verify/fuzz.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: mtfuzz [options]\n"
+        "  --seeds N        number of seeds to run (default 100)\n"
+        "  --seed K         first seed (default 1)\n"
+        "  --threads N      total threads per program (default 4)\n"
+        "  --segments N     program size in segments (default 10)\n"
+        "  --latency N      network round-trip cycles (default 200)\n"
+        "  --models CSV     switch models to test (default: all)\n"
+        "  --jobs N         worker threads (default: MTS_JOBS or cores)\n"
+        "  --no-shrink      report failures without minimizing them\n"
+        "  --no-invariants  check digests only, skip metrics identities\n"
+        "  --emit K         print the program seed K generates and exit\n"
+        "  --json FILE      write the campaign record (schema mts.fuzz/1)\n"
+        "  --quiet          suppress per-seed progress\n"
+        "  --help, -h       show this help\n"
+        "exit status: 0 clean, 1 divergences found, 2 usage error");
+}
+
+bool
+parsePositive(const char *s, long long &out)
+{
+    char *end = nullptr;
+    out = std::strtoll(s, &end, 10);
+    return end && *end == '\0' && out > 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mts;
+    FuzzOptions opts;
+    std::string jsonPath;
+    bool quiet = false;
+    long long emitSeed = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        long long v = 0;
+        if (a == "--seeds" && i + 1 < argc && parsePositive(argv[++i], v)) {
+            opts.seeds = static_cast<int>(v);
+        } else if (a == "--seed" && i + 1 < argc &&
+                   parsePositive(argv[++i], v)) {
+            opts.firstSeed = static_cast<std::uint64_t>(v);
+        } else if (a == "--threads" && i + 1 < argc &&
+                   parsePositive(argv[++i], v)) {
+            opts.diff.threads = static_cast<int>(v);
+        } else if (a == "--segments" && i + 1 < argc &&
+                   parsePositive(argv[++i], v)) {
+            opts.gen.segments = static_cast<int>(v);
+        } else if (a == "--latency" && i + 1 < argc) {
+            opts.diff.latency =
+                static_cast<Cycle>(std::atoll(argv[++i]));
+        } else if (a == "--models" && i + 1 < argc) {
+            try {
+                for (const std::string &name : split(argv[++i], ','))
+                    opts.diff.models.push_back(
+                        switchModelFromName(std::string(trim(name))));
+            } catch (const FatalError &e) {
+                std::fprintf(stderr, "mtfuzz: %s\n", e.what());
+                return 2;
+            }
+        } else if (a == "--jobs" && i + 1 < argc &&
+                   parsePositive(argv[++i], v)) {
+            opts.jobs = static_cast<unsigned>(v);
+        } else if (a == "--no-shrink") {
+            opts.shrink = false;
+        } else if (a == "--no-invariants") {
+            opts.diff.checkInvariants = false;
+        } else if (a == "--emit" && i + 1 < argc &&
+                   parsePositive(argv[++i], v)) {
+            emitSeed = v;
+        } else if (a == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "mtfuzz: unknown or malformed option "
+                                 "'%s'\n",
+                         a.c_str());
+            std::fprintf(stderr,
+                         "run 'mtfuzz --help' for the option list\n");
+            return 2;
+        }
+    }
+
+    if (emitSeed > 0) {
+        GenOptions gen = opts.gen;
+        gen.seed = static_cast<std::uint64_t>(emitSeed);
+        gen.threads = opts.diff.threads;
+        std::fputs(generateProgram(gen).source.c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("mtfuzz: seeds %llu..%llu, %d threads, latency %llu, "
+                "%s models\n",
+                static_cast<unsigned long long>(opts.firstSeed),
+                static_cast<unsigned long long>(
+                    opts.firstSeed +
+                    static_cast<std::uint64_t>(opts.seeds) - 1),
+                opts.diff.threads,
+                static_cast<unsigned long long>(opts.diff.latency),
+                opts.diff.models.empty() ? "all"
+                                         : std::to_string(
+                                               opts.diff.models.size())
+                                               .c_str());
+
+    FuzzReport report = runFuzzCampaign(
+        opts, quiet ? std::function<void(const std::string &)>{}
+                    : [](const std::string &msg) {
+                          std::printf("mtfuzz: %s\n", msg.c_str());
+                          std::fflush(stdout);
+                      });
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "mtfuzz: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        out << makeFuzzRecord(report, opts).toJson().dump(2) << '\n';
+    }
+
+    if (report.ok()) {
+        std::printf("mtfuzz: %d seeds, %d machine runs, no divergences\n",
+                    report.seedsRun, report.machineRuns);
+        return 0;
+    }
+
+    std::printf("mtfuzz: %zu failing seed(s) out of %d\n",
+                report.failures.size(), report.seedsRun);
+    for (const FuzzFailure &f : report.failures) {
+        std::printf("\n==== seed %llu: %d divergence(s), first [%s] %s "
+                    "====\n%s",
+                    static_cast<unsigned long long>(f.seed),
+                    f.divergences,
+                    std::string(divergenceKindName(f.first.kind)).c_str(),
+                    f.first.config.c_str(), f.first.detail.c_str());
+        if (!f.minimizedSource.empty()) {
+            std::printf("---- minimized reproducer (%d instructions, "
+                        "replay: mtfuzz --seed %llu --seeds 1) ----\n%s",
+                        f.minimizedInstructions,
+                        static_cast<unsigned long long>(f.seed),
+                        f.minimizedSource.c_str());
+        } else {
+            std::printf("replay: mtfuzz --seed %llu --seeds 1\n",
+                        static_cast<unsigned long long>(f.seed));
+        }
+    }
+    return 1;
+}

@@ -8,6 +8,7 @@
  *     mtsim --asm my_kernel.s -D N=4096 --model switch-on-load
  *     mtsim --list
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -211,7 +212,29 @@ main(int argc, char **argv)
             }
             std::ostringstream ss;
             ss << in.rdbuf();
-            prog = assemble(runtimePrelude() + ss.str(), extraDefs);
+            try {
+                prog = assemble(runtimePrelude() + ss.str(), extraDefs);
+            } catch (const FatalError &e) {
+                // Report against the user's file: name it, and shift
+                // line numbers past the injected runtime prelude.
+                std::string msg = e.what();
+                const std::string &pre = runtimePrelude();
+                auto preludeLines = static_cast<unsigned long>(
+                    std::count(pre.begin(), pre.end(), '\n'));
+                std::size_t at = msg.find("line ");
+                if (at != std::string::npos) {
+                    char *end = nullptr;
+                    unsigned long n =
+                        std::strtoul(msg.c_str() + at + 5, &end, 10);
+                    if (end && n > preludeLines)
+                        msg = msg.substr(0, at + 5) +
+                              std::to_string(n - preludeLines) +
+                              std::string(end);
+                }
+                std::fprintf(stderr, "mtsim: %s: %s\n", asmFile.c_str(),
+                             msg.c_str());
+                return 1;
+            }
         } else if (!appName.empty()) {
             app = &findApp(appName);
             AsmOptions opts = app->options(scale);
