@@ -67,6 +67,45 @@ BM_ConditionalSwitch(benchmark::State &state)
     runOnce(SwitchModel::ConditionalSwitch, 8, 8, 200, state);
 }
 
+/**
+ * Per-application execution speed, one benchmark per Table 1 workload,
+ * all under the same representative configuration (switch-on-load,
+ * 8 procs x 8 threads, 200-cycle round trip). The perf-smoke CI step
+ * compares the medians of these against bench/baselines/BENCH_speed.json.
+ */
+void
+BM_AppExec(benchmark::State &state, const App *app)
+{
+    AsmOptions opts = app->options(0.05);
+    Program prog = assemble(app->source(), opts);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.model = SwitchModel::SwitchOnLoad;
+        cfg.numProcs = 8;
+        cfg.threadsPerProc = 8;
+        cfg.network.roundTrip = 200;
+        Machine m(prog, cfg);
+        m.setPrintHandler([](const std::string &) {});
+        app->init(m);
+        RunResult r = m.run();
+        instructions += r.cpu.instructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void
+registerAppBenchmarks()
+{
+    for (const App *app : allApps()) {
+        std::string name = "BM_App/" + app->name();
+        benchmark::RegisterBenchmark(name.c_str(), BM_AppExec, app)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
 void
 BM_Assemble(benchmark::State &state)
 {
@@ -119,6 +158,7 @@ main(int argc, char **argv)
         args.push_back(outFlag.data());
         args.push_back(fmtFlag.data());
     }
+    registerAppBenchmarks();
     int n = static_cast<int>(args.size());
     benchmark::Initialize(&n, args.data());
     if (benchmark::ReportUnrecognizedArguments(n, args.data()))

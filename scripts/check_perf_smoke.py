@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh bench_simulator_speed JSON report
+against the committed baseline and fail on a large median regression.
+
+Usage: check_perf_smoke.py CURRENT.json [BASELINE.json]
+
+Compares the `instr/s` counter of every benchmark present in both
+files. CI runners are noisy and heterogeneous, so the gate is
+deliberately loose: the build fails only if a benchmark regresses by
+more than REGRESSION_LIMIT against the baseline median. Faster results
+never fail (they print a note so the baseline can be refreshed).
+"""
+import json
+import pathlib
+import sys
+
+REGRESSION_LIMIT = 0.25  # fail when instr/s drops >25% vs baseline
+
+
+def load_rates(path):
+    """name -> instr/s for every benchmark reporting the counter.
+
+    With --benchmark_repetitions the report carries one entry per
+    repetition plus mean/median/stddev aggregates; the median aggregate
+    (keyed back to its base run_name) wins over raw repetitions so both
+    single-run baselines and repeated CI runs compare like for like.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        if "instr/s" not in b:
+            continue
+        rate = float(b["instr/s"])
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b["name"])] = rate
+        else:
+            rates.setdefault(b["name"], []).append(rate)
+    result = {name: sorted(rs)[len(rs) // 2] for name, rs in rates.items()}
+    result.update(medians)
+    return result
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    current = load_rates(argv[1])
+    baseline_path = (argv[2] if len(argv) > 2 else
+                     pathlib.Path(__file__).resolve().parent.parent /
+                     "bench" / "baselines" / "BENCH_speed.json")
+    baseline = load_rates(baseline_path)
+
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        print("perf-smoke: no common benchmarks between "
+              f"{argv[1]} and {baseline_path}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in common:
+        ratio = current[name] / baseline[name]
+        status = "ok"
+        if ratio < 1.0 - REGRESSION_LIMIT:
+            status = "REGRESSION"
+            failures.append(name)
+        elif ratio > 1.0 + REGRESSION_LIMIT:
+            status = "faster (consider refreshing the baseline)"
+        print(f"{name:40s} base {baseline[name] / 1e6:9.2f}M "
+              f"now {current[name] / 1e6:9.2f}M  x{ratio:5.2f}  {status}")
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"perf-smoke: {len(missing)} baseline benchmark(s) missing "
+              f"from the current run: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    if failures:
+        print(f"perf-smoke: FAIL — {len(failures)} benchmark(s) regressed "
+              f"more than {REGRESSION_LIMIT:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"perf-smoke: OK — {len(common)} benchmarks within "
+          f"{REGRESSION_LIMIT:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

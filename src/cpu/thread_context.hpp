@@ -40,6 +40,20 @@ struct ThreadContext
     /** Absolute cycle when each (bank-tagged) register becomes ready. */
     std::array<Cycle, kNumRegIds> regReady;
 
+    /**
+     * Conservative watermark over the scoreboard: at least as large as
+     * every regReady entry written with a multi-cycle latency (shared
+     * loads and multi-cycle results). Single-cycle results are excluded
+     * on purpose — their ready time (write cycle + 1) can never exceed
+     * the cycle of this thread's next issue, so they cannot block it.
+     * When `scoreboardMax <= now` every register is consumable and the
+     * batched executor skips the per-op scoreboard scan entirely.
+     * Never decreases, so it may be stale-high (a later in-order write
+     * can shorten a register's ready time); that only costs a precise
+     * re-check, never correctness.
+     */
+    Cycle scoreboardMax = 0;
+
     /** Register holds an in-flight shared-load result (switch-on-use). */
     std::array<bool, kNumRegIds> pendingShared;
 

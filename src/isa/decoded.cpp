@@ -1,0 +1,209 @@
+#include "isa/decoded.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+DecodedOp
+decodeOne(const Instruction &inst)
+{
+    DecodedOp d;
+    d.op = inst.op;
+    d.rd = inst.rd;
+    d.rs1 = inst.rs1;
+    d.rs2 = inst.rs2;
+    d.imm = inst.imm;
+    d.target = inst.target;
+    d.srcLine = inst.srcLine;
+
+    const int lat = resultLatency(inst.op);
+    MTS_ASSERT(lat >= 0 && lat <= 255, "latency out of decode range");
+    d.lat = static_cast<std::uint8_t>(lat);
+
+    const Operands ops = getOperands(inst);
+    d.numUses = static_cast<std::uint8_t>(ops.numUses);
+    d.numDefs = static_cast<std::uint8_t>(ops.numDefs);
+    std::copy(ops.uses.begin(), ops.uses.end(), d.uses);
+    std::copy(ops.defs.begin(), ops.defs.end(), d.defs);
+
+// Register/immediate second-operand selection, folded at decode.
+#define MTS_DECODE_ALU(OP, H)                                              \
+    case Opcode::OP:                                                       \
+        d.h = inst.useImm ? Handler::H##RI : Handler::H##RR;               \
+        d.d0 = intReg(inst.rd);                                            \
+        break;
+#define MTS_DECODE_BRANCH(OP, H)                                           \
+    case Opcode::OP:                                                       \
+        d.h = inst.useImm ? Handler::H##RI : Handler::H##RR;               \
+        break;
+#define MTS_DECODE_FP(OP, H)                                               \
+    case Opcode::OP:                                                       \
+        d.h = Handler::H;                                                  \
+        d.d0 = fpReg(inst.rd);                                             \
+        break;
+
+    // Covered exhaustively (no default): -Wswitch makes a new opcode a
+    // compile-time diagnostic here, and the assert below makes any
+    // fall-through a startup failure, not a silent slow path.
+    switch (inst.op) {
+      case Opcode::NOP: d.h = Handler::Nop; break;
+      case Opcode::HALT: d.h = Handler::Halt; break;
+      case Opcode::CSWITCH: d.h = Handler::Cswitch; break;
+      case Opcode::SETPRI: d.h = Handler::Setpri; break;
+
+      MTS_DECODE_ALU(ADD, Add)
+      MTS_DECODE_ALU(SUB, Sub)
+      MTS_DECODE_ALU(MUL, Mul)
+      MTS_DECODE_ALU(DIV, Div)
+      MTS_DECODE_ALU(REM, Rem)
+      MTS_DECODE_ALU(AND, And)
+      MTS_DECODE_ALU(OR, Or)
+      MTS_DECODE_ALU(XOR, Xor)
+      MTS_DECODE_ALU(SLL, Sll)
+      MTS_DECODE_ALU(SRL, Srl)
+      MTS_DECODE_ALU(SRA, Sra)
+      MTS_DECODE_ALU(SLT, Slt)
+      MTS_DECODE_ALU(SLE, Sle)
+      MTS_DECODE_ALU(SEQ, Seq)
+      MTS_DECODE_ALU(SNE, Sne)
+
+      case Opcode::LI:
+        d.h = Handler::Li;
+        d.d0 = intReg(inst.rd);
+        break;
+
+      MTS_DECODE_FP(FADD, Fadd)
+      MTS_DECODE_FP(FSUB, Fsub)
+      MTS_DECODE_FP(FMUL, Fmul)
+      MTS_DECODE_FP(FDIV, Fdiv)
+      MTS_DECODE_FP(FSQRT, Fsqrt)
+      MTS_DECODE_FP(FNEG, Fneg)
+      MTS_DECODE_FP(FABS, Fabs)
+      MTS_DECODE_FP(FMIN, Fmin)
+      MTS_DECODE_FP(FMAX, Fmax)
+      MTS_DECODE_FP(FMV, Fmv)
+      MTS_DECODE_FP(CVTIF, Cvtif)
+
+      case Opcode::FLI:
+        d.h = Handler::Fli;
+        d.d0 = fpReg(inst.rd);
+        d.fimm = inst.fimm;
+        break;
+
+      case Opcode::CVTFI:
+        d.h = Handler::Cvtfi;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FEQ:
+        d.h = Handler::Feq;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FLT:
+        d.h = Handler::Flt;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FLE:
+        d.h = Handler::Fle;
+        d.d0 = intReg(inst.rd);
+        break;
+
+      MTS_DECODE_BRANCH(BEQ, Beq)
+      MTS_DECODE_BRANCH(BNE, Bne)
+      MTS_DECODE_BRANCH(BLT, Blt)
+      MTS_DECODE_BRANCH(BGE, Bge)
+
+      case Opcode::J: d.h = Handler::J; break;
+      case Opcode::JAL: d.h = Handler::Jal; break;
+      case Opcode::JR: d.h = Handler::Jr; break;
+
+      case Opcode::LDL:
+        d.h = Handler::Ldl;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FLDL:
+        d.h = Handler::Fldl;
+        d.d0 = fpReg(inst.rd);
+        break;
+      case Opcode::STL: d.h = Handler::Stl; break;
+      case Opcode::FSTL: d.h = Handler::Fstl; break;
+
+      case Opcode::LDS:
+        d.h = Handler::SharedLoad;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FLDS:
+        d.h = Handler::SharedLoad;
+        d.flags = kDecFpDest;
+        d.d0 = fpReg(inst.rd);
+        break;
+      case Opcode::LDSD:
+        d.h = Handler::SharedLoad;
+        d.flags = kDecPair;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FLDSD:
+        d.h = Handler::SharedLoad;
+        d.flags = kDecPair | kDecFpDest;
+        d.d0 = fpReg(inst.rd);
+        break;
+      case Opcode::LDS_SPIN:
+        d.h = Handler::SharedLoad;
+        d.flags = kDecSpin;
+        d.d0 = intReg(inst.rd);
+        break;
+      case Opcode::FAA:
+        // The destination stays in the integer bank even though FAA is
+        // not an fp op; d0 drives the in-flight scoreboard entries.
+        d.h = Handler::SharedLoad;
+        d.flags = kDecFaa;
+        d.d0 = intReg(inst.rd);
+        break;
+
+      case Opcode::STS: d.h = Handler::SharedStore; break;
+      case Opcode::FSTS:
+        d.h = Handler::SharedStore;
+        d.flags = kDecFpVal;
+        break;
+
+      case Opcode::PRINT: d.h = Handler::Print; break;
+      case Opcode::FPRINT: d.h = Handler::Fprint; break;
+
+      case Opcode::NUM_OPCODES: break;  // falls to the assert
+    }
+
+#undef MTS_DECODE_ALU
+#undef MTS_DECODE_BRANCH
+#undef MTS_DECODE_FP
+
+    MTS_ASSERT(d.h != Handler::NUM_HANDLERS,
+               "opcode " << static_cast<int>(inst.op)
+                         << " has no decoded handler");
+    return d;
+}
+
+DecodedProgram
+decodeProgram(const std::vector<Instruction> &code)
+{
+    DecodedProgram d;
+    d.ops.reserve(code.size());
+    for (const Instruction &inst : code)
+        d.ops.push_back(decodeOne(inst));
+
+    // Local-run span table, one backward pass: localRun[pc] is the
+    // number of consecutive local handlers starting at pc. Jumping into
+    // the middle of a run is fine — every pc carries its own suffix
+    // length — and the cap only shortens a batch, never breaks it.
+    std::uint32_t run = 0;
+    for (std::size_t i = d.ops.size(); i-- > 0;) {
+        run = isLocalHandler(d.ops[i].h)
+                  ? std::min<std::uint32_t>(run + 1, 0xFFFF)
+                  : 0;
+        d.ops[i].localRun = static_cast<std::uint16_t>(run);
+    }
+    return d;
+}
+
+} // namespace mts

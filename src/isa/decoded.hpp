@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Pre-decoded execution form of a Program.
+ *
+ * The Machine translates every `Instruction` into a dense `DecodedOp` at
+ * load time: the execution handler is resolved once (including the
+ * reg-vs-immediate operand form), the def/use sets, result latency and
+ * bank-tagged destination are folded in, and each op carries the length
+ * of the purely-local straight-line span starting at its pc. The
+ * processor's hot loop dispatches on the pre-resolved handler index and
+ * batches whole local runs instead of re-deriving all of this per cycle
+ * through one giant opcode switch.
+ *
+ * Decoding is observationally invisible: executing the decoded form must
+ * produce bit-identical final state and statistics to instruction-at-a-
+ * time interpretation (DESIGN.md §11; enforced by mtsim_verify_tests).
+ */
+#ifndef MTS_ISA_DECODED_HPP
+#define MTS_ISA_DECODED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+
+namespace mts
+{
+
+/**
+ * Execution handler index: one entry per distinct execution behaviour.
+ * ALU and branch opcodes split into register/immediate forms so the
+ * second-operand decision is made once at decode, not per cycle.
+ *
+ * Order matters: every handler up to and including `Fstl` is *local* —
+ * it never touches shared memory, never transfers control, and is never
+ * a context-switch decision point — so `isLocalHandler` is a single
+ * compare and the local-run batcher can execute any run of them in a
+ * tight loop.
+ */
+enum class Handler : std::uint8_t
+{
+    // ---- local handlers (span-safe; keep contiguous and first) ----
+    Nop, Setpri,
+    AddRR, AddRI, SubRR, SubRI, MulRR, MulRI, DivRR, DivRI, RemRR, RemRI,
+    AndRR, AndRI, OrRR, OrRI, XorRR, XorRI,
+    SllRR, SllRI, SrlRR, SrlRI, SraRR, SraRI,
+    SltRR, SltRI, SleRR, SleRI, SeqRR, SeqRI, SneRR, SneRI,
+    Li,
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fneg, Fabs, Fmin, Fmax, Fmv, Fli,
+    Cvtif, Cvtfi, Feq, Flt, Fle,
+    Ldl, Fldl, Stl, Fstl,
+
+    // ---- batchable control flow (local to the CPU; ends a *straight-
+    // line* span but not a batch: the batcher follows the edge) ----
+    BeqRR, BeqRI, BneRR, BneRI, BltRR, BltRI, BgeRR, BgeRI,
+    J, Jal, Jr,
+
+    // ---- batch terminators ----
+    Halt, Cswitch,
+    SharedLoad,   ///< LDS/FLDS/LDSD/FLDSD/LDS_SPIN/FAA (see flags)
+    SharedStore,  ///< STS/FSTS (see flags)
+    Print, Fprint,
+
+    NUM_HANDLERS
+};
+
+/** Last handler that may appear inside a local run. */
+constexpr Handler kLastLocalHandler = Handler::Fstl;
+
+/** Last handler the batched executor can retire itself. */
+constexpr Handler kLastBatchableHandler = Handler::Jr;
+
+/** True if @p h is purely local (counted into DecodedOp::localRun). */
+constexpr bool
+isLocalHandler(Handler h)
+{
+    return h <= kLastLocalHandler;
+}
+
+/**
+ * True if @p h can retire inside a batch: purely-local work plus
+ * branches/jumps. Excluded are exactly the handlers that touch shared
+ * memory, halt, print, or are context-switch decision points.
+ */
+constexpr bool
+isBatchableHandler(Handler h)
+{
+    return h <= kLastBatchableHandler;
+}
+
+/// @name DecodedOp::flags bits (shared-memory handlers only).
+/// @{
+constexpr std::uint8_t kDecFaa = 1;     ///< fetch-and-add
+constexpr std::uint8_t kDecSpin = 2;    ///< lds.spin
+constexpr std::uint8_t kDecPair = 4;    ///< load-double
+constexpr std::uint8_t kDecFpDest = 8;  ///< destination in the fp bank
+constexpr std::uint8_t kDecFpVal = 16;  ///< store value from the fp bank
+/// @}
+
+/**
+ * One pre-decoded instruction (40 bytes; an execution-order-hot subset
+ * of `Instruction` plus everything `Processor::step` used to re-derive
+ * per cycle).
+ */
+struct DecodedOp
+{
+    Handler h = Handler::NUM_HANDLERS;
+    Opcode op = Opcode::NUM_OPCODES;  ///< original opcode (tracing/tests)
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t lat = 1;     ///< result latency (resultLatency(op))
+    RegId d0 = 0;             ///< bank-tagged destination register
+    std::uint8_t flags = 0;   ///< kDec* bits (shared handlers)
+    std::uint8_t numUses = 0;
+    std::uint8_t numDefs = 0;
+    RegId uses[3] = {0, 0, 0};
+    RegId defs[2] = {0, 0};
+
+    /**
+     * Length of the maximal run of local handlers starting at this pc
+     * (0 for non-local handlers; capped at 0xFFFF). The batcher may
+     * execute up to this many ops without re-checking for control flow,
+     * shared accesses or switch decision points.
+     */
+    std::uint16_t localRun = 0;
+
+    std::int32_t target = -1;  ///< branch/jump target instruction index
+    std::uint32_t srcLine = 0; ///< 1-based source line for diagnostics
+
+    union {
+        std::int64_t imm;  ///< immediate / memory offset (words)
+        double fimm;       ///< FLI immediate
+    };
+
+    DecodedOp() : imm(0) {}
+};
+
+/**
+ * Decode one instruction. Panics if @p inst has no handler — together
+ * with the -Wswitch coverage of the decode switch this is the
+ * completeness guarantee: a new opcode cannot silently fall through to
+ * a slow or wrong path.
+ */
+DecodedOp decodeOne(const Instruction &inst);
+
+/** A fully decoded program: flat DecodedOp array indexed by pc. */
+struct DecodedProgram
+{
+    std::vector<DecodedOp> ops;
+
+    std::size_t
+    size() const
+    {
+        return ops.size();
+    }
+
+    const DecodedOp &
+    operator[](std::size_t pc) const
+    {
+        return ops[pc];
+    }
+
+    const DecodedOp *
+    data() const
+    {
+        return ops.data();
+    }
+};
+
+/** Decode @p code and precompute the local-run span table. */
+DecodedProgram decodeProgram(const std::vector<Instruction> &code);
+
+} // namespace mts
+
+#endif // MTS_ISA_DECODED_HPP

@@ -13,12 +13,11 @@
  * arrivals are processed before processor runs; within a stream, the
  * oldest sequence number wins, so simulations are fully deterministic.
  *
- * Layout: instead of one binary heap per stream, each stream is an
- * *indexed lane queue* — one ordered lane per event source (the issuing
- * processor). The network's per-source ordered delivery makes memory
- * arrivals monotone per processor (Machine::issueMem enforces it via
- * lastArrival), and a processor's resume times are monotone because
- * simulated time only moves forward; so a push is an O(1) append to its
+ * Layout: the two streams have different shapes and get different
+ * structures. Memory arrivals form an *indexed lane queue* — one
+ * ordered lane per issuing processor. The network's per-source ordered
+ * delivery makes arrivals monotone per processor (Machine::issueMem
+ * enforces it via lastArrival), so a push is an O(1) append to its
  * source lane almost always (out-of-order pushes fall back to a sorted
  * insert, kept for API generality). The global minimum is the smallest
  * lane head: the head (time, seq) keys are mirrored into flat arrays
@@ -26,6 +25,12 @@
  * in O(1) and a head change replays ceil(log2 numProcs) tree entries.
  * This removes the O(log n) sift-down that copied 70-byte MemEvent
  * payloads around the heap on every push/pop.
+ *
+ * Processor resumptions are simpler still: the Machine keeps at most
+ * ONE outstanding resume per processor (it re-pushes a processor's next
+ * resume only after popping the previous one), so that stream is a flat
+ * (time, seq) slot per processor with a lazily cached argmin — no
+ * lanes, no tree, no per-event allocation (see ProcSlotQueue).
  */
 #ifndef MTS_MEM_EVENT_QUEUE_HPP
 #define MTS_MEM_EVENT_QUEUE_HPP
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "isa/addressing.hpp"
+#include "util/error.hpp"
 
 namespace mts
 {
@@ -278,16 +284,124 @@ class LaneQueue
     std::size_t live = 0;
 };
 
+/**
+ * Processor-resume stream. Relies on the Machine's invariant that each
+ * processor has at most one resume event in flight (asserted in push),
+ * which collapses the stream to one (time, seq) slot per processor:
+ * a push writes two words and refreshes the cached argmin with a single
+ * key compare; a pop clears the slot and invalidates the cache, and the
+ * next query recomputes the argmin with one pass over the flat slot
+ * arrays — contiguous and branch-predictable, cheaper in practice than
+ * replaying a winner tree on every head change. Empty slots carry
+ * (kNever, maxSeq) so the scan needs no occupancy test, and the
+ * (time, seq) total order — hence determinism — is identical to the
+ * general lane queue's.
+ */
+class ProcSlotQueue
+{
+  public:
+    /** Pre-size the slot table for processors [0, count). */
+    void
+    reserve(std::size_t count)
+    {
+        if (count > slotTime.size())
+            grow(count);
+    }
+
+    bool
+    empty() const
+    {
+        return live == 0;
+    }
+
+    Cycle
+    nextTime() const
+    {
+        if (live == 0)
+            return kNever;
+        return slotTime[minSlot()];
+    }
+
+    void
+    push(Cycle time, std::uint64_t seq, std::uint16_t proc)
+    {
+        std::size_t i = proc;
+        if (i >= slotTime.size())
+            grow(i + 1);
+        MTS_ASSERT(slotTime[i] == kNever,
+                   "processor " << proc
+                                << " already has a resume event in flight");
+        slotTime[i] = time;
+        slotSeq[i] = seq;
+        ++live;
+        // Only this slot's key changed; the cached argmin stays correct
+        // unless the new key beats it.
+        if (minValid && keyBefore(i, minCached))
+            minCached = i;
+    }
+
+    ProcEvent
+    pop()
+    {
+        std::size_t i = minSlot();
+        ProcEvent e{slotTime[i], slotSeq[i], static_cast<std::uint16_t>(i)};
+        slotTime[i] = kNever;
+        slotSeq[i] = ~std::uint64_t(0);
+        --live;
+        minValid = false;  // next query rescans the flat slot arrays
+        return e;
+    }
+
+  private:
+    /** (time, seq) order over the slot keys; empty slots lose against
+     *  every real event. */
+    bool
+    keyBefore(std::size_t a, std::size_t b) const
+    {
+        return slotTime[a] != slotTime[b] ? slotTime[a] < slotTime[b]
+                                          : slotSeq[a] < slotSeq[b];
+    }
+
+    /** The slot holding the smallest key; requires live > 0. */
+    std::size_t
+    minSlot() const
+    {
+        if (!minValid) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < slotTime.size(); ++i)
+                if (keyBefore(i, best))
+                    best = i;
+            minCached = best;
+            minValid = true;
+        }
+        return minCached;
+    }
+
+    void
+    grow(std::size_t count)
+    {
+        slotTime.resize(count, kNever);
+        slotSeq.resize(count, ~std::uint64_t(0));
+    }
+
+    std::vector<Cycle> slotTime;         ///< per-proc resume time (kNever
+                                         ///  when no resume is in flight)
+    std::vector<std::uint64_t> slotSeq;  ///< per-proc resume seq
+    mutable std::size_t minCached = 0;   ///< argmin slot when minValid
+    mutable bool minValid = false;
+    std::size_t live = 0;
+};
+
 /** The two-stream event queue. */
 class EventQueue
 {
   public:
-    /** Pre-size both streams' lane tables for `numProcs` sources. */
+    /** Pre-size both streams for `numProcs` sources. */
     void
     reserve(std::size_t numProcs)
     {
         memLanes.reserve(numProcs);
-        procLanes.reserve(numProcs);
+        procSlots.reserve(numProcs);
     }
 
     void
@@ -297,10 +411,12 @@ class EventQueue
         memLanes.push(source, MemEvent{time, nextSeq++, op});
     }
 
+    /** Schedule `proc`'s next resume. At most one may be in flight per
+     *  processor (see ProcSlotQueue). */
     void
     pushProc(Cycle time, std::uint16_t proc)
     {
-        procLanes.push(proc, ProcEvent{time, nextSeq++, proc});
+        procSlots.push(time, nextSeq++, proc);
     }
 
     Cycle
@@ -312,13 +428,13 @@ class EventQueue
     Cycle
     nextProcTime() const
     {
-        return procLanes.nextTime();
+        return procSlots.nextTime();
     }
 
     bool
     empty() const
     {
-        return memLanes.empty() && procLanes.empty();
+        return memLanes.empty() && procSlots.empty();
     }
 
     /** True if the next event overall is a memory arrival. */
@@ -328,7 +444,7 @@ class EventQueue
         if (memLanes.empty())
             return false;
         // Memory-before-processor at equal times (see file comment).
-        return memLanes.nextTime() <= procLanes.nextTime();
+        return memLanes.nextTime() <= procSlots.nextTime();
     }
 
     /** Smallest memory arrival, without copying the 70-byte payload.
@@ -355,12 +471,12 @@ class EventQueue
     ProcEvent
     popProc()
     {
-        return procLanes.pop();
+        return procSlots.pop();
     }
 
   private:
     LaneQueue<MemEvent> memLanes;
-    LaneQueue<ProcEvent> procLanes;
+    ProcSlotQueue procSlots;
     std::uint64_t nextSeq = 0;
 };
 

@@ -29,7 +29,7 @@ saturatingAdd(Cycle a, Cycle b)
 
 Machine::Machine(const Program &program, const MachineConfig &config,
                  Addr extraSharedWords)
-    : prog(program), cfg(config),
+    : prog(program), decoded(decodeProgram(program.code)), cfg(config),
       mem(roundUpTo(program.sharedWords + extraSharedWords +
                         config.cache.lineWords,
                     config.cache.lineWords)),
@@ -68,7 +68,7 @@ Machine::Machine(const Program &program, const MachineConfig &config,
     procs.reserve(cfg.numProcs);
     for (int p = 0; p < cfg.numProcs; ++p)
         procs.push_back(std::make_unique<Processor>(
-            *this, static_cast<std::uint16_t>(p), cfg, prog));
+            *this, static_cast<std::uint16_t>(p), cfg, prog, decoded));
 }
 
 Machine::~Machine() = default;

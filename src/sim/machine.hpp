@@ -125,6 +125,7 @@ class Machine
     void invalidateSharers(Addr addr, std::uint16_t writer);
 
     Program prog;
+    DecodedProgram decoded;  ///< pre-decoded form shared by all processors
     MachineConfig cfg;
     SharedMemory mem;
     Directory directory;

@@ -9,9 +9,195 @@
 namespace mts
 {
 
+namespace
+{
+
+/**
+ * Execute one purely-local decoded op at cycle @p now. Shared by the
+ * generic step (which has already done readiness, stall accounting and
+ * tracing) and the batched span executor. Must stay free of control
+ * flow, shared-memory and switch decisions — decode guarantees only
+ * local handlers reach it, and the default case enforces that.
+ */
+inline void
+execLocal(const DecodedOp &op, ThreadContext &th, Cycle now)
+{
+    const auto wI = [&](std::int64_t v) {
+        th.writeIReg(op.rd, v);
+        th.regReady[op.d0] = now + op.lat;
+        th.pendingShared[op.d0] = false;
+        if (op.lat > 1 && now + op.lat > th.scoreboardMax)
+            th.scoreboardMax = now + op.lat;
+    };
+    const auto wF = [&](double v) {
+        th.fregs[op.rd] = v;
+        th.regReady[op.d0] = now + op.lat;
+        th.pendingShared[op.d0] = false;
+        if (op.lat > 1 && now + op.lat > th.scoreboardMax)
+            th.scoreboardMax = now + op.lat;
+    };
+    const auto a = [&]() { return th.readIReg(op.rs1); };
+    const auto ua = [&]() { return static_cast<std::uint64_t>(a()); };
+    const auto b = [&]() { return th.readIReg(op.rs2); };
+    const auto ub = [&]() { return static_cast<std::uint64_t>(b()); };
+    const auto fa = [&]() { return th.fregs[op.rs1]; };
+    const auto fb = [&]() { return th.fregs[op.rs2]; };
+    const auto effAddr = [&]() {
+        return static_cast<Addr>(a() + op.imm);
+    };
+
+    switch (op.h) {
+      case Handler::Nop:
+        break;
+      case Handler::Setpri:
+        th.highPriority = op.imm != 0;
+        break;
+
+      // ---- integer ALU (wrapping two's-complement semantics) ----
+      case Handler::AddRR:
+        wI(static_cast<std::int64_t>(ua() + ub()));
+        break;
+      case Handler::AddRI:
+        wI(static_cast<std::int64_t>(
+            ua() + static_cast<std::uint64_t>(op.imm)));
+        break;
+      case Handler::SubRR:
+        wI(static_cast<std::int64_t>(ua() - ub()));
+        break;
+      case Handler::SubRI:
+        wI(static_cast<std::int64_t>(
+            ua() - static_cast<std::uint64_t>(op.imm)));
+        break;
+      case Handler::MulRR:
+        wI(static_cast<std::int64_t>(ua() * ub()));
+        break;
+      case Handler::MulRI:
+        wI(static_cast<std::int64_t>(
+            ua() * static_cast<std::uint64_t>(op.imm)));
+        break;
+      case Handler::DivRR: {
+        std::int64_t d = b();
+        MTS_REQUIRE(d != 0, "div by zero at source line " << op.srcLine);
+        wI(a() / d);
+        break;
+      }
+      case Handler::DivRI: {
+        std::int64_t d = op.imm;
+        MTS_REQUIRE(d != 0, "div by zero at source line " << op.srcLine);
+        wI(a() / d);
+        break;
+      }
+      case Handler::RemRR: {
+        std::int64_t d = b();
+        MTS_REQUIRE(d != 0, "rem by zero at source line " << op.srcLine);
+        wI(a() % d);
+        break;
+      }
+      case Handler::RemRI: {
+        std::int64_t d = op.imm;
+        MTS_REQUIRE(d != 0, "rem by zero at source line " << op.srcLine);
+        wI(a() % d);
+        break;
+      }
+      case Handler::AndRR: wI(a() & b()); break;
+      case Handler::AndRI: wI(a() & op.imm); break;
+      case Handler::OrRR: wI(a() | b()); break;
+      case Handler::OrRI: wI(a() | op.imm); break;
+      case Handler::XorRR: wI(a() ^ b()); break;
+      case Handler::XorRI: wI(a() ^ op.imm); break;
+      case Handler::SllRR:
+        wI(static_cast<std::int64_t>(ua() << (b() & 63)));
+        break;
+      case Handler::SllRI:
+        wI(static_cast<std::int64_t>(ua() << (op.imm & 63)));
+        break;
+      case Handler::SrlRR:
+        wI(static_cast<std::int64_t>(ua() >> (b() & 63)));
+        break;
+      case Handler::SrlRI:
+        wI(static_cast<std::int64_t>(ua() >> (op.imm & 63)));
+        break;
+      case Handler::SraRR: wI(a() >> (b() & 63)); break;
+      case Handler::SraRI: wI(a() >> (op.imm & 63)); break;
+      case Handler::SltRR: wI(a() < b() ? 1 : 0); break;
+      case Handler::SltRI: wI(a() < op.imm ? 1 : 0); break;
+      case Handler::SleRR: wI(a() <= b() ? 1 : 0); break;
+      case Handler::SleRI: wI(a() <= op.imm ? 1 : 0); break;
+      case Handler::SeqRR: wI(a() == b() ? 1 : 0); break;
+      case Handler::SeqRI: wI(a() == op.imm ? 1 : 0); break;
+      case Handler::SneRR: wI(a() != b() ? 1 : 0); break;
+      case Handler::SneRI: wI(a() != op.imm ? 1 : 0); break;
+      case Handler::Li: wI(op.imm); break;
+
+      // ---- floating point ----
+      case Handler::Fadd: wF(fa() + fb()); break;
+      case Handler::Fsub: wF(fa() - fb()); break;
+      case Handler::Fmul: wF(fa() * fb()); break;
+      case Handler::Fdiv: wF(fa() / fb()); break;
+      case Handler::Fsqrt: wF(std::sqrt(fa())); break;
+      case Handler::Fneg: wF(-fa()); break;
+      case Handler::Fabs: wF(std::fabs(fa())); break;
+      case Handler::Fmin: wF(std::fmin(fa(), fb())); break;
+      case Handler::Fmax: wF(std::fmax(fa(), fb())); break;
+      case Handler::Fmv: wF(fa()); break;
+      case Handler::Fli: wF(op.fimm); break;
+      case Handler::Cvtif: wF(static_cast<double>(a())); break;
+      case Handler::Cvtfi:
+        wI(static_cast<std::int64_t>(std::trunc(fa())));
+        break;
+      case Handler::Feq: wI(fa() == fb() ? 1 : 0); break;
+      case Handler::Flt: wI(fa() < fb() ? 1 : 0); break;
+      case Handler::Fle: wI(fa() <= fb() ? 1 : 0); break;
+
+      // ---- local memory ----
+      case Handler::Ldl: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "ldl with shared address (line " << op.srcLine
+                                                     << ")");
+        wI(static_cast<std::int64_t>(th.local.read(addr)));
+        break;
+      }
+      case Handler::Fldl: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "fldl with shared address (line " << op.srcLine
+                                                      << ")");
+        wF(std::bit_cast<double>(th.local.read(addr)));
+        break;
+      }
+      case Handler::Stl: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "stl with shared address (line " << op.srcLine
+                                                     << ")");
+        th.local.write(addr, ub());
+        break;
+      }
+      case Handler::Fstl: {
+        Addr addr = effAddr();
+        MTS_REQUIRE(!isSharedAddr(addr),
+                    "fstl with shared address (line " << op.srcLine
+                                                      << ")");
+        th.local.write(addr,
+                       std::bit_cast<std::uint64_t>(th.fregs[op.rs2]));
+        break;
+      }
+
+      default:
+        MTS_PANIC("handler " << static_cast<int>(op.h)
+                             << " ('" << opcodeName(op.op)
+                             << "') is not a local handler");
+    }
+}
+
+} // namespace
+
 Processor::Processor(Machine &machine_, std::uint16_t id,
-                     const MachineConfig &config, const Program &program)
-    : machine(machine_), cfg(config), code(program.code), procId(id)
+                     const MachineConfig &config, const Program &program,
+                     const DecodedProgram &decoded)
+    : machine(machine_), cfg(config), code(program.code),
+      dec_(decoded.data()), codeSize_(decoded.size()), procId(id)
 {
     threads.reserve(cfg.threadsPerProc);
     for (int t = 0; t < cfg.threadsPerProc; ++t) {
@@ -26,28 +212,61 @@ Processor::Processor(Machine &machine_, std::uint16_t id,
         th.iregs[kRegSp] = static_cast<std::int64_t>(cfg.localWords);
     }
     liveThreads = cfg.threadsPerProc;
+    liveMask_.assign((cfg.threadsPerProc + 63) / 64, 0);
+    for (int t = 0; t < cfg.threadsPerProc; ++t)
+        liveMask_[t >> 6] |= 1ull << (t & 63);
+
+    // Span batching folds the tracer's per-instruction callbacks away,
+    // and switch-every-cycle makes every instruction a decision point,
+    // so both force instruction-at-a-time stepping.
+    spanExec_ = cfg.tracer == nullptr &&
+                cfg.model != SwitchModel::SwitchEveryCycle;
+
     if (cfg.cachesEnabled())
         cache_ = std::make_unique<SharedCache>(cfg.cache);
+}
+
+int
+Processor::nextLiveSlot(int from) const
+{
+    const int words = static_cast<int>(liveMask_.size());
+    const int w = from >> 6;
+    std::uint64_t m = liveMask_[w] >> (from & 63);
+    if (m)
+        return from + std::countr_zero(m);
+    // Wrap: later words, then around to the low bits of word `w` (its
+    // high bits were just proven empty, so rechecking it is safe).
+    for (int i = 1; i <= words; ++i) {
+        int wi = w + i >= words ? w + i - words : w + i;
+        if (liveMask_[wi])
+            return (wi << 6) + std::countr_zero(liveMask_[wi]);
+    }
+    MTS_PANIC("live-thread mask empty with liveThreads=" << liveThreads);
 }
 
 void
 Processor::rotate()
 {
     MTS_ASSERT(liveThreads > 0, "rotate with no live threads");
+    const int tpp = cfg.threadsPerProc;
     if (cfg.prioritySched) {
         // Prefer the next high-priority thread in round-robin order
         // (e.g. a lock holder), falling back to strict round robin.
-        for (int k = 1; k < cfg.threadsPerProc; ++k) {
-            int cand = (cur + k) % cfg.threadsPerProc;
+        int cand = cur;
+        for (int k = 1; k < tpp; ++k) {
+            cand = cand + 1 == tpp ? 0 : cand + 1;
             if (!threads[cand].halted && threads[cand].highPriority) {
                 cur = cand;
                 return;
             }
         }
     }
-    do {
-        cur = (cur + 1) % cfg.threadsPerProc;
-    } while (threads[cur].halted);
+    int next = cur + 1 == tpp ? 0 : cur + 1;
+    if (!threads[next].halted) {  // O(1) common case: neighbour is live
+        cur = next;
+        return;
+    }
+    cur = nextLiveSlot(next);
 }
 
 void
@@ -107,6 +326,15 @@ Processor::run(Cycle now, Cycle horizon)
         if (now >= effHorizon)
             return {RunOutcome::Waiting, now};
 
+        // Batched fast path: retire local spans and the control flow
+        // between them in a tight loop. Falls through to the generic
+        // step when the first op cannot issue at `now` (stall,
+        // switch-on-use, wait) or is a batch terminator.
+        if (spanExec_ &&
+            static_cast<std::uint32_t>(th.pc) < codeSize_ &&
+            isBatchableHandler(dec_[th.pc].h) && runSpan(th, now))
+            continue;
+
         switch (step(th, now)) {
           case StepResult::Continue:
           case StepResult::Switched:
@@ -118,15 +346,162 @@ Processor::run(Cycle now, Cycle horizon)
     }
 }
 
+namespace
+{
+
+/**
+ * All sources and (WAW) destinations of @p op must be consumable at
+ * @p now for the batcher to retire it; otherwise the generic step
+ * re-runs the op with full stall accounting and switch-on-use
+ * detection.
+ */
+inline bool
+operandsReady(const DecodedOp &op, const ThreadContext &th, Cycle now)
+{
+    for (int i = 0; i < op.numUses; ++i)
+        if (th.regReady[op.uses[i]] > now)
+            return false;
+    for (int i = 0; i < op.numDefs; ++i)
+        if (th.regReady[op.defs[i]] > now)
+            return false;
+    return true;
+}
+
+/**
+ * Cap on one batch: bounds how far `now` can run ahead of the outer
+ * loop's watchdog check, so a runaway local loop (which never creates
+ * events) still trips the watchdog promptly.
+ */
+constexpr std::uint64_t kMaxBatch = 1u << 16;
+
+} // namespace
+
+bool
+Processor::runSpan(ThreadContext &th, Cycle &now)
+{
+    // The caller guarantees now < effHorizon; every batched op costs
+    // exactly one cycle (zero stall), so the horizon budget is a simple
+    // instruction count and the batch needs no per-op horizon check.
+    const Cycle horizonBudget = effHorizon - now;
+    const std::uint64_t budget =
+        horizonBudget < kMaxBatch ? horizonBudget : kMaxBatch;
+
+    if (freshRun) {
+        th.runStart = now;
+        th.sliceStart = now;
+        freshRun = false;
+    }
+
+    const DecodedOp *ops = dec_;
+    std::int32_t pc = th.pc;
+    std::uint64_t executed = 0;
+    while (executed < budget) {
+        if (static_cast<std::uint32_t>(pc) >= codeSize_)
+            break;  // generic step raises the out-of-range diagnostic
+        const DecodedOp &op = ops[pc];
+
+        // Purely-local straight-line stretch: the precomputed span
+        // length lets this inner loop skip all handler-kind checks.
+        if (op.localRun > 0) {
+            std::uint64_t k = budget - executed;
+            if (op.localRun < k)
+                k = op.localRun;
+            std::uint64_t j = 0;
+            // Watermark fast path: when every register is ready the
+            // per-op scoreboard scan is one compare (see ThreadContext::
+            // scoreboardMax for why 1-cycle results need no check).
+            while (j < k && (th.scoreboardMax <= now ||
+                             operandsReady(ops[pc], th, now))) {
+                execLocal(ops[pc], th, now);
+                ++pc;
+                ++now;
+                ++j;
+            }
+            executed += j;
+            if (j < k)
+                break;  // operand not ready: generic step handles it
+            continue;
+        }
+
+        // Between stretches: follow local control flow. Branches and
+        // jumps never touch shared memory and are never switch decision
+        // points (switch-every-cycle disables batching entirely), so
+        // retiring them here is timing-identical to the generic step.
+        if (!isBatchableHandler(op.h) ||
+            (th.scoreboardMax > now && !operandsReady(op, th, now)))
+            break;
+
+        std::int32_t nextPc = pc + 1;
+        switch (op.h) {
+          case Handler::BeqRR:
+            if (th.readIReg(op.rs1) == th.readIReg(op.rs2))
+                nextPc = op.target;
+            break;
+          case Handler::BeqRI:
+            if (th.readIReg(op.rs1) == op.imm)
+                nextPc = op.target;
+            break;
+          case Handler::BneRR:
+            if (th.readIReg(op.rs1) != th.readIReg(op.rs2))
+                nextPc = op.target;
+            break;
+          case Handler::BneRI:
+            if (th.readIReg(op.rs1) != op.imm)
+                nextPc = op.target;
+            break;
+          case Handler::BltRR:
+            if (th.readIReg(op.rs1) < th.readIReg(op.rs2))
+                nextPc = op.target;
+            break;
+          case Handler::BltRI:
+            if (th.readIReg(op.rs1) < op.imm)
+                nextPc = op.target;
+            break;
+          case Handler::BgeRR:
+            if (th.readIReg(op.rs1) >= th.readIReg(op.rs2))
+                nextPc = op.target;
+            break;
+          case Handler::BgeRI:
+            if (th.readIReg(op.rs1) >= op.imm)
+                nextPc = op.target;
+            break;
+          case Handler::J:
+            nextPc = op.target;
+            break;
+          case Handler::Jal:
+            th.writeIReg(kRegRa, pc + 1);
+            th.regReady[intReg(kRegRa)] = now + 1;
+            th.pendingShared[intReg(kRegRa)] = false;
+            nextPc = op.target;
+            break;
+          case Handler::Jr:
+            nextPc = static_cast<std::int32_t>(th.readIReg(op.rs1));
+            break;
+          default:
+            MTS_PANIC("handler " << static_cast<int>(op.h)
+                                 << " is not batchable control flow");
+        }
+        pc = nextPc;
+        ++now;
+        ++executed;
+    }
+    if (executed == 0)
+        return false;
+    th.pc = pc;
+    stats.instructions += executed;
+    stats.busyCycles += executed;
+    spanInstructions_ += executed;
+    return true;
+}
+
 Cycle
-Processor::issueSharedLoad(ThreadContext &th, const Instruction &inst,
+Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
                            Cycle now, Addr addr, bool &missed)
 {
-    const Opcode op = inst.op;
-    const bool isFaa = op == Opcode::FAA;
-    const bool isSpin = op == Opcode::LDS_SPIN;
-    const bool isPair = op == Opcode::LDSD || op == Opcode::FLDSD;
-    const bool fpDest = op == Opcode::FLDS || op == Opcode::FLDSD;
+    const bool isFaa = inst.flags & kDecFaa;
+    const bool isSpin = inst.flags & kDecSpin;
+    const bool isPair = inst.flags & kDecPair;
+    const bool fpDest = inst.flags & kDecFpDest;
     const Cycle rtt = machine.roundTrip();
 
     missed = true;  // refined below for cache hits / estimate hits
@@ -250,11 +625,11 @@ Processor::issueSharedLoad(ThreadContext &th, const Instruction &inst,
 }
 
 void
-Processor::issueSharedStore(ThreadContext &th, const Instruction &inst,
+Processor::issueSharedStore(ThreadContext &th, const DecodedOp &inst,
                             Cycle now, Addr addr)
 {
     std::uint64_t value =
-        inst.op == Opcode::FSTS
+        inst.flags & kDecFpVal
             ? std::bit_cast<std::uint64_t>(th.fregs[inst.rs2])
             : static_cast<std::uint64_t>(th.readIReg(inst.rs2));
 
@@ -280,9 +655,9 @@ Processor::StepResult
 Processor::step(ThreadContext &th, Cycle &now)
 {
     MTS_REQUIRE(th.pc >= 0 &&
-                    th.pc < static_cast<std::int32_t>(code.size()),
+                    th.pc < static_cast<std::int32_t>(codeSize_),
                 "pc " << th.pc << " out of range (bad jr/fallthrough?)");
-    const Instruction &inst = code[th.pc];
+    const DecodedOp &op = dec_[th.pc];
 
     if (freshRun) {
         th.runStart = now;
@@ -294,11 +669,16 @@ Processor::step(ThreadContext &th, Cycle &now)
                           cfg.model == SwitchModel::SwitchOnUseMiss;
 
     // ---- source readiness / switch-on-use detection ----
-    Operands ops = getOperands(inst);
+    // This scan must run unconditionally (no scoreboard-watermark
+    // shortcut): its lazy pendingShared clears are load-bearing.
+    // issueSharedLoad's hit path leaves the flag unrefreshed, so a
+    // stale flag from a long-landed miss must be cleared here — by the
+    // consumer's use scan or by the next load's own def scan — before
+    // any switch-on-use decision reads it.
     Cycle srcReady = now;
     Cycle pendingReady = 0;
-    for (int i = 0; i < ops.numUses; ++i) {
-        RegId u = ops.uses[i];
+    for (int i = 0; i < op.numUses; ++i) {
+        RegId u = op.uses[i];
         Cycle rdy = th.regReady[u];
         if (rdy <= now) {
             th.pendingShared[u] = false;
@@ -308,8 +688,8 @@ Processor::step(ThreadContext &th, Cycle &now)
             pendingReady = std::max(pendingReady, rdy);
         srcReady = std::max(srcReady, rdy);
     }
-    for (int i = 0; i < ops.numDefs; ++i) {
-        RegId d = ops.defs[i];
+    for (int i = 0; i < op.numDefs; ++i) {
+        RegId d = op.defs[i];
         Cycle rdy = th.regReady[d];
         if (rdy <= now) {
             th.pendingShared[d] = false;
@@ -343,7 +723,8 @@ Processor::step(ThreadContext &th, Cycle &now)
     ++stats.instructions;
     ++stats.busyCycles;
     if (cfg.tracer)
-        cfg.tracer->onInstruction(now, procId, th.globalId, th.pc, inst);
+        cfg.tracer->onInstruction(now, procId, th.globalId, th.pc,
+                                  code[th.pc]);
 
     std::int32_t nextPc = th.pc + 1;
     Cycle switchReady = kNever;  // switch after this instruction if set
@@ -351,39 +732,13 @@ Processor::step(ThreadContext &th, Cycle &now)
     Cycle memReady = kNever;     // shared-load return time, if any
     bool halted = false;
     bool missPenalty = false;
-    const int lat = resultLatency(inst.op);
 
-    auto a = [&]() { return th.readIReg(inst.rs1); };
-    auto b = [&]() {
-        return inst.useImm ? inst.imm : th.readIReg(inst.rs2);
-    };
-    auto wI = [&](std::int64_t v) {
-        th.writeIReg(inst.rd, v);
-        th.regReady[intReg(inst.rd)] = now + lat;
-        th.pendingShared[intReg(inst.rd)] = false;
-    };
-    auto wF = [&](double v) {
-        th.fregs[inst.rd] = v;
-        th.regReady[fpReg(inst.rd)] = now + lat;
-        th.pendingShared[fpReg(inst.rd)] = false;
-    };
-    auto fa = [&]() { return th.fregs[inst.rs1]; };
-    auto fb = [&]() { return th.fregs[inst.rs2]; };
-    auto effAddr = [&]() {
-        return static_cast<Addr>(th.readIReg(inst.rs1) + inst.imm);
-    };
-
-    switch (inst.op) {
-      case Opcode::NOP:
-        break;
-      case Opcode::HALT:
+    switch (op.h) {
+      case Handler::Halt:
         halted = true;
         break;
-      case Opcode::SETPRI:
-        th.highPriority = inst.imm != 0;
-        break;
 
-      case Opcode::CSWITCH: {
+      case Handler::Cswitch: {
         bool take = true;
         const bool conditional =
             cfg.model == SwitchModel::ConditionalSwitch ||
@@ -408,150 +763,60 @@ Processor::step(ThreadContext &th, Cycle &now)
         break;
       }
 
-      // ---- integer ALU (wrapping two's-complement semantics) ----
-      case Opcode::ADD:
-        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) +
-                                     static_cast<std::uint64_t>(b())));
-        break;
-      case Opcode::SUB:
-        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) -
-                                     static_cast<std::uint64_t>(b())));
-        break;
-      case Opcode::MUL:
-        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) *
-                                     static_cast<std::uint64_t>(b())));
-        break;
-      case Opcode::DIV: {
-        std::int64_t d = b();
-        MTS_REQUIRE(d != 0, "div by zero at source line " << inst.srcLine);
-        wI(a() / d);
-        break;
-      }
-      case Opcode::REM: {
-        std::int64_t d = b();
-        MTS_REQUIRE(d != 0, "rem by zero at source line " << inst.srcLine);
-        wI(a() % d);
-        break;
-      }
-      case Opcode::AND: wI(a() & b()); break;
-      case Opcode::OR: wI(a() | b()); break;
-      case Opcode::XOR: wI(a() ^ b()); break;
-      case Opcode::SLL:
-        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a())
-                                     << (b() & 63)));
-        break;
-      case Opcode::SRL:
-        wI(static_cast<std::int64_t>(static_cast<std::uint64_t>(a()) >>
-                                     (b() & 63)));
-        break;
-      case Opcode::SRA: wI(a() >> (b() & 63)); break;
-      case Opcode::SLT: wI(a() < b() ? 1 : 0); break;
-      case Opcode::SLE: wI(a() <= b() ? 1 : 0); break;
-      case Opcode::SEQ: wI(a() == b() ? 1 : 0); break;
-      case Opcode::SNE: wI(a() != b() ? 1 : 0); break;
-      case Opcode::LI: wI(inst.imm); break;
-
-      // ---- floating point ----
-      case Opcode::FADD: wF(fa() + fb()); break;
-      case Opcode::FSUB: wF(fa() - fb()); break;
-      case Opcode::FMUL: wF(fa() * fb()); break;
-      case Opcode::FDIV: wF(fa() / fb()); break;
-      case Opcode::FSQRT: wF(std::sqrt(fa())); break;
-      case Opcode::FNEG: wF(-fa()); break;
-      case Opcode::FABS: wF(std::fabs(fa())); break;
-      case Opcode::FMIN: wF(std::fmin(fa(), fb())); break;
-      case Opcode::FMAX: wF(std::fmax(fa(), fb())); break;
-      case Opcode::FMV: wF(fa()); break;
-      case Opcode::FLI: wF(inst.fimm); break;
-      case Opcode::CVTIF: wF(static_cast<double>(a())); break;
-      case Opcode::CVTFI:
-        wI(static_cast<std::int64_t>(std::trunc(fa())));
-        break;
-      case Opcode::FEQ: wI(fa() == fb() ? 1 : 0); break;
-      case Opcode::FLT: wI(fa() < fb() ? 1 : 0); break;
-      case Opcode::FLE: wI(fa() <= fb() ? 1 : 0); break;
-
       // ---- control flow ----
-      case Opcode::BEQ:
-        if (a() == b())
-            nextPc = inst.target;
+      case Handler::BeqRR:
+        if (th.readIReg(op.rs1) == th.readIReg(op.rs2))
+            nextPc = op.target;
         break;
-      case Opcode::BNE:
-        if (a() != b())
-            nextPc = inst.target;
+      case Handler::BeqRI:
+        if (th.readIReg(op.rs1) == op.imm)
+            nextPc = op.target;
         break;
-      case Opcode::BLT:
-        if (a() < b())
-            nextPc = inst.target;
+      case Handler::BneRR:
+        if (th.readIReg(op.rs1) != th.readIReg(op.rs2))
+            nextPc = op.target;
         break;
-      case Opcode::BGE:
-        if (a() >= b())
-            nextPc = inst.target;
+      case Handler::BneRI:
+        if (th.readIReg(op.rs1) != op.imm)
+            nextPc = op.target;
         break;
-      case Opcode::J:
-        nextPc = inst.target;
+      case Handler::BltRR:
+        if (th.readIReg(op.rs1) < th.readIReg(op.rs2))
+            nextPc = op.target;
         break;
-      case Opcode::JAL:
+      case Handler::BltRI:
+        if (th.readIReg(op.rs1) < op.imm)
+            nextPc = op.target;
+        break;
+      case Handler::BgeRR:
+        if (th.readIReg(op.rs1) >= th.readIReg(op.rs2))
+            nextPc = op.target;
+        break;
+      case Handler::BgeRI:
+        if (th.readIReg(op.rs1) >= op.imm)
+            nextPc = op.target;
+        break;
+      case Handler::J:
+        nextPc = op.target;
+        break;
+      case Handler::Jal:
         th.writeIReg(kRegRa, th.pc + 1);
         th.regReady[intReg(kRegRa)] = now + 1;
         th.pendingShared[intReg(kRegRa)] = false;
-        nextPc = inst.target;
+        nextPc = op.target;
         break;
-      case Opcode::JR:
-        nextPc = static_cast<std::int32_t>(a());
+      case Handler::Jr:
+        nextPc = static_cast<std::int32_t>(th.readIReg(op.rs1));
         break;
-
-      // ---- local memory ----
-      case Opcode::LDL: {
-        Addr addr = effAddr();
-        MTS_REQUIRE(!isSharedAddr(addr),
-                    "ldl with shared address (line " << inst.srcLine
-                                                     << ")");
-        wI(static_cast<std::int64_t>(th.local.read(addr)));
-        break;
-      }
-      case Opcode::FLDL: {
-        Addr addr = effAddr();
-        MTS_REQUIRE(!isSharedAddr(addr),
-                    "fldl with shared address (line " << inst.srcLine
-                                                      << ")");
-        wF(std::bit_cast<double>(th.local.read(addr)));
-        break;
-      }
-      case Opcode::STL: {
-        Addr addr = effAddr();
-        MTS_REQUIRE(!isSharedAddr(addr),
-                    "stl with shared address (line " << inst.srcLine
-                                                     << ")");
-        th.local.write(addr,
-                       static_cast<std::uint64_t>(th.readIReg(inst.rs2)));
-        break;
-      }
-      case Opcode::FSTL: {
-        Addr addr = effAddr();
-        MTS_REQUIRE(!isSharedAddr(addr),
-                    "fstl with shared address (line " << inst.srcLine
-                                                      << ")");
-        th.local.write(addr,
-                       std::bit_cast<std::uint64_t>(th.fregs[inst.rs2]));
-        break;
-      }
 
       // ---- shared memory ----
-      case Opcode::LDS:
-      case Opcode::FLDS:
-      case Opcode::LDSD:
-      case Opcode::FLDSD:
-      case Opcode::LDS_SPIN:
-      case Opcode::FAA: {
-        Addr addr = effAddr();
+      case Handler::SharedLoad: {
+        Addr addr = static_cast<Addr>(th.readIReg(op.rs1) + op.imm);
         MTS_REQUIRE(isSharedAddr(addr),
                     "shared access to local address "
-                        << addr << " (line " << inst.srcLine << ")");
-        const bool isFaa = inst.op == Opcode::FAA;
-        const bool isSpin = inst.op == Opcode::LDS_SPIN;
-        const bool isPair =
-            inst.op == Opcode::LDSD || inst.op == Opcode::FLDSD;
+                        << addr << " (line " << op.srcLine << ")");
+        const bool isFaa = op.flags & kDecFaa;
+        const bool isSpin = op.flags & kDecSpin;
         if (isFaa)
             ++stats.fetchAdds;
         else if (isSpin)
@@ -560,28 +825,29 @@ Processor::step(ThreadContext &th, Cycle &now)
             ++stats.sharedLoads;
 
         bool missed = false;
-        Cycle ready = issueSharedLoad(th, inst, now, addr, missed);
+        Cycle ready = issueSharedLoad(th, op, now, addr, missed);
 
         // Dead-result fetch-and-add behaves like a store: no wait, no
         // switch (see issueSharedLoad).
-        if (isFaa && inst.rd == kRegZero)
+        if (isFaa && op.rd == kRegZero)
             break;
         memReady = ready;
 
         // Destination scoreboard entries. An in-flight delivery owns the
         // destination until it lands: pendingShared drives both the
         // switch-on-use decode check and the WAW interlock in step().
-        RegId d0 = isFpOp(inst.op) && !isFaa ? fpReg(inst.rd)
-                                             : intReg(inst.rd);
+        RegId d0 = op.d0;
         th.regReady[d0] = ready;
         if (missed && ready > now + 1)
             th.pendingShared[d0] = true;
-        if (isPair) {
+        if (op.flags & kDecPair) {
             RegId d1 = static_cast<RegId>(d0 + 1);
             th.regReady[d1] = ready;
             if (missed && ready > now + 1)
                 th.pendingShared[d1] = true;
         }
+        if (ready > th.scoreboardMax)
+            th.scoreboardMax = ready;
 
         // Cache-based models must bound hit streaks (the Section 6.2
         // run-length limit, generalized): an endless run of hits would
@@ -627,27 +893,28 @@ Processor::step(ThreadContext &th, Cycle &now)
         break;
       }
 
-      case Opcode::STS:
-      case Opcode::FSTS: {
-        Addr addr = effAddr();
+      case Handler::SharedStore: {
+        Addr addr = static_cast<Addr>(th.readIReg(op.rs1) + op.imm);
         MTS_REQUIRE(isSharedAddr(addr),
                     "shared store to local address "
-                        << addr << " (line " << inst.srcLine << ")");
+                        << addr << " (line " << op.srcLine << ")");
         ++stats.sharedStores;
-        issueSharedStore(th, inst, now, addr);
+        issueSharedStore(th, op, now, addr);
         break;
       }
 
-      case Opcode::PRINT:
-        machine.print(format("%lld", static_cast<long long>(a())));
+      case Handler::Print:
+        machine.print(format(
+            "%lld", static_cast<long long>(th.readIReg(op.rs1))));
         break;
-      case Opcode::FPRINT:
-        machine.print(format("%.10g", fa()));
+      case Handler::Fprint:
+        machine.print(format("%.10g", th.fregs[op.rs1]));
         break;
 
       default:
-        MTS_PANIC("unimplemented opcode "
-                  << opcodeName(inst.op) << " at line " << inst.srcLine);
+        // Every local handler: ALU, FP, local memory, li/fli, setpri.
+        execLocal(op, th, now);
+        break;
     }
 
     th.pc = nextPc;
@@ -655,6 +922,7 @@ Processor::step(ThreadContext &th, Cycle &now)
 
     if (halted) {
         th.halted = true;
+        liveMask_[cur >> 6] &= ~(1ull << (cur & 63));
         --liveThreads;
         if (now > stats.finishTime)
             stats.finishTime = now;

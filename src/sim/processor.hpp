@@ -1,7 +1,8 @@
 /**
  * @file
- * One multithreaded processor: the instruction interpreter plus the
- * context-switch engine implementing every model of the taxonomy.
+ * One multithreaded processor: the pre-decoded instruction interpreter
+ * plus the context-switch engine implementing every model of the
+ * taxonomy.
  */
 #ifndef MTS_SIM_PROCESSOR_HPP
 #define MTS_SIM_PROCESSOR_HPP
@@ -13,6 +14,7 @@
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
 #include "cpu/thread_context.hpp"
+#include "isa/decoded.hpp"
 #include "sim/machine_config.hpp"
 #include "trace/tracer.hpp"
 
@@ -43,12 +45,21 @@ struct RunStatus
  * (switch-on-load, explicit/conditional switch) because the switch is
  * recognized at decode; switch-on-miss pays `missSwitchPenalty` cycles to
  * clear the pipe.
+ *
+ * Execution dispatches on the pre-resolved handler index of the shared
+ * `DecodedProgram` (see isa/decoded.hpp). When no tracer is attached and
+ * the model is not switch-every-cycle, purely-local straight-line spans
+ * are batched: the span executor runs up to `localRun` ops in a tight
+ * loop and bumps the statistics once per batch. Batching is
+ * observationally identical to instruction-at-a-time stepping (DESIGN.md
+ * §11).
  */
 class Processor
 {
   public:
     Processor(Machine &machine, std::uint16_t id,
-              const MachineConfig &config, const Program &program);
+              const MachineConfig &config, const Program &program,
+              const DecodedProgram &decoded);
 
     /**
      * Execute from @p now; no instruction issues at or after @p horizon
@@ -78,6 +89,13 @@ class Processor
         return liveThreads == 0;
     }
 
+    /** Instructions retired through the batched local-run fast path. */
+    std::uint64_t
+    spanInstructions() const
+    {
+        return spanInstructions_;
+    }
+
     CpuStats stats;
 
   private:
@@ -92,11 +110,19 @@ class Processor
 
     StepResult step(ThreadContext &th, Cycle &now);
 
+    /**
+     * Batch-execute the purely-local span at th.pc. Runs while every
+     * operand is ready and the horizon budget lasts; returns false
+     * without side effects when the very first op cannot issue (the
+     * generic step then handles its stall / switch-on-use / wait).
+     */
+    bool runSpan(ThreadContext &th, Cycle &now);
+
     /** Issue a shared load/load-pair/faa; returns its return time. */
-    Cycle issueSharedLoad(ThreadContext &th, const Instruction &inst,
+    Cycle issueSharedLoad(ThreadContext &th, const DecodedOp &op,
                           Cycle now, Addr addr, bool &missed);
 
-    void issueSharedStore(ThreadContext &th, const Instruction &inst,
+    void issueSharedStore(ThreadContext &th, const DecodedOp &op,
                           Cycle now, Addr addr);
 
     /** Take a context switch ending the current run at @p runEnd; sets
@@ -107,18 +133,29 @@ class Processor
     /** Advance `cur` to the next unhalted thread (strict round robin). */
     void rotate();
 
+    /** First live slot at or after @p from (cyclic); mask-driven. */
+    int nextLiveSlot(int from) const;
+
     Machine &machine;
     const MachineConfig &cfg;
-    const std::vector<Instruction> &code;
+    const std::vector<Instruction> &code;  ///< original form (tracing)
+    const DecodedOp *dec_;                 ///< pre-decoded, indexed by pc
+    std::size_t codeSize_;
     std::uint16_t procId;
 
     std::vector<ThreadContext> threads;
     std::unique_ptr<SharedCache> cache_;
     int cur = 0;
     int liveThreads;
+
+    /** One bit per context slot, set while the thread is unhalted. */
+    std::vector<std::uint64_t> liveMask_;
+
+    bool spanExec_;         ///< local-run batching enabled for this run
     bool freshRun = true;   ///< current thread just switched in
     Cycle effHorizon = 0;   ///< burst bound (shrinks as arrivals enqueue)
     Cycle waitUntil = 0;    ///< resume time for NeedWait
+    std::uint64_t spanInstructions_ = 0;
 };
 
 } // namespace mts

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Pre-decoded execution core: handler-table completeness, the local-run
+ * span table, and observational identity of the batched fast path.
+ */
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "isa/decoded.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+/** A representative Instruction for @p op (valid operands). */
+Instruction
+instFor(Opcode op, bool useImm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = 8;
+    inst.rs1 = 9;
+    inst.rs2 = 10;
+    inst.useImm = useImm;
+    inst.imm = 1;
+    inst.fimm = 1.0;
+    inst.target = 0;
+    inst.srcLine = 7;
+    return inst;
+}
+
+} // namespace
+
+// Every opcode must decode to exactly one handler — the startup assert in
+// decodeOne plus this test are the completeness guarantee the batcher and
+// the dispatch switch rely on.
+TEST(DecodedCore, EveryOpcodeHasExactlyOneHandler)
+{
+    std::map<Handler, std::set<Opcode>> producers;
+    for (int o = 0; o < static_cast<int>(Opcode::NUM_OPCODES); ++o) {
+        Opcode op = static_cast<Opcode>(o);
+        for (bool useImm : {false, true}) {
+            DecodedOp d = decodeOne(instFor(op, useImm));
+            ASSERT_NE(d.h, Handler::NUM_HANDLERS)
+                << opcodeName(op) << " useImm=" << useImm;
+            EXPECT_EQ(d.op, op);
+            EXPECT_EQ(d.lat, resultLatency(op));
+            EXPECT_EQ(d.h == Handler::SharedLoad, isSharedLoad(op))
+                << opcodeName(op);
+            EXPECT_EQ(d.h == Handler::SharedStore, isSharedStore(op))
+                << opcodeName(op);
+            // Span safety: a local handler must never be control flow,
+            // shared memory, or a switch decision point.
+            if (isLocalHandler(d.h)) {
+                EXPECT_FALSE(isControl(op)) << opcodeName(op);
+                EXPECT_FALSE(isSharedMem(op)) << opcodeName(op);
+                EXPECT_NE(op, Opcode::CSWITCH);
+            }
+            producers[d.h].insert(op);
+        }
+    }
+    // Shared handlers multiplex several opcodes through flags; every other
+    // handler must come from exactly one opcode.
+    for (const auto &[h, ops] : producers) {
+        if (h == Handler::SharedLoad || h == Handler::SharedStore)
+            continue;
+        EXPECT_EQ(ops.size(), 1u)
+            << "handler " << static_cast<int>(h)
+            << " produced by multiple opcodes";
+    }
+}
+
+TEST(DecodedCore, OperandFormFoldedAtDecode)
+{
+    EXPECT_EQ(decodeOne(instFor(Opcode::ADD, false)).h, Handler::AddRR);
+    EXPECT_EQ(decodeOne(instFor(Opcode::ADD, true)).h, Handler::AddRI);
+    EXPECT_EQ(decodeOne(instFor(Opcode::BNE, false)).h, Handler::BneRR);
+    EXPECT_EQ(decodeOne(instFor(Opcode::BNE, true)).h, Handler::BneRI);
+    // FP ops have no immediate form; the flag must not change the handler.
+    EXPECT_EQ(decodeOne(instFor(Opcode::FADD, true)).h, Handler::Fadd);
+}
+
+TEST(DecodedCore, FlagsAndDestinationBank)
+{
+    EXPECT_EQ(decodeOne(instFor(Opcode::FAA, false)).flags, kDecFaa);
+    EXPECT_EQ(decodeOne(instFor(Opcode::LDS_SPIN, false)).flags, kDecSpin);
+    EXPECT_EQ(decodeOne(instFor(Opcode::LDSD, false)).flags, kDecPair);
+    EXPECT_EQ(decodeOne(instFor(Opcode::FLDSD, false)).flags,
+              kDecPair | kDecFpDest);
+    EXPECT_EQ(decodeOne(instFor(Opcode::FSTS, false)).flags, kDecFpVal);
+
+    EXPECT_EQ(decodeOne(instFor(Opcode::LDS, false)).d0, intReg(8));
+    EXPECT_EQ(decodeOne(instFor(Opcode::FLDS, false)).d0, fpReg(8));
+    // FAA's destination is the integer bank even though rd names it.
+    EXPECT_EQ(decodeOne(instFor(Opcode::FAA, false)).d0, intReg(8));
+    EXPECT_EQ(decodeOne(instFor(Opcode::FADD, false)).d0, fpReg(8));
+    EXPECT_EQ(decodeOne(instFor(Opcode::CVTFI, false)).d0, intReg(8));
+    EXPECT_EQ(decodeOne(instFor(Opcode::CVTIF, false)).d0, fpReg(8));
+}
+
+TEST(DecodedCore, SpanTableCountsLocalSuffixes)
+{
+    Program prog = assemble(".shared x, 1\n"
+                            "main:\n"
+                            "    li r8, 5\n"        // 0: local
+                            "    add r9, r8, 1\n"   // 1: local
+                            "    mul r10, r9, 2\n"  // 2: local
+                            "    sts r10, x\n"      // 3: shared store
+                            "    li r11, 1\n"       // 4: local
+                            "    beq r11, 1, end\n" // 5: branch
+                            "    nop\n"             // 6: local
+                            "end:\n"
+                            "    halt\n");          // 7: halt
+    DecodedProgram d = decodeProgram(prog.code);
+    ASSERT_EQ(d.size(), 8u);
+    EXPECT_EQ(d[0].localRun, 3);
+    EXPECT_EQ(d[1].localRun, 2);
+    EXPECT_EQ(d[2].localRun, 1);
+    EXPECT_EQ(d[3].localRun, 0);  // shared store terminates the span
+    EXPECT_EQ(d[4].localRun, 1);
+    EXPECT_EQ(d[5].localRun, 0);  // branch
+    EXPECT_EQ(d[6].localRun, 1);
+    EXPECT_EQ(d[7].localRun, 0);  // halt
+}
+
+namespace
+{
+
+/** Tracer that records nothing: forces the per-instruction path. */
+class NullTracer : public Tracer
+{
+};
+
+constexpr const char *kSpanProgram =
+    ".shared acc, 1\n"
+    ".shared gate, 1\n"
+    "main:\n"
+    "    li r8, 0\n"
+    "    li r9, 0\n"
+    "loop:\n"
+    "    add r10, r9, 3\n"
+    "    mul r11, r10, 5\n"
+    "    sub r12, r11, r9\n"
+    "    xor r13, r12, 9\n"
+    "    and r14, r13, 1023\n"
+    "    add r8, r8, r14\n"
+    "    lds r15, gate\n"
+    "    add r8, r8, r15\n"
+    "    cswitch\n"
+    "    add r9, r9, 1\n"
+    "    blt r9, 400, loop\n"
+    "    faa r0, acc(r0), r8\n"
+    "    mv r2, r8\n"
+    "    halt\n";
+
+/** All CpuStats fields that must match bit for bit. */
+void
+expectSameStats(const CpuStats &a, const CpuStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.switchesTaken, b.switchesTaken);
+    EXPECT_EQ(a.switchesSkipped, b.switchesSkipped);
+    EXPECT_EQ(a.sliceLimitSwitches, b.sliceLimitSwitches);
+    EXPECT_EQ(a.zeroRuns, b.zeroRuns);
+    EXPECT_EQ(a.sharedLoads, b.sharedLoads);
+    EXPECT_EQ(a.spinLoads, b.spinLoads);
+    EXPECT_EQ(a.sharedStores, b.sharedStores);
+    EXPECT_EQ(a.fetchAdds, b.fetchAdds);
+    EXPECT_EQ(a.estimateHits, b.estimateHits);
+    EXPECT_EQ(a.finishTime, b.finishTime);
+    EXPECT_EQ(a.runLengths.count(), b.runLengths.count());
+    EXPECT_EQ(a.runLengths.sum(), b.runLengths.sum());
+}
+
+} // namespace
+
+// The batched span executor must be observationally identical to
+// instruction-at-a-time stepping (DESIGN.md §11): same digest, same
+// completion time, same statistics — across every switch model. A null
+// tracer disables batching without changing any simulated behaviour.
+TEST(DecodedCore, SpanBatchingIsObservationallyIdentical)
+{
+    for (SwitchModel model : kAllModels) {
+        MachineConfig cfg = miniConfig();
+        cfg.model = model;
+        cfg.numProcs = 2;
+        cfg.threadsPerProc = 4;
+
+        Program prog = assemble(kSpanProgram);
+
+        Machine fast(prog, cfg);
+        fast.setPrintHandler([](const std::string &) {});
+        RunResult fr = fast.run();
+
+        NullTracer tracer;
+        MachineConfig slowCfg = cfg;
+        slowCfg.tracer = &tracer;
+        Machine slow(prog, slowCfg);
+        slow.setPrintHandler([](const std::string &) {});
+        RunResult sr = slow.run();
+
+        EXPECT_EQ(fr.digest, sr.digest) << switchModelName(model);
+        EXPECT_EQ(fr.cycles, sr.cycles) << switchModelName(model);
+        expectSameStats(fr.cpu, sr.cpu);
+
+        // The fast run must actually have exercised the batcher (except
+        // switch-every-cycle, where batching is disabled by design), and
+        // the traced run must not have.
+        if (model != SwitchModel::SwitchEveryCycle) {
+            EXPECT_GT(fast.processor(0).spanInstructions(), 0u)
+                << switchModelName(model);
+        }
+        EXPECT_EQ(slow.processor(0).spanInstructions(), 0u);
+    }
+}

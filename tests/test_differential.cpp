@@ -9,6 +9,11 @@
  */
 #include <gtest/gtest.h>
 
+#include "apps/app.hpp"
+#include "asm/assembler.hpp"
+#include "opt/grouping_pass.hpp"
+#include "sim/machine.hpp"
+#include "trace/tracer.hpp"
 #include "verify/differential.hpp"
 #include "verify/fuzz.hpp"
 
@@ -104,4 +109,99 @@ TEST(Differential, FixedSeedBlockIsDivergenceFree)
                        ": " + rep.failures[0].first.config + ": " +
                        rep.failures[0].first.detail;
     EXPECT_TRUE(rep.ok()) << firstFailure;
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-core identity block: pinned generator seeds through the
+// pre-decoded execution core, per model, comparing the batched local-run
+// fast path against forced instruction-at-a-time stepping (a null tracer
+// disables batching without changing simulated behaviour). Digest,
+// completion time and the metrics accounting identities must all hold on
+// both paths — the machine-checkable form of the DESIGN.md §11
+// observational-identity invariant.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+class NullTracer : public Tracer
+{
+};
+
+/** busy+stall+idle == finish and run-length mass == switches+threads. */
+void
+expectAccountingIdentities(const Machine &machineConst,
+                           const MachineConfig &cfg,
+                           const std::string &label)
+{
+    Machine &machine = const_cast<Machine &>(machineConst);
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        const CpuStats &c = machine.processor(p).stats;
+        EXPECT_EQ(c.busyCycles + c.stallCycles + c.idleCycles,
+                  c.finishTime)
+            << label << " cpu.p" << p;
+        EXPECT_EQ(c.runLengths.count() + c.zeroRuns,
+                  c.switchesTaken +
+                      static_cast<std::uint64_t>(cfg.threadsPerProc))
+            << label << " cpu.p" << p;
+    }
+}
+
+} // namespace
+
+TEST(Differential, DecodedCoreMatchesPerInstructionPathOnPinnedSeeds)
+{
+    // Seeds disjoint from FixedSeedBlockIsDivergenceFree (1..64) so the
+    // two blocks cover different generated programs.
+    constexpr std::uint64_t kFirstSeed = 501;
+    constexpr int kSeeds = 8;
+
+    for (int s = 0; s < kSeeds; ++s) {
+        GenOptions gen;
+        gen.seed = kFirstSeed + s;
+        GeneratedProgram gp = generateProgram(gen);
+        std::string src =
+            gp.usesRuntime ? runtimePrelude() + gp.source : gp.source;
+        Program raw = assemble(src);
+        Program grouped = applyGroupingPass(raw);
+
+        for (SwitchModel model : kAllModels) {
+            // Raw code has no cswitch (including the prelude's spin
+            // loops), so cswitch-driven models would livelock on it.
+            const Program &prog =
+                modelNeedsSwitchInstr(model) ? grouped : raw;
+            MachineConfig cfg;
+            cfg.numProcs = 2;
+            cfg.threadsPerProc = gp.threads / 2;
+            cfg.model = model;
+            cfg.network = NetworkConfig{200};
+            std::string label =
+                "seed " + std::to_string(gp.seed) + " " +
+                std::string(switchModelName(model));
+
+            Machine fast(prog, cfg);
+            fast.setPrintHandler([](const std::string &) {});
+            RunResult fr = fast.run();
+
+            NullTracer tracer;
+            MachineConfig slowCfg = cfg;
+            slowCfg.tracer = &tracer;
+            Machine slow(prog, slowCfg);
+            slow.setPrintHandler([](const std::string &) {});
+            RunResult sr = slow.run();
+
+            EXPECT_EQ(fr.digest, sr.digest)
+                << label << ": " << fr.digest.hex() << " vs "
+                << sr.digest.hex();
+            EXPECT_EQ(fr.cycles, sr.cycles) << label;
+            EXPECT_EQ(fr.cpu.instructions, sr.cpu.instructions) << label;
+            EXPECT_EQ(fr.cpu.stallCycles, sr.cpu.stallCycles) << label;
+            EXPECT_EQ(fr.cpu.idleCycles, sr.cpu.idleCycles) << label;
+            EXPECT_EQ(fr.cpu.switchesTaken, sr.cpu.switchesTaken)
+                << label;
+
+            expectAccountingIdentities(fast, cfg, label + " [batched]");
+            expectAccountingIdentities(slow, cfg, label + " [stepped]");
+        }
+    }
 }

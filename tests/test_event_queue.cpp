@@ -91,6 +91,9 @@ TEST(EventQueue, RandomizedOrderMatchesReferenceSort)
     };
     std::vector<Ref> expected;
     std::uint64_t seq = 0;
+    // The proc stream allows one in-flight resume per processor, so
+    // track occupancy and only push into free slots.
+    bool inFlight[5] = {};
     for (int i = 0; i < 2000; ++i) {
         MemOp op;
         op.proc = static_cast<std::uint16_t>(rng.next() % 7);
@@ -99,9 +102,14 @@ TEST(EventQueue, RandomizedOrderMatchesReferenceSort)
         q.pushMem(t, op);
         expected.push_back({t, seq++});
         // Interleave proc events so both streams stay exercised.
-        if (i % 3 == 0)
-            q.pushProc(rng.next() % 97,
-                       static_cast<std::uint16_t>(rng.next() % 5));
+        if (i % 3 == 0) {
+            Cycle pt = rng.next() % 97;
+            auto proc = static_cast<std::uint16_t>(rng.next() % 5);
+            if (!inFlight[proc]) {
+                q.pushProc(pt, proc);
+                inFlight[proc] = true;
+            }
+        }
     }
     std::stable_sort(expected.begin(), expected.end(),
                      [](const Ref &a, const Ref &b) {
@@ -112,7 +120,7 @@ TEST(EventQueue, RandomizedOrderMatchesReferenceSort)
         ASSERT_FALSE(q.empty());
         // Drain any proc events due strictly before the next mem event.
         while (!q.memIsNext())
-            q.popProc();
+            inFlight[q.popProc().proc] = false;
         MemEvent e = q.popMem();
         EXPECT_EQ(e.time, r.time);
         EXPECT_EQ(e.op.addr, static_cast<Addr>(r.seq));
