@@ -52,7 +52,7 @@ main(int argc, char **argv)
     ExperimentRunner wr(scale);
     SweepRunner wsweep(wr, jobsFromEnv());
     const PreparedApp &pa = wr.prepare(waterApp());
-    std::int64_t n = pa.original.constValue("N");
+    std::int64_t n = pa.original->constValue("N");
     Table w("water: divisor vs non-divisor processor counts (N = " +
             std::to_string(n) + ")");
     w.header({"P", "divides N?", "efficiency"});

@@ -42,7 +42,7 @@ main(int argc, char **argv)
         ideal.threadsPerProc = 1;
         ideal.model = SwitchModel::Ideal;
         ideal.network.roundTrip = 0;
-        Machine m(pa.grouped, ideal);
+        Machine m(pa.grouped, pa.groupedDecoded, ideal);
         app->init(m);
         RunResult r = m.run();
         double penalty =

@@ -1,6 +1,7 @@
 /**
  * @file
- * Full-map sharer directory for the write-through invalidate protocol.
+ * Sharer directory for the write-through invalidate protocol, with a
+ * full-map and a limited-pointer (Dir_i B) organization.
  *
  * The directory lives with the memory modules: fills register the
  * requesting processor as a sharer; a write (store or fetch-and-add)
@@ -8,49 +9,111 @@
  * writer. Evictions are silent (the cache does not notify the directory),
  * so an invalidation can target a processor that already replaced the
  * line — the message is still counted, as in an imprecise real directory.
+ *
+ * FullMap keeps every sharer exactly (the pre-refactor behaviour,
+ * byte-identical: sharers are stored and invalidated in registration
+ * order). LimitedPtr keeps at most DirectoryConfig::pointers sharers per
+ * line; registering one more sets the entry's broadcast bit, and a
+ * subsequent write invalidates every processor except the writer —
+ * Dir_i B in the classic taxonomy. Per-line state is O(pointers)
+ * instead of O(P), which is what makes P=1024 affordable.
  */
 #ifndef MTS_CACHE_DIRECTORY_HPP
 #define MTS_CACHE_DIRECTORY_HPP
 
-#include <algorithm>
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "isa/addressing.hpp"
+#include "util/error.hpp"
 
 namespace mts
 {
+
+/** Directory organization. */
+enum class DirectoryMode : std::uint8_t
+{
+    FullMap,     ///< exact sharer list per line (O(P) worst case)
+    LimitedPtr,  ///< <= pointers sharers, broadcast on overflow (Dir_i B)
+};
+
+/** Directory configuration (part of MachineConfig). */
+struct DirectoryConfig
+{
+    DirectoryMode mode = DirectoryMode::FullMap;
+
+    /** Pointer slots per line in LimitedPtr mode (1..kMaxDirPointers). */
+    int pointers = 4;
+};
+
+constexpr int kMaxDirPointers = 8;
 
 /** Sharer directory keyed by line base address. */
 class Directory
 {
   public:
+    Directory() = default;
+
+    Directory(const DirectoryConfig &config, int numProcs)
+        : cfg(config), procs(numProcs)
+    {
+    }
+
     /** Record @p proc as a sharer of the line at @p base. */
     void
     addSharer(Addr base, std::uint16_t proc)
     {
-        auto &v = sharers[base];
-        if (std::find(v.begin(), v.end(), proc) == v.end())
-            v.push_back(proc);
+        Entry &e = lines[base];
+        if (e.broadcast)
+            return;  // already imprecise; the write will broadcast
+        for (int i = 0; i < e.count; ++i)
+            if (ptrOf(e, i) == proc)
+                return;
+        bool limited = cfg.mode == DirectoryMode::LimitedPtr;
+        if (limited && e.count >= cfg.pointers) {
+            // Pointer overflow: drop to broadcast (Dir_i B). The exact
+            // list is forgotten; the next write invalidates everyone.
+            e.broadcast = true;
+            ++overflowCount;
+            return;
+        }
+        if (e.count < kMaxDirPointers)
+            e.ptrs[e.count] = proc;
+        else
+            e.spill.push_back(proc);
+        ++e.count;
     }
 
     /**
      * Collect the sharers to invalidate for a write by @p writer and clear
      * the entry (the writer's own copy, if any, is re-registered by the
-     * caller). Returns the processors to invalidate, excluding the writer.
+     * caller). Returns the processors to invalidate, excluding the writer;
+     * for a broadcast entry that is every processor except the writer.
      */
     std::vector<std::uint16_t>
     writersInvalidationSet(Addr base, std::uint16_t writer)
     {
         std::vector<std::uint16_t> out;
-        auto it = sharers.find(base);
-        if (it == sharers.end())
+        auto it = lines.find(base);
+        if (it == lines.end())
             return out;
-        for (std::uint16_t p : it->second)
-            if (p != writer)
-                out.push_back(p);
-        sharers.erase(it);
+        const Entry &e = it->second;
+        if (e.broadcast) {
+            ++broadcastCount;
+            out.reserve(static_cast<std::size_t>(procs) - 1);
+            for (int p = 0; p < procs; ++p)
+                if (p != writer)
+                    out.push_back(static_cast<std::uint16_t>(p));
+        } else {
+            for (int i = 0; i < e.count; ++i) {
+                std::uint16_t p = ptrOf(e, i);
+                if (p != writer)
+                    out.push_back(p);
+            }
+        }
+        lines.erase(it);
         return out;
     }
 
@@ -58,12 +121,95 @@ class Directory
     std::size_t
     trackedLines() const
     {
-        return sharers.size();
+        return lines.size();
+    }
+
+    /** Lines currently in broadcast (overflowed) state. */
+    std::size_t
+    broadcastLines() const
+    {
+        std::size_t n = 0;
+        for (const auto &kv : lines)
+            n += kv.second.broadcast ? 1 : 0;
+        return n;
+    }
+
+    /// @name Imprecision counters (published as directory metrics).
+    /// @{
+    std::uint64_t
+    overflows() const
+    {
+        return overflowCount;
+    }
+
+    std::uint64_t
+    broadcasts() const
+    {
+        return broadcastCount;
+    }
+    /// @}
+
+    const DirectoryConfig &
+    config() const
+    {
+        return cfg;
     }
 
   private:
-    std::unordered_map<Addr, std::vector<std::uint16_t>> sharers;
+    /**
+     * One line's sharer set: up to kMaxDirPointers inline, the rest
+     * (FullMap only) in a spill vector. Registration order is preserved
+     * across both so FullMap invalidation order matches the historical
+     * full-map directory exactly.
+     */
+    struct Entry
+    {
+        int count = 0;
+        bool broadcast = false;
+        std::uint16_t ptrs[kMaxDirPointers] = {};
+        std::vector<std::uint16_t> spill;
+    };
+
+    static std::uint16_t
+    ptrOf(const Entry &e, int i)
+    {
+        return i < kMaxDirPointers
+                   ? e.ptrs[i]
+                   : e.spill[static_cast<std::size_t>(i - kMaxDirPointers)];
+    }
+
+    DirectoryConfig cfg;
+    int procs = 0;
+    std::uint64_t overflowCount = 0;
+    std::uint64_t broadcastCount = 0;
+    std::unordered_map<Addr, Entry> lines;
 };
+
+/** Directory mode names (CLI surface). */
+inline const char *
+directoryModeName(DirectoryMode mode)
+{
+    switch (mode) {
+      case DirectoryMode::FullMap:
+        return "full-map";
+      case DirectoryMode::LimitedPtr:
+        return "limited";
+    }
+    return "?";
+}
+
+/** Parse a directory mode; fatal (naming valid modes) if unknown. */
+inline DirectoryMode
+directoryModeFromName(std::string_view name)
+{
+    if (name == "full-map")
+        return DirectoryMode::FullMap;
+    if (name == "limited")
+        return DirectoryMode::LimitedPtr;
+    MTS_FATAL("unknown directory mode '"
+              << name << "' (--directory): valid modes are full-map, "
+                         "limited");
+}
 
 } // namespace mts
 

@@ -37,8 +37,14 @@ ExperimentRunner::prepare(const App &app)
         PreparedApp pa;
         pa.app = &app;
         pa.options = app.options(problemScale);
-        pa.original = assemble(app.source(), pa.options);
-        pa.grouped = applyGroupingPass(pa.original, &pa.groupingStats);
+        pa.original = std::make_shared<const Program>(
+            assemble(app.source(), pa.options));
+        pa.grouped = std::make_shared<const Program>(
+            applyGroupingPass(*pa.original, &pa.groupingStats));
+        pa.originalDecoded = std::make_shared<const DecodedProgram>(
+            decodeProgram(pa.original->code));
+        pa.groupedDecoded = std::make_shared<const DecodedProgram>(
+            decodeProgram(pa.grouped->code));
         entry.value = std::move(pa);
     });
     return entry.value;
@@ -55,7 +61,7 @@ ExperimentRunner::referenceCycles(const App &app)
         cfg.threadsPerProc = 1;
         cfg.model = SwitchModel::Ideal;
         cfg.network.roundTrip = 0;
-        Machine machine(pa.original, cfg);
+        Machine machine(pa.original, pa.originalDecoded, cfg);
         app.init(machine);
         RunResult r = machine.run();
         AppCheckResult chk = app.check(machine);
@@ -72,9 +78,10 @@ ExperimentRunner::run(const App &app, MachineConfig config)
     const PreparedApp &pa = prepare(app);
     bool useGrouped =
         modelNeedsSwitchInstr(config.model) || config.groupEstimate;
-    const Program &prog = useGrouped ? pa.grouped : pa.original;
 
-    Machine machine(prog, config);
+    Machine machine(useGrouped ? pa.grouped : pa.original,
+                    useGrouped ? pa.groupedDecoded : pa.originalDecoded,
+                    config);
     app.init(machine);
     ExperimentRun out;
     out.result = machine.run();
@@ -100,13 +107,16 @@ ExperimentRunner::run(const App &app, MachineConfig config)
 double
 ExperimentRunner::efficiencyAt(const App &app, MachineConfig config)
 {
+    // The network/directory tokens keep e.g. mesh and constant-latency
+    // sweeps over the same app/model/threads from colliding in the cache.
     std::string key = format(
-        "%s|%d|%d|%d|%llu|%d|%d", app.name().c_str(),
+        "%s|%d|%d|%d|%s|%d|%d|%d|%d", app.name().c_str(),
         static_cast<int>(config.model), config.numProcs,
         config.threadsPerProc,
-        static_cast<unsigned long long>(config.network.roundTrip),
-        config.groupEstimate ? 1 : 0,
-        static_cast<int>(config.sliceLimit));
+        networkConfigToken(config.network).c_str(),
+        config.groupEstimate ? 1 : 0, static_cast<int>(config.sliceLimit),
+        static_cast<int>(config.directory.mode),
+        config.directory.pointers);
     OnceEntry<double> &entry = entryFor(effCache, key);
     std::call_once(entry.once,
                    [&] { entry.value = run(app, config).efficiency; });

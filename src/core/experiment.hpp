@@ -27,13 +27,23 @@
 namespace mts
 {
 
-/** An application assembled at one scale, in both code versions. */
+/**
+ * An application assembled at one scale, in both code versions. The
+ * programs (and their pre-decoded forms) are immutable and shared: every
+ * Machine a sweep builds from this app aliases one assembly + one decode
+ * instead of copying them, which is what keeps constructing hundreds of
+ * large-P Machines cheap.
+ */
 struct PreparedApp
 {
     const App *app = nullptr;
     AsmOptions options;
-    Program original;   ///< as written (for switch-on-load etc.)
-    Program grouped;    ///< after the grouping pass (for explicit/cond.)
+    /** As written (for switch-on-load etc.). */
+    std::shared_ptr<const Program> original;
+    /** After the grouping pass (for explicit/conditional). */
+    std::shared_ptr<const Program> grouped;
+    std::shared_ptr<const DecodedProgram> originalDecoded;
+    std::shared_ptr<const DecodedProgram> groupedDecoded;
     GroupingStats groupingStats;
 };
 

@@ -14,6 +14,7 @@
 #define MTS_MEM_NETWORK_HPP
 
 #include <cstdint>
+#include <utility>
 
 #include "isa/addressing.hpp"
 #include "mem/event_queue.hpp"
@@ -27,6 +28,18 @@ constexpr std::uint64_t kHeaderBits = 32;
 constexpr std::uint64_t kAddrBits = 32;
 constexpr std::uint64_t kDataBits = 64;
 /// @}
+
+/**
+ * Interconnect backend selector (see mem/network_model.hpp). The
+ * constant-latency pipe is the paper's model; the mesh makes latency
+ * distance- and load-dependent so 1024-processor-class configurations
+ * stop being a thought experiment.
+ */
+enum class NetworkKind : std::uint8_t
+{
+    ConstantLatency,  ///< ordered pipe, fixed round trip (the paper)
+    Mesh,             ///< 2D mesh, XY routing, per-link contention
+};
 
 /** Network latency and (optional) contention configuration. */
 struct NetworkConfig
@@ -52,6 +65,29 @@ struct NetworkConfig
      */
     Cycle memPortCycles = 0;
 
+    /** Which interconnect backend times shared accesses. */
+    NetworkKind kind = NetworkKind::ConstantLatency;
+
+    /// @name Mesh backend knobs (ignored by the constant-latency pipe).
+    /// @{
+
+    /** Mesh dimensions; 0/0 = auto (near-square factorization of
+     *  numProcs, e.g. 1024 -> 32x32). When set, meshX * meshY must
+     *  equal numProcs. */
+    int meshX = 0;
+    int meshY = 0;
+
+    /** Router + wire traversal time per hop, cycles (>= 1). */
+    Cycle hopCycles = 2;
+
+    /**
+     * Link bandwidth in bits per cycle per directed link (> 0). A
+     * message of B bits occupies every link on its path for
+     * ceil(B / linkBits) cycles; queued messages wait for the link.
+     */
+    std::uint64_t linkBits = 64;
+    /// @}
+
     Cycle
     oneWay() const
     {
@@ -65,6 +101,23 @@ struct NetworkConfig
         return channelBits ? (bits + channelBits - 1) / channelBits : 0;
     }
 };
+
+/**
+ * The mesh dimensions a config resolves to for @p numProcs: the
+ * explicit meshX x meshY when set, otherwise the most-square
+ * factorization (x <= y, x the largest divisor <= sqrt(numProcs)).
+ */
+inline std::pair<int, int>
+resolveMeshDims(const NetworkConfig &net, int numProcs)
+{
+    if (net.meshX > 0 || net.meshY > 0)
+        return {net.meshX, net.meshY};
+    int best = 1;
+    for (int x = 1; x * x <= numProcs; ++x)
+        if (numProcs % x == 0)
+            best = x;
+    return {best, numProcs / best};
+}
 
 /// @name Message sizes (shared by traffic accounting and serialization).
 /// @{
@@ -104,6 +157,40 @@ messageReturnBits(const MemOp &op, unsigned lineWords)
     return 0;
 }
 /// @}
+
+/**
+ * Aggregated per-link contention counters of a topology-aware backend
+ * (the constant-latency pipe has no links and reports none). Occupancy
+ * and queueing are accumulated over every directed link; busyMax is the
+ * hottest single link — the congestion bottleneck.
+ */
+struct NetLinkStats
+{
+    std::uint64_t routedMsgs = 0;  ///< messages routed (both directions)
+    std::uint64_t localMsgs = 0;   ///< home == source: no links crossed
+    std::uint64_t hops = 0;        ///< total link traversals
+    std::uint64_t busyCycles = 0;  ///< link-cycles spent serializing
+    std::uint64_t waitCycles = 0;  ///< cycles messages queued for links
+    std::uint64_t busyMax = 0;     ///< busiest single link's busy cycles
+
+    /** Mean hops per routed message (0 when nothing was routed). */
+    double
+    avgHops() const
+    {
+        return routedMsgs ? static_cast<double>(hops) /
+                                static_cast<double>(routedMsgs)
+                          : 0.0;
+    }
+
+    /** Utilization of the hottest link over @p cycles. */
+    double
+    maxLinkUtilization(std::uint64_t cycles) const
+    {
+        return cycles ? static_cast<double>(busyMax) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
 
 /** Accumulated traffic statistics. */
 struct NetworkStats

@@ -1,0 +1,342 @@
+#include "mem/network_model.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/flat_map.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/**
+ * The paper's Section 3 interconnect: an ordered pipe with a fixed
+ * one-way latency, extracted verbatim from the pre-refactor
+ * Machine::issueMem. Optional extensions (both default off): finite
+ * per-processor injection channels (Section 6.1's narrow-channel
+ * discussion) and per-word memory-port service time (hot spots).
+ */
+class ConstantLatencyNetwork final : public NetworkModel
+{
+  public:
+    ConstantLatencyNetwork(const NetworkConfig &net, int numProcs,
+                           unsigned lineWords)
+        : net_(net), lineWords_(lineWords),
+          portFree_(net.memPortCycles ? 1024 : 0)
+    {
+        injectFree_.assign(static_cast<std::size_t>(numProcs), 0);
+        lastArrival_.assign(static_cast<std::size_t>(numProcs), 0);
+    }
+
+    NetworkTiming
+    route(const MemOp &op) override
+    {
+        Cycle sendStart = op.issueTime;
+        Cycle retSerial = 0;
+
+        // Optional channel contention (spin traffic assumed to use a
+        // separate hardware synchronization path, consistent with its
+        // exclusion from the bandwidth accounting).
+        if (net_.channelBits && !op.spin && !op.noTraffic) {
+            Cycle &next = injectFree_[op.proc];
+            sendStart = std::max(sendStart, next);
+            sendStart += net_.serializeCycles(messageForwardBits(op));
+            next = sendStart;
+            retSerial =
+                net_.serializeCycles(messageReturnBits(op, lineWords_));
+        }
+
+        Cycle arrival = sendStart + net_.oneWay();
+
+        // Optional per-word memory service serialization (hot spots; the
+        // paper's combining network makes this 0). Spin traffic is
+        // exempt, consistent with footnote 2: real machines provide
+        // spinning mechanisms that do not load the memory module.
+        if (net_.memPortCycles && !op.spin && !op.noTraffic) {
+            Cycle &free = portFree_[op.addr];
+            Cycle service = std::max(arrival, free);
+            free = service + net_.memPortCycles;
+            arrival = service + net_.memPortCycles;
+        }
+
+        // Preserve per-source ordering (the paper's ordered-delivery
+        // network) even when contention delays individual messages.
+        Cycle &last = lastArrival_[op.proc];
+        arrival = std::max(arrival, last);
+        last = arrival;
+
+        return {arrival, arrival + net_.oneWay() + retSerial};
+    }
+
+    Cycle
+    minDelay() const override
+    {
+        return net_.oneWay();
+    }
+
+    bool
+    zeroLatency() const override
+    {
+        return net_.roundTrip == 0;
+    }
+
+    std::string_view
+    name() const override
+    {
+        return networkKindName(NetworkKind::ConstantLatency);
+    }
+
+  private:
+    const NetworkConfig net_;
+    const unsigned lineWords_;
+    std::vector<Cycle> injectFree_;   ///< channel-contention state
+    std::vector<Cycle> lastArrival_;  ///< per-source ordered delivery
+    AddrCycleMap portFree_;           ///< hot-spot model state
+};
+
+/**
+ * 2D mesh with XY dimension-ordered routing and store-and-forward
+ * switching: a message of B bits occupies each directed link on its
+ * path for ceil(B / linkBits) cycles, queueing behind earlier traffic,
+ * and pays hopCycles of router/wire latency per hop. Shared words are
+ * line-interleaved across the mesh's memory modules, so latency is
+ * distance- *and* load-dependent — the regime the paper's constant
+ * round trip abstracts away.
+ *
+ * Spin and no-traffic messages pay distance but are exempt from link
+ * occupancy and memory-port service (footnote 2's separate spinning
+ * hardware) and are excluded from the link counters, mirroring the
+ * traffic accounting.
+ *
+ * Delivery stays ordered per source (lastArrival clamp): the store
+ * buffer's FIFO retirement and the event queue's near-monotone fast
+ * path rely on it. An adaptive-routing mesh would need a reorder stage
+ * at the receiver; we keep the paper's ordered-network assumption.
+ */
+class MeshNetwork final : public NetworkModel
+{
+  public:
+    MeshNetwork(const NetworkConfig &net, int numProcs,
+                unsigned lineWords)
+        : net_(net), numProcs_(numProcs), lineWords_(lineWords),
+          portFree_(net.memPortCycles ? 1024 : 0)
+    {
+        auto [x, y] = resolveMeshDims(net, numProcs);
+        dimX_ = x;
+        dimY_ = y;
+        MTS_REQUIRE(dimX_ >= 1 && dimY_ >= 1 &&
+                        dimX_ * dimY_ == numProcs,
+                    "mesh dims " << dimX_ << "x" << dimY_
+                                 << " do not cover " << numProcs
+                                 << " processors");
+        linkFree_.assign(static_cast<std::size_t>(numProcs) * 4, 0);
+        linkBusy_.assign(static_cast<std::size_t>(numProcs) * 4, 0);
+        lastArrival_.assign(static_cast<std::size_t>(numProcs), 0);
+    }
+
+    NetworkTiming
+    route(const MemOp &op) override
+    {
+        const bool exempt = op.spin || op.noTraffic;
+        const int src = op.proc;
+        const int home = homeNode(op.addr);
+
+        Cycle arrival = traverse(op.issueTime, src, home,
+                                 messageForwardBits(op), exempt);
+
+        if (net_.memPortCycles && !exempt) {
+            Cycle &free = portFree_[op.addr];
+            Cycle service = std::max(arrival, free);
+            free = service + net_.memPortCycles;
+            arrival = service + net_.memPortCycles;
+        }
+
+        // Ordered delivery per source (see class comment).
+        Cycle &last = lastArrival_[src];
+        arrival = std::max(arrival, last);
+        last = arrival;
+
+        Cycle ret = traverse(arrival, home, src,
+                             messageReturnBits(op, lineWords_), exempt);
+        return {arrival, ret};
+    }
+
+    Cycle
+    minDelay() const override
+    {
+        // Even a home-local access pays one injection hop.
+        return net_.hopCycles;
+    }
+
+    bool
+    zeroLatency() const override
+    {
+        return false;
+    }
+
+    std::string_view
+    name() const override
+    {
+        return networkKindName(NetworkKind::Mesh);
+    }
+
+    const NetLinkStats *
+    linkStats() const override
+    {
+        return &stats_;
+    }
+
+  private:
+    /** Home memory module of @p addr: lines interleaved round-robin. */
+    int
+    homeNode(Addr addr) const
+    {
+        return static_cast<int>((addr / lineWords_) %
+                                static_cast<Addr>(numProcs_));
+    }
+
+    /// Directed-link ids: 4 per node, E/W/N/S.
+    enum : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+    std::size_t
+    linkId(int x, int y, int dir) const
+    {
+        return (static_cast<std::size_t>(y) * dimX_ + x) * 4 + dir;
+    }
+
+    /**
+     * Move one message of @p bits from @p from to @p to, starting at
+     * @p t, occupying every link on the XY path (unless @p exempt).
+     * Returns its arrival time at @p to.
+     */
+    Cycle
+    traverse(Cycle t, int from, int to, std::uint64_t bits, bool exempt)
+    {
+        if (from == to) {
+            // Node-local: no links crossed, one injection hop into the
+            // local memory module (or back into the processor).
+            if (!exempt)
+                ++stats_.localMsgs;
+            return t + net_.hopCycles;
+        }
+        const Cycle ser =
+            std::max<Cycle>(1, (bits + net_.linkBits - 1) / net_.linkBits);
+        int x = from % dimX_, y = from / dimX_;
+        const int tx = to % dimX_, ty = to / dimX_;
+        std::uint64_t pathHops = 0;
+        while (x != tx || y != ty) {
+            int dir;
+            if (x != tx)
+                dir = tx > x ? kEast : kWest;
+            else
+                dir = ty > y ? kSouth : kNorth;
+            if (exempt) {
+                t += net_.hopCycles;
+            } else {
+                std::size_t l = linkId(x, y, dir);
+                Cycle depart = std::max(t, linkFree_[l]);
+                stats_.waitCycles += depart - t;
+                linkFree_[l] = depart + ser;
+                linkBusy_[l] += ser;
+                stats_.busyCycles += ser;
+                stats_.busyMax = std::max(stats_.busyMax, linkBusy_[l]);
+                t = depart + ser + net_.hopCycles;
+            }
+            switch (dir) {
+              case kEast: ++x; break;
+              case kWest: --x; break;
+              case kSouth: ++y; break;
+              case kNorth: --y; break;
+            }
+            ++pathHops;
+        }
+        if (!exempt) {
+            ++stats_.routedMsgs;
+            stats_.hops += pathHops;
+        }
+        return t;
+    }
+
+    const NetworkConfig net_;
+    const int numProcs_;
+    const unsigned lineWords_;
+    int dimX_ = 1;
+    int dimY_ = 1;
+    std::vector<Cycle> linkFree_;          ///< per-link next-free time
+    std::vector<std::uint64_t> linkBusy_;  ///< per-link busy cycles
+    std::vector<Cycle> lastArrival_;       ///< per-source ordering
+    AddrCycleMap portFree_;                ///< hot-spot model state
+    NetLinkStats stats_;
+};
+
+} // namespace
+
+std::string_view
+networkKindName(NetworkKind kind)
+{
+    switch (kind) {
+      case NetworkKind::ConstantLatency:
+        return "constant-latency";
+      case NetworkKind::Mesh:
+        return "mesh";
+    }
+    return "?";
+}
+
+NetworkKind
+networkKindFromName(std::string_view name)
+{
+    for (NetworkKind k : kAllNetworkKinds)
+        if (networkKindName(k) == name)
+            return k;
+    std::string valid;
+    for (NetworkKind k : kAllNetworkKinds) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += networkKindName(k);
+    }
+    MTS_FATAL("unknown network '" << name
+                                  << "' (--network): valid backends are "
+                                  << valid);
+}
+
+std::unique_ptr<NetworkModel>
+makeNetworkModel(const NetworkConfig &net, int numProcs,
+                 unsigned lineWords)
+{
+    switch (net.kind) {
+      case NetworkKind::ConstantLatency:
+        return std::make_unique<ConstantLatencyNetwork>(net, numProcs,
+                                                        lineWords);
+      case NetworkKind::Mesh:
+        return std::make_unique<MeshNetwork>(net, numProcs, lineWords);
+    }
+    MTS_FATAL("unknown NetworkKind "
+              << static_cast<int>(net.kind));
+}
+
+std::string
+networkConfigToken(const NetworkConfig &net)
+{
+    std::string s;
+    switch (net.kind) {
+      case NetworkKind::ConstantLatency:
+        s = "const:rt" + std::to_string(net.roundTrip) + ":cb" +
+            std::to_string(net.channelBits);
+        break;
+      case NetworkKind::Mesh:
+        s = "mesh:" + std::to_string(net.meshX) + "x" +
+            std::to_string(net.meshY) + ":h" +
+            std::to_string(net.hopCycles) + ":lb" +
+            std::to_string(net.linkBits);
+        break;
+    }
+    s += ":mp" + std::to_string(net.memPortCycles);
+    return s;
+}
+
+} // namespace mts

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pluggable interconnect backends.
+ *
+ * The Machine no longer reads latency constants out of NetworkConfig:
+ * every shared access is timed by a NetworkModel, which owns all
+ * contention state (injection channels, link queues, memory ports) and
+ * maps one issued MemOp to its (arrival at memory, return at processor)
+ * pair. Two backends exist:
+ *
+ *  - ConstantLatencyNetwork: the paper's Section 3 model, extracted
+ *    verbatim from the old Machine::issueMem — an ordered pipe with a
+ *    fixed one-way latency, optional per-processor channel
+ *    serialization, and an optional per-word memory-port hot-spot
+ *    model. Byte-identical to the pre-refactor simulator.
+ *
+ *  - MeshNetwork: a 2D mesh with XY dimension-ordered routing, per-hop
+ *    latency, finite per-link bandwidth, and per-link contention
+ *    queues. Latency becomes distance- and load-dependent, which is
+ *    exactly the regime the paper's constant-latency argument abstracts
+ *    away — and the one a 1024-processor machine actually lives in.
+ *
+ * Both backends preserve per-source ordered delivery (arrivals are
+ * monotone per issuing processor): the Machine's FIFO store-buffer
+ * retirement and the event queue's near-monotone lane fast path rely on
+ * it, and it is the paper's stated network assumption (Section 3).
+ */
+#ifndef MTS_MEM_NETWORK_MODEL_HPP
+#define MTS_MEM_NETWORK_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mem/network.hpp"
+
+namespace mts
+{
+
+/** When one shared access reaches memory and returns to its issuer. */
+struct NetworkTiming
+{
+    Cycle arrival = 0;     ///< request reaches the memory module
+    Cycle returnTime = 0;  ///< response reaches the issuing processor
+};
+
+/** One interconnect backend: times accesses, owns contention state. */
+class NetworkModel
+{
+  public:
+    virtual ~NetworkModel() = default;
+
+    /**
+     * Time one shared access issued at op.issueTime by op.proc,
+     * advancing the backend's contention state. Arrivals must be
+     * monotone per issuing processor (ordered delivery).
+     */
+    virtual NetworkTiming route(const MemOp &op) = 0;
+
+    /**
+     * Safe lower bound on any message's issue-to-arrival delay; the
+     * Machine's conservative execution horizon (and the processors'
+     * burst clamp) depend on no arrival ever beating it.
+     */
+    virtual Cycle minDelay() const = 0;
+
+    /** True for the ideal network: accesses complete at issue and the
+     *  Machine uses its direct-access path instead of route(). */
+    virtual bool zeroLatency() const = 0;
+
+    virtual std::string_view name() const = 0;
+
+    /** Per-link contention counters, or nullptr if the backend has no
+     *  links (constant-latency pipe). */
+    virtual const NetLinkStats *
+    linkStats() const
+    {
+        return nullptr;
+    }
+};
+
+/// @name Backend registry (mirrors the switch-model name functions).
+/// @{
+std::string_view networkKindName(NetworkKind kind);
+
+/** Parse a backend name; fatal (naming the valid backends) if unknown. */
+NetworkKind networkKindFromName(std::string_view name);
+
+constexpr NetworkKind kAllNetworkKinds[] = {
+    NetworkKind::ConstantLatency,
+    NetworkKind::Mesh,
+};
+/// @}
+
+/**
+ * Build the backend selected by @p net.
+ *
+ * @param numProcs  Machine size (mesh node count, channel table size).
+ * @param lineWords Cache line size, for fill-response message sizes and
+ *                  the mesh's line-interleaved home mapping.
+ */
+std::unique_ptr<NetworkModel> makeNetworkModel(const NetworkConfig &net,
+                                               int numProcs,
+                                               unsigned lineWords);
+
+/**
+ * Canonical short token of everything that makes two network configs
+ * time accesses differently ("const:200" / "mesh:4x4:h2:b64:p200:c16");
+ * memoization keys (ExperimentRunner) must include it.
+ */
+std::string networkConfigToken(const NetworkConfig &net);
+
+} // namespace mts
+
+#endif // MTS_MEM_NETWORK_MODEL_HPP

@@ -1,5 +1,6 @@
 #include "metrics/run_record.hpp"
 
+#include "mem/network_model.hpp"
 #include "metrics/stat_publish.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/run_result.hpp"
@@ -21,11 +22,28 @@ makeRunRecord(const RunResult &result, const MachineConfig &config,
     rec.cycles = result.cycles;
     rec.digestShared = result.digest.sharedHash;
     rec.digestRegs = result.digest.regHash;
+    rec.network = std::string(networkKindName(config.network.kind));
+    if (config.network.kind == NetworkKind::Mesh) {
+        auto [mx, my] = resolveMeshDims(config.network, config.numProcs);
+        rec.meshX = mx;
+        rec.meshY = my;
+        rec.hopCycles = config.network.hopCycles;
+        rec.linkBits = config.network.linkBits;
+    }
+    rec.directoryMode = directoryModeName(config.directory.mode);
+    if (config.directory.mode == DirectoryMode::LimitedPtr)
+        rec.dirPointers = config.directory.pointers;
 
     publishCpuStats(rec.metrics, "cpu", result.cpu);
     if (config.cachesEnabled())
         publishCacheStats(rec.metrics, "cache", result.cache);
     publishNetworkStats(rec.metrics, "net", result.net);
+    if (result.hasLinkStats) {
+        publishLinkStats(rec.metrics, "link", result.link);
+        rec.metrics.set("derived.link_avg_hops", result.link.avgHops());
+        rec.metrics.set("derived.link_max_utilization",
+                        result.link.maxLinkUtilization(result.cycles));
+    }
     if (config.groupEstimate) {
         rec.metrics.add("estimate.hits", result.estimateHits);
         rec.metrics.add("estimate.misses", result.estimateMisses);
@@ -52,6 +70,16 @@ RunRecord::toJson() const
     v["procs"] = JsonValue(numProcs);
     v["threads"] = JsonValue(threadsPerProc);
     v["latency"] = JsonValue(latency);
+    v["network"] = JsonValue(network);
+    if (network == "mesh") {
+        v["mesh_x"] = JsonValue(meshX);
+        v["mesh_y"] = JsonValue(meshY);
+        v["hop_cycles"] = JsonValue(hopCycles);
+        v["link_bits"] = JsonValue(linkBits);
+    }
+    v["directory"] = JsonValue(directoryMode);
+    if (dirPointers)
+        v["dir_pointers"] = JsonValue(dirPointers);
     v["cycles"] = JsonValue(cycles);
     v["digest_shared"] = JsonValue(format("0x%016llx",
         static_cast<unsigned long long>(digestShared)));

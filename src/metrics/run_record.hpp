@@ -38,6 +38,17 @@ struct RunRecord
     std::uint64_t latency = 0;  ///< network round-trip cycles
     std::uint64_t cycles = 0;   ///< completion time
 
+    /// @name Interconnect + directory configuration.
+    /// @{
+    std::string network;        ///< backend name ("constant-latency", …)
+    int meshX = 0;              ///< resolved mesh dims (mesh only)
+    int meshY = 0;
+    std::uint64_t hopCycles = 0;   ///< mesh only
+    std::uint64_t linkBits = 0;    ///< mesh only
+    std::string directoryMode;     ///< "full-map" | "limited"
+    int dirPointers = 0;           ///< limited mode only
+    /// @}
+
     /// @name Final-state digest (see sim/state_digest.hpp).
     /// @{
     std::uint64_t digestShared = 0;

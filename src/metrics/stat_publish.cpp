@@ -86,6 +86,31 @@ publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
     reg.add(scope + ".msgs.pair", s.pairMsgs);
 }
 
+void
+publishLinkStats(MetricsRegistry &reg, const std::string &scope,
+                 const NetLinkStats &s)
+{
+    reg.add(scope + ".msgs.routed", s.routedMsgs);
+    reg.add(scope + ".msgs.local", s.localMsgs);
+    reg.add(scope + ".hops", s.hops);
+    reg.add(scope + ".cycles.busy", s.busyCycles);
+    reg.add(scope + ".cycles.wait", s.waitCycles);
+    reg.max(scope + ".cycles.busy_max", s.busyMax);
+}
+
+NetLinkStats
+linkStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
+{
+    NetLinkStats s;
+    s.routedMsgs = reg.counter(scope + ".msgs.routed");
+    s.localMsgs = reg.counter(scope + ".msgs.local");
+    s.hops = reg.counter(scope + ".hops");
+    s.busyCycles = reg.counter(scope + ".cycles.busy");
+    s.waitCycles = reg.counter(scope + ".cycles.wait");
+    s.busyMax = reg.counter(scope + ".cycles.busy_max");
+    return s;
+}
+
 NetworkStats
 networkStatsFromMetrics(const MetricsRegistry &reg,
                         const std::string &scope)

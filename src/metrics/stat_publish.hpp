@@ -33,6 +33,8 @@ void publishCacheStats(MetricsRegistry &reg, const std::string &scope,
                        const CacheStats &s);
 void publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
                          const NetworkStats &s);
+void publishLinkStats(MetricsRegistry &reg, const std::string &scope,
+                      const NetLinkStats &s);
 /// @}
 
 /// @name Reconstitute a struct from an (aggregated) scope.
@@ -43,6 +45,8 @@ CacheStats cacheStatsFromMetrics(const MetricsRegistry &reg,
                                  const std::string &scope);
 NetworkStats networkStatsFromMetrics(const MetricsRegistry &reg,
                                      const std::string &scope);
+NetLinkStats linkStatsFromMetrics(const MetricsRegistry &reg,
+                                  const std::string &scope);
 /// @}
 
 } // namespace mts

@@ -29,26 +29,37 @@ saturatingAdd(Cycle a, Cycle b)
 
 Machine::Machine(const Program &program, const MachineConfig &config,
                  Addr extraSharedWords)
-    : prog(program), decoded(decodeProgram(program.code)), cfg(config),
-      mem(roundUpTo(program.sharedWords + extraSharedWords +
+    : Machine(std::make_shared<const Program>(program), nullptr, config,
+              extraSharedWords)
+{
+}
+
+Machine::Machine(std::shared_ptr<const Program> program,
+                 std::shared_ptr<const DecodedProgram> decodedProgram,
+                 const MachineConfig &config, Addr extraSharedWords)
+    : prog(std::move(program)),
+      decoded(decodedProgram
+                  ? std::move(decodedProgram)
+                  : std::make_shared<const DecodedProgram>(
+                        decodeProgram(prog->code))),
+      cfg((validateMachineConfig(config), config)),
+      mem(roundUpTo(prog->sharedWords + extraSharedWords +
                         config.cache.lineWords,
                     config.cache.lineWords)),
-      portFree(config.network.memPortCycles ? 1024 : 0)
+      directory(config.directory, config.numProcs),
+      net(makeNetworkModel(config.network, config.numProcs,
+                           config.cache.lineWords))
 {
-    MTS_REQUIRE(cfg.numProcs > 0 && cfg.threadsPerProc > 0,
-                "need at least one processor and one thread");
-    MTS_REQUIRE(cfg.network.roundTrip % 2 == 0,
-                "round-trip latency must be even (one-way = half)");
-    MTS_REQUIRE(cfg.localWords > prog.localStaticWords + 256,
+    MTS_REQUIRE(cfg.localWords > prog->localStaticWords + 256,
                 "localWords too small for this program's local statics");
     if (modelNeedsSwitchInstr(cfg.model)) {
         bool hasSwitch = false;
-        for (const auto &inst : prog.code)
+        for (const auto &inst : prog->code)
             if (inst.op == Opcode::CSWITCH) {
                 hasSwitch = true;
                 break;
             }
-        MTS_REQUIRE(hasSwitch || cfg.network.roundTrip == 0,
+        MTS_REQUIRE(hasSwitch || net->zeroLatency(),
                     switchModelName(cfg.model)
                         << " requires code processed by the grouping pass "
                            "(no cswitch instructions found)");
@@ -59,16 +70,14 @@ Machine::Machine(const Program &program, const MachineConfig &config,
         std::fputc('\n', stdout);
     };
 
-    injectFree.assign(cfg.numProcs, 0);
     queue.reserve(static_cast<std::size_t>(cfg.numProcs));
-    lastArrival.assign(cfg.numProcs, 0);
     if (cfg.cachesEnabled())
         pendingStores.resize(static_cast<std::size_t>(cfg.numProcs));
 
     procs.reserve(cfg.numProcs);
     for (int p = 0; p < cfg.numProcs; ++p)
         procs.push_back(std::make_unique<Processor>(
-            *this, static_cast<std::uint16_t>(p), cfg, prog, decoded));
+            *this, static_cast<std::uint16_t>(p), cfg, *prog, *decoded));
 }
 
 Machine::~Machine() = default;
@@ -84,7 +93,7 @@ Machine::issueMem(MemOp op)
             op);
     if (op.kind == MemOpKind::Store && cfg.cachesEnabled())
         pendingStores[op.proc].push_back({op.addr, op.value});
-    if (cfg.network.roundTrip == 0) {
+    if (net->zeroLatency()) {
         // Ideal network: the access completes at issue, in the bounded
         // causality window enforced by the zero-latency quantum.
         op.returnTime = op.issueTime;
@@ -92,43 +101,10 @@ Machine::issueMem(MemOp op)
         return op.issueTime + 1;
     }
 
-    const NetworkConfig &net = cfg.network;
-    Cycle sendStart = op.issueTime;
-    Cycle retSerial = 0;
-
-    // Optional channel contention (spin traffic assumed to use a separate
-    // hardware synchronization path, consistent with its exclusion from
-    // the bandwidth accounting).
-    if (net.channelBits && !op.spin && !op.noTraffic) {
-        Cycle &next = injectFree[op.proc];
-        sendStart = std::max(sendStart, next);
-        sendStart += net.serializeCycles(messageForwardBits(op));
-        next = sendStart;
-        retSerial =
-            net.serializeCycles(messageReturnBits(op, cfg.cache.lineWords));
-    }
-
-    Cycle arrival = sendStart + oneWay();
-
-    // Optional per-word memory service serialization (hot spots; the
-    // paper's combining network makes this 0). Spin traffic is exempt,
-    // consistent with footnote 2: real machines provide spinning
-    // mechanisms that do not load the memory module.
-    if (net.memPortCycles && !op.spin && !op.noTraffic) {
-        Cycle &free = portFree[op.addr];
-        Cycle service = std::max(arrival, free);
-        free = service + net.memPortCycles;
-        arrival = service + net.memPortCycles;
-    }
-
-    // Preserve per-source ordering (the paper's ordered-delivery network)
-    // even when contention delays individual messages.
-    Cycle &last = lastArrival[op.proc];
-    arrival = std::max(arrival, last);
-    last = arrival;
-
-    op.returnTime = arrival + oneWay() + retSerial;
-    queue.pushMem(arrival, op);
+    // The backend owns all timing: latency, contention, ordering.
+    NetworkTiming t = net->route(op);
+    op.returnTime = t.returnTime;
+    queue.pushMem(t.arrival, op);
     return op.returnTime;
 }
 
@@ -247,7 +223,7 @@ Machine::run()
         queue.pushProc(0, static_cast<std::uint16_t>(p));
 
     const Cycle lookahead =
-        cfg.network.roundTrip ? oneWay() : cfg.zeroLatencyQuantum;
+        net->zeroLatency() ? cfg.zeroLatencyQuantum : net->minDelay();
     std::size_t finished = 0;
 
     while (!queue.empty()) {
@@ -284,7 +260,7 @@ Machine::run()
     // Canonical final-state digest: the shared static segment (scratch
     // words and line padding excluded so cache geometry cannot leak in),
     // then every thread's termination registers in global-id order.
-    for (Addr a = 0; a < prog.sharedWords; ++a)
+    for (Addr a = 0; a < prog->sharedWords; ++a)
         r.digest.addSharedWord(mem.read(kSharedBase + a));
     for (int p = 0; p < cfg.numProcs; ++p)
         for (int t = 0; t < cfg.threadsPerProc; ++t) {
@@ -317,6 +293,18 @@ Machine::run()
         reg.add("estimate" + tag + ".misses", estMisses);
     }
     publishNetworkStats(reg, "net", netStats);
+    // Topology-aware backends expose per-link contention counters;
+    // the constant-latency pipe has none (and publishing nothing keeps
+    // its metric set — and golden traces — identical to the seed).
+    if (const NetLinkStats *ls = net->linkStats()) {
+        publishLinkStats(reg, "link", *ls);
+        r.link = *ls;
+        r.hasLinkStats = true;
+    }
+    if (cfg.directory.mode != DirectoryMode::FullMap) {
+        reg.add("directory.overflows", directory.overflows());
+        reg.add("directory.broadcasts", directory.broadcasts());
+    }
     reg.rollUp("cpu");
     reg.rollUp("cache");
     reg.rollUp("estimate");

@@ -8,11 +8,13 @@
  * memory-arrival events, in global timestamp order. A processor executes
  * instructions in bursts bounded by the conservative horizon
  *
- *     min(next memory arrival, next processor event + one-way latency)
+ *     min(next memory arrival, next processor event + network minDelay)
  *
- * which guarantees no instruction observes global state "from the past".
- * With a 0-latency network, accesses are performed directly at issue and
- * the lookahead becomes a small fixed quantum (bounded causality window).
+ * where minDelay is the interconnect backend's guaranteed minimum
+ * issue-to-arrival latency (see mem/network_model.hpp). This guarantees
+ * no instruction observes global state "from the past". With a
+ * 0-latency network, accesses are performed directly at issue and the
+ * lookahead becomes a small fixed quantum (bounded causality window).
  */
 #ifndef MTS_SIM_MACHINE_HPP
 #define MTS_SIM_MACHINE_HPP
@@ -27,11 +29,11 @@
 #include "cache/directory.hpp"
 #include "mem/event_queue.hpp"
 #include "mem/network.hpp"
+#include "mem/network_model.hpp"
 #include "mem/shared_memory.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/processor.hpp"
 #include "sim/run_result.hpp"
-#include "util/flat_map.hpp"
 
 namespace mts
 {
@@ -49,6 +51,16 @@ class Machine
      */
     Machine(const Program &program, const MachineConfig &config,
             Addr extraSharedWords = 0);
+
+    /**
+     * Same, sharing an already-decoded program immutably: sweeps and
+     * large-P construction build many Machines from one decode instead
+     * of copying and re-decoding per instance. @p decodedProgram may be
+     * null, in which case it is decoded here (and not shared).
+     */
+    Machine(std::shared_ptr<const Program> program,
+            std::shared_ptr<const DecodedProgram> decodedProgram,
+            const MachineConfig &config, Addr extraSharedWords = 0);
 
     ~Machine();
 
@@ -77,7 +89,7 @@ class Machine
     const Program &
     program() const
     {
-        return prog;
+        return *prog;
     }
 
     /** Sink for the PRINT/FPRINT debug opcodes (default: stdout). */
@@ -101,16 +113,31 @@ class Machine
     /** Read memory at issue time for a §5.2 estimate-cache hit. */
     std::uint64_t estimateRead(Addr addr);
 
-    Cycle
-    roundTrip() const
+    /** True when the interconnect is ideal: accesses complete at issue
+     *  (the direct-access path) under the bounded causality quantum. */
+    bool
+    netZeroLatency() const
     {
-        return cfg.network.roundTrip;
+        return net->zeroLatency();
     }
 
+    /**
+     * The network's guaranteed minimum issue-to-arrival delay: the
+     * processors clamp their execution horizon to now + this after
+     * every issue, so no in-flight access can mutate global state
+     * behind an executing burst. Equals the one-way latency on the
+     * constant-latency backend, one hop time on the mesh.
+     */
     Cycle
-    oneWay() const
+    netMinDelay() const
     {
-        return cfg.network.oneWay();
+        return net->minDelay();
+    }
+
+    const NetworkModel &
+    networkModel() const
+    {
+        return *net;
     }
 
     void
@@ -124,15 +151,16 @@ class Machine
     void processArrival(const MemEvent &ev);
     void invalidateSharers(Addr addr, std::uint16_t writer);
 
-    Program prog;
-    DecodedProgram decoded;  ///< pre-decoded form shared by all processors
+    /** Immutable program (and its pre-decoded form), shareable across
+     *  Machines so sweeps decode once. */
+    std::shared_ptr<const Program> prog;
+    std::shared_ptr<const DecodedProgram> decoded;
     MachineConfig cfg;
     SharedMemory mem;
     Directory directory;
     EventQueue queue;
     NetworkStats netStats;
-    std::vector<Cycle> injectFree;   ///< channel-contention state per proc
-    std::vector<Cycle> lastArrival;  ///< per-source ordered delivery
+    std::unique_ptr<NetworkModel> net;  ///< owns all contention state
 
     /** One store in flight between issue and memory arrival. */
     struct PendingStore
@@ -148,7 +176,6 @@ class Machine
      * would read pre-store data.
      */
     std::vector<std::deque<PendingStore>> pendingStores;
-    AddrCycleMap portFree;  ///< hot-spot model state (flat, pre-reserved)
     std::vector<std::unique_ptr<Processor>> procs;
     std::function<void(const std::string &)> printHandler;
     bool ran = false;

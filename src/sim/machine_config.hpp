@@ -8,9 +8,11 @@
 #include <cstdint>
 
 #include "cache/cache.hpp"
+#include "cache/directory.hpp"
 #include "cpu/switch_model.hpp"
 #include "isa/addressing.hpp"
 #include "mem/network.hpp"
+#include "util/error.hpp"
 
 namespace mts
 {
@@ -29,6 +31,9 @@ struct MachineConfig
 
     /** Per-processor shared-data cache (cache-using models only). */
     CacheConfig cache{};
+
+    /** Sharer-directory organization (full-map or limited-pointer). */
+    DirectoryConfig directory{};
 
     /**
      * Conditional-switch run-length limit (Section 6.2): after this many
@@ -80,6 +85,52 @@ struct MachineConfig
         return modelUsesCache(model);
     }
 };
+
+/**
+ * Check a MachineConfig's structural invariants; throws FatalError
+ * naming the offending field. Machine runs this at construction, and
+ * the CLI surfaces the message verbatim, so a bad --procs/--mesh-dims
+ * combination fails with the field spelled out instead of an assert.
+ */
+inline void
+validateMachineConfig(const MachineConfig &cfg)
+{
+    MTS_REQUIRE(cfg.numProcs >= 1,
+                "numProcs must be >= 1 (got " << cfg.numProcs << ")");
+    MTS_REQUIRE(cfg.threadsPerProc >= 1,
+                "threadsPerProc must be >= 1 (got " << cfg.threadsPerProc
+                                                    << ")");
+    const NetworkConfig &net = cfg.network;
+    switch (net.kind) {
+      case NetworkKind::ConstantLatency:
+        MTS_REQUIRE(net.roundTrip % 2 == 0,
+                    "network.roundTrip must be even (one-way = half), got "
+                        << net.roundTrip);
+        break;
+      case NetworkKind::Mesh: {
+        MTS_REQUIRE(net.hopCycles >= 1,
+                    "network.hopCycles must be >= 1 (got "
+                        << net.hopCycles << ")");
+        MTS_REQUIRE(net.linkBits > 0,
+                    "network.linkBits must be nonzero (finite link "
+                    "bandwidth)");
+        if (net.meshX != 0 || net.meshY != 0)
+            MTS_REQUIRE(net.meshX >= 1 && net.meshY >= 1 &&
+                            net.meshX * net.meshY == cfg.numProcs,
+                        "network.meshX x network.meshY ("
+                            << net.meshX << "x" << net.meshY
+                            << ") must multiply to numProcs ("
+                            << cfg.numProcs << ")");
+        break;
+      }
+    }
+    MTS_REQUIRE(cfg.directory.pointers >= 1 &&
+                    cfg.directory.pointers <= kMaxDirPointers,
+                "directory.pointers must be in 1.." << kMaxDirPointers
+                                                    << " (got "
+                                                    << cfg.directory.pointers
+                                                    << ")");
+}
 
 } // namespace mts
 

@@ -502,14 +502,15 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
     const bool isSpin = inst.flags & kDecSpin;
     const bool isPair = inst.flags & kDecPair;
     const bool fpDest = inst.flags & kDecFpDest;
-    const Cycle rtt = machine.roundTrip();
+    // Whether shared accesses actually travel (any non-ideal backend).
+    const bool netLatent = !machine.netZeroLatency();
 
     missed = true;  // refined below for cache hits / estimate hits
 
     // Section 5.2 inter-block grouping estimator: a hit means the load
     // could have been issued with the preceding group, so its latency is
     // treated as already covered (traffic still counted).
-    if (cfg.groupEstimate && !isFaa && !isSpin && rtt > 0) {
+    if (cfg.groupEstimate && !isFaa && !isSpin && netLatent) {
         if (th.groupEstimate.access(addr)) {
             ++stats.estimateHits;
             missed = false;
@@ -525,7 +526,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             op2.deliver = false;  // value already architecturally visible
             op2.issueTime = now;
             machine.issueMem(op2);
-            effHorizon = std::min(effHorizon, now + machine.oneWay());
+            effHorizon = std::min(effHorizon, now + machine.netMinDelay());
             return now + 1;
         }
     }
@@ -569,8 +570,8 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             mop.noTraffic = true;
             mop.issueTime = now;
             machine.issueMem(mop);
-            effHorizon = std::min(effHorizon, now + machine.oneWay());
-            Cycle ready = std::max(mergeReady, now + machine.oneWay());
+            effHorizon = std::min(effHorizon, now + machine.netMinDelay());
+            Cycle ready = std::max(mergeReady, now + machine.netMinDelay());
             th.lastReturn = std::max(th.lastReturn, ready);
             return ready;
         }
@@ -594,8 +595,8 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
         mop.deliver = false;
         mop.issueTime = now;
         machine.issueMem(mop);
-        if (rtt > 0)
-            effHorizon = std::min(effHorizon, now + machine.oneWay());
+        if (netLatent)
+            effHorizon = std::min(effHorizon, now + machine.netMinDelay());
         return now + 1;
     }
 
@@ -618,8 +619,8 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
     mop.fillLine = cache_ != nullptr && !isFaa;
     mop.issueTime = now;
     Cycle ready = machine.issueMem(mop);
-    if (rtt > 0)
-        effHorizon = std::min(effHorizon, now + machine.oneWay());
+    if (netLatent)
+        effHorizon = std::min(effHorizon, now + machine.netMinDelay());
     th.lastReturn = std::max(th.lastReturn, ready);
     return ready;
 }
@@ -647,8 +648,8 @@ Processor::issueSharedStore(ThreadContext &th, const DecodedOp &inst,
     mop.thread = static_cast<std::uint16_t>(cur);
     mop.issueTime = now;
     machine.issueMem(mop);
-    if (machine.roundTrip() > 0)
-        effHorizon = std::min(effHorizon, now + machine.oneWay());
+    if (!machine.netZeroLatency())
+        effHorizon = std::min(effHorizon, now + machine.netMinDelay());
 }
 
 Processor::StepResult

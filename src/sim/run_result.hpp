@@ -35,6 +35,14 @@ struct RunResult
     CacheStats cache;           ///< rolled up over all processor caches
 
     /**
+     * Per-link contention counters of a topology-aware interconnect
+     * backend (mesh); hasLinkStats is false on the constant-latency
+     * pipe, which has no links.
+     */
+    NetLinkStats link;
+    bool hasLinkStats = false;
+
+    /**
      * Canonical final-state digest (shared static segment + per-thread
      * termination registers; see sim/state_digest.hpp). Identical across
      * every switch model, thread count and cache geometry for a given

@@ -282,18 +282,25 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
     const CacheConfig cacheVariants[] = {{2048, 4}, {8, 2}};
 
     auto runOne = [&](const Variant &v, SwitchModel model, int tpp,
-                      const CacheConfig &cache, Cycle latency) {
+                      const CacheConfig &cache, const NetworkConfig &net,
+                      const DirectoryConfig &dir = {}) {
         MachineConfig cfg;
         cfg.numProcs = opts.threads / tpp;
         cfg.threadsPerProc = tpp;
         cfg.model = model;
-        cfg.network.roundTrip = latency;
+        cfg.network = net;
         cfg.cache = cache;
+        cfg.directory = dir;
         cfg.maxCycles = opts.maxCycles;
         std::string label = format(
             "%s %s tpp=%d latency=%llu",
             std::string(switchModelName(model)).c_str(), v.name, tpp,
-            static_cast<unsigned long long>(latency));
+            static_cast<unsigned long long>(net.roundTrip));
+        if (net.kind == NetworkKind::Mesh)
+            label += format(" net=mesh:lb%llu",
+                            static_cast<unsigned long long>(net.linkBits));
+        if (dir.mode == DirectoryMode::LimitedPtr)
+            label += format(" dir=limited/%d", dir.pointers);
         if (modelUsesCache(model))
             label += format(" cache=%ux%u", cache.sizeWords,
                             cache.lineWords);
@@ -315,6 +322,12 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
         }
     };
 
+    auto constNet = [&](Cycle latency) {
+        NetworkConfig n;
+        n.roundTrip = latency;
+        return n;
+    };
+
     for (const Variant &v : variants)
         for (SwitchModel model : models) {
             // Raw code has no cswitch anywhere (including the prelude's
@@ -326,24 +339,45 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
                     continue;
                 if (modelUsesCache(model)) {
                     for (const CacheConfig &cache : cacheVariants)
-                        runOne(v, model, tpp, cache, opts.latency);
+                        runOne(v, model, tpp, cache,
+                               constNet(opts.latency));
                 } else {
-                    runOne(v, model, tpp, CacheConfig{}, opts.latency);
+                    runOne(v, model, tpp, CacheConfig{},
+                           constNet(opts.latency));
                 }
             }
         }
 
+    int tppMax = 1;
+    for (int t : opts.tppList)
+        if (t > tppMax && opts.threads % t == 0)
+            tppMax = t;
+
     if (opts.includeZeroLatency) {
         // Zero-latency machines take the direct-access fast path; one
         // representative per variant keeps the matrix affordable.
-        int tpp = 1;
-        for (int t : opts.tppList)
-            if (t > tpp && opts.threads % t == 0)
-                tpp = t;
-        runOne(variants[0], SwitchModel::SwitchOnLoad, tpp, CacheConfig{},
-               0);
-        runOne(variants[1], SwitchModel::ExplicitSwitch, tpp,
-               CacheConfig{}, 0);
+        runOne(variants[0], SwitchModel::SwitchOnLoad, tppMax,
+               CacheConfig{}, constNet(0));
+        runOne(variants[1], SwitchModel::ExplicitSwitch, tppMax,
+               CacheConfig{}, constNet(0));
+    }
+
+    if (opts.includeMesh) {
+        // Mesh slice: narrow links make every queueing path (link
+        // contention, per-source ordering, delayed fills) actually
+        // exercise; the architectural digest must not notice. The
+        // cached config also runs a 1-pointer directory, so overflow
+        // broadcasts fire.
+        NetworkConfig mesh;
+        mesh.kind = NetworkKind::Mesh;
+        mesh.linkBits = 16;
+        runOne(variants[0], SwitchModel::SwitchOnLoad, tppMax,
+               CacheConfig{}, mesh);
+        DirectoryConfig dir;
+        dir.mode = DirectoryMode::LimitedPtr;
+        dir.pointers = 1;
+        runOne(variants[1], SwitchModel::ConditionalSwitch, tppMax,
+               CacheConfig{8, 2}, mesh, dir);
     }
 
     return report;

@@ -66,6 +66,14 @@ struct DiffOptions
     int threads = 4;             ///< total threads in every config
     Cycle latency = 200;         ///< network round trip
     bool includeZeroLatency = true;
+
+    /**
+     * Also run a mesh-backend slice (narrow links for heavy contention,
+     * one config with a limited-pointer directory). Load-dependent
+     * timing must never change architectural results, so the digests
+     * still have to match the reference.
+     */
+    bool includeMesh = true;
     bool checkInvariants = true;
 
     /** Threads-per-processor splits (divisors of threads are used). */

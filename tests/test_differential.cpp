@@ -57,6 +57,61 @@ TEST(Differential, IndependentProgramSurvivesMatrix)
     EXPECT_GT(rep.machineRuns, 0);
 }
 
+TEST(Differential, MeshSliceIsInMatrixAndDivergenceFree)
+{
+    // The load-dependent mesh backend (narrow links, one limited-pointer
+    // directory config) is part of the matrix by default: switching it
+    // off must remove exactly its runs, and with it on a schedule-
+    // independent program must still match the reference digest —
+    // contention may move every message, never any result.
+    const std::string src = ".entry main\n"
+                            ".shared slots, 4\n"
+                            ".shared acc, 1\n"
+                            "main:\n"
+                            "    la t0, slots\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 9\n"
+                            "    add t1, t1, 2\n"
+                            "    sts t1, 0(t0)\n"
+                            "    li t2, 1\n"
+                            "    faa zero, acc, t2\n"
+                            "    mv v0, t1\n"
+                            "    halt\n";
+    DiffOptions withMesh = quickOptions();
+    DiffReport meshRep = runDifferential(src, withMesh);
+    EXPECT_TRUE(meshRep.ok()) << meshRep.summary();
+
+    DiffOptions noMesh = quickOptions();
+    noMesh.includeMesh = false;
+    DiffReport plainRep = runDifferential(src, noMesh);
+    EXPECT_TRUE(plainRep.ok()) << plainRep.summary();
+    EXPECT_EQ(meshRep.machineRuns, plainRep.machineRuns + 2);
+    EXPECT_EQ(meshRep.refDigest, plainRep.refDigest);
+}
+
+TEST(Differential, PinnedSeedsSurviveMeshBackend)
+{
+    // A pinned-seed fuzz slice dedicated to the mesh backend: seeds
+    // disjoint from the other blocks, mesh slice armed (and counted),
+    // invariants on. Divergence here means link contention changed an
+    // architectural result.
+    FuzzOptions opts;
+    opts.seeds = 8;
+    opts.firstSeed = 701;
+    opts.shrink = false;
+    opts.diff.checkInvariants = true;
+    opts.diff.includeMesh = true;
+
+    FuzzReport rep = runFuzzCampaign(opts);
+    EXPECT_EQ(rep.seedsRun, 8);
+    std::string firstFailure;
+    if (!rep.ok())
+        firstFailure = "seed " + std::to_string(rep.failures[0].seed) +
+                       ": " + rep.failures[0].first.config + ": " +
+                       rep.failures[0].first.detail;
+    EXPECT_TRUE(rep.ok()) << firstFailure;
+}
+
 TEST(Differential, RacyProgramScreenedAsUnstable)
 {
     // Last writer wins on one shared word and every thread reads it

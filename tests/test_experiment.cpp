@@ -54,7 +54,7 @@ TEST(Experiment, GroupedCodeChosenForExplicitSwitch)
     ExperimentRunner runner(0.05);
     const PreparedApp &pa = runner.prepare(sorApp());
     bool hasSwitch = false;
-    for (const auto &inst : pa.grouped.code)
+    for (const auto &inst : pa.grouped->code)
         if (inst.op == Opcode::CSWITCH)
             hasSwitch = true;
     EXPECT_TRUE(hasSwitch);

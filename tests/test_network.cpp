@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Tests for the pluggable interconnect layer (mem/network_model.hpp),
+ * the sparse directory (cache/directory.hpp) and MachineConfig
+ * validation:
+ *
+ *  - ConstantLatencyNetwork must reproduce the historical Machine
+ *    timing exactly: unit equivalence against the hand-computed
+ *    pipe/channel/memory-port math, plus pinned end-to-end cycle counts
+ *    and digests captured from the pre-refactor seed simulator.
+ *  - MeshNetwork: XY-routing distance math, link-contention queueing,
+ *    ordered per-source delivery, determinism (repeat runs and parallel
+ *    sweeps byte-identical), and architectural equivalence to the
+ *    constant-latency machine (same digest, different timing).
+ *  - Directory: full-map exactness and registration order; limited-
+ *    pointer overflow to broadcast (Dir_i B) with the writer excluded.
+ *  - validateMachineConfig diagnostics name the offending field.
+ *  - P=1024 is a first-class configuration: a mesh machine with 1024
+ *    processors constructs and runs a real program to completion.
+ */
+#include <gtest/gtest.h>
+
+#include "core/sweep.hpp"
+#include "mem/network_model.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+MemOp
+loadAt(Cycle t, std::uint16_t proc, Addr addr)
+{
+    MemOp op;
+    op.kind = MemOpKind::Load;
+    op.addr = addr;
+    op.proc = proc;
+    op.issueTime = t;
+    return op;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ConstantLatencyNetwork unit equivalence
+// ---------------------------------------------------------------------
+
+TEST(ConstantNetwork, PlainPipeTiming)
+{
+    NetworkConfig net;
+    net.roundTrip = 200;
+    auto model = makeNetworkModel(net, 4, 4);
+    EXPECT_EQ(model->name(), "constant-latency");
+    EXPECT_EQ(model->minDelay(), 100u);
+    EXPECT_FALSE(model->zeroLatency());
+    EXPECT_EQ(model->linkStats(), nullptr);
+
+    NetworkTiming t = model->route(loadAt(1000, 0, kSharedBase + 7));
+    EXPECT_EQ(t.arrival, 1100u);
+    EXPECT_EQ(t.returnTime, 1200u);
+
+    // No contention configured: a second message from the same source
+    // sails through with the same constant latency.
+    t = model->route(loadAt(1001, 0, kSharedBase + 8));
+    EXPECT_EQ(t.arrival, 1101u);
+    EXPECT_EQ(t.returnTime, 1201u);
+}
+
+TEST(ConstantNetwork, ChannelSerializationMatchesSeedMath)
+{
+    NetworkConfig net;
+    net.roundTrip = 200;
+    net.channelBits = 8;  // load forward = 64 bits -> 8 cycles
+    auto model = makeNetworkModel(net, 4, 4);
+
+    // Seed math: sendStart = max(issue, injectFree) + serialize(fwd);
+    // arrival = sendStart + oneWay; return adds serialize(ret).
+    NetworkTiming t = model->route(loadAt(100, 1, kSharedBase));
+    EXPECT_EQ(t.arrival, 100 + 8 + 100u);
+    // 1-word load return = 96 bits -> 12 cycles.
+    EXPECT_EQ(t.returnTime, 208 + 100 + 12u);
+
+    // Same channel, issued while the injector is still busy: queues.
+    t = model->route(loadAt(101, 1, kSharedBase + 1));
+    EXPECT_EQ(t.arrival, 108 + 8 + 100u);
+
+    // Different processor: its own channel, no queueing.
+    t = model->route(loadAt(101, 2, kSharedBase + 2));
+    EXPECT_EQ(t.arrival, 101 + 8 + 100u);
+}
+
+TEST(ConstantNetwork, MemoryPortHotSpotSerializes)
+{
+    NetworkConfig net;
+    net.roundTrip = 200;
+    net.memPortCycles = 10;
+    auto model = makeNetworkModel(net, 4, 4);
+
+    Addr hot = kSharedBase + 42;
+    EXPECT_EQ(model->route(loadAt(0, 0, hot)).arrival, 110u);
+    // Next access to the same word waits for the port.
+    EXPECT_EQ(model->route(loadAt(1, 1, hot)).arrival, 120u);
+    // A different word is untouched by the hot spot.
+    EXPECT_EQ(model->route(loadAt(2, 2, hot + 1)).arrival, 112u);
+}
+
+TEST(ConstantNetwork, PerSourceArrivalsAreMonotone)
+{
+    NetworkConfig net;
+    net.roundTrip = 200;
+    net.memPortCycles = 50;
+    auto model = makeNetworkModel(net, 2, 4);
+
+    Addr hot = kSharedBase;
+    Cycle a1 = model->route(loadAt(0, 0, hot)).arrival;
+    EXPECT_EQ(a1, 150u);
+    // A spin load skips the memory port, so its raw arrival (101) would
+    // overtake the first message; ordered delivery clamps it.
+    MemOp spin = loadAt(1, 0, hot + 9);
+    spin.spin = true;
+    Cycle a2 = model->route(spin).arrival;
+    EXPECT_EQ(a2, a1);
+}
+
+TEST(ConstantNetwork, ZeroRoundTripIsIdealNetwork)
+{
+    NetworkConfig net;
+    net.roundTrip = 0;
+    auto model = makeNetworkModel(net, 4, 4);
+    EXPECT_TRUE(model->zeroLatency());
+}
+
+// ---------------------------------------------------------------------
+// Pinned seed outputs: the refactored spine must time programs exactly
+// as the pre-refactor simulator did (values captured from the seed).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct PinnedRun
+{
+    const char *model;
+    Cycle cycles;
+};
+
+RunResult
+runSieve(SwitchModel model)
+{
+    const App &app = findApp("sieve");
+    AsmOptions opts = app.options(0.25);
+    Program prog = assemble(app.source(), opts);
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.threadsPerProc = 4;
+    cfg.model = model;
+    if (modelNeedsSwitchInstr(model) || cfg.groupEstimate)
+        prog = applyGroupingPass(prog);
+    Machine m(prog, cfg);
+    app.init(m);
+    RunResult r = m.run();
+    AppCheckResult chk = app.check(m);
+    EXPECT_TRUE(chk.ok) << chk.message;
+    return r;
+}
+
+} // namespace
+
+TEST(ConstantNetwork, PinnedSeedEquivalence)
+{
+    // sieve @ scale 0.25, 4 procs x 4 threads, latency 200 — cycle
+    // counts and digests recorded from the seed simulator before the
+    // NetworkModel extraction. Any timing drift in the constant path
+    // fails here.
+    const std::uint64_t kDigestShared = 0x65976debe27cb508ull;
+    const std::uint64_t kDigestRegs = 0xb9b23f3a46fd0825ull;
+    const PinnedRun pins[] = {
+        {"switch-on-load", 1772265},
+        {"conditional-switch", 909844},
+        {"explicit-switch", 1772268},
+    };
+    for (const PinnedRun &pin : pins) {
+        RunResult r = runSieve(switchModelFromName(pin.model));
+        EXPECT_EQ(r.cycles, pin.cycles) << pin.model;
+        EXPECT_EQ(r.digest.sharedHash, kDigestShared) << pin.model;
+        EXPECT_EQ(r.digest.regHash, kDigestRegs) << pin.model;
+    }
+}
+
+// ---------------------------------------------------------------------
+// MeshNetwork
+// ---------------------------------------------------------------------
+
+TEST(MeshNetwork, XyRoutingTimingOnEmptyMesh)
+{
+    NetworkConfig net;
+    net.kind = NetworkKind::Mesh;
+    net.meshX = 4;
+    net.meshY = 4;
+    net.hopCycles = 2;
+    net.linkBits = 64;
+    auto model = makeNetworkModel(net, 16, 4);
+    EXPECT_EQ(model->name(), "mesh");
+    EXPECT_EQ(model->minDelay(), 2u);
+    ASSERT_NE(model->linkStats(), nullptr);
+
+    // addr line 5 -> home node 5 = (1,1); source 0 = (0,0): 2 hops.
+    // Load forward = 64 bits -> 1 cycle/link. Per hop: serialize (1) +
+    // traverse (2). Arrival = 100 + 2*(1+2) = 106. Return (96 bits ->
+    // 2 cycles/link): 106 + 2*(2+2) = 114.
+    MemOp op = loadAt(100, 0, kSharedBase);
+    op.addr = 5 * 4;  // line-interleaved home mapping: line 5
+    NetworkTiming t = model->route(op);
+    EXPECT_EQ(t.arrival, 106u);
+    EXPECT_EQ(t.returnTime, 114u);
+
+    const NetLinkStats &ls = *model->linkStats();
+    EXPECT_EQ(ls.routedMsgs, 2u);  // forward + return
+    EXPECT_EQ(ls.hops, 4u);
+    EXPECT_DOUBLE_EQ(ls.avgHops(), 2.0);
+}
+
+TEST(MeshNetwork, HomeLocalAccessPaysOneHop)
+{
+    NetworkConfig net;
+    net.kind = NetworkKind::Mesh;
+    net.hopCycles = 3;
+    auto model = makeNetworkModel(net, 16, 4);
+    // Line 0 is homed at node 0; issued by node 0: injection hop only,
+    // each way.
+    NetworkTiming t = model->route(loadAt(50, 0, 0));
+    EXPECT_EQ(t.arrival, 53u);
+    EXPECT_EQ(t.returnTime, 56u);
+    EXPECT_EQ(model->linkStats()->localMsgs, 2u);
+    EXPECT_EQ(model->linkStats()->routedMsgs, 0u);
+}
+
+TEST(MeshNetwork, LinkContentionQueues)
+{
+    NetworkConfig net;
+    net.kind = NetworkKind::Mesh;
+    net.meshX = 4;
+    net.meshY = 1;
+    net.hopCycles = 1;
+    net.linkBits = 16;  // 64-bit load header -> 4 cycles per link
+    auto model = makeNetworkModel(net, 4, 4);
+
+    // Two processors' messages share the (2,0)->(3,0) east link:
+    // node1 -> node3 and node2 -> node3, both issued at t=0.
+    MemOp a = loadAt(0, 1, 0);
+    a.addr = 3 * 4;  // home node 3
+    MemOp b = loadAt(0, 2, 0);
+    b.addr = 3 * 4;
+
+    // a: links (1->2), (2->3): depart 0, arr at node2 = 5; link (2,E)
+    // busy [5,9), arrival = 10.
+    Cycle arrA = model->route(a).arrival;
+    EXPECT_EQ(arrA, 10u);
+    // b uses only (2->3), but it is busy until 9: departs 9, arrives
+    // 9 + 4 + 1 = 14 (9 cycles of queueing wait from t=5... issued 0,
+    // waits 9).
+    Cycle arrB = model->route(b).arrival;
+    EXPECT_EQ(arrB, 14u);
+    EXPECT_GT(model->linkStats()->waitCycles, 0u);
+    EXPECT_GT(model->linkStats()->busyMax, 0u);
+}
+
+TEST(MeshNetwork, SpinTrafficExemptFromContention)
+{
+    NetworkConfig net;
+    net.kind = NetworkKind::Mesh;
+    net.meshX = 4;
+    net.meshY = 1;
+    net.hopCycles = 1;
+    net.linkBits = 1;  // pathological serialization for real traffic
+    auto model = makeNetworkModel(net, 4, 4);
+
+    MemOp spin = loadAt(0, 0, 0);
+    spin.addr = 3 * 4;
+    spin.spin = true;
+    // Exempt: pays pure distance (3 hops each way), no serialization.
+    NetworkTiming t = model->route(spin);
+    EXPECT_EQ(t.arrival, 3u);
+    EXPECT_EQ(t.returnTime, 6u);
+    // And leaves no trace in the link counters (footnote 2).
+    EXPECT_EQ(model->linkStats()->routedMsgs, 0u);
+    EXPECT_EQ(model->linkStats()->busyCycles, 0u);
+}
+
+TEST(MeshNetwork, AutoDimsFactorizeNearSquare)
+{
+    NetworkConfig net;
+    auto [x16, y16] = resolveMeshDims(net, 16);
+    EXPECT_EQ(x16 * y16, 16);
+    EXPECT_EQ(x16, 4);
+    auto [x1024, y1024] = resolveMeshDims(net, 1024);
+    EXPECT_EQ(x1024, 32);
+    EXPECT_EQ(y1024, 32);
+    auto [x6, y6] = resolveMeshDims(net, 6);
+    EXPECT_EQ(x6, 2);
+    EXPECT_EQ(y6, 3);
+}
+
+namespace
+{
+
+/** A small racy-free multi-thread workload for end-to-end mesh runs. */
+const char *kMeshWorkload = ".shared slots, 64\n"
+                            ".shared acc, 1\n"
+                            "main:\n"
+                            "    la t0, slots\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 7\n"
+                            "    add t1, t1, 3\n"
+                            "    sts t1, 0(t0)\n"
+                            "    lds t2, 0(t0)\n"
+                            "    li t3, 1\n"
+                            "    faa zero, acc, t3\n"
+                            "    mv v0, t2\n"
+                            "    halt\n";
+
+MachineConfig
+meshConfig(int procs, int threads)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.threadsPerProc = threads;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.network.kind = NetworkKind::Mesh;
+    cfg.network.linkBits = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MeshNetwork, RepeatRunsAreDeterministic)
+{
+    MiniRun a = runAsm(kMeshWorkload, meshConfig(16, 2));
+    MiniRun b = runAsm(kMeshWorkload, meshConfig(16, 2));
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.digest, b.result.digest);
+    EXPECT_EQ(a.result.link.waitCycles, b.result.link.waitCycles);
+    EXPECT_TRUE(a.result.hasLinkStats);
+}
+
+TEST(MeshNetwork, ArchitecturallyEquivalentToConstantLatency)
+{
+    MiniRun mesh = runAsm(kMeshWorkload, meshConfig(8, 2));
+    MachineConfig constCfg = meshConfig(8, 2);
+    constCfg.network = NetworkConfig{200};
+    MiniRun constant = runAsm(kMeshWorkload, constCfg);
+    // Timing differs; architecture must not.
+    EXPECT_EQ(mesh.result.digest, constant.result.digest);
+    EXPECT_EQ(mesh.sharedInt("acc"), 16);
+}
+
+TEST(MeshNetwork, SweepIsDeterministicAcrossJobCounts)
+{
+    // The link-contention queues live inside each Machine, and sweep
+    // results are collected in submission order: an 8-worker sweep must
+    // reproduce the serial sweep exactly, cycle for cycle.
+    auto sweep = [&](unsigned jobs) {
+        ExperimentRunner runner(0.2);
+        SweepRunner sw(runner, jobs);
+        const App &app = findApp("sieve");
+        std::vector<SweepRunner::Job> work;
+        for (int t : {1, 2, 4}) {
+            SweepRunner::Job job;
+            job.app = &app;
+            job.config = meshConfig(16, t);
+            work.push_back(job);
+        }
+        std::vector<Cycle> cycles;
+        for (const ExperimentRun &r : sw.runAll(work))
+            cycles.push_back(r.result.cycles);
+        return cycles;
+    };
+    EXPECT_EQ(sweep(1), sweep(8));
+}
+
+TEST(MeshNetwork, P1024MachineRunsToCompletion)
+{
+    // The headline configuration: a 32x32 mesh with 1024 processors
+    // and a limited-pointer directory constructs and runs a real
+    // program end to end.
+    MachineConfig cfg = meshConfig(1024, 1);
+    cfg.directory.mode = DirectoryMode::LimitedPtr;
+    cfg.directory.pointers = 4;
+    const char *src = ".shared slots, 1024\n"
+                      ".shared acc, 1\n"
+                      "main:\n"
+                      "    la t0, slots\n"
+                      "    add t0, t0, a0\n"
+                      "    sts a0, 0(t0)\n"
+                      "    li t3, 1\n"
+                      "    faa zero, acc, t3\n"
+                      "    halt\n";
+    MiniRun r = runAsm(src, cfg);
+    EXPECT_EQ(r.sharedInt("acc"), 1024);
+    EXPECT_TRUE(r.result.hasLinkStats);
+    EXPECT_GT(r.result.link.routedMsgs, 0u);
+    EXPECT_GT(r.result.link.avgHops(), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Backend registry
+// ---------------------------------------------------------------------
+
+TEST(NetworkRegistry, NamesRoundTrip)
+{
+    for (NetworkKind k : kAllNetworkKinds)
+        EXPECT_EQ(networkKindFromName(networkKindName(k)), k);
+}
+
+TEST(NetworkRegistry, UnknownNameListsBackends)
+{
+    try {
+        networkKindFromName("hypercube");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown network 'hypercube'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("constant-latency"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("mesh"), std::string::npos) << msg;
+    }
+}
+
+TEST(NetworkRegistry, ConfigTokenDistinguishesBackends)
+{
+    NetworkConfig a;
+    NetworkConfig b;
+    b.kind = NetworkKind::Mesh;
+    EXPECT_NE(networkConfigToken(a), networkConfigToken(b));
+    NetworkConfig c = b;
+    c.linkBits = 16;
+    EXPECT_NE(networkConfigToken(b), networkConfigToken(c));
+}
+
+// ---------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------
+
+TEST(Directory, FullMapPreservesRegistrationOrder)
+{
+    Directory dir(DirectoryConfig{}, 16);
+    dir.addSharer(0, 5);
+    dir.addSharer(0, 2);
+    dir.addSharer(0, 9);
+    dir.addSharer(0, 2);  // duplicate ignored
+    std::vector<std::uint16_t> inv = dir.writersInvalidationSet(0, 9);
+    ASSERT_EQ(inv.size(), 2u);
+    EXPECT_EQ(inv[0], 5);
+    EXPECT_EQ(inv[1], 2);
+    // The entry was cleared.
+    EXPECT_TRUE(dir.writersInvalidationSet(0, 9).empty());
+    EXPECT_EQ(dir.broadcasts(), 0u);
+}
+
+TEST(Directory, FullMapSpillsPastInlinePointers)
+{
+    Directory dir(DirectoryConfig{}, 64);
+    for (std::uint16_t p = 0; p < 20; ++p)
+        dir.addSharer(8, p);
+    std::vector<std::uint16_t> inv = dir.writersInvalidationSet(8, 0);
+    ASSERT_EQ(inv.size(), 19u);
+    for (std::uint16_t p = 1; p < 20; ++p)
+        EXPECT_EQ(inv[p - 1], p);  // registration order, writer excluded
+}
+
+TEST(Directory, LimitedPointerOverflowBroadcasts)
+{
+    DirectoryConfig cfg;
+    cfg.mode = DirectoryMode::LimitedPtr;
+    cfg.pointers = 2;
+    Directory dir(cfg, 8);
+    dir.addSharer(0, 1);
+    dir.addSharer(0, 2);
+    EXPECT_EQ(dir.overflows(), 0u);
+    dir.addSharer(0, 3);  // third sharer overflows 2 pointers
+    EXPECT_EQ(dir.overflows(), 1u);
+    EXPECT_EQ(dir.broadcastLines(), 1u);
+
+    // A write now invalidates everyone except the writer — including
+    // processors that never shared the line (imprecise broadcast).
+    std::vector<std::uint16_t> inv = dir.writersInvalidationSet(0, 2);
+    EXPECT_EQ(inv.size(), 7u);
+    for (std::uint16_t p : inv)
+        EXPECT_NE(p, 2);
+    EXPECT_EQ(dir.broadcasts(), 1u);
+}
+
+TEST(Directory, LimitedPointerExactWhileUnderLimit)
+{
+    DirectoryConfig cfg;
+    cfg.mode = DirectoryMode::LimitedPtr;
+    cfg.pointers = 4;
+    Directory dir(cfg, 1024);
+    dir.addSharer(16, 100);
+    dir.addSharer(16, 900);
+    std::vector<std::uint16_t> inv = dir.writersInvalidationSet(16, 100);
+    ASSERT_EQ(inv.size(), 1u);
+    EXPECT_EQ(inv[0], 900);
+    EXPECT_EQ(dir.broadcasts(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// MachineConfig validation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+validationError(const MachineConfig &cfg)
+{
+    try {
+        validateMachineConfig(cfg);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(ConfigValidation, DiagnosticsNameTheField)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 0;
+    EXPECT_NE(validationError(cfg).find("numProcs"), std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.threadsPerProc = -1;
+    EXPECT_NE(validationError(cfg).find("threadsPerProc"),
+              std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.network.roundTrip = 201;
+    EXPECT_NE(validationError(cfg).find("network.roundTrip"),
+              std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.network.kind = NetworkKind::Mesh;
+    cfg.network.meshX = 3;
+    cfg.network.meshY = 3;  // 9 != 16
+    EXPECT_NE(validationError(cfg).find("network.meshX"),
+              std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.network.kind = NetworkKind::Mesh;
+    cfg.network.linkBits = 0;
+    EXPECT_NE(validationError(cfg).find("network.linkBits"),
+              std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.network.kind = NetworkKind::Mesh;
+    cfg.network.hopCycles = 0;
+    EXPECT_NE(validationError(cfg).find("network.hopCycles"),
+              std::string::npos);
+
+    cfg = MachineConfig{};
+    cfg.directory.pointers = 9;
+    EXPECT_NE(validationError(cfg).find("directory.pointers"),
+              std::string::npos);
+}
+
+TEST(ConfigValidation, MachineConstructionEnforcesIt)
+{
+    MachineConfig cfg = miniConfig();
+    cfg.numProcs = 0;
+    EXPECT_THROW(runAsm("main:\n    halt\n", cfg), FatalError);
+}
+
+TEST(ConfigValidation, DefaultAndMeshConfigsPass)
+{
+    EXPECT_EQ(validationError(MachineConfig{}), "");
+    MachineConfig cfg;
+    cfg.numProcs = 1024;
+    cfg.network.kind = NetworkKind::Mesh;
+    EXPECT_EQ(validationError(cfg), "");
+}

@@ -42,6 +42,18 @@ usage()
         "  --threads N         hardware threads per processor (default 1)\n"
         "  --latency N         round-trip shared latency (default 200; 0 ="
         " ideal network)\n"
+        "  --network NAME      interconnect backend: constant-latency "
+        "(default) | mesh\n"
+        "  --mesh-dims XxY     mesh dimensions (default: near-square "
+        "factorization of --procs)\n"
+        "  --hop-cycles N      mesh per-hop router+wire latency "
+        "(default 2)\n"
+        "  --link-bits N       mesh link bandwidth in bits/cycle "
+        "(default 64)\n"
+        "  --directory MODE    sharer directory: full-map (default) | "
+        "limited\n"
+        "  --dir-pointers N    pointer slots per line for --directory "
+        "limited (default 4, max 8)\n"
         "  --scale X           problem-size multiplier (default 1.0)\n"
         "  --cache-words N     cache capacity in words (default 2048)\n"
         "  --line-words N      cache line size in words (default 4)\n"
@@ -67,7 +79,8 @@ usage()
         "  --listing           print the (grouped) program listing and "
         "exit\n"
         "  --list              list the benchmark applications\n"
-        "  --list-models       list the switch-model names\n");
+        "  --list-models       list the switch-model names\n"
+        "  --list-networks     list the interconnect backend names\n");
 }
 
 } // namespace
@@ -114,6 +127,27 @@ main(int argc, char **argv)
                 cfg.threadsPerProc = static_cast<int>(intArg(i));
             } else if (a == "--latency") {
                 cfg.network.roundTrip = static_cast<Cycle>(intArg(i));
+            } else if (a == "--network" && i + 1 < argc) {
+                cfg.network.kind = networkKindFromName(argv[++i]);
+            } else if (a == "--mesh-dims" && i + 1 < argc) {
+                auto xy = split(argv[++i], 'x');
+                if (xy.size() != 2) {
+                    std::fprintf(stderr,
+                                 "mtsim: --mesh-dims expects XxY (e.g. "
+                                 "32x32)\n");
+                    return 2;
+                }
+                cfg.network.meshX = std::atoi(xy[0].c_str());
+                cfg.network.meshY = std::atoi(xy[1].c_str());
+            } else if (a == "--hop-cycles") {
+                cfg.network.hopCycles = static_cast<Cycle>(intArg(i));
+            } else if (a == "--link-bits") {
+                cfg.network.linkBits =
+                    static_cast<std::uint64_t>(intArg(i));
+            } else if (a == "--directory" && i + 1 < argc) {
+                cfg.directory.mode = directoryModeFromName(argv[++i]);
+            } else if (a == "--dir-pointers") {
+                cfg.directory.pointers = static_cast<int>(intArg(i));
             } else if (a == "--scale" && i + 1 < argc) {
                 scale = std::atof(argv[++i]);
             } else if (a == "--cache-words") {
@@ -156,6 +190,11 @@ main(int argc, char **argv)
                 for (SwitchModel m : kAllModels)
                     std::printf("%s\n",
                                 std::string(switchModelName(m)).c_str());
+                return 0;
+            } else if (a == "--list-networks") {
+                for (NetworkKind k : kAllNetworkKinds)
+                    std::printf("%s\n",
+                                std::string(networkKindName(k)).c_str());
                 return 0;
             } else if (a == "--help" || a == "-h") {
                 usage();
@@ -288,6 +327,14 @@ main(int argc, char **argv)
                     std::string(switchModelName(cfg.model)).c_str(),
                     cfg.numProcs, cfg.threadsPerProc,
                     (unsigned long long)cfg.network.roundTrip);
+        if (cfg.network.kind == NetworkKind::Mesh) {
+            auto [mx, my] = resolveMeshDims(cfg.network, cfg.numProcs);
+            std::printf("network=mesh dims=%dx%d hop-cycles=%llu "
+                        "link-bits=%llu directory=%s\n",
+                        mx, my, (unsigned long long)cfg.network.hopCycles,
+                        (unsigned long long)cfg.network.linkBits,
+                        directoryModeName(cfg.directory.mode));
+        }
         std::printf("cycles=%llu instructions=%llu utilization=%.3f "
                     "self-check=%s\n",
                     (unsigned long long)r.cycles,
@@ -318,6 +365,15 @@ main(int argc, char **argv)
                         (unsigned long long)r.net.messages,
                         r.bitsPerCycle(),
                         (unsigned long long)r.net.invalMsgs);
+            if (r.hasLinkStats)
+                std::printf(
+                    "links: routed=%llu local=%llu avg-hops=%.2f "
+                    "wait-cycles=%llu max-link-util=%.3f\n",
+                    (unsigned long long)r.link.routedMsgs,
+                    (unsigned long long)r.link.localMsgs,
+                    r.link.avgHops(),
+                    (unsigned long long)r.link.waitCycles,
+                    r.link.maxLinkUtilization(r.cycles));
             if (modelUsesCache(cfg.model))
                 std::printf("cache: hit-rate=%.3f (hits=%llu misses=%llu "
                             "merges=%llu invalidations=%llu)\n",
