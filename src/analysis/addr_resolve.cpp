@@ -1,0 +1,369 @@
+#include "analysis/addr_resolve.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+AffineVal
+meetAffine(const AffineVal &a, const AffineVal &b)
+{
+    using K = AffineVal::Kind;
+    if (a.kind == K::Bot)
+        return b;
+    if (b.kind == K::Bot)
+        return a;
+    if (a.kind == K::Top || b.kind == K::Top)
+        return AffineVal::top();
+    if (a.base == b.base && a.tid == b.tid)
+        return (a.kind == K::Exact && b.kind == K::Exact)
+                   ? a
+                   : AffineVal::approx(a.base, a.tid);
+    // Paths disagree. Two exact values join to an approximate anchor
+    // at the smaller base (a branch join inside one region keeps its
+    // symbol); any disagreement involving an already-approximate side
+    // widens straight to Top — that shape only arises from
+    // loop-carried arithmetic, and without the widening a descending
+    // counter would ratchet the anchor down forever.
+    if (a.kind == K::Exact && b.kind == K::Exact)
+        return AffineVal::approx(std::min(a.base, b.base),
+                                 a.tid == b.tid ? a.tid : 0);
+    return AffineVal::top();
+}
+
+namespace
+{
+
+using K = AffineVal::Kind;
+
+/** a + b / a - b (exact iff both exact). */
+AffineVal
+combine(const AffineVal &a, const AffineVal &b, std::int64_t sign)
+{
+    if (!a.resolved() || !b.resolved())
+        return AffineVal::top();
+    AffineVal r;
+    r.kind = (a.kind == K::Exact && b.kind == K::Exact) ? K::Exact
+                                                        : K::Approx;
+    r.base = a.base + sign * b.base;
+    r.tid = a.tid + sign * b.tid;
+    return r;
+}
+
+/** v * c for a compile-time constant c. */
+AffineVal
+scale(const AffineVal &v, std::int64_t c)
+{
+    if (c == 0)
+        return AffineVal::exact(0);
+    if (!v.resolved())
+        return AffineVal::top();
+    AffineVal r = v;
+    r.base *= c;
+    r.tid *= c;
+    return r;
+}
+
+struct AffineRegs
+{
+    std::array<AffineVal, 32> r;
+
+    bool operator==(const AffineRegs &) const = default;
+};
+
+/**
+ * Per-routine clobber summaries: the integer registers a call to the
+ * routine (entry block id) may redefine — its own defs plus its
+ * transitive callees' (unresolvable callees clobber everything). The
+ * prelude routines confine themselves to the r26-r28 scratch bank, so
+ * without this a single `call __mts_barrier` would erase the thread id
+ * every generated program and app keeps in an s-register.
+ */
+std::unordered_map<std::int32_t, RegSet>
+computeClobberSummaries(const Cfg &cfg)
+{
+    const auto &code = cfg.program().code;
+    std::unordered_map<std::int32_t, RegSet> clob;
+    std::unordered_map<std::int32_t, std::vector<std::int32_t>> callees;
+    for (std::int32_t entry : cfg.routineEntries()) {
+        RegSet s = 0;
+        for (std::int32_t b : cfg.routineBlocks(entry)) {
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                const Instruction &inst =
+                    code[static_cast<std::size_t>(pc)];
+                s |= instDefs(inst);
+                if (inst.op == Opcode::JAL)
+                    callees[entry].push_back(
+                        inst.target >= 0 ? cfg.blockOf(inst.target)
+                                         : -1);
+            }
+        }
+        clob[entry] = s;
+    }
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (auto &[entry, cs] : callees)
+            for (std::int32_t c : cs) {
+                RegSet add = c < 0 ? ~RegSet{0} : clob[c];
+                if ((clob[entry] | add) != clob[entry]) {
+                    clob[entry] |= add;
+                    changed = true;
+                }
+            }
+    }
+    return clob;
+}
+
+struct AffineDomain
+{
+    using Value = AffineRegs;
+
+    const Cfg &cfg;
+    const std::unordered_map<std::int32_t, RegSet> &clobbers;
+    bool isProgramEntry;  ///< a0 carries the thread id at boundary
+
+    Value
+    boundary() const
+    {
+        Value v;
+        v.r.fill(AffineVal::top());
+        v.r[kRegZero] = AffineVal::exact(0);
+        if (isProgramEntry)
+            v.r[kRegArg0] = AffineVal::exact(0, 1);  // a0 = tid
+        return v;
+    }
+
+    Value
+    top() const
+    {
+        Value v;
+        v.r.fill(AffineVal::bot());
+        return v;
+    }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        for (std::size_t i = 0; i < into.r.size(); ++i)
+            into.r[i] = meetAffine(into.r[i], from.r[i]);
+    }
+
+    void
+    stepInst(const Instruction &inst, Value &v) const
+    {
+        auto def = [&](const AffineVal &val) {
+            if (inst.rd != kRegZero)
+                v.r[inst.rd] = val;
+        };
+        auto rs1 = [&]() { return v.r[inst.rs1]; };
+        auto rs2v = [&]() {
+            return inst.useImm ? AffineVal::exact(inst.imm)
+                               : v.r[inst.rs2];
+        };
+
+        switch (inst.op) {
+          case Opcode::LI:
+            def(AffineVal::exact(inst.imm));
+            return;
+          case Opcode::ADD:
+            def(combine(rs1(), rs2v(), +1));
+            return;
+          case Opcode::SUB:
+            def(combine(rs1(), rs2v(), -1));
+            return;
+          case Opcode::MUL: {
+            AffineVal a = rs1(), b = rs2v();
+            if (b.isConst())
+                def(scale(a, b.base));
+            else if (a.isConst())
+                def(scale(b, a.base));
+            else
+                def(AffineVal::top());
+            return;
+          }
+          case Opcode::SLL: {
+            AffineVal b = rs2v();
+            if (b.isConst() && b.base >= 0 && b.base < 62)
+                def(scale(rs1(), std::int64_t{1} << b.base));
+            else
+                def(AffineVal::top());
+            return;
+          }
+          case Opcode::OR:
+          case Opcode::XOR: {
+            // Only the or/xor-with-zero identity is affine.
+            AffineVal a = rs1(), b = rs2v();
+            if (a.isConst() && a.base == 0)
+                def(b);
+            else if (b.isConst() && b.base == 0)
+                def(a);
+            else
+                def(AffineVal::top());
+            return;
+          }
+          case Opcode::JAL: {
+            // Calls clobber what the callee (transitively) defines;
+            // an unresolvable target clobbers everything.
+            RegSet defs = ~RegSet{0};
+            if (inst.target >= 0) {
+                auto it = clobbers.find(cfg.blockOf(inst.target));
+                if (it != clobbers.end())
+                    defs = it->second;
+            }
+            defs = (defs | regBit(kRegRa)) & kIntRegMask;
+            for (RegId i = 1; i < 32; ++i)
+                if (defs & regBit(i))
+                    v.r[i] = AffineVal::top();
+            return;
+          }
+          default:
+            break;
+        }
+        // Everything else (loads, faa, compares, div/rem, fp moves...)
+        // just clobbers its integer definitions.
+        RegSet defs = instDefs(inst) & kIntRegMask;
+        for (RegId i = 1; i < 32; ++i)
+            if (defs & regBit(i))
+                v.r[i] = AffineVal::top();
+    }
+
+    Value
+    transfer(std::int32_t block, Value v) const
+    {
+        const auto &code = cfg.program().code;
+        const CfgBlock &b = cfg.block(block);
+        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+            stepInst(code[static_cast<std::size_t>(pc)], v);
+        return v;
+    }
+};
+
+} // namespace
+
+AddrResolver::AddrResolver(const Cfg &cfg)
+    : cfg_(cfg), atPc_(cfg.program().code.size())
+{
+    for (Regs &st : atPc_)
+        st.fill(AffineVal::bot());
+
+    const auto &code = cfg.program().code;
+    const auto clobbers = computeClobberSummaries(cfg);
+    for (std::int32_t entry : cfg.routineEntries()) {
+        auto blocks = cfg.routineBlocks(entry);
+        AffineDomain dom{cfg, clobbers, entry == cfg.entryBlock()};
+        auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+        for (std::int32_t b : blocks) {
+            AffineRegs v = sol.in[static_cast<std::size_t>(b)];
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                Regs &slot = atPc_[static_cast<std::size_t>(pc)];
+                for (std::size_t i = 0; i < slot.size(); ++i)
+                    slot[i] = meetAffine(slot[i], v.r[i]);
+                dom.stepInst(code[static_cast<std::size_t>(pc)], v);
+            }
+        }
+    }
+}
+
+const AffineVal &
+AddrResolver::valueAt(std::int32_t pc, std::uint8_t r) const
+{
+    static const AffineVal kTop = AffineVal::top();
+    if (pc < 0 || static_cast<std::size_t>(pc) >= atPc_.size() || r >= 32)
+        return kTop;
+    return atPc_[static_cast<std::size_t>(pc)][r];
+}
+
+AffineVal
+AddrResolver::memAddr(std::int32_t pc) const
+{
+    if (pc < 0 || static_cast<std::size_t>(pc) >= atPc_.size())
+        return AffineVal::top();
+    const Instruction &inst =
+        cfg_.program().code[static_cast<std::size_t>(pc)];
+    if (!isSharedMem(inst.op) && inst.op != Opcode::LDL &&
+        inst.op != Opcode::STL && inst.op != Opcode::FLDL &&
+        inst.op != Opcode::FSTL)
+        return AffineVal::top();
+    AffineVal base = valueAt(pc, inst.rs1);
+    if (!base.resolved())
+        return AffineVal::top();
+    AffineVal r = base;
+    r.base += inst.imm;
+    return r;
+}
+
+std::string
+symbolizeAddr(const Program &prog, Addr addr)
+{
+    SymbolKind want =
+        isSharedAddr(addr) ? SymbolKind::Shared : SymbolKind::Local;
+    for (const auto &[name, sym] : prog.symbols) {
+        if (sym.kind != want)
+            continue;
+        Addr base = static_cast<Addr>(sym.value);
+        if (addr >= base && addr < base + (sym.size ? sym.size : 1))
+            return format("%s+%llu", name.c_str(),
+                          static_cast<unsigned long long>(addr - base));
+    }
+    return "";
+}
+
+std::string
+AddrResolver::describe(const AffineVal &v) const
+{
+    if (!v.resolved())
+        return "?";
+    const Program &prog = cfg_.program();
+    Addr base = static_cast<Addr>(v.base);
+
+    std::string sym;
+    SymbolKind want =
+        isSharedAddr(base) ? SymbolKind::Shared : SymbolKind::Local;
+    std::int64_t off = 0;
+    for (const auto &[name, s] : prog.symbols) {
+        if (s.kind != want)
+            continue;
+        Addr sb = static_cast<Addr>(s.value);
+        if (base >= sb && base < sb + (s.size ? s.size : 1)) {
+            sym = name;
+            off = static_cast<std::int64_t>(base - sb);
+            break;
+        }
+    }
+    if (sym.empty()) {
+        if (v.base >= 0 && !isSharedAddr(base))
+            sym = "local", off = v.base;
+        else if (isSharedAddr(base))
+            sym = "shared",
+            off = static_cast<std::int64_t>(base - kSharedBase);
+        else
+            return "?";
+    }
+
+    if (v.kind == AffineVal::Kind::Approx)
+        return format("%s+?", sym.c_str());
+    if (v.tid != 0) {
+        if (off != 0)
+            return format("%s+%lld*tid%+lld", sym.c_str(),
+                          (long long)v.tid, (long long)off);
+        return format("%s+%lld*tid", sym.c_str(), (long long)v.tid);
+    }
+    return format("%s+%lld", sym.c_str(), (long long)off);
+}
+
+std::string
+AddrResolver::describeMemAddr(std::int32_t pc) const
+{
+    return describe(memAddr(pc));
+}
+
+} // namespace mts

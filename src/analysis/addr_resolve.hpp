@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Thread-id-affine address resolution.
+ *
+ * Every memory operand in MTS code is built from `la` (a link-time
+ * constant), the architectural thread id in a0, and a short chain of
+ * adds/shifts/multiplies. A forward dataflow over the abstract value
+ *
+ *     k + c * tid        (k, c compile-time constants)
+ *
+ * therefore resolves most shared accesses to a symbol plus a per-thread
+ * stride — exactly the information the race checker needs to prove
+ * "disjoint per-thread slice" and the spin/lock checker needs to name
+ * the word a diagnostic is about.
+ *
+ * The lattice per register is Bot < {Exact, Approx} < Top. Exact means
+ * the value is k + c*tid on every path; Approx keeps the symbol
+ * attribution (k is a lower bound within one symbol, e.g. a stencil
+ * pointer that moves by a loop-variant amount) but gives up the offset;
+ * Top is unresolved. Calls clobber everything — summaries are not
+ * needed because sync-routine internals are exempted by the race
+ * checker and user code in this ISA rarely computes addresses across
+ * calls.
+ */
+#ifndef MTS_ANALYSIS_ADDR_RESOLVE_HPP
+#define MTS_ANALYSIS_ADDR_RESOLVE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace mts
+{
+
+/** Abstract register value: k + c * tid. */
+struct AffineVal
+{
+    enum class Kind : std::uint8_t
+    {
+        Bot,    ///< unreachable / no information yet (meet identity)
+        Exact,  ///< exactly base + tid * globalThreadId on every path
+        Approx, ///< base locates the value (symbol attribution holds),
+                ///< offset within the symbol is path-dependent
+        Top     ///< unresolved
+    };
+
+    Kind kind = Kind::Top;
+    std::int64_t base = 0;  ///< constant part (absolute for addresses)
+    std::int64_t tid = 0;   ///< coefficient of the global thread id
+
+    bool operator==(const AffineVal &) const = default;
+
+    static AffineVal bot() { return {Kind::Bot, 0, 0}; }
+    static AffineVal top() { return {Kind::Top, 0, 0}; }
+
+    static AffineVal
+    exact(std::int64_t base, std::int64_t tid = 0)
+    {
+        return {Kind::Exact, base, tid};
+    }
+
+    static AffineVal
+    approx(std::int64_t base, std::int64_t tid = 0)
+    {
+        return {Kind::Approx, base, tid};
+    }
+
+    /** Exact or Approx: the base locates the value. */
+    bool
+    resolved() const
+    {
+        return kind == Kind::Exact || kind == Kind::Approx;
+    }
+
+    /** Exact with no tid component: a plain compile-time constant. */
+    bool
+    isConst() const
+    {
+        return kind == Kind::Exact && tid == 0;
+    }
+};
+
+/** Lattice meet (path join). Differing resolved values degrade to
+ *  Approx over the smaller base so symbol attribution survives loops
+ *  whose address moves monotonically within one region. */
+AffineVal meetAffine(const AffineVal &a, const AffineVal &b);
+
+/**
+ * Per-instruction affine register states for a whole program, solved
+ * once per routine (blocks reachable from several routine entries keep
+ * the meet of all their contexts). Query with the pc of interest.
+ */
+class AddrResolver
+{
+  public:
+    /** Integer register states at one pc (before the instruction). */
+    using Regs = std::array<AffineVal, 32>;
+
+    explicit AddrResolver(const Cfg &cfg);
+
+    const Cfg &cfg() const { return cfg_; }
+
+    /** Value of integer register @p r just before @p pc executes. */
+    const AffineVal &valueAt(std::int32_t pc, std::uint8_t r) const;
+
+    /** Effective address (rs1 + imm) of the memory access at @p pc.
+     *  Top for non-memory instructions. */
+    AffineVal memAddr(std::int32_t pc) const;
+
+    /** Human form: "gp_lk+0", "gp_priv+8*tid+1", "gp_u+?" (Approx),
+     *  "local+12", or "?" when unresolved. */
+    std::string describe(const AffineVal &v) const;
+
+    /** describe(memAddr(pc)). */
+    std::string describeMemAddr(std::int32_t pc) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<Regs> atPc_;
+};
+
+/** "name+off" for the data symbol covering @p addr ("" if none). Looks
+ *  at Shared symbols for shared addresses and Local ones otherwise. */
+std::string symbolizeAddr(const Program &prog, Addr addr);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_ADDR_RESOLVE_HPP

@@ -5,6 +5,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "analysis/addr_resolve.hpp"
+#include "analysis/races.hpp"
+#include "analysis/routine_summary.hpp"
 #include "util/strings.hpp"
 
 namespace mts
@@ -167,119 +170,6 @@ struct InFlightDomain
     }
 };
 
-// ---------------------------------------------------------------------
-// spin/lock discipline: priority lattice
-// ---------------------------------------------------------------------
-
-/**
- * Abstract thread priority: Bot = unreachable, Entry = whatever it was
- * at routine entry (symbolic), Low/High = setpri 0/1, Top = differs by
- * path. The same values serve as routine summaries (Entry = identity,
- * Low/High = sets-to, Top = unknown, Bot = never returns).
- */
-enum class Pri : std::uint8_t
-{
-    Bot,
-    Entry,
-    Low,
-    High,
-    Top
-};
-
-Pri
-meetPri(Pri a, Pri b)
-{
-    if (a == Pri::Bot)
-        return b;
-    if (b == Pri::Bot)
-        return a;
-    return a == b ? a : Pri::Top;
-}
-
-/** Value after a call given the callee summary. */
-Pri
-applySummary(Pri summary, Pri v)
-{
-    switch (summary) {
-      case Pri::Bot:
-        return Pri::Bot;  // callee never returns
-      case Pri::Entry:
-        return v;  // callee leaves priority alone
-      case Pri::Low:
-      case Pri::High:
-        return summary;
-      case Pri::Top:
-        return Pri::Top;
-    }
-    return Pri::Top;
-}
-
-struct PriDomain
-{
-    using Value = Pri;
-
-    const Cfg &cfg;
-    const std::map<std::int32_t, Pri> &summaries;  ///< entry block -> effect
-    Pri entryValue;
-
-    Value boundary() const { return entryValue; }
-    Value top() const { return Pri::Bot; }
-
-    void
-    meetInto(Value &into, const Value &from) const
-    {
-        into = meetPri(into, from);
-    }
-
-    Pri
-    stepInst(const Instruction &inst, Pri v) const
-    {
-        if (v == Pri::Bot)
-            return v;
-        if (inst.op == Opcode::SETPRI)
-            return inst.imm == 0 ? Pri::Low
-                   : inst.imm == 1 ? Pri::High
-                                   : Pri::Top;
-        if (inst.op == Opcode::JAL && inst.target >= 0) {
-            auto it = summaries.find(cfg.blockOf(inst.target));
-            return applySummary(
-                it == summaries.end() ? Pri::Top : it->second, v);
-        }
-        return v;
-    }
-
-    Value
-    transfer(std::int32_t block, Value v) const
-    {
-        const auto &code = cfg.program().code;
-        const CfgBlock &b = cfg.block(block);
-        for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
-            v = stepInst(code[static_cast<std::size_t>(pc)], v);
-        return v;
-    }
-};
-
-/** Summary of one routine under the current summary map: the meet of
- *  the out-values of its `jr`-terminated blocks with symbolic entry. */
-Pri
-routineSummary(const Cfg &cfg, std::int32_t entry,
-               const std::map<std::int32_t, Pri> &summaries)
-{
-    auto blocks = cfg.routineBlocks(entry);
-    PriDomain dom{cfg, summaries, Pri::Entry};
-    auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
-    Pri out = Pri::Bot;
-    const auto &code = cfg.program().code;
-    for (std::int32_t b : blocks) {
-        const CfgBlock &blk = cfg.block(b);
-        if (blk.size() > 0 &&
-            code[static_cast<std::size_t>(blk.range.end - 1)].op ==
-                Opcode::JR)
-            out = meetPri(out, sol.out[static_cast<std::size_t>(b)]);
-    }
-    return out;
-}
-
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -425,36 +315,29 @@ checkSpinLock(const Cfg &cfg, const LintOptions &opts, LintReport &report)
     const Program &prog = cfg.program();
     const auto &code = prog.code;
 
-    // lds.spin must spin: its block must lie on a CFG cycle.
+    // lds.spin must spin: its block must lie on a CFG cycle. Name the
+    // word being spun on (resolved through the address analysis) so the
+    // diagnostic points at the flag, not just the instruction.
+    AddrResolver resolver(cfg);
     for (std::size_t pc = 0; pc < code.size(); ++pc) {
         if (code[pc].op != Opcode::LDS_SPIN)
             continue;
         if (!cfg.blockInCycle(cfg.blockOf(static_cast<std::int32_t>(pc))))
             report.add(prog, Severity::Error, "spin-lock",
                        static_cast<std::int32_t>(pc),
-                       "lds.spin outside any loop: spin loads are "
-                       "excluded from bandwidth accounting and must "
-                       "only be used for spinning");
+                       format("lds.spin on %s outside any loop: spin "
+                              "loads are excluded from bandwidth "
+                              "accounting and must only be used for "
+                              "spinning",
+                              resolver
+                                  .describeMemAddr(
+                                      static_cast<std::int32_t>(pc))
+                                  .c_str()));
     }
 
     // setpri pairing: fixpoint over per-routine priority summaries,
     // then a diagnostic pass with concrete entry values.
-    std::map<std::int32_t, Pri> summaries;
-    for (std::int32_t entry : cfg.routineEntries())
-        summaries[entry] = Pri::Bot;
-    for (int iter = 0; iter < 3 * static_cast<int>(summaries.size()) + 3;
-         ++iter) {
-        bool changed = false;
-        for (auto &[entry, current] : summaries) {
-            Pri next = routineSummary(cfg, entry, summaries);
-            if (next != current) {
-                current = next;
-                changed = true;
-            }
-        }
-        if (!changed)
-            break;
-    }
+    auto summaries = computePrioritySummaries(cfg);
 
     std::set<std::int32_t> seen;
     for (std::int32_t entry : cfg.routineEntries()) {
@@ -518,6 +401,8 @@ runLint(const Program &prog, const LintOptions &opts)
         checkRunLength(cfg, opts, report);
     }
     checkSpinLock(cfg, opts, report);
+    if (opts.races)
+        checkRaces(cfg, opts, report);
     report.sort();
     return report;
 }

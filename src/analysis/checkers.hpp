@@ -51,6 +51,11 @@ struct LintOptions
 
     /** Registers assumed defined at program entry. */
     RegSet entryDefined = kEntryDefinedRegs;
+
+    /** Run the interprocedural lockset / shared-region race checker
+     *  (see races.hpp). Off by default: it is the most expensive pass
+     *  and only meaningful for whole programs with their prelude. */
+    bool races = false;
 };
 
 /// @name Individual checkers (append findings to @p report).

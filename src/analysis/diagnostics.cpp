@@ -32,9 +32,24 @@ LintReport::add(const Program &prog, Severity severity,
     d.checker = std::string(checker);
     d.pc = pc;
     d.message = std::move(message);
-    if (pc >= 0 && static_cast<std::size_t>(pc) < prog.code.size()) {
-        d.line = prog.code[static_cast<std::size_t>(pc)].srcLine;
-        d.label = prog.positionOf(pc);
+    add(prog, std::move(d));
+}
+
+void
+LintReport::add(const Program &prog, Diag d)
+{
+    if (d.pc >= 0 && static_cast<std::size_t>(d.pc) < prog.code.size()) {
+        if (d.line == 0)
+            d.line = prog.code[static_cast<std::size_t>(d.pc)].srcLine;
+        if (d.label.empty())
+            d.label = prog.positionOf(d.pc);
+    }
+    if (d.pc2 >= 0 &&
+        static_cast<std::size_t>(d.pc2) < prog.code.size()) {
+        if (d.line2 == 0)
+            d.line2 = prog.code[static_cast<std::size_t>(d.pc2)].srcLine;
+        if (d.label2.empty())
+            d.label2 = prog.positionOf(d.pc2);
     }
     diags_.push_back(std::move(d));
 }
@@ -78,6 +93,16 @@ LintReport::renderText(const Program &prog) const
         std::string src = prog.sourceLine(d.line);
         if (!src.empty())
             os << "    > " << src << "\n";
+        if (d.pc2 >= 0) {
+            os << "    note: " << (d.note.empty() ? "see also" : d.note)
+               << " at " << d.label2 << " (pc " << d.pc2;
+            if (d.line2)
+                os << ", line " << d.line2;
+            os << ")\n";
+            std::string src2 = prog.sourceLine(d.line2);
+            if (!src2.empty())
+                os << "    > " << src2 << "\n";
+        }
     }
     return os.str();
 }
@@ -103,6 +128,14 @@ LintReport::toJson(const std::string &programName, bool grouped) const
         j["line"] = std::uint64_t(d.line);
         j["label"] = d.label;
         j["message"] = d.message;
+        if (d.pc2 >= 0) {
+            JsonValue rel = JsonValue::object();
+            rel["pc"] = d.pc2;
+            rel["line"] = std::uint64_t(d.line2);
+            rel["label"] = d.label2;
+            rel["note"] = d.note;
+            j["related"] = std::move(rel);
+        }
         arr.push(std::move(j));
     }
     doc["diagnostics"] = std::move(arr);

@@ -4,10 +4,12 @@
  * translation validator.
  *
  * A Diag pins one finding to an instruction (pc), its source line and
- * its "label+offset" position; a LintReport collects, orders and
- * renders them — as compiler-style text (quoting the offending source
- * line when the Program carries its source) and as an `mts.lint/1`
- * JSON document through src/util/json.hpp.
+ * its "label+offset" position; dual-location findings (the data-race
+ * checker reports both sides of a conflicting pair) carry a second
+ * location plus a note. A LintReport collects, orders and renders them
+ * — as compiler-style text (quoting the offending source line when the
+ * Program carries its source) and as an `mts.lint/2` JSON document
+ * through src/util/json.hpp.
  */
 #ifndef MTS_ANALYSIS_DIAGNOSTICS_HPP
 #define MTS_ANALYSIS_DIAGNOSTICS_HPP
@@ -41,20 +43,35 @@ struct Diag
     std::uint32_t line = 0;    ///< 1-based source line (0: unknown)
     std::string label;         ///< "label+offset" position
     std::string message;
+
+    /// @name Optional second location (conflicting-pair diagnostics).
+    /// @{
+    std::int32_t pc2 = -1;     ///< -1: single-location finding
+    std::uint32_t line2 = 0;
+    std::string label2;
+    std::string note;          ///< text attached to the second location
+    /// @}
 };
 
 /** Ordered collection of findings for one analyzed program. */
 class LintReport
 {
   public:
-    /** Schema tag of the JSON document. */
-    static constexpr const char *kSchema = "mts.lint/1";
+    /** Schema tag of the JSON document (the /2 bump added the optional
+     *  dual-location fields; documents with zero diagnostics still carry
+     *  the schema, program name and severity counts). */
+    static constexpr const char *kSchema = "mts.lint/2";
 
     /** Record a finding against instruction @p pc (fills line/label
      *  from @p prog; pass pc -1 for program-level findings). */
     void add(const Program &prog, Severity severity,
              std::string_view checker, std::int32_t pc,
              std::string message);
+
+    /** Record a pre-built finding (dual-location checkers, merging
+     *  reports): line/label of both locations are filled from @p prog
+     *  when unset, every other field is preserved as given. */
+    void add(const Program &prog, Diag d);
 
     const std::vector<Diag> &diags() const { return diags_; }
     std::size_t count(Severity s) const;
@@ -67,7 +84,7 @@ class LintReport
      *  line when available; "" when there are no findings. */
     std::string renderText(const Program &prog) const;
 
-    /** The `mts.lint/1` document. @p programName names what was
+    /** The `mts.lint/2` document. @p programName names what was
      *  analyzed; @p grouped records whether the grouping pass ran. */
     JsonValue toJson(const std::string &programName, bool grouped) const;
 

@@ -1,0 +1,893 @@
+#include "analysis/races.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/addr_resolve.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/routine_summary.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// locksets
+// ---------------------------------------------------------------------
+
+/** A lock is the resolved address passed to an acquire routine; -1 is
+ *  the wildcard for an acquire whose argument could not be resolved
+ *  (assumed to be one single lock everywhere, Eraser-style). */
+using LockId = std::int64_t;
+constexpr LockId kWildcardLock = -1;
+
+/** Set of locks held, with an explicit bottom ("no path reached here
+ *  yet" — the meet identity, distinct from holding no locks). */
+struct LockSet
+{
+    bool bot = true;
+    std::vector<LockId> locks;  // sorted
+
+    bool operator==(const LockSet &) const = default;
+
+    static LockSet
+    none()
+    {
+        return {false, {}};
+    }
+
+    void
+    add(LockId id)
+    {
+        auto it = std::lower_bound(locks.begin(), locks.end(), id);
+        if (it == locks.end() || *it != id)
+            locks.insert(it, id);
+    }
+
+    void
+    remove(LockId id)
+    {
+        auto it = std::lower_bound(locks.begin(), locks.end(), id);
+        if (it != locks.end() && *it == id)
+            locks.erase(it);
+    }
+
+    void
+    meetWith(const LockSet &o)
+    {
+        if (o.bot)
+            return;
+        if (bot) {
+            *this = o;
+            return;
+        }
+        std::vector<LockId> out;
+        std::set_intersection(locks.begin(), locks.end(),
+                              o.locks.begin(), o.locks.end(),
+                              std::back_inserter(out));
+        locks = std::move(out);
+    }
+
+    bool
+    intersects(const LockSet &o) const
+    {
+        if (bot || o.bot)
+            return false;
+        std::size_t i = 0, j = 0;
+        while (i < locks.size() && j < o.locks.size()) {
+            if (locks[i] == o.locks[j])
+                return true;
+            if (locks[i] < o.locks[j])
+                ++i;
+            else
+                ++j;
+        }
+        return false;
+    }
+};
+
+/** What a call site does to the lockset. */
+enum class CallEffect
+{
+    Acquire,
+    Release,
+    Barrier,
+    Plain  ///< ordinary routine (or unresolved target)
+};
+
+/**
+ * Whole-program lockset propagation, context-insensitive: each routine
+ * has one entry lockset (the meet over its call sites) and one exit
+ * lockset (the meet over its jr blocks). Losing a caller's locks
+ * across a shared callee only *adds* reports, never hides one.
+ */
+struct LockAnalysis
+{
+    const Cfg &cfg;
+    const AddrResolver &resolver;
+    const SyncRoutines &sync;
+
+    std::map<std::int32_t, LockSet> entryLock;  // routine entry -> in
+    std::map<std::int32_t, LockSet> exitLock;   // routine entry -> out
+
+    CallEffect
+    effectOf(const Instruction &inst, std::int32_t pc,
+             LockId *lockOut) const
+    {
+        *lockOut = kWildcardLock;
+        if (inst.target < 0)
+            return CallEffect::Plain;
+        std::int32_t callee = cfg.blockOf(inst.target);
+        CallEffect eff = sync.acquires.count(callee) ? CallEffect::Acquire
+                         : sync.releases.count(callee)
+                             ? CallEffect::Release
+                         : sync.barriers.count(callee)
+                             ? CallEffect::Barrier
+                             : CallEffect::Plain;
+        if (eff == CallEffect::Acquire || eff == CallEffect::Release) {
+            AffineVal a0 = resolver.valueAt(pc, kRegArg0);
+            if (a0.kind == AffineVal::Kind::Exact && a0.tid == 0)
+                *lockOut = a0.base;
+            else if (a0.resolved() && a0.tid != 0)
+                *lockOut = LockId{-2};  // per-thread lock: see stepInst
+        }
+        return eff;
+    }
+
+    /** Apply one instruction. @p collect, when set, receives lockset
+     *  propagations into plain callee entries. */
+    void
+    stepInst(const Instruction &inst, std::int32_t pc, LockSet &v,
+             std::map<std::int32_t, LockSet> *collect) const
+    {
+        if (inst.op != Opcode::JAL || v.bot)
+            return;
+        LockId id;
+        switch (effectOf(inst, pc, &id)) {
+          case CallEffect::Acquire:
+            // A per-thread (tid-affine) lock protects nothing across
+            // threads, so holding it adds no cross-thread ordering:
+            // leave it out of the set entirely.
+            if (id != LockId{-2})
+                v.add(id);
+            return;
+          case CallEffect::Release:
+            if (id == kWildcardLock)
+                v = LockSet::none();  // unknown release: drop everything
+            else if (id != LockId{-2})
+                v.remove(id);
+            return;
+          case CallEffect::Barrier:
+            return;
+          case CallEffect::Plain: {
+            if (inst.target < 0) {
+                v = LockSet::none();
+                return;
+            }
+            std::int32_t callee = cfg.blockOf(inst.target);
+            if (collect)
+                (*collect)[callee].meetWith(v);
+            auto it = exitLock.find(callee);
+            if (it != exitLock.end() && !it->second.bot)
+                v = it->second;
+            // Exit still bottom: callee not solved yet; keep the
+            // caller's set and let the outer fixpoint re-run us.
+            return;
+          }
+        }
+    }
+
+    struct Domain
+    {
+        using Value = LockSet;
+        const LockAnalysis &la;
+        LockSet entryValue;
+        std::map<std::int32_t, LockSet> *collect;
+
+        Value boundary() const { return entryValue; }
+        Value top() const { return LockSet{}; }
+
+        void
+        meetInto(Value &into, const Value &from) const
+        {
+            into.meetWith(from);
+        }
+
+        Value
+        transfer(std::int32_t block, Value v) const
+        {
+            const auto &code = la.cfg.program().code;
+            const CfgBlock &b = la.cfg.block(block);
+            for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+                la.stepInst(code[static_cast<std::size_t>(pc)], pc, v,
+                            collect);
+            return v;
+        }
+    };
+
+    void
+    solve()
+    {
+        for (std::int32_t entry : cfg.routineEntries()) {
+            entryLock[entry] = LockSet{};
+            exitLock[entry] = LockSet{};
+        }
+        entryLock[cfg.entryBlock()] = LockSet::none();
+
+        const int rounds =
+            3 * static_cast<int>(entryLock.size()) + 3;
+        for (int iter = 0; iter < rounds; ++iter) {
+            bool changed = false;
+            std::map<std::int32_t, LockSet> collect;
+            for (auto &[entry, in] : entryLock) {
+                if (in.bot)
+                    continue;
+                auto blocks = cfg.routineBlocks(entry);
+                Domain dom{*this, in, &collect};
+                auto sol =
+                    solveDataflow(cfg, Direction::Forward, dom, blocks);
+                LockSet out;
+                const auto &code = cfg.program().code;
+                for (std::int32_t b : blocks) {
+                    const CfgBlock &blk = cfg.block(b);
+                    if (blk.size() > 0 &&
+                        code[static_cast<std::size_t>(blk.range.end - 1)]
+                                .op == Opcode::JR)
+                        out.meetWith(
+                            sol.out[static_cast<std::size_t>(b)]);
+                }
+                if (out != exitLock[entry]) {
+                    exitLock[entry] = out;
+                    changed = true;
+                }
+            }
+            for (auto &[callee, v] : collect) {
+                LockSet merged = entryLock[callee];
+                merged.meetWith(v);
+                if (merged != entryLock[callee]) {
+                    entryLock[callee] = merged;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    /** Lockset just before each pc (meet over owning routines). */
+    std::vector<LockSet>
+    atEachPc() const
+    {
+        std::vector<LockSet> at(cfg.program().code.size());
+        const auto &code = cfg.program().code;
+        for (const auto &[entry, in] : entryLock) {
+            if (in.bot)
+                continue;
+            auto blocks = cfg.routineBlocks(entry);
+            Domain dom{*this, in, nullptr};
+            auto sol =
+                solveDataflow(cfg, Direction::Forward, dom, blocks);
+            for (std::int32_t b : blocks) {
+                LockSet v = sol.in[static_cast<std::size_t>(b)];
+                const CfgBlock &blk = cfg.block(b);
+                for (std::int32_t pc = blk.range.begin;
+                     pc < blk.range.end; ++pc) {
+                    at[static_cast<std::size_t>(pc)].meetWith(v);
+                    stepInst(code[static_cast<std::size_t>(pc)], pc, v,
+                             nullptr);
+                }
+            }
+        }
+        return at;
+    }
+};
+
+// ---------------------------------------------------------------------
+// thread guards (tid == c regions)
+// ---------------------------------------------------------------------
+
+/** Per-block constraint on the executing thread id: -2 = unreachable
+ *  (meet identity), -1 = any thread, c >= 0 = only thread c. */
+constexpr std::int64_t kGuardBot = -2;
+constexpr std::int64_t kGuardAny = -1;
+
+std::int64_t
+meetGuard(std::int64_t a, std::int64_t b)
+{
+    if (a == kGuardBot)
+        return b;
+    if (b == kGuardBot)
+        return a;
+    return a == b ? a : kGuardAny;
+}
+
+/**
+ * Edge-sensitive guard propagation: a beq/bne comparing a tid-affine
+ * register against a constant pins tid on the "equal" edge. Constraints
+ * never expire (tid is immutable), they only weaken at path joins.
+ */
+std::vector<std::int64_t>
+computeGuards(const Cfg &cfg, const AddrResolver &resolver)
+{
+    const std::size_t n = static_cast<std::size_t>(cfg.numBlocks());
+    std::vector<std::int64_t> in(n, kGuardBot);
+    const auto &code = cfg.program().code;
+
+    // The "equal" guard implied by the branch ending @p b, or kGuardAny.
+    // kGuardBot when the equality is impossible (edge unreachable).
+    auto equalGuard = [&](const CfgBlock &b) -> std::int64_t {
+        if (b.size() == 0)
+            return kGuardAny;
+        std::int32_t pc = b.range.end - 1;
+        const Instruction &inst = code[static_cast<std::size_t>(pc)];
+        if (inst.op != Opcode::BEQ && inst.op != Opcode::BNE)
+            return kGuardAny;
+        AffineVal a = resolver.valueAt(pc, inst.rs1);
+        AffineVal bb = inst.useImm ? AffineVal::exact(inst.imm)
+                                   : resolver.valueAt(pc, inst.rs2);
+        if (a.isConst())
+            std::swap(a, bb);
+        if (a.kind != AffineVal::Kind::Exact || a.tid == 0 ||
+            !bb.isConst())
+            return kGuardAny;
+        std::int64_t diff = bb.base - a.base;
+        if (diff % a.tid != 0 || diff / a.tid < 0)
+            return kGuardBot;  // no thread satisfies the equality
+        return diff / a.tid;
+    };
+
+    std::int32_t entry = cfg.entryBlock();
+    in[static_cast<std::size_t>(entry)] = kGuardAny;
+    for (int iter = 0; iter < 2 * static_cast<int>(n) + 2; ++iter) {
+        bool changed = false;
+        for (const CfgBlock &b : cfg.blocks()) {
+            std::int64_t v = b.id == entry ? kGuardAny : kGuardBot;
+            for (const CfgEdge &e : b.preds) {
+                std::int64_t pv = in[static_cast<std::size_t>(e.block)];
+                if (pv == kGuardBot)
+                    continue;
+                const CfgBlock &pred = cfg.block(e.block);
+                bool isEqualEdge = false, isOtherEdge = false;
+                if (pred.size() > 0) {
+                    Opcode t =
+                        code[static_cast<std::size_t>(pred.range.end - 1)]
+                            .op;
+                    if (t == Opcode::BEQ) {
+                        isEqualEdge = e.kind == EdgeKind::Branch;
+                        isOtherEdge = e.kind == EdgeKind::Fallthrough;
+                    } else if (t == Opcode::BNE) {
+                        isEqualEdge = e.kind == EdgeKind::Fallthrough;
+                        isOtherEdge = e.kind == EdgeKind::Branch;
+                    }
+                }
+                (void)isOtherEdge;
+                std::int64_t ev = pv;
+                if (isEqualEdge) {
+                    std::int64_t g = equalGuard(pred);
+                    if (g == kGuardBot)
+                        continue;  // edge can't be taken
+                    if (g >= 0)
+                        ev = (pv == kGuardAny || pv == g) ? g : kGuardBot;
+                    if (ev == kGuardBot)
+                        continue;  // contradictory constraints
+                }
+                v = meetGuard(v, ev);
+            }
+            if (v != in[static_cast<std::size_t>(b.id)]) {
+                in[static_cast<std::size_t>(b.id)] = v;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return in;
+}
+
+// ---------------------------------------------------------------------
+// may-happen-in-parallel (barrier-free reachability)
+// ---------------------------------------------------------------------
+
+/**
+ * Block-level reachability along paths that never cross a barrier call
+ * (the jal's fallthrough edge *is* the barrier crossing, since jal
+ * always terminates its block). Call edges into sync routines are not
+ * traversed — their bodies are exempt — and plain calls get synthetic
+ * return edges from the callee's jr blocks back to the call site's
+ * continuation.
+ */
+struct Mhp
+{
+    std::vector<std::vector<bool>> reach;  // [from][to]
+
+    Mhp(const Cfg &cfg, const SyncRoutines &sync)
+    {
+        const std::size_t n =
+            static_cast<std::size_t>(cfg.numBlocks());
+        std::vector<std::vector<std::int32_t>> adj(n);
+        const auto &code = cfg.program().code;
+
+        // jr blocks per routine entry, for synthetic return edges.
+        std::map<std::int32_t, std::vector<std::int32_t>> jrBlocks;
+        for (std::int32_t entry : cfg.routineEntries())
+            for (std::int32_t b : cfg.routineBlocks(entry)) {
+                const CfgBlock &blk = cfg.block(b);
+                if (blk.size() > 0 &&
+                    code[static_cast<std::size_t>(blk.range.end - 1)]
+                            .op == Opcode::JR)
+                    jrBlocks[entry].push_back(b);
+            }
+
+        for (const CfgBlock &b : cfg.blocks()) {
+            bool callsBarrier = false;
+            std::int32_t callee = -1;
+            if (b.size() > 0) {
+                const Instruction &last =
+                    code[static_cast<std::size_t>(b.range.end - 1)];
+                if (last.op == Opcode::JAL && last.target >= 0) {
+                    callee = cfg.blockOf(last.target);
+                    callsBarrier = sync.barriers.count(callee) != 0;
+                }
+            }
+            for (const CfgEdge &e : b.succs) {
+                if (e.kind == EdgeKind::Call) {
+                    if (callee >= 0 && !sync.isSync(callee)) {
+                        adj[static_cast<std::size_t>(b.id)].push_back(
+                            e.block);
+                        // Return edges: callee jr -> our continuation.
+                        for (const CfgEdge &f : b.succs)
+                            if (f.kind == EdgeKind::Fallthrough)
+                                for (std::int32_t jr :
+                                     jrBlocks[callee])
+                                    adj[static_cast<std::size_t>(jr)]
+                                        .push_back(f.block);
+                    }
+                    continue;
+                }
+                if (callsBarrier && e.kind == EdgeKind::Fallthrough)
+                    continue;  // the barrier edge: the MHP cut
+                adj[static_cast<std::size_t>(b.id)].push_back(e.block);
+            }
+        }
+
+        reach.assign(n, std::vector<bool>(n, false));
+        std::vector<std::int32_t> stack;
+        for (std::size_t s = 0; s < n; ++s) {
+            auto &r = reach[s];
+            stack.assign(1, static_cast<std::int32_t>(s));
+            r[s] = true;
+            while (!stack.empty()) {
+                std::int32_t b = stack.back();
+                stack.pop_back();
+                for (std::int32_t t : adj[static_cast<std::size_t>(b)])
+                    if (!r[static_cast<std::size_t>(t)]) {
+                        r[static_cast<std::size_t>(t)] = true;
+                        stack.push_back(t);
+                    }
+            }
+        }
+    }
+
+    bool
+    concurrent(std::int32_t a, std::int32_t b) const
+    {
+        return reach[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(b)] ||
+               reach[static_cast<std::size_t>(b)]
+                    [static_cast<std::size_t>(a)];
+    }
+};
+
+// ---------------------------------------------------------------------
+// shared accesses and regions
+// ---------------------------------------------------------------------
+
+enum class RegionKind
+{
+    Exact,   ///< one word, same for every thread
+    Slice,   ///< off + stride * tid (per-thread strided word)
+    Whole,   ///< somewhere inside one symbol
+    Unknown  ///< unresolved address
+};
+
+struct Access
+{
+    std::int32_t pc = -1;
+    std::int32_t block = -1;
+    bool write = false;
+    bool atomic = false;  ///< faa (atomic read-modify-write)
+    int width = 1;        ///< 2 for the paired ldsd/fldsd
+
+    RegionKind region = RegionKind::Unknown;
+    std::string sym;          ///< covering shared symbol ("" = unknown)
+    std::int64_t off = 0;     ///< word offset within sym (Exact/Slice)
+    std::int64_t stride = 0;  ///< tid coefficient (Slice)
+
+    LockSet locks;
+    std::int64_t guard = kGuardAny;  ///< only thread `guard` runs this
+
+    // Message-passing idiom: a write later published by a flag store
+    // in its own block / a read dominated by a spin on that flag.
+    bool hasPubFlag = false;
+    std::string pubSym;
+    std::int64_t pubOff = 0;
+    std::vector<std::pair<std::string, std::int64_t>> spinFlags;
+};
+
+/** Shared symbol covering an absolute address, with its word offset. */
+bool
+coveringSymbol(const Program &prog, std::int64_t addr, std::string *name,
+               std::int64_t *off)
+{
+    if (!isSharedAddr(static_cast<Addr>(addr)))
+        return false;
+    for (const auto &[n, sym] : prog.symbols) {
+        if (sym.kind != SymbolKind::Shared)
+            continue;
+        std::int64_t base = sym.value;
+        std::int64_t size =
+            static_cast<std::int64_t>(sym.size ? sym.size : 1);
+        if (addr >= base && addr < base + size) {
+            *name = n;
+            *off = addr - base;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Access>
+collectAccesses(const Cfg &cfg, const AddrResolver &resolver,
+                const SyncRoutines &sync,
+                const std::vector<LockSet> &lockAt,
+                const std::vector<std::int64_t> &guardIn)
+{
+    const Program &prog = cfg.program();
+    const auto &code = prog.code;
+
+    // Blocks belonging to sync routines are exempt wholesale.
+    std::vector<bool> exempt(
+        static_cast<std::size_t>(cfg.numBlocks()), false);
+    for (std::int32_t entry : cfg.routineEntries())
+        if (sync.isSync(entry))
+            for (std::int32_t b : cfg.routineBlocks(entry))
+                exempt[static_cast<std::size_t>(b)] = true;
+
+    std::vector<Access> out;
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+        const Instruction &inst = code[pc];
+        if (!isSharedMem(inst.op) || inst.op == Opcode::LDS_SPIN)
+            continue;  // spin reads are the acquire side of sync
+        std::int32_t block =
+            cfg.blockOf(static_cast<std::int32_t>(pc));
+        if (exempt[static_cast<std::size_t>(block)])
+            continue;
+        if (guardIn[static_cast<std::size_t>(block)] == kGuardBot)
+            continue;  // unreachable
+
+        Access a;
+        a.pc = static_cast<std::int32_t>(pc);
+        a.block = block;
+        a.write = isSharedStore(inst.op) || inst.op == Opcode::FAA;
+        a.atomic = inst.op == Opcode::FAA;
+        a.width = (inst.op == Opcode::LDSD ||
+                   inst.op == Opcode::FLDSD)
+                      ? 2
+                      : 1;
+        a.locks = lockAt[pc];
+        a.guard = guardIn[static_cast<std::size_t>(block)];
+
+        AffineVal addr = resolver.memAddr(a.pc);
+        if (addr.resolved() &&
+            coveringSymbol(prog, addr.base, &a.sym, &a.off)) {
+            if (addr.kind == AffineVal::Kind::Approx)
+                a.region = RegionKind::Whole;
+            else if (addr.tid == 0)
+                a.region = RegionKind::Exact;
+            else {
+                a.region = RegionKind::Slice;
+                a.stride = addr.tid;
+            }
+        } else {
+            a.region = RegionKind::Unknown;
+        }
+
+        // Publication: a later plain store in the same block to a
+        // different exactly-known word is the flag of a store-then-
+        // flag pair (same block, so the same thread guard applies).
+        if (a.write && !a.atomic) {
+            const CfgBlock &blk = cfg.block(block);
+            for (std::int32_t p2 = a.pc + 1; p2 < blk.range.end; ++p2) {
+                const Instruction &i2 =
+                    code[static_cast<std::size_t>(p2)];
+                if (i2.op != Opcode::STS)
+                    continue;
+                AffineVal fa = resolver.memAddr(p2);
+                std::string fs;
+                std::int64_t fo;
+                if (fa.kind == AffineVal::Kind::Exact && fa.tid == 0 &&
+                    coveringSymbol(prog, fa.base, &fs, &fo) &&
+                    (fs != a.sym || fo != a.off)) {
+                    a.hasPubFlag = true;
+                    a.pubSym = fs;
+                    a.pubOff = fo;
+                    break;
+                }
+            }
+        }
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+/** Per-routine dominator-based spin coverage: for every read, the set
+ *  of exactly-resolved flag words some dominating block spins on. */
+void
+attachSpinFlags(const Cfg &cfg, const AddrResolver &resolver,
+                std::vector<Access> &accesses)
+{
+    const Program &prog = cfg.program();
+    const auto &code = prog.code;
+
+    for (std::int32_t entry : cfg.routineEntries()) {
+        auto blocks = cfg.routineBlocks(entry);
+        if (blocks.empty())
+            continue;
+        std::map<std::int32_t, std::size_t> index;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            index[blocks[i]] = i;
+
+        // Iterative intraroutine dominators over the RPO subset.
+        const std::size_t n = blocks.size();
+        std::vector<std::vector<bool>> dom(
+            n, std::vector<bool>(n, true));
+        dom[0].assign(n, false);
+        dom[0][0] = true;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 1; i < n; ++i) {
+                std::vector<bool> nd(n, true);
+                bool any = false;
+                for (const CfgEdge &e :
+                     cfg.block(blocks[i]).preds) {
+                    if (e.kind == EdgeKind::Call)
+                        continue;
+                    auto it = index.find(e.block);
+                    if (it == index.end())
+                        continue;
+                    any = true;
+                    const auto &pd = dom[it->second];
+                    for (std::size_t k = 0; k < n; ++k)
+                        nd[k] = nd[k] && pd[k];
+                }
+                if (!any)
+                    nd.assign(n, false);
+                nd[i] = true;
+                if (nd != dom[i]) {
+                    dom[i] = std::move(nd);
+                    changed = true;
+                }
+            }
+        }
+
+        // Spin blocks in this routine with exactly-resolved targets.
+        std::vector<std::pair<std::size_t,
+                              std::pair<std::string, std::int64_t>>>
+            spins;
+        for (std::size_t i = 0; i < n; ++i) {
+            const CfgBlock &blk = cfg.block(blocks[i]);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                if (code[static_cast<std::size_t>(pc)].op !=
+                    Opcode::LDS_SPIN)
+                    continue;
+                AffineVal fa = resolver.memAddr(pc);
+                std::string fs;
+                std::int64_t fo;
+                if (fa.kind == AffineVal::Kind::Exact && fa.tid == 0 &&
+                    coveringSymbol(prog, fa.base, &fs, &fo))
+                    spins.push_back({i, {fs, fo}});
+            }
+        }
+        if (spins.empty())
+            continue;
+
+        for (Access &a : accesses) {
+            if (a.write)
+                continue;
+            auto it = index.find(a.block);
+            if (it == index.end())
+                continue;
+            for (const auto &[spinIdx, flag] : spins)
+                if (dom[it->second][spinIdx])
+                    a.spinFlags.push_back(flag);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// pairwise race check
+// ---------------------------------------------------------------------
+
+enum class Verdict
+{
+    No,
+    May,
+    Must
+};
+
+/** Can threads t1 != t2 collide on a word of A and B? */
+Verdict
+overlap(const Access &A, const Access &B)
+{
+    if (A.region == RegionKind::Unknown ||
+        B.region == RegionKind::Unknown) {
+        // Unresolved vs anything shared: cannot exclude overlap, but
+        // never provable either.
+        return Verdict::May;
+    }
+    if (A.sym != B.sym)
+        return Verdict::No;
+    if (A.region == RegionKind::Whole || B.region == RegionKind::Whole)
+        return Verdict::May;
+
+    auto sameThreadOnly = [&](std::int64_t ta, std::int64_t tb) {
+        // Guards can rule the colliding thread pair out.
+        if (A.guard >= 0 && ta >= 0 && A.guard != ta)
+            return true;  // A's thread pinned elsewhere: no collision
+        if (B.guard >= 0 && tb >= 0 && B.guard != tb)
+            return true;
+        if (ta >= 0 && tb >= 0)
+            return ta == tb;
+        std::int64_t ga = ta >= 0 ? ta : A.guard;
+        std::int64_t gb = tb >= 0 ? tb : B.guard;
+        return ga >= 0 && gb >= 0 && ga == gb;
+    };
+
+    for (int i = 0; i < A.width; ++i) {
+        for (int j = 0; j < B.width; ++j) {
+            std::int64_t oa = A.off + i, ob = B.off + j;
+            bool aSlice = A.region == RegionKind::Slice;
+            bool bSlice = B.region == RegionKind::Slice;
+            if (!aSlice && !bSlice) {
+                // Exact vs Exact: collision iff the same word; any two
+                // distinct threads do (unless guards pin one thread).
+                if (oa == ob && !sameThreadOnly(-1, -1))
+                    return Verdict::Must;
+                continue;
+            }
+            if (aSlice && bSlice) {
+                if (A.stride != B.stride)
+                    return Verdict::May;
+                std::int64_t s = A.stride;
+                std::int64_t d = ob - oa;
+                if (d % s != 0)
+                    continue;  // never the same word
+                // oa + s*t1 == ob + s*t2 with t1 = t2 + d/s: distinct
+                // threads iff d != 0.
+                if (d != 0 && !sameThreadOnly(-1, -1))
+                    return Verdict::Must;
+                continue;  // d == 0: per-thread slice, same thread only
+            }
+            // Slice vs Exact: the slice thread t = (ob - oa) / s must
+            // exist; the exact access runs on every (unpinned) thread.
+            const Access &S = aSlice ? A : B;
+            std::int64_t so = aSlice ? oa : ob;
+            std::int64_t eo = aSlice ? ob : oa;
+            std::int64_t d = eo - so;
+            if (d % S.stride != 0 || d / S.stride < 0)
+                continue;
+            std::int64_t t = d / S.stride;
+            if (!sameThreadOnly(aSlice ? t : -1, aSlice ? -1 : t))
+                return Verdict::Must;
+        }
+    }
+    return Verdict::No;
+}
+
+const char *
+accessNoun(const Access &a)
+{
+    if (a.atomic)
+        return "fetch-and-add";
+    return a.write ? "store" : "load";
+}
+
+std::string
+regionText(const AddrResolver &resolver, const Access &a)
+{
+    return resolver.describeMemAddr(a.pc);
+}
+
+} // namespace
+
+void
+checkRaces(const Cfg &cfg, const LintOptions &opts, LintReport &report)
+{
+    (void)opts;
+    const Program &prog = cfg.program();
+
+    auto summaries = computePrioritySummaries(cfg);
+    SyncRoutines sync = classifySyncRoutines(cfg, summaries);
+    AddrResolver resolver(cfg);
+
+    LockAnalysis locks{cfg, resolver, sync, {}, {}};
+    locks.solve();
+    std::vector<LockSet> lockAt = locks.atEachPc();
+    std::vector<std::int64_t> guards = computeGuards(cfg, resolver);
+    Mhp mhp(cfg, sync);
+
+    std::vector<Access> accesses =
+        collectAccesses(cfg, resolver, sync, lockAt, guards);
+    attachSpinFlags(cfg, resolver, accesses);
+
+    auto flagOrdered = [](const Access &w, const Access &r) {
+        if (!w.hasPubFlag || r.write)
+            return false;
+        for (const auto &[fs, fo] : r.spinFlags)
+            if (fs == w.pubSym && fo == w.pubOff)
+                return true;
+        return false;
+    };
+
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i; j < accesses.size(); ++j) {
+            const Access &A = accesses[i];
+            const Access &B = accesses[j];
+            if (!A.write && !B.write)
+                continue;
+            if (A.atomic && B.atomic)
+                continue;  // atomic vs atomic never races
+            if (i == j && (A.guard >= 0 || !A.write))
+                continue;  // one pinned thread, or read-read
+            if (!mhp.concurrent(A.block, B.block))
+                continue;
+            if (A.locks.intersects(B.locks))
+                continue;
+            if (flagOrdered(A, B) || flagOrdered(B, A))
+                continue;
+            Verdict v = overlap(A, B);
+            if (v == Verdict::No)
+                continue;
+
+            Diag d;
+            d.severity = v == Verdict::Must ? Severity::Error
+                                            : Severity::Warning;
+            d.checker = "data-race";
+            d.pc = std::min(A.pc, B.pc);
+            d.pc2 = std::max(A.pc, B.pc);
+            const Access &first = A.pc <= B.pc ? A : B;
+            const Access &second = A.pc <= B.pc ? B : A;
+            if (v == Verdict::Must)
+                d.message = format(
+                    "data race: %s of %s conflicts with a concurrent "
+                    "%s of %s on the same word with no common lock",
+                    accessNoun(first),
+                    regionText(resolver, first).c_str(),
+                    accessNoun(second),
+                    regionText(resolver, second).c_str());
+            else
+                d.message = format(
+                    "possible data race: %s of %s may overlap a "
+                    "concurrent %s of %s with no common lock",
+                    accessNoun(first),
+                    regionText(resolver, first).c_str(),
+                    accessNoun(second),
+                    regionText(resolver, second).c_str());
+            d.note = A.pc == B.pc ? "the same instruction races with "
+                                    "itself across threads"
+                                  : "conflicting access";
+            if (A.pc == B.pc)
+                d.pc2 = A.pc;
+            report.add(prog, std::move(d));
+        }
+    }
+}
+
+} // namespace mts

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static data-race detection: interprocedural lockset analysis plus
+ * shared-region symbolization (Eraser / RacerX style, adapted to the
+ * MTS ISA where synchronization is *recognized* structurally rather
+ * than declared).
+ *
+ * Pipeline (see DESIGN.md §13 for the full rules):
+ *
+ *  1. classifySyncRoutines() finds lock-acquire / lock-release /
+ *     barrier routines from the setpri summaries; their bodies are
+ *     exempt (they implement synchronization, they don't misuse it).
+ *  2. AddrResolver turns every shared access into a symbolic region:
+ *     Exact word, per-thread Slice (base + stride*tid), Whole symbol,
+ *     or Unknown.
+ *  3. A forward interprocedural lockset dataflow (intersection meet)
+ *     computes the locks held at each access; lock identity is the
+ *     resolved a0 at the acquire call site.
+ *  4. May-happen-in-parallel: two accesses can race only if one can
+ *     reach the other along a barrier-free CFG path (SPMD threads
+ *     drift freely between barriers).
+ *  5. Pairwise check: overlapping regions, at least one write, not
+ *     both atomic, disjoint locksets, concurrent, not ordered by the
+ *     message-passing (store-then-flag / spin-then-load) idiom, and
+ *     not provably the same thread (tid guards, same-offset slices).
+ *
+ * Verdicts: a pair that must collide on a word across distinct threads
+ * is an Error; overlap that cannot be excluded is a Warning.
+ */
+#ifndef MTS_ANALYSIS_RACES_HPP
+#define MTS_ANALYSIS_RACES_HPP
+
+#include "analysis/cfg.hpp"
+#include "analysis/checkers.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace mts
+{
+
+/** Run the data-race checker, appending findings to @p report. */
+void checkRaces(const Cfg &cfg, const LintOptions &opts,
+                LintReport &report);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_RACES_HPP

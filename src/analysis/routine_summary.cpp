@@ -1,0 +1,147 @@
+#include "analysis/routine_summary.hpp"
+
+namespace mts
+{
+
+Pri
+meetPri(Pri a, Pri b)
+{
+    if (a == Pri::Bot)
+        return b;
+    if (b == Pri::Bot)
+        return a;
+    return a == b ? a : Pri::Top;
+}
+
+Pri
+applySummary(Pri summary, Pri v)
+{
+    switch (summary) {
+      case Pri::Bot:
+        return Pri::Bot;  // callee never returns
+      case Pri::Entry:
+        return v;  // callee leaves priority alone
+      case Pri::Low:
+      case Pri::High:
+        return summary;
+      case Pri::Top:
+        return Pri::Top;
+    }
+    return Pri::Top;
+}
+
+Pri
+PriDomain::stepInst(const Instruction &inst, Pri v) const
+{
+    if (v == Pri::Bot)
+        return v;
+    if (inst.op == Opcode::SETPRI)
+        return inst.imm == 0 ? Pri::Low
+               : inst.imm == 1 ? Pri::High
+                               : Pri::Top;
+    if (inst.op == Opcode::JAL && inst.target >= 0) {
+        auto it = summaries.find(cfg.blockOf(inst.target));
+        return applySummary(
+            it == summaries.end() ? Pri::Top : it->second, v);
+    }
+    return v;
+}
+
+Pri
+PriDomain::transfer(std::int32_t block, Pri v) const
+{
+    const auto &code = cfg.program().code;
+    const CfgBlock &b = cfg.block(block);
+    for (std::int32_t pc = b.range.begin; pc < b.range.end; ++pc)
+        v = stepInst(code[static_cast<std::size_t>(pc)], v);
+    return v;
+}
+
+namespace
+{
+
+/** Summary of one routine under the current summary map: the meet of
+ *  the out-values of its `jr`-terminated blocks with symbolic entry. */
+Pri
+routineSummary(const Cfg &cfg, std::int32_t entry,
+               const std::map<std::int32_t, Pri> &summaries)
+{
+    auto blocks = cfg.routineBlocks(entry);
+    PriDomain dom{cfg, summaries, Pri::Entry};
+    auto sol = solveDataflow(cfg, Direction::Forward, dom, blocks);
+    Pri out = Pri::Bot;
+    const auto &code = cfg.program().code;
+    for (std::int32_t b : blocks) {
+        const CfgBlock &blk = cfg.block(b);
+        if (blk.size() > 0 &&
+            code[static_cast<std::size_t>(blk.range.end - 1)].op ==
+                Opcode::JR)
+            out = meetPri(out, sol.out[static_cast<std::size_t>(b)]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::map<std::int32_t, Pri>
+computePrioritySummaries(const Cfg &cfg)
+{
+    std::map<std::int32_t, Pri> summaries;
+    for (std::int32_t entry : cfg.routineEntries())
+        summaries[entry] = Pri::Bot;
+    for (int iter = 0; iter < 3 * static_cast<int>(summaries.size()) + 3;
+         ++iter) {
+        bool changed = false;
+        for (auto &[entry, current] : summaries) {
+            Pri next = routineSummary(cfg, entry, summaries);
+            if (next != current) {
+                current = next;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return summaries;
+}
+
+SyncRoutines
+classifySyncRoutines(const Cfg &cfg,
+                     const std::map<std::int32_t, Pri> &summaries)
+{
+    SyncRoutines sync;
+    const auto &code = cfg.program().code;
+    for (const auto &[entry, summary] : summaries) {
+        if (summary == Pri::High) {
+            sync.acquires.insert(entry);
+            continue;
+        }
+        if (summary == Pri::Low) {
+            sync.releases.insert(entry);
+            continue;
+        }
+        if (summary != Pri::Entry)
+            continue;
+        // Barrier-like: priority-neutral, fetch-and-adds an arrival
+        // word and spins until released.
+        bool hasFaa = false, hasSpinLoop = false;
+        for (std::int32_t b : cfg.routineBlocks(entry)) {
+            const CfgBlock &blk = cfg.block(b);
+            for (std::int32_t pc = blk.range.begin; pc < blk.range.end;
+                 ++pc) {
+                Opcode op = code[static_cast<std::size_t>(pc)].op;
+                if (op == Opcode::FAA)
+                    hasFaa = true;
+                if (op == Opcode::LDS_SPIN && cfg.blockInCycle(b))
+                    hasSpinLoop = true;
+            }
+        }
+        // The program entry is a routine too, but thread start is not a
+        // barrier even if main happens to faa and spin inline.
+        if (hasFaa && hasSpinLoop && entry != cfg.entryBlock())
+            sync.barriers.insert(entry);
+    }
+    return sync;
+}
+
+} // namespace mts

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Interprocedural routine summaries over the priority lattice.
+ *
+ * The spin-lock checker introduced the Pri lattice to prove `setpri`
+ * pairing; the data-race checkers reuse the same fixpoint to *recognize*
+ * synchronization routines structurally instead of by name:
+ *
+ *  - a routine whose net effect is Pri::High raises priority and is
+ *    treated as a lock-acquire (the prelude ticket lock enters its
+ *    critical region with `setpri 1`);
+ *  - a routine whose net effect is Pri::Low is a lock-release;
+ *  - a priority-neutral routine that fetch-and-adds an arrival word and
+ *    spins (`lds.spin` on a CFG cycle) is barrier-like: it separates
+ *    execution phases without protecting anything.
+ *
+ * Any future lock added to the prelude (MCS, Anderson) that follows the
+ * same setpri discipline is recognized without touching this code.
+ */
+#ifndef MTS_ANALYSIS_ROUTINE_SUMMARY_HPP
+#define MTS_ANALYSIS_ROUTINE_SUMMARY_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+
+namespace mts
+{
+
+/**
+ * Abstract thread priority: Bot = unreachable, Entry = whatever it was
+ * at routine entry (symbolic), Low/High = setpri 0/1, Top = differs by
+ * path. The same values serve as routine summaries (Entry = identity,
+ * Low/High = sets-to, Top = unknown, Bot = never returns).
+ */
+enum class Pri : std::uint8_t
+{
+    Bot,
+    Entry,
+    Low,
+    High,
+    Top
+};
+
+Pri meetPri(Pri a, Pri b);
+
+/** Value after a call given the callee summary. */
+Pri applySummary(Pri summary, Pri v);
+
+/** Dataflow domain for the priority lattice (forward). */
+struct PriDomain
+{
+    using Value = Pri;
+
+    const Cfg &cfg;
+    const std::map<std::int32_t, Pri> &summaries;  ///< entry block -> effect
+    Pri entryValue;
+
+    Value boundary() const { return entryValue; }
+    Value top() const { return Pri::Bot; }
+
+    void
+    meetInto(Value &into, const Value &from) const
+    {
+        into = meetPri(into, from);
+    }
+
+    Pri stepInst(const Instruction &inst, Pri v) const;
+    Value transfer(std::int32_t block, Value v) const;
+};
+
+/**
+ * Per-routine priority summaries (entry block -> net effect), solved to
+ * fixpoint across mutually-calling routines.
+ */
+std::map<std::int32_t, Pri> computePrioritySummaries(const Cfg &cfg);
+
+/** Classification of every routine derived from the summaries. */
+struct SyncRoutines
+{
+    std::set<std::int32_t> acquires;  ///< summary High: lock acquire
+    std::set<std::int32_t> releases;  ///< summary Low: lock release
+    std::set<std::int32_t> barriers;  ///< neutral + faa + spin cycle
+
+    bool
+    isSync(std::int32_t entry) const
+    {
+        return acquires.count(entry) || releases.count(entry) ||
+               barriers.count(entry);
+    }
+};
+
+/**
+ * Classify routines as lock-acquire / lock-release / barrier-like from
+ * @p summaries plus the structural faa+spin test described above.
+ */
+SyncRoutines classifySyncRoutines(
+    const Cfg &cfg, const std::map<std::int32_t, Pri> &summaries);
+
+} // namespace mts
+
+#endif // MTS_ANALYSIS_ROUTINE_SUMMARY_HPP

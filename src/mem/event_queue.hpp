@@ -69,6 +69,7 @@ struct MemOp
     bool noTraffic = false;    ///< MSHR-merged access: no new messages
     bool fillLine = false;     ///< miss fill: transfers a whole cache line
     bool deliver = true;       ///< write the result into the register file
+    std::int32_t pc = -1;      ///< issuing instruction (-1: synthetic op)
     Cycle issueTime = 0;
     Cycle returnTime = 0;      ///< set by Machine::issueMem (fill validFrom)
 };

@@ -151,6 +151,24 @@ Machine::processArrival(const MemEvent &ev)
     const MemOp &op = ev.op;
     netStats.count(op, cfg.cache.lineWords);
 
+    // Report data accesses here, where their effects serialize: the
+    // event loop applies arrivals in (time, seq) order, so observers
+    // see the exact interleaving the memory module executed — the one
+    // the fetch-add return values witness (at issue time, same-cycle
+    // ties across processors can resolve either way).
+    if (cfg.tracer && op.pc >= 0)
+        cfg.tracer->onSharedData(
+            ev.time, op.proc,
+            static_cast<std::uint32_t>(op.proc) *
+                    static_cast<std::uint32_t>(cfg.threadsPerProc) +
+                op.thread,
+            op.pc, op.addr,
+            op.kind == MemOpKind::FetchAdd ? SharedDataKind::Rmw
+            : op.kind == MemOpKind::Store  ? SharedDataKind::Write
+            : op.spin                      ? SharedDataKind::SpinRead
+                                           : SharedDataKind::Read,
+            op.kind == MemOpKind::LoadPair ? 2 : 1);
+
     switch (op.kind) {
       case MemOpKind::Store:
         mem.write(op.addr, op.value);

@@ -524,6 +524,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             op2.proc = procId;
             op2.thread = static_cast<std::uint16_t>(cur);
             op2.deliver = false;  // value already architecturally visible
+            op2.pc = th.pc;
             op2.issueTime = now;
             machine.issueMem(op2);
             effHorizon = std::min(effHorizon, now + machine.netMinDelay());
@@ -568,6 +569,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             mop.fpDest = fpDest;
             mop.spin = isSpin;
             mop.noTraffic = true;
+            mop.pc = th.pc;
             mop.issueTime = now;
             machine.issueMem(mop);
             effHorizon = std::min(effHorizon, now + machine.netMinDelay());
@@ -593,6 +595,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
         mop.proc = procId;
         mop.thread = static_cast<std::uint16_t>(cur);
         mop.deliver = false;
+        mop.pc = th.pc;
         mop.issueTime = now;
         machine.issueMem(mop);
         if (netLatent)
@@ -617,6 +620,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
     mop.fpDest = fpDest;
     mop.spin = isSpin;
     mop.fillLine = cache_ != nullptr && !isFaa;
+    mop.pc = th.pc;
     mop.issueTime = now;
     Cycle ready = machine.issueMem(mop);
     if (netLatent)
@@ -646,6 +650,7 @@ Processor::issueSharedStore(ThreadContext &th, const DecodedOp &inst,
     mop.value = value;
     mop.proc = procId;
     mop.thread = static_cast<std::uint16_t>(cur);
+    mop.pc = th.pc;
     mop.issueTime = now;
     machine.issueMem(mop);
     if (!machine.netZeroLatency())
@@ -824,7 +829,6 @@ Processor::step(ThreadContext &th, Cycle &now)
             ++stats.spinLoads;
         else
             ++stats.sharedLoads;
-
         bool missed = false;
         Cycle ready = issueSharedLoad(th, op, now, addr, missed);
 

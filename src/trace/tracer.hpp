@@ -33,6 +33,15 @@ enum class SwitchReason
 /** Printable name of a switch reason. */
 const char *switchReasonName(SwitchReason reason);
 
+/** What a shared data access does, as seen by the race detector. */
+enum class SharedDataKind : std::uint8_t
+{
+    Read,      ///< lds / flds / ldsd / fldsd
+    SpinRead,  ///< lds.spin — the acquire side of a sync idiom
+    Write,     ///< sts / fsts
+    Rmw        ///< faa — atomic read-modify-write (release + acquire)
+};
+
 /** Receiver of simulation events (all hooks optional). */
 class Tracer
 {
@@ -76,6 +85,32 @@ class Tracer
         (void)proc;
         (void)thread;
         (void)op;
+    }
+
+    /**
+     * A shared *data* access at the moment its effect is applied to the
+     * memory module — i.e. in the memory system's true serialization
+     * order, the one the returned fetch-add values witness. Calls for
+     * the same processor arrive in that processor's issue (program)
+     * order; calls across processors arrive in global arrival order.
+     * @p cycle is the arrival time, @p gid the machine-wide thread id;
+     * @p words is 1, or 2 for the paired ldsd/fldsd. Accesses satisfied
+     * without a memory message (cache or group-estimate hits) are not
+     * reported, so happens-before observers should run on cache-less
+     * configurations.
+     */
+    virtual void
+    onSharedData(Cycle cycle, std::uint16_t proc, std::uint32_t gid,
+                 std::int32_t pc, Addr addr, SharedDataKind kind,
+                 int words)
+    {
+        (void)cycle;
+        (void)proc;
+        (void)gid;
+        (void)pc;
+        (void)addr;
+        (void)kind;
+        (void)words;
     }
 
     /**

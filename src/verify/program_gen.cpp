@@ -25,6 +25,7 @@ struct Gen
     std::string body;
     int labelCounter = 0;
     int spinSlots = 0;
+    int phaseChunks = 0;
     bool usesRuntime = false;
 
     /** Per-accumulator total ever added (for the live-FAA slt bound). */
@@ -186,20 +187,25 @@ struct Gen
         foldFp(freg(irnd(6)));
     }
 
-    /** Point t0 at this thread's 8-word slice of gp_priv. */
+    /**
+     * Point t0 at this thread's 8-word slice of gp_priv. Top-level
+     * call sites mark the stride multiply with `; slice stride` so the
+     * race fuzzer can find (and break) the per-thread disjointness.
+     */
     void
-    privBase()
+    privBase(bool markStride)
     {
         emit("la t0, gp_priv");
-        emit("mul t1, s7, 8");
+        emit(markStride ? "mul t1, s7, 8 ; slice stride"
+                        : "mul t1, s7, 8");
         emit("add t0, t0, t1");
     }
 
     /** Stores and loads confined to this thread's private shared slice. */
     void
-    privateMem()
+    privateMem(bool markStride)
     {
-        privBase();
+        privBase(markStride);
         int even = 2 * irnd(4);  // pair-aligned slot for the ldsd below
         emit(format("li t2, %lld",
                     static_cast<long long>(smallConst())));
@@ -340,13 +346,60 @@ struct Gen
             }
             [[fallthrough]];
           default:
-            privateMem();
+            // Unmarked: a widened slice inside a faa-carrying loop can
+            // be (correctly) serialized by the accumulator's
+            // happens-before chain, robbing the dynamic detector of a
+            // guaranteed catch.
+            privateMem(false);
             break;
         }
         if (opts.withFaa && irnd(2))
             faaSite(static_cast<std::uint64_t>(trips), false);
         emit("sub s1, s1, 1");
         emit(format("bnez s1, %s", top.c_str()));
+    }
+
+    /**
+     * Barrier-separated neighbour exchange: every thread publishes a
+     * deterministic per-thread value into its slot of a fresh gp_ph
+     * chunk, crosses a barrier, and reads its right neighbour's slot
+     * (wrapping), so the read value is a compile-time function of the
+     * thread id. The middle barrier is the only thing ordering the
+     * write against the neighbour's read — dropping it (the race
+     * fuzzer's `; phase gate` marker) races write against read — and
+     * the trailing barrier keeps later segments out of this chunk's
+     * read window.
+     */
+    void
+    phaseSegment()
+    {
+        usesRuntime = true;
+        int chunk = phaseChunks++;
+        int base = chunk * opts.threads;
+        int mulK = 3 + irnd(97);
+        std::int64_t addC = smallConst();
+        emit("la t0, gp_ph");
+        emit(format("add t0, t0, %d", base));
+        emit("add t0, t0, s7");
+        emit(format("mul t1, s7, %d", mulK));
+        emit(format("add t1, t1, %lld", static_cast<long long>(addC)));
+        emit("sts t1, 0(t0)");
+        emit("la a0, gp_bar");
+        emit("mv a1, s6");
+        emit("call __mts_barrier ; phase gate");
+        // t2 = (s7 + 1) % s6 without rem, so the address stays
+        // tid-affine for the static analyzer.
+        std::string wrap = newLabel("wrap");
+        emit("add t2, s7, 1");
+        emit(format("bne t2, s6, %s", wrap.c_str()));
+        emit("li t2, 0");
+        label(wrap);
+        emit("la t0, gp_ph");
+        emit(format("add t0, t0, %d", base));
+        emit("add t0, t0, t2");
+        emit("lds t3, 0(t0)");
+        foldInt("t3");
+        barrier();
     }
 
     /** Thread-id-dependent but deterministic branchy segment. */
@@ -370,7 +423,7 @@ struct Gen
     segment()
     {
         // Weighted pick; gated kinds fall back to the ALU chain.
-        switch (irnd(10)) {
+        switch (irnd(11)) {
           case 0:
             if (opts.withFp) {
                 fpChain(4 + irnd(6));
@@ -378,7 +431,7 @@ struct Gen
             }
             break;
           case 1:
-            privateMem();
+            privateMem(true);
             return;
           case 2:
             localMem();
@@ -413,6 +466,13 @@ struct Gen
           case 8:
             branchSegment();
             return;
+          case 9:
+            if (opts.withPhases && opts.withBarrier &&
+                opts.threads > 1) {
+                phaseSegment();
+                return;
+            }
+            break;
           default:
             break;
         }
@@ -477,6 +537,9 @@ generateProgram(const GenOptions &opts)
         header += format(".shared gp_flag, %d\n", g.spinSlots);
         header += format(".shared gp_fdat, %d\n", g.spinSlots);
     }
+    if (g.phaseChunks)
+        header += format(".shared gp_ph, %d\n",
+                         g.phaseChunks * opts.threads);
     header += ".local gl_buf, 16\n";
     for (int a = 0; a < 4; ++a)
         header += format(".const GP_ACC_BOUND%d, %llu\n", a,

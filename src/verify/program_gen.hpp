@@ -54,6 +54,7 @@ struct GenOptions
     bool withBarrier = true;
     bool withFp = true;
     bool withCswitch = true;  ///< sprinkle explicit cswitch instructions
+    bool withPhases = true;   ///< barrier-separated neighbour exchange
     /// @}
 };
 

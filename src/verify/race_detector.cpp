@@ -1,0 +1,357 @@
+#include "verify/race_detector.hpp"
+
+#include <algorithm>
+
+#include "analysis/addr_resolve.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+// ---------------------------------------------------------------------
+// VectorClockEngine
+
+VectorClockEngine::VectorClockEngine(std::uint32_t numThreads,
+                                     Addr granularityWords)
+    : n_(numThreads), gran_(granularityWords), clocks_(numThreads),
+      snaps_(numThreads), dirty_(numThreads, true),
+      joined_(numThreads, false)
+{
+    MTS_REQUIRE(granularityWords >= 1, "granularity must be >= 1 word");
+    // Clock 0 means "never accessed", so live threads start at 1.
+    for (std::uint32_t t = 0; t < n_; ++t) {
+        clocks_[t].assign(n_, 0);
+        clocks_[t][t] = 1;
+    }
+}
+
+VectorClockEngine::Clock
+VectorClockEngine::clockOf(std::uint32_t tid) const
+{
+    return clocks_[tid][tid];
+}
+
+VectorClockEngine::WordState &
+VectorClockEngine::word(Addr a)
+{
+    return words_[key(a)];
+}
+
+const std::shared_ptr<const VectorClockEngine::VC> &
+VectorClockEngine::snapshot(std::uint32_t tid)
+{
+    if (dirty_[tid] || !snaps_[tid]) {
+        snaps_[tid] = std::make_shared<const VC>(clocks_[tid]);
+        dirty_[tid] = false;
+        joined_[tid] = false;  // the fresh snapshot reflects all joins
+    }
+    return snaps_[tid];
+}
+
+bool
+VectorClockEngine::ordered(const Epoch &e, std::uint32_t tid) const
+{
+    return e.clk == 0 || e.clk <= clocks_[tid][e.tid];
+}
+
+void
+VectorClockEngine::join(std::uint32_t tid, const VC &other)
+{
+    VC &mine = clocks_[tid];
+    for (std::uint32_t u = 0; u < n_; ++u)
+        if (other[u] > mine[u]) {
+            mine[u] = other[u];
+            dirty_[tid] = true;
+            joined_[tid] = true;
+        }
+}
+
+VectorClockEngine::Conflict
+VectorClockEngine::checkWrite(WordState &ws, std::uint32_t tid)
+{
+    Conflict c;
+    if (!ordered(ws.w, tid)) {
+        c.race = true;
+        c.priorTid = ws.w.tid;
+        c.priorPc = ws.w.pc;
+        c.priorWrite = true;
+        return c;
+    }
+    if (ws.rvc) {
+        for (std::uint32_t u = 0; u < n_; ++u)
+            if (u != tid && (*ws.rvc)[u] > clocks_[tid][u]) {
+                c.race = true;
+                c.priorTid = u;
+                c.priorPc = ws.rpc[u];
+                c.priorWrite = false;
+                return c;
+            }
+    } else if (ws.r.clk != 0 && ws.r.tid != tid &&
+               !ordered(ws.r, tid)) {
+        c.race = true;
+        c.priorTid = ws.r.tid;
+        c.priorPc = ws.r.pc;
+        c.priorWrite = false;
+    }
+    return c;
+}
+
+VectorClockEngine::Conflict
+VectorClockEngine::read(std::uint32_t tid, Addr addr, std::int32_t pc)
+{
+    WordState &ws = word(addr);
+    Conflict c;
+    if (!ordered(ws.w, tid)) {
+        c.race = true;
+        c.priorTid = ws.w.tid;
+        c.priorPc = ws.w.pc;
+        c.priorWrite = true;
+    }
+    // Record the read (even on a race, so one buggy pair does not
+    // cascade into a report per subsequent access).
+    Clock myClk = clocks_[tid][tid];
+    if (ws.rvc) {
+        (*ws.rvc)[tid] = myClk;
+        ws.rpc[tid] = pc;
+    } else if (ws.r.clk == 0 || ws.r.tid == tid || ordered(ws.r, tid)) {
+        // Exclusive epoch: first reader, same reader, or an ordered
+        // hand-off to a newer reader.
+        ws.r = Epoch{myClk, tid, pc};
+    } else {
+        // Two concurrent lock-free readers: promote to a full read
+        // vector (the FastTrack "read-share" transition).
+        ws.rvc = std::make_unique<VC>(n_, 0);
+        ws.rpc.assign(n_, -1);
+        (*ws.rvc)[ws.r.tid] = ws.r.clk;
+        ws.rpc[ws.r.tid] = ws.r.pc;
+        (*ws.rvc)[tid] = myClk;
+        ws.rpc[tid] = pc;
+        ++sharedPromotions_;
+    }
+    return c;
+}
+
+VectorClockEngine::Conflict
+VectorClockEngine::write(std::uint32_t tid, Addr addr, std::int32_t pc)
+{
+    WordState &ws = word(addr);
+    // Repeat-release elision: the thread re-stores a word it just
+    // released, nothing joined its clock since the stash was taken,
+    // and no other access touched the word — the store publishes
+    // nothing new, so skip the O(threads) snapshot and the epoch turn.
+    // The read-state check matters: an intervening read would need the
+    // write/read race check the elided path skips.
+    if (ws.w.tid == tid && ws.stash && ws.stash == snaps_[tid] &&
+        clocks_[tid][tid] == ws.w.clk + 1 && !joined_[tid] &&
+        ws.r.clk == 0 && !ws.rvc) {
+        ++elidedWrites_;
+        return Conflict{};
+    }
+    Conflict c = checkWrite(ws, tid);
+    ws.w = Epoch{clocks_[tid][tid], tid, pc};
+    ws.r = Epoch{};
+    ws.rvc.reset();
+    ws.rpc.clear();
+    // Release side of store-then-flag publication: stash the writer's
+    // clock so a later lds.spin / faa on this word can join it, then
+    // open a fresh epoch so later actions of this thread are provably
+    // newer than what the store published. Without the increment a
+    // post-release store would share the release's epoch and look
+    // ordered to any reader the release reached.
+    ws.stash = snapshot(tid);
+    ++clocks_[tid][tid];
+    dirty_[tid] = true;
+    return c;
+}
+
+void
+VectorClockEngine::acquire(std::uint32_t tid, Addr addr)
+{
+    WordState &ws = word(addr);
+    if (ws.stash)
+        join(tid, *ws.stash);
+    // A spin read is deliberately not race-checked and not recorded:
+    // spinning on a concurrently-written flag is the idiom, and the
+    // join just performed is what makes the accesses it guards safe.
+}
+
+VectorClockEngine::Conflict
+VectorClockEngine::rmw(std::uint32_t tid, Addr addr, std::int32_t pc)
+{
+    WordState &ws = word(addr);
+    if (ws.stash)
+        join(tid, *ws.stash);
+    // The join precedes the check, so two faa on the same word never
+    // race with each other — the atomic is its own ordering.
+    Conflict c = checkWrite(ws, tid);
+    ws.w = Epoch{clocks_[tid][tid], tid, pc};
+    ws.r = Epoch{};
+    ws.rvc.reset();
+    ws.rpc.clear();
+    ws.stash = snapshot(tid);
+    // Like every release, the faa opens a fresh epoch: everything
+    // after it is provably newer than the clock it just published.
+    ++clocks_[tid][tid];
+    dirty_[tid] = true;
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// RaceDetector
+
+RaceDetector::RaceDetector(const Program &prog,
+                           std::uint32_t numThreads,
+                           RaceDetectorOptions opts)
+    : prog_(prog), opts_(opts),
+      engine_(numThreads, opts.granularityWords)
+{
+}
+
+void
+RaceDetector::onSharedData(Cycle cycle, std::uint16_t, std::uint32_t gid,
+                           std::int32_t pc, Addr addr,
+                           SharedDataKind kind, int words)
+{
+    // Events already arrive in the memory system's serialization
+    // order (see Tracer::onSharedData), so each one is final.
+    for (int w = 0; w < words; ++w) {
+        Addr a = addr + static_cast<Addr>(w);
+        VectorClockEngine::Conflict c;
+        switch (kind) {
+          case SharedDataKind::Read:
+            c = engine_.read(gid, a, pc);
+            break;
+          case SharedDataKind::SpinRead:
+            engine_.acquire(gid, a);
+            continue;
+          case SharedDataKind::Write:
+            c = engine_.write(gid, a, pc);
+            break;
+          case SharedDataKind::Rmw:
+            c = engine_.rmw(gid, a, pc);
+            break;
+        }
+        if (c.race)
+            record(c, cycle, gid, pc, a,
+                   kind == SharedDataKind::Write ||
+                       kind == SharedDataKind::Rmw);
+    }
+}
+
+void
+RaceDetector::record(const VectorClockEngine::Conflict &c, Cycle cycle,
+                     std::uint32_t gid, std::int32_t pc, Addr addr,
+                     bool laterWrite)
+{
+    auto key = std::minmax(c.priorPc, pc);
+    if (!seenPairs_.insert({key.first, key.second}).second)
+        return;
+    if (races_.size() >= opts_.maxRaces) {
+        ++dropped_;
+        return;
+    }
+    RaceRecord r;
+    r.addr = addr;
+    r.cycle = cycle;
+    r.tid1 = c.priorTid;
+    r.pc1 = c.priorPc;
+    r.write1 = c.priorWrite;
+    r.tid2 = gid;
+    r.pc2 = pc;
+    r.write2 = laterWrite;
+    races_.push_back(r);
+}
+
+namespace
+{
+
+std::string
+accessName(bool write)
+{
+    return write ? "write" : "read";
+}
+
+std::string
+site(const Program &prog, std::int32_t pc)
+{
+    if (pc < 0 || pc >= static_cast<std::int32_t>(prog.code.size()))
+        return "<unknown>";
+    std::string s = prog.positionOf(pc);
+    s += " (pc " + std::to_string(pc);
+    std::uint32_t line = prog.code[static_cast<std::size_t>(pc)].srcLine;
+    if (line)
+        s += ", line " + std::to_string(line);
+    s += ")";
+    return s;
+}
+
+} // namespace
+
+std::string
+RaceDetector::renderText() const
+{
+    std::string out;
+    for (const RaceRecord &r : races_) {
+        out += "race: " + symbolizeAddr(prog_, r.addr) + ": " +
+               accessName(r.write2) + " at " + site(prog_, r.pc2) +
+               " by thread " + std::to_string(r.tid2) +
+               " is unordered with a prior " + accessName(r.write1) +
+               " at " + site(prog_, r.pc1) + " by thread " +
+               std::to_string(r.tid1) + " (cycle " +
+               std::to_string(r.cycle) + ")\n";
+    }
+    if (dropped_)
+        out += "... " + std::to_string(dropped_) +
+               " further racy pair(s) not recorded\n";
+    return out;
+}
+
+JsonValue
+RaceDetector::toJson(const std::string &programName) const
+{
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = kSchema;
+    doc["program"] = programName;
+    doc["clean"] = clean();
+    JsonValue arr = JsonValue::array();
+    for (const RaceRecord &r : races_) {
+        JsonValue jr = JsonValue::object();
+        jr["addr"] = static_cast<std::uint64_t>(r.addr);
+        jr["symbol"] = symbolizeAddr(prog_, r.addr);
+        jr["cycle"] = static_cast<std::uint64_t>(r.cycle);
+        JsonValue sides = JsonValue::array();
+        const struct
+        {
+            std::uint32_t tid;
+            std::int32_t pc;
+            bool write;
+        } s[2] = {{r.tid1, r.pc1, r.write1}, {r.tid2, r.pc2, r.write2}};
+        for (int i = 0; i < 2; ++i) {
+            JsonValue side = JsonValue::object();
+            side["tid"] = s[i].tid;
+            side["pc"] = s[i].pc;
+            side["access"] = accessName(s[i].write);
+            if (s[i].pc >= 0 &&
+                s[i].pc < static_cast<std::int32_t>(prog_.code.size())) {
+                side["label"] = prog_.positionOf(s[i].pc);
+                std::uint32_t line =
+                    prog_.code[static_cast<std::size_t>(s[i].pc)].srcLine;
+                if (line)
+                    side["line"] = line;
+            }
+            sides.push(std::move(side));
+        }
+        jr["accesses"] = std::move(sides);
+        arr.push(std::move(jr));
+    }
+    doc["races"] = std::move(arr);
+    doc["dropped"] = dropped_;
+    JsonValue st = JsonValue::object();
+    st["elidedWrites"] = engine_.elidedWrites();
+    st["sharedReadWords"] = engine_.sharedReadWords();
+    doc["stats"] = std::move(st);
+    return doc;
+}
+
+} // namespace mts

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Dynamic data-race detection: a FastTrack-style vector-clock
+ * happens-before engine driven by the simulator's tracer hooks.
+ *
+ * Happens-before edges come from the MTS synchronization idioms, at
+ * the ISA level (no runtime-routine knowledge needed):
+ *
+ *  - `faa` is the atomic read-modify-write every primitive is built
+ *    on: it joins the release clock stashed at its word, race-checks
+ *    and publishes, then increments the thread's own clock;
+ *  - `lds.spin` is an acquire: it joins the clock stashed at the word
+ *    it spins on, and is otherwise exempt (spinning on a flag that is
+ *    concurrently written is the point of the idiom);
+ *  - a plain shared store is race-checked like any access, then
+ *    stashes the thread's current clock at the word (release side of
+ *    store-then-flag publication) and increments — every release
+ *    opens a fresh epoch, so actions after the release are provably
+ *    newer than what it published (repeat releases with nothing new
+ *    to publish are elided);
+ *  - plain loads are race-checked and recorded (with read-share
+ *    promotion to a full read vector when lock-free readers overlap).
+ *
+ * The engine is serialization-order driven: Tracer::onSharedData fires
+ * as each access's effect is applied at the memory module, so events
+ * arrive in the exact interleaving the memory system executed (the one
+ * the fetch-add return values witness) and are handled immediately —
+ * no buffering or reordering. Run it on a cache-less configuration
+ * (e.g. switch-on-load): cache hits never reach memory and would be
+ * invisible to the hook.
+ */
+#ifndef MTS_VERIFY_RACE_DETECTOR_HPP
+#define MTS_VERIFY_RACE_DETECTOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hpp"
+#include "trace/tracer.hpp"
+#include "util/json.hpp"
+
+namespace mts
+{
+
+/** One happens-before violation (a pair of unordered conflicting
+ *  accesses to the same word). */
+struct RaceRecord
+{
+    Addr addr = 0;            ///< the contested word (absolute)
+    Cycle cycle = 0;          ///< retire time of the later access
+    std::uint32_t tid1 = 0;   ///< earlier access: thread id
+    std::int32_t pc1 = -1;    ///<                 site (-1: unknown)
+    bool write1 = false;
+    std::uint32_t tid2 = 0;   ///< later access
+    std::int32_t pc2 = -1;
+    bool write2 = false;
+};
+
+/**
+ * The pure epoch/vector-clock state machine, one call per retired
+ * access, independent of the simulator (unit-testable in isolation).
+ */
+class VectorClockEngine
+{
+  public:
+    using Clock = std::uint32_t;
+    using VC = std::vector<Clock>;
+
+    /** @p granularityWords coalesces addresses (1 = per word;
+     *  a cache-line size emulates line-granularity detection). */
+    explicit VectorClockEngine(std::uint32_t numThreads,
+                               Addr granularityWords = 1);
+
+    /** Result of one access: race == true reports the prior epoch. */
+    struct Conflict
+    {
+        bool race = false;
+        std::uint32_t priorTid = 0;
+        std::int32_t priorPc = -1;
+        bool priorWrite = false;
+    };
+
+    Conflict read(std::uint32_t tid, Addr addr, std::int32_t pc);
+    Conflict write(std::uint32_t tid, Addr addr, std::int32_t pc);
+
+    /** lds.spin: join the clock stashed at @p addr, nothing else. */
+    void acquire(std::uint32_t tid, Addr addr);
+
+    /** faa: acquire + write-check + publish + clock increment. */
+    Conflict rmw(std::uint32_t tid, Addr addr, std::int32_t pc);
+
+    /// @name Introspection (tests, reports).
+    /// @{
+    Clock clockOf(std::uint32_t tid) const;
+    std::uint64_t elidedWrites() const { return elidedWrites_; }
+    std::uint64_t sharedReadWords() const { return sharedPromotions_; }
+    /// @}
+
+  private:
+    struct Epoch
+    {
+        Clock clk = 0;  ///< 0 = never accessed
+        std::uint32_t tid = 0;
+        std::int32_t pc = -1;
+    };
+
+    struct WordState
+    {
+        Epoch w;
+        Epoch r;                        ///< exclusive read epoch
+        std::unique_ptr<VC> rvc;        ///< shared read clocks
+        std::vector<std::int32_t> rpc;  ///< shared read sites
+        std::shared_ptr<const VC> stash;  ///< published release clock
+    };
+
+    Addr key(Addr a) const { return a / gran_; }
+    WordState &word(Addr a);
+    const std::shared_ptr<const VC> &snapshot(std::uint32_t tid);
+    bool ordered(const Epoch &e, std::uint32_t tid) const;
+    Conflict checkWrite(WordState &ws, std::uint32_t tid);
+    void join(std::uint32_t tid, const VC &other);
+
+    std::uint32_t n_;
+    Addr gran_;
+    std::vector<VC> clocks_;                        // [tid][u]
+    std::vector<std::shared_ptr<const VC>> snaps_;  // COW snapshots
+    std::vector<bool> dirty_;   ///< snapshot stale (join or increment)
+    std::vector<bool> joined_;  ///< joined since the last snapshot
+    std::unordered_map<Addr, WordState> words_;
+    std::uint64_t elidedWrites_ = 0;
+    std::uint64_t sharedPromotions_ = 0;
+};
+
+/** Tuning for the tracer-layer detector. */
+struct RaceDetectorOptions
+{
+    Addr granularityWords = 1;
+    std::size_t maxRaces = 32;  ///< stop recording (not detecting) after
+};
+
+/**
+ * Tracer that feeds the engine one access at a time, in the memory
+ * system's serialization order. Attach via MachineConfig::tracer;
+ * read races() after Machine::run.
+ */
+class RaceDetector : public Tracer
+{
+  public:
+    RaceDetector(const Program &prog, std::uint32_t numThreads,
+                 RaceDetectorOptions opts = {});
+
+    void onSharedData(Cycle cycle, std::uint16_t proc,
+                      std::uint32_t gid, std::int32_t pc, Addr addr,
+                      SharedDataKind kind, int words) override;
+
+    bool clean() const { return races_.empty(); }
+    const std::vector<RaceRecord> &races() const { return races_; }
+    const VectorClockEngine &engine() const { return engine_; }
+
+    /** Human report, one line per race, with symbolized addresses. */
+    std::string renderText() const;
+
+    /** The `mts.race/1` JSON document. */
+    JsonValue toJson(const std::string &programName) const;
+
+    static constexpr const char *kSchema = "mts.race/1";
+
+  private:
+    void record(const VectorClockEngine::Conflict &c, Cycle cycle,
+                std::uint32_t gid, std::int32_t pc, Addr addr,
+                bool laterWrite);
+
+    const Program &prog_;
+    RaceDetectorOptions opts_;
+    VectorClockEngine engine_;
+    std::vector<RaceRecord> races_;
+    std::set<std::pair<std::int32_t, std::int32_t>> seenPairs_;
+    std::uint64_t dropped_ = 0;  ///< races past the recording cap
+};
+
+} // namespace mts
+
+#endif // MTS_VERIFY_RACE_DETECTOR_HPP

@@ -1,0 +1,277 @@
+#include "verify/race_fuzz.hpp"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <set>
+
+#include "analysis/addr_resolve.hpp"
+#include "analysis/checkers.hpp"
+#include "apps/app.hpp"
+#include "asm/assembler.hpp"
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/race_detector.hpp"
+#include "verify/race_mutations.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Base symbol name of a "sym+off" / "sym+8*tid" description. */
+std::string
+baseSymbol(const std::string &described)
+{
+    std::size_t plus = described.find('+');
+    std::string base =
+        plus == std::string::npos ? described : described.substr(0, plus);
+    return base;
+}
+
+/** The static race findings (both severities) for one program. */
+std::vector<Diag>
+staticRaceDiags(const Program &prog)
+{
+    LintOptions opts;
+    opts.races = true;
+    LintReport report = runLint(prog, opts);
+    std::vector<Diag> out;
+    for (const Diag &d : report.diags())
+        if (d.checker == "data-race")
+            out.push_back(d);
+    return out;
+}
+
+/** One dynamic run; returns the detector's race records. */
+std::vector<RaceRecord>
+runDynamic(const Program &prog, int threads, int tpp, Cycle latency,
+           Cycle maxCycles)
+{
+    MachineConfig cfg;
+    cfg.numProcs = threads / tpp;
+    cfg.threadsPerProc = tpp;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.network.roundTrip = latency;
+    cfg.maxCycles = maxCycles;
+    RaceDetector detector(prog, static_cast<std::uint32_t>(threads));
+    cfg.tracer = &detector;
+    Machine machine(prog, cfg);
+    machine.setPrintHandler([](const std::string &) {});
+    machine.run();
+    return detector.races();
+}
+
+/** The thread-per-processor splits exercised per program. */
+std::vector<int>
+tppSplits(int threads)
+{
+    std::vector<int> out{1};
+    if (threads % 2 == 0 && threads > 1)
+        out.push_back(2);
+    return out;
+}
+
+struct SeedOutcome
+{
+    std::uint64_t seed = 0;
+    int mutantsRun = 0;
+    int dynamicRaces = 0;
+    std::vector<RaceFuzzFailure> failures;
+};
+
+SeedOutcome
+runSeed(std::uint64_t seed, const RaceFuzzOptions &opts)
+{
+    SeedOutcome out;
+    out.seed = seed;
+
+    GenOptions gen = opts.gen;
+    gen.seed = seed;
+    gen.threads = opts.threads;
+    GeneratedProgram base = generateProgram(gen);
+
+    auto fail = [&](const std::string &mutation, const std::string &what,
+                    const std::string &detail) {
+        out.failures.push_back({seed, mutation, what, detail});
+    };
+
+    Program baseProg;
+    try {
+        baseProg = assemble(runtimePrelude() + base.source);
+    } catch (const FatalError &e) {
+        fail("", "run-error", e.what());
+        return out;
+    }
+
+    // Base program: statically and dynamically race-clean.
+    {
+        std::vector<Diag> diags = staticRaceDiags(baseProg);
+        if (!diags.empty())
+            fail("", "static-dirty",
+                 format("%zu finding(s), first: %s", diags.size(),
+                        diags.front().message.c_str()));
+        for (int tpp : tppSplits(opts.threads)) {
+            try {
+                std::vector<RaceRecord> races = runDynamic(
+                    baseProg, opts.threads, tpp, opts.latency,
+                    opts.maxCycles);
+                if (!races.empty())
+                    fail("", "dynamic-dirty",
+                         format("tpp=%d reported %zu race(s) on a "
+                                "race-free program",
+                                tpp, races.size()));
+            } catch (const FatalError &e) {
+                fail("", "run-error",
+                     format("tpp=%d: %s", tpp, e.what()));
+            }
+        }
+    }
+
+    // Mutants: every one must be caught dynamically, and every word
+    // the dynamic detector saw race must be statically flagged.
+    for (const RaceMutation &m :
+         enumerateRaceMutations(base.source, seed)) {
+        std::string name(mutationKindName(m.kind));
+        std::string mutatedSource = applyRaceMutation(base.source, m);
+        ++out.mutantsRun;
+
+        Program mutProg;
+        try {
+            mutProg = assemble(runtimePrelude() + mutatedSource);
+        } catch (const FatalError &e) {
+            fail(name, "run-error", e.what());
+            continue;
+        }
+
+        std::set<std::string> dynamicSymbols;
+        std::size_t caught = 0;
+        bool ran = false;
+        for (int tpp : tppSplits(opts.threads)) {
+            try {
+                std::vector<RaceRecord> races = runDynamic(
+                    mutProg, opts.threads, tpp, opts.latency,
+                    opts.maxCycles);
+                ran = true;
+                caught += races.size();
+                for (const RaceRecord &r : races)
+                    dynamicSymbols.insert(
+                        baseSymbol(symbolizeAddr(mutProg, r.addr)));
+            } catch (const FatalError &e) {
+                fail(name, "run-error",
+                     format("tpp=%d: %s", tpp, e.what()));
+            }
+        }
+        out.dynamicRaces += static_cast<int>(caught);
+        if (ran && caught == 0) {
+            fail(name, "dynamic-miss",
+                 "no configuration reported a race");
+            continue;
+        }
+
+        std::vector<Diag> diags = staticRaceDiags(mutProg);
+        for (const std::string &sym : dynamicSymbols) {
+            if (sym.empty() || sym == "?")
+                continue;
+            bool flagged = false;
+            for (const Diag &d : diags)
+                if (d.message.find(sym) != std::string::npos) {
+                    flagged = true;
+                    break;
+                }
+            if (!flagged)
+                fail(name, "static-miss",
+                     format("dynamic race on %s has no static finding "
+                            "(%zu static finding(s) total)",
+                            sym.c_str(), diags.size()));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RaceFuzzReport
+runRaceFuzzCampaign(const RaceFuzzOptions &opts,
+                    const std::function<void(const std::string &)> &log)
+{
+    RaceFuzzReport report;
+    if (opts.seeds <= 0)
+        return report;
+
+    std::mutex logMutex;
+    auto say = [&](const std::string &msg) {
+        if (log) {
+            std::lock_guard<std::mutex> lock(logMutex);
+            log(msg);
+        }
+    };
+
+    std::vector<SeedOutcome> outcomes(
+        static_cast<std::size_t>(opts.seeds));
+    {
+        ThreadPool pool(opts.jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(outcomes.size());
+        for (int i = 0; i < opts.seeds; ++i) {
+            std::uint64_t seed =
+                opts.firstSeed + static_cast<std::uint64_t>(i);
+            futures.push_back(pool.submit([&, i, seed] {
+                outcomes[static_cast<std::size_t>(i)] =
+                    runSeed(seed, opts);
+            }));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            futures[i].get();  // rethrows worker exceptions
+            for (const RaceFuzzFailure &f : outcomes[i].failures)
+                say(format("seed %llu%s%s: %s: %s",
+                           static_cast<unsigned long long>(f.seed),
+                           f.mutation.empty() ? "" : " ",
+                           f.mutation.c_str(), f.what.c_str(),
+                           f.detail.c_str()));
+        }
+    }
+
+    report.seedsRun = opts.seeds;
+    for (const SeedOutcome &o : outcomes) {
+        report.mutantsRun += o.mutantsRun;
+        report.dynamicRaces += o.dynamicRaces;
+        report.failures.insert(report.failures.end(),
+                               o.failures.begin(), o.failures.end());
+    }
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const RaceFuzzFailure &a, const RaceFuzzFailure &b) {
+                  return a.seed < b.seed;
+              });
+    return report;
+}
+
+JsonValue
+makeRaceFuzzJson(const RaceFuzzReport &report,
+                 const RaceFuzzOptions &opts)
+{
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = "mts.racefuzz/1";
+    doc["firstSeed"] = opts.firstSeed;
+    doc["seedsRun"] = report.seedsRun;
+    doc["threads"] = opts.threads;
+    doc["mutantsRun"] = report.mutantsRun;
+    doc["dynamicRaces"] = report.dynamicRaces;
+    doc["ok"] = report.ok();
+    JsonValue arr = JsonValue::array();
+    for (const RaceFuzzFailure &f : report.failures) {
+        JsonValue jf = JsonValue::object();
+        jf["seed"] = f.seed;
+        jf["mutation"] = f.mutation;
+        jf["what"] = f.what;
+        jf["detail"] = f.detail;
+        arr.push(std::move(jf));
+    }
+    doc["failures"] = std::move(arr);
+    return doc;
+}
+
+} // namespace mts

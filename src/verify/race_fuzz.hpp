@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Race-detection cross-validation campaign.
+ *
+ * Each seed produces one race-free generated program and up to four
+ * deliberately-racy mutants of it (see race_mutations.hpp), and runs
+ * every one of them through both race detectors:
+ *
+ *  - the *base* program must be race-clean both statically (mtlint's
+ *    lockset/region checker reports nothing) and dynamically (the
+ *    vector-clock detector stays quiet under every configuration run);
+ *  - every *mutant* must be caught dynamically (at least one
+ *    configuration reports a race), and the static checker must flag
+ *    every word the dynamic detector actually saw race — an
+ *    error-or-warning diagnostic naming the same shared symbol.
+ *
+ * A failure in either direction is a detector bug: a dynamic miss
+ * means the happens-before model has a hole, a static miss means the
+ * lockset/region analysis is unsound for that idiom, and a dirty base
+ * program means a false positive that would drown real reports.
+ */
+#ifndef MTS_VERIFY_RACE_FUZZ_HPP
+#define MTS_VERIFY_RACE_FUZZ_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "util/json.hpp"
+#include "verify/program_gen.hpp"
+
+namespace mts
+{
+
+/** Campaign knobs. */
+struct RaceFuzzOptions
+{
+    int seeds = 25;
+    std::uint64_t firstSeed = 1;
+    int threads = 4;
+
+    GenOptions gen;  ///< per-seed shape (seed/threads overwritten)
+
+    Cycle latency = 200;  ///< network round trip for the dynamic runs
+    Cycle maxCycles = 400'000'000ull;
+
+    /** Worker threads; 0 = ThreadPool::defaultWorkers(). */
+    unsigned jobs = 0;
+};
+
+/** One cross-validation failure. */
+struct RaceFuzzFailure
+{
+    std::uint64_t seed = 0;
+    std::string mutation;  ///< "" for the base program
+    std::string what;      ///< static-dirty dynamic-dirty dynamic-miss
+                           ///< static-miss run-error
+    std::string detail;
+};
+
+/** Campaign outcome. */
+struct RaceFuzzReport
+{
+    int seedsRun = 0;
+    int mutantsRun = 0;
+    int dynamicRaces = 0;  ///< distinct racy pairs seen across mutants
+    std::vector<RaceFuzzFailure> failures;  ///< sorted by seed
+
+    bool
+    ok() const
+    {
+        return failures.empty();
+    }
+};
+
+/** Run the campaign; @p log receives one-line progress messages. */
+RaceFuzzReport runRaceFuzzCampaign(
+    const RaceFuzzOptions &opts,
+    const std::function<void(const std::string &)> &log = {});
+
+/** The `mts.racefuzz/1` JSON document. */
+JsonValue makeRaceFuzzJson(const RaceFuzzReport &report,
+                           const RaceFuzzOptions &opts);
+
+} // namespace mts
+
+#endif // MTS_VERIFY_RACE_FUZZ_HPP

@@ -1,0 +1,161 @@
+#include "verify/race_mutations.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/** Split into lines, keeping the content without the newline. */
+std::vector<std::string>
+toLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+        std::size_t nl = source.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < source.size())
+                lines.push_back(source.substr(start));
+            break;
+        }
+        lines.push_back(source.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+int
+countContaining(const std::vector<std::string> &lines,
+                std::string_view needle)
+{
+    int n = 0;
+    for (const std::string &l : lines)
+        if (l.find(needle) != std::string::npos)
+            ++n;
+    return n;
+}
+
+/** Index of the @p site -th line containing @p needle; -1 if absent. */
+int
+findOccurrence(const std::vector<std::string> &lines,
+               std::string_view needle, int site)
+{
+    int seen = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        if (lines[i].find(needle) != std::string::npos &&
+            seen++ == site)
+            return static_cast<int>(i);
+    return -1;
+}
+
+constexpr std::string_view kLockCall = "call __mts_lock";
+constexpr std::string_view kUnlockCall = "call __mts_unlock";
+constexpr std::string_view kSliceMark = "mul t1, s7, 8 ; slice stride";
+constexpr std::string_view kPhaseGate = "call __mts_barrier ; phase gate";
+constexpr std::string_view kSpinLoad = "lds.spin";
+
+} // namespace
+
+std::string_view
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::DropLock:
+        return "drop-lock";
+      case MutationKind::WidenSlice:
+        return "widen-slice";
+      case MutationKind::DropBarrier:
+        return "drop-barrier";
+      case MutationKind::SpinToPlain:
+        return "spin-to-plain";
+    }
+    return "?";
+}
+
+std::vector<RaceMutation>
+enumerateRaceMutations(const std::string &source, std::uint64_t salt)
+{
+    std::vector<std::string> lines = toLines(source);
+    std::vector<RaceMutation> out;
+    auto add = [&](MutationKind kind, std::string_view needle) {
+        int n = countContaining(lines, needle);
+        if (n > 0)
+            out.push_back(
+                {kind, static_cast<int>(salt %
+                                        static_cast<std::uint64_t>(n))});
+    };
+    add(MutationKind::DropLock, kLockCall);
+    add(MutationKind::WidenSlice, kSliceMark);
+    add(MutationKind::DropBarrier, kPhaseGate);
+    add(MutationKind::SpinToPlain, kSpinLoad);
+    return out;
+}
+
+std::string
+applyRaceMutation(const std::string &source, const RaceMutation &m)
+{
+    std::vector<std::string> lines = toLines(source);
+    switch (m.kind) {
+      case MutationKind::DropLock: {
+        int li = findOccurrence(lines, kLockCall, m.site);
+        MTS_REQUIRE(li >= 0, "drop-lock site " << m.site << " not found");
+        int ui = -1;
+        for (std::size_t i = static_cast<std::size_t>(li) + 1;
+             i < lines.size(); ++i)
+            if (lines[i].find(kUnlockCall) != std::string::npos) {
+                ui = static_cast<int>(i);
+                break;
+            }
+        MTS_REQUIRE(ui >= 0, "drop-lock: no matching unlock call");
+        lines.erase(lines.begin() + ui);
+        lines.erase(lines.begin() + li);
+        break;
+      }
+      case MutationKind::WidenSlice: {
+        int i = findOccurrence(lines, kSliceMark, m.site);
+        MTS_REQUIRE(i >= 0,
+                    "widen-slice site " << m.site << " not found");
+        std::size_t pos = lines[static_cast<std::size_t>(i)].find(
+            "mul t1, s7, 8");
+        lines[static_cast<std::size_t>(i)].replace(
+            pos, std::string_view("mul t1, s7, 8").size(),
+            "mul t1, s7, 0");
+        break;
+      }
+      case MutationKind::DropBarrier: {
+        int i = findOccurrence(lines, kPhaseGate, m.site);
+        MTS_REQUIRE(i >= 0,
+                    "drop-barrier site " << m.site << " not found");
+        lines.erase(lines.begin() + i);
+        break;
+      }
+      case MutationKind::SpinToPlain: {
+        int i = findOccurrence(lines, kSpinLoad, m.site);
+        MTS_REQUIRE(i >= 0,
+                    "spin-to-plain site " << m.site << " not found");
+        std::size_t pos =
+            lines[static_cast<std::size_t>(i)].find(kSpinLoad);
+        lines[static_cast<std::size_t>(i)].replace(pos, kSpinLoad.size(),
+                                                   "lds");
+        break;
+      }
+    }
+    return joinLines(lines);
+}
+
+} // namespace mts

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seeded racy mutations of generated programs.
+ *
+ * The race-detection cross-validation campaign needs programs that are
+ * known-racy in a controlled way. Rather than generating racy programs
+ * from scratch, it takes the race-free output of generateProgram() and
+ * breaks exactly one synchronization idiom textually:
+ *
+ *  - DropLock:    remove one `call __mts_lock` / `call __mts_unlock`
+ *                 pair, leaving the read-modify-write unprotected;
+ *  - WidenSlice:  turn one `mul t1, s7, 8 ; slice stride` into a
+ *                 multiply by 0, collapsing every thread's private
+ *                 slice onto the same words;
+ *  - DropBarrier: remove one `call __mts_barrier ; phase gate`,
+ *                 unordering a phase write from its neighbour's read;
+ *  - SpinToPlain: turn one `lds.spin` into a plain `lds`, making the
+ *                 consumer's flag poll an unsynchronized read.
+ *
+ * Each mutation keeps the program terminating under every schedule, so
+ * both detectors always get a full execution to inspect.
+ */
+#ifndef MTS_VERIFY_RACE_MUTATIONS_HPP
+#define MTS_VERIFY_RACE_MUTATIONS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mts
+{
+
+enum class MutationKind
+{
+    DropLock,
+    WidenSlice,
+    DropBarrier,
+    SpinToPlain,
+};
+
+std::string_view mutationKindName(MutationKind kind);
+
+/** One applicable mutation site in a particular program. */
+struct RaceMutation
+{
+    MutationKind kind = MutationKind::DropLock;
+    int site = 0;  ///< which occurrence of the kind's pattern (0-based)
+};
+
+/**
+ * All mutations applicable to @p source (at most one per kind: the
+ * site is chosen from @p salt so different seeds exercise different
+ * occurrences).
+ */
+std::vector<RaceMutation> enumerateRaceMutations(
+    const std::string &source, std::uint64_t salt);
+
+/** Apply one mutation; fatal if the site does not exist. */
+std::string applyRaceMutation(const std::string &source,
+                              const RaceMutation &m);
+
+} // namespace mts
+
+#endif // MTS_VERIFY_RACE_MUTATIONS_HPP

@@ -1,0 +1,366 @@
+/**
+ * Race-detection suite: the FastTrack-style vector-clock engine in
+ * isolation, the tracer-layer dynamic detector end to end, the static
+ * data-race checker on the same programs, and the cross-validation
+ * harness that ties the two halves together.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/checkers.hpp"
+#include "apps/app.hpp"
+#include "asm/assembler.hpp"
+#include "opt/grouping_pass.hpp"
+#include "sim/machine.hpp"
+#include "verify/race_detector.hpp"
+#include "verify/race_fuzz.hpp"
+#include "verify/race_mutations.hpp"
+#include "verify/program_gen.hpp"
+
+using namespace mts;
+
+namespace
+{
+
+constexpr Addr kA = kSharedBase + 0;
+constexpr Addr kB = kSharedBase + 1;
+constexpr Addr kFlag = kSharedBase + 2;
+
+std::vector<Diag>
+dataRaceDiags(const Program &prog)
+{
+    LintOptions opts;
+    opts.races = true;
+    LintReport report = runLint(prog, opts);
+    std::vector<Diag> out;
+    for (const Diag &d : report.diags())
+        if (d.checker == "data-race")
+            out.push_back(d);
+    return out;
+}
+
+/** One dynamic run with the detector attached. */
+struct DynOutcome
+{
+    std::vector<RaceRecord> races;
+    std::string text;
+    JsonValue json;
+};
+
+DynOutcome
+runWithDetector(const Program &prog, int procs, int tpp)
+{
+    MachineConfig cfg;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.numProcs = procs;
+    cfg.threadsPerProc = tpp;
+    cfg.network.roundTrip = 200;
+    cfg.maxCycles = 400'000'000ull;
+    RaceDetector det(prog,
+                     static_cast<std::uint32_t>(cfg.totalThreads()));
+    cfg.tracer = &det;
+    Machine m(prog, cfg);
+    m.setPrintHandler([](const std::string &) {});
+    m.run();
+    return {det.races(), det.renderText(), det.toJson("test")};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// VectorClockEngine epoch logic
+
+TEST(VectorClockEngine, UnorderedWritesRace)
+{
+    VectorClockEngine e(2);
+    EXPECT_FALSE(e.write(0, kA, 10).race);
+    auto c = e.write(1, kA, 20);
+    EXPECT_TRUE(c.race);
+    EXPECT_EQ(c.priorTid, 0u);
+    EXPECT_EQ(c.priorPc, 10);
+    EXPECT_TRUE(c.priorWrite);
+}
+
+TEST(VectorClockEngine, SameThreadSequenceNeverRaces)
+{
+    VectorClockEngine e(2);
+    EXPECT_FALSE(e.write(0, kA, 1).race);
+    EXPECT_FALSE(e.read(0, kA, 2).race);
+    EXPECT_FALSE(e.rmw(0, kA, 3).race);
+    EXPECT_FALSE(e.write(0, kA, 4).race);
+}
+
+TEST(VectorClockEngine, ReadSharePromotionAndWriteReadRace)
+{
+    VectorClockEngine e(3);
+    // Two concurrent lock-free readers promote the word's exclusive
+    // read epoch to a full read vector.
+    EXPECT_FALSE(e.read(0, kA, 1).race);
+    EXPECT_EQ(e.sharedReadWords(), 0u);
+    EXPECT_FALSE(e.read(1, kA, 2).race);
+    EXPECT_EQ(e.sharedReadWords(), 1u);
+    // An unordered writer then conflicts with one of the shared reads.
+    auto c = e.write(2, kA, 3);
+    EXPECT_TRUE(c.race);
+    EXPECT_FALSE(c.priorWrite);
+    EXPECT_TRUE(c.priorPc == 1 || c.priorPc == 2);
+}
+
+TEST(VectorClockEngine, RepeatReleaseElision)
+{
+    VectorClockEngine e(2);
+    VectorClockEngine::Clock before = e.clockOf(0);
+    EXPECT_FALSE(e.write(0, kA, 1).race);
+    EXPECT_EQ(e.clockOf(0), before + 1);  // a release opens an epoch
+    // A repeat store publishes nothing new: elided, no epoch turn.
+    EXPECT_FALSE(e.write(0, kA, 2).race);
+    EXPECT_EQ(e.elidedWrites(), 1u);
+    EXPECT_EQ(e.clockOf(0), before + 1);
+}
+
+TEST(VectorClockEngine, JoinBlocksElision)
+{
+    VectorClockEngine e(2);
+    EXPECT_FALSE(e.write(1, kFlag, 1).race);  // stash to join below
+    EXPECT_FALSE(e.write(0, kA, 2).race);
+    // The acquire changes thread 0's clock without an epoch turn; the
+    // next store must re-stash so consumers see the joined clock.
+    e.acquire(0, kFlag);
+    EXPECT_FALSE(e.write(0, kA, 3).race);
+    EXPECT_EQ(e.elidedWrites(), 0u);
+}
+
+TEST(VectorClockEngine, ReleaseClockJoinOrdersGuardedData)
+{
+    VectorClockEngine e(2);
+    // Store-then-flag publication: data, then flag; the consumer's
+    // spin read joins the flag's release clock.
+    EXPECT_FALSE(e.write(0, kA, 1).race);
+    EXPECT_FALSE(e.write(0, kFlag, 2).race);
+    e.acquire(1, kFlag);
+    EXPECT_FALSE(e.read(1, kA, 3).race);
+}
+
+TEST(VectorClockEngine, StoreOpensFreshEpoch)
+{
+    // Regression for the post-release blind spot: a store issued
+    // *after* a release must not inherit the release's epoch, or a
+    // consumer that joined the release would mistake the later store
+    // for ordered.
+    VectorClockEngine e(2);
+    EXPECT_FALSE(e.write(0, kFlag, 1).race);
+    e.acquire(1, kFlag);
+    EXPECT_FALSE(e.write(0, kA, 2).race);  // after the join happened
+    auto c = e.read(1, kA, 3);
+    EXPECT_TRUE(c.race);
+    EXPECT_TRUE(c.priorWrite);
+    EXPECT_EQ(c.priorPc, 2);
+}
+
+TEST(VectorClockEngine, FaaChainsAndNeverSelfRaces)
+{
+    VectorClockEngine e(2);
+    // faa-vs-faa on one word is ordered by the atomic itself...
+    EXPECT_FALSE(e.rmw(0, kB, 1).race);
+    EXPECT_FALSE(e.rmw(1, kB, 2).race);
+    // ...and carries the first thread's prior publication across.
+    VectorClockEngine e2(2);
+    EXPECT_FALSE(e2.write(0, kA, 1).race);
+    EXPECT_FALSE(e2.rmw(0, kB, 2).race);
+    EXPECT_FALSE(e2.rmw(1, kB, 3).race);
+    EXPECT_FALSE(e2.read(1, kA, 4).race);
+}
+
+TEST(VectorClockEngine, SpinReadIsExemptWhileFlagIsWritten)
+{
+    VectorClockEngine e(2);
+    // The spinner polls while the flag is concurrently written — that
+    // is the idiom, so neither side reports a race.
+    e.acquire(1, kFlag);
+    EXPECT_FALSE(e.write(0, kFlag, 1).race);
+    e.acquire(1, kFlag);
+    EXPECT_FALSE(e.write(0, kFlag, 2).race);
+}
+
+// ---------------------------------------------------------------------
+// Injected race through both halves (golden diagnostics)
+
+namespace
+{
+
+constexpr const char *kRacySource = R"(
+.shared gp_x, 1
+.entry main
+main:
+    la t0, gp_x
+    sts a0, 0(t0)
+    lds t1, 0(t0)
+    halt
+)";
+
+} // namespace
+
+TEST(RaceDetection, InjectedRaceCaughtDynamically)
+{
+    Program prog = assemble(kRacySource);
+    DynOutcome out = runWithDetector(prog, 2, 1);
+    ASSERT_FALSE(out.races.empty());
+    const RaceRecord &r = out.races.front();
+    EXPECT_EQ(r.addr, kSharedBase);
+    EXPECT_TRUE(r.write1);
+
+    EXPECT_NE(out.text.find("race: gp_x+0"), std::string::npos)
+        << out.text;
+    EXPECT_NE(out.text.find("unordered with a prior"),
+              std::string::npos);
+
+    EXPECT_EQ(out.json["schema"].asString(), "mts.race/1");
+    EXPECT_FALSE(out.json["clean"].asBool());
+}
+
+TEST(RaceDetection, InjectedRaceFlaggedStatically)
+{
+    Program prog = assemble(kRacySource);
+    std::vector<Diag> diags = dataRaceDiags(prog);
+    ASSERT_FALSE(diags.empty());
+    bool named = false;
+    for (const Diag &d : diags)
+        if (d.message.find("gp_x") != std::string::npos)
+            named = true;
+    EXPECT_TRUE(named) << diags.front().message;
+    // Both sides of the pair are reported.
+    EXPECT_GE(diags.front().pc2, 0);
+}
+
+TEST(RaceDetection, CleanProgramIsQuietInBothHalves)
+{
+    GenOptions gen;
+    gen.seed = 1;
+    gen.threads = 4;
+    GeneratedProgram gp = generateProgram(gen);
+    Program prog = assemble(runtimePrelude() + gp.source);
+    EXPECT_TRUE(dataRaceDiags(prog).empty());
+    EXPECT_TRUE(runWithDetector(prog, 4, 1).races.empty());
+    DynOutcome out = runWithDetector(prog, 2, 2);
+    EXPECT_TRUE(out.races.empty());
+    EXPECT_EQ(out.json["schema"].asString(), "mts.race/1");
+    EXPECT_TRUE(out.json["clean"].asBool());
+}
+
+// ---------------------------------------------------------------------
+// Seeded mutations and the cross-validation harness
+
+TEST(RaceMutations, EverySeededMutantIsCaughtDynamically)
+{
+    GenOptions gen;
+    gen.seed = 1;
+    gen.threads = 4;
+    GeneratedProgram gp = generateProgram(gen);
+    std::vector<RaceMutation> muts = enumerateRaceMutations(gp.source, 1);
+    ASSERT_GE(muts.size(), 2u);
+    for (const RaceMutation &m : muts) {
+        SCOPED_TRACE(std::string(mutationKindName(m.kind)));
+        std::string src = applyRaceMutation(gp.source, m);
+        EXPECT_NE(src, gp.source);
+        Program prog = assemble(runtimePrelude() + src);
+        std::size_t caught = runWithDetector(prog, 4, 1).races.size() +
+                             runWithDetector(prog, 2, 2).races.size();
+        EXPECT_GT(caught, 0u);
+    }
+}
+
+TEST(RaceFuzz, CampaignCrossValidates)
+{
+    RaceFuzzOptions opts;
+    opts.seeds = 3;
+    opts.firstSeed = 1;
+    RaceFuzzReport rep = runRaceFuzzCampaign(opts);
+    EXPECT_TRUE(rep.ok()) << rep.failures.size() << " failure(s), first: "
+                          << (rep.failures.empty()
+                                  ? std::string()
+                                  : rep.failures.front().detail);
+    EXPECT_EQ(rep.seedsRun, 3);
+    EXPECT_GT(rep.mutantsRun, 0);
+    EXPECT_GT(rep.dynamicRaces, 0);
+
+    JsonValue doc = makeRaceFuzzJson(rep, opts);
+    EXPECT_EQ(doc["schema"].asString(), "mts.racefuzz/1");
+    EXPECT_TRUE(doc["ok"].asBool());
+}
+
+// ---------------------------------------------------------------------
+// The benchmark apps and the runtime are race-clean under both halves
+
+TEST(RaceApps, AllAppsStaticallyRaceCleanRawAndGrouped)
+{
+    for (const App *app : allApps()) {
+        SCOPED_TRACE(app->name());
+        Program p = assemble(app->source(), app->options(1.0));
+        LintOptions opts;
+        opts.races = true;
+        EXPECT_EQ(runLint(p, opts).count(Severity::Error), 0u);
+
+        Program g = applyGroupingPass(p);
+        opts.grouped = true;
+        EXPECT_EQ(runLint(g, opts).count(Severity::Error), 0u);
+    }
+}
+
+TEST(RaceApps, AllAppsDynamicallyRaceClean)
+{
+    for (const App *app : allApps()) {
+        for (int tpp : {1, 2}) {
+            SCOPED_TRACE(app->name() + " tpp=" + std::to_string(tpp));
+            Program prog = assemble(app->source(), app->options(0.08));
+            MachineConfig cfg;
+            cfg.model = SwitchModel::SwitchOnLoad;
+            cfg.numProcs = 4;
+            cfg.threadsPerProc = tpp;
+            cfg.network.roundTrip = 200;
+            cfg.maxCycles = 400'000'000ull;
+            RaceDetector det(
+                prog, static_cast<std::uint32_t>(cfg.totalThreads()));
+            cfg.tracer = &det;
+            Machine m(prog, cfg);
+            m.setPrintHandler([](const std::string &) {});
+            app->init(m);
+            m.run();
+            EXPECT_TRUE(det.clean()) << det.renderText();
+        }
+    }
+}
+
+TEST(RaceApps, RuntimePreludeRaceCleanUnderContention)
+{
+    // Lock-guarded increments followed by a barrier and an unguarded
+    // read of the total: exercises every runtime sync primitive's
+    // happens-before edges at once.
+    std::string src = runtimePrelude() + R"(
+.shared gp_cnt, 1
+.shared gp_lk, 2
+.shared gp_bar, 2
+.entry main
+main:
+    mv s7, a0
+    la a0, gp_lk
+    call __mts_lock
+    la t0, gp_cnt
+    lds t1, 0(t0)
+    add t1, t1, 1
+    sts t1, 0(t0)
+    la a0, gp_lk
+    call __mts_unlock
+    la a0, gp_bar
+    li a1, 4
+    call __mts_barrier
+    la t0, gp_cnt
+    lds t1, 0(t0)
+    mv v0, t1
+    halt
+)";
+    Program prog = assemble(src);
+    EXPECT_TRUE(dataRaceDiags(prog).empty());
+    EXPECT_TRUE(runWithDetector(prog, 4, 1).races.empty())
+        << runWithDetector(prog, 4, 1).text;
+    EXPECT_TRUE(runWithDetector(prog, 2, 2).races.empty())
+        << runWithDetector(prog, 2, 2).text;
+}

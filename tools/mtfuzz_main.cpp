@@ -12,6 +12,11 @@
  *     mtfuzz --seed 1234 --seeds 1       # replay one seed
  *     mtfuzz --emit 1234                 # print a seed's program
  *     mtfuzz --seeds 200 --json out.json # export mts.fuzz/1 record
+ *
+ * With --races the campaign cross-validates the race detectors instead
+ * (see verify/race_fuzz.hpp): each seed's program must be race-clean
+ * under both the static and the dynamic detector, and every seeded
+ * racy mutation of it must be caught by both.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +25,7 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "verify/fuzz.hpp"
+#include "verify/race_fuzz.hpp"
 
 namespace
 {
@@ -38,8 +44,11 @@ usage()
         "  --jobs N         worker threads (default: MTS_JOBS or cores)\n"
         "  --no-shrink      report failures without minimizing them\n"
         "  --no-invariants  check digests only, skip metrics identities\n"
+        "  --races          cross-validate the static and dynamic race\n"
+        "                   detectors (seeded racy mutations) instead\n"
         "  --emit K         print the program seed K generates and exit\n"
-        "  --json FILE      write the campaign record (schema mts.fuzz/1)\n"
+        "  --json FILE      write the campaign record (schema mts.fuzz/1,\n"
+        "                   or mts.racefuzz/1 with --races)\n"
         "  --quiet          suppress per-seed progress\n"
         "  --help, -h       show this help\n"
         "exit status: 0 clean, 1 divergences found, 2 usage error");
@@ -62,6 +71,7 @@ main(int argc, char **argv)
     FuzzOptions opts;
     std::string jsonPath;
     bool quiet = false;
+    bool races = false;
     long long emitSeed = -1;
 
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +105,8 @@ main(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(v);
         } else if (a == "--no-shrink") {
             opts.shrink = false;
+        } else if (a == "--races") {
+            races = true;
         } else if (a == "--no-invariants") {
             opts.diff.checkInvariants = false;
         } else if (a == "--emit" && i + 1 < argc &&
@@ -123,6 +135,54 @@ main(int argc, char **argv)
         gen.threads = opts.diff.threads;
         std::fputs(generateProgram(gen).source.c_str(), stdout);
         return 0;
+    }
+
+    if (races) {
+        RaceFuzzOptions ro;
+        ro.seeds = opts.seeds;
+        ro.firstSeed = opts.firstSeed;
+        ro.threads = opts.diff.threads;
+        ro.gen = opts.gen;
+        ro.latency = opts.diff.latency;
+        ro.jobs = opts.jobs;
+        std::printf("mtfuzz: race cross-validation, seeds %llu..%llu, "
+                    "%d threads, latency %llu\n",
+                    static_cast<unsigned long long>(ro.firstSeed),
+                    static_cast<unsigned long long>(
+                        ro.firstSeed +
+                        static_cast<std::uint64_t>(ro.seeds) - 1),
+                    ro.threads,
+                    static_cast<unsigned long long>(ro.latency));
+        RaceFuzzReport rep = runRaceFuzzCampaign(
+            ro, quiet ? std::function<void(const std::string &)>{}
+                      : [](const std::string &msg) {
+                            std::printf("mtfuzz: %s\n", msg.c_str());
+                            std::fflush(stdout);
+                        });
+        if (!jsonPath.empty()) {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::fprintf(stderr, "mtfuzz: cannot write %s\n",
+                             jsonPath.c_str());
+                return 2;
+            }
+            out << makeRaceFuzzJson(rep, ro).dump(2) << '\n';
+        }
+        if (rep.ok()) {
+            std::printf("mtfuzz: %d seeds, %d mutants, %d dynamic "
+                        "race(s), all cross-validated\n",
+                        rep.seedsRun, rep.mutantsRun, rep.dynamicRaces);
+            return 0;
+        }
+        std::printf("mtfuzz: %zu cross-validation failure(s)\n",
+                    rep.failures.size());
+        for (const RaceFuzzFailure &f : rep.failures)
+            std::printf("  seed %llu%s%s: %s: %s\n",
+                        static_cast<unsigned long long>(f.seed),
+                        f.mutation.empty() ? "" : " ",
+                        f.mutation.c_str(), f.what.c_str(),
+                        f.detail.c_str());
+        return 1;
     }
 
     std::printf("mtfuzz: seeds %llu..%llu, %d threads, latency %llu, "

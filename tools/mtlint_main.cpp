@@ -41,7 +41,10 @@ usage()
         "checkers\n"
         "  --slice-limit N  conditional-switch run-length limit "
         "(default 200; 0 = off)\n"
-        "  --json FILE      write the report (schema mts.lint/1) as "
+        "  --races          enable the static data-race checker "
+        "(lockset\n"
+        "                   + shared-region analysis)\n"
+        "  --json FILE      write the report (schema mts.lint/2) as "
         "JSON\n"
         "  --quiet          suppress the text report (exit status "
         "only)\n"
@@ -77,6 +80,8 @@ main(int argc, char **argv)
             defs.defines[kv[0]] = std::atoll(kv[1].c_str());
         } else if (a == "--grouped") {
             lintOpts.grouped = true;
+        } else if (a == "--races") {
+            lintOpts.races = true;
         } else if (a == "--slice-limit" && i + 1 < argc) {
             lintOpts.sliceLimit =
                 static_cast<std::uint64_t>(std::atoll(argv[++i]));
@@ -132,18 +137,20 @@ main(int argc, char **argv)
         }
         LintReport lint = runLint(analyzed, lintOpts);
         for (const Diag &d : lint.diags())
-            report.add(analyzed, d.severity, d.checker, d.pc, d.message);
+            report.add(analyzed, d);
         report.sort();
 
-        if (!quiet)
+        if (!quiet) {
             std::fputs(report.renderText(analyzed).c_str(), stdout);
-        std::printf("mtlint: %s%s: %zu error(s), %zu warning(s), "
-                    "%zu note(s) in %zu instructions\n",
-                    progName.c_str(),
-                    lintOpts.grouped ? " (grouped)" : "",
-                    report.count(Severity::Error),
-                    report.count(Severity::Warning),
-                    report.count(Severity::Info), analyzed.code.size());
+            std::printf("mtlint: %s%s: %zu error(s), %zu warning(s), "
+                        "%zu note(s) in %zu instructions\n",
+                        progName.c_str(),
+                        lintOpts.grouped ? " (grouped)" : "",
+                        report.count(Severity::Error),
+                        report.count(Severity::Warning),
+                        report.count(Severity::Info),
+                        analyzed.code.size());
+        }
 
         if (!jsonPath.empty()) {
             std::ofstream jout(jsonPath);
