@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-processor counters for the virtual-threading scheduler (software
+ * threads over hardware contexts). All zero when the layer is off.
+ */
+#ifndef MTS_CPU_SCHED_STATS_HPP
+#define MTS_CPU_SCHED_STATS_HPP
+
+#include <cstdint>
+
+#include "util/histogram.hpp"
+
+namespace mts
+{
+
+/** Scheduler activity of one processor (or a machine-wide merge). */
+struct SchedStats
+{
+    /** Timer-interrupt preemptions (quantum expired, ready waiter). */
+    std::uint64_t preemptions = 0;
+
+    /** Cycles spent saving preempted contexts (ctxSwitchCost each). */
+    std::uint64_t saveCycles = 0;
+
+    /** Cycles spent restoring installed contexts (ctxSwitchCost each). */
+    std::uint64_t restoreCycles = 0;
+
+    /** Blocked software threads swapped out for an earlier-ready one. */
+    std::uint64_t blockSwitches = 0;
+
+    /** Run-queue threads installed into a context freed by a halt. */
+    std::uint64_t haltInstalls = 0;
+
+    /** Software threads placed (back) on the run queue after start-up. */
+    std::uint64_t requeues = 0;
+
+    /** Run-queue occupancy sampled at every scheduler action. */
+    Histogram queueDepth;
+
+    void
+    merge(const SchedStats &o)
+    {
+        preemptions += o.preemptions;
+        saveCycles += o.saveCycles;
+        restoreCycles += o.restoreCycles;
+        blockSwitches += o.blockSwitches;
+        haltInstalls += o.haltInstalls;
+        requeues += o.requeues;
+        queueDepth.merge(o.queueDepth);
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_SCHED_STATS_HPP

@@ -33,6 +33,11 @@ makeRunRecord(const RunResult &result, const MachineConfig &config,
     rec.directoryMode = directoryModeName(config.directory.mode);
     if (config.directory.mode == DirectoryMode::LimitedPtr)
         rec.dirPointers = config.directory.pointers;
+    if (config.swThreadsPerProc > 0) {
+        rec.swThreadsPerProc = config.swThreadsPerProc;
+        rec.quantumCycles = config.quantumCycles;
+        rec.ctxSwitchCost = config.ctxSwitchCost;
+    }
 
     publishCpuStats(rec.metrics, "cpu", result.cpu);
     if (config.cachesEnabled())
@@ -44,6 +49,8 @@ makeRunRecord(const RunResult &result, const MachineConfig &config,
         rec.metrics.set("derived.link_max_utilization",
                         result.link.maxLinkUtilization(result.cycles));
     }
+    if (result.hasSchedStats)
+        publishSchedStats(rec.metrics, "sched", result.sched);
     if (config.groupEstimate) {
         rec.metrics.add("estimate.hits", result.estimateHits);
         rec.metrics.add("estimate.misses", result.estimateMisses);
@@ -69,6 +76,11 @@ RunRecord::toJson() const
     v["model"] = JsonValue(model);
     v["procs"] = JsonValue(numProcs);
     v["threads"] = JsonValue(threadsPerProc);
+    if (swThreadsPerProc) {
+        v["sw_threads"] = JsonValue(swThreadsPerProc);
+        v["quantum_cycles"] = JsonValue(quantumCycles);
+        v["ctx_cost"] = JsonValue(ctxSwitchCost);
+    }
     v["latency"] = JsonValue(latency);
     v["network"] = JsonValue(network);
     if (network == "mesh") {

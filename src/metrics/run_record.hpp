@@ -34,9 +34,16 @@ struct RunRecord
     std::string app;    ///< application name ("" for raw programs)
     std::string model;  ///< switch-model name
     int numProcs = 0;
-    int threadsPerProc = 0;
+    int threadsPerProc = 0;     ///< hardware contexts per processor
     std::uint64_t latency = 0;  ///< network round-trip cycles
     std::uint64_t cycles = 0;   ///< completion time
+
+    /// @name Virtual threading (emitted only when the layer is on).
+    /// @{
+    int swThreadsPerProc = 0;        ///< software threads (0 = off)
+    std::uint64_t quantumCycles = 0; ///< timer-interrupt quantum
+    std::uint64_t ctxSwitchCost = 0; ///< save (= restore) cost, cycles
+    /// @}
 
     /// @name Interconnect + directory configuration.
     /// @{

@@ -111,6 +111,34 @@ linkStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
     return s;
 }
 
+void
+publishSchedStats(MetricsRegistry &reg, const std::string &scope,
+                  const SchedStats &s)
+{
+    reg.add(scope + ".preemptions", s.preemptions);
+    reg.add(scope + ".cycles.save", s.saveCycles);
+    reg.add(scope + ".cycles.restore", s.restoreCycles);
+    reg.add(scope + ".switches.block", s.blockSwitches);
+    reg.add(scope + ".installs.halt", s.haltInstalls);
+    reg.add(scope + ".requeues", s.requeues);
+    reg.histogram(scope + ".queue_depth").merge(s.queueDepth);
+}
+
+SchedStats
+schedStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
+{
+    SchedStats s;
+    s.preemptions = reg.counter(scope + ".preemptions");
+    s.saveCycles = reg.counter(scope + ".cycles.save");
+    s.restoreCycles = reg.counter(scope + ".cycles.restore");
+    s.blockSwitches = reg.counter(scope + ".switches.block");
+    s.haltInstalls = reg.counter(scope + ".installs.halt");
+    s.requeues = reg.counter(scope + ".requeues");
+    if (const Histogram *h = reg.hist(scope + ".queue_depth"))
+        s.queueDepth.merge(*h);
+    return s;
+}
+
 NetworkStats
 networkStatsFromMetrics(const MetricsRegistry &reg,
                         const std::string &scope)

@@ -19,6 +19,7 @@
 
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/sched_stats.hpp"
 #include "mem/network.hpp"
 #include "metrics/metrics.hpp"
 
@@ -35,6 +36,8 @@ void publishNetworkStats(MetricsRegistry &reg, const std::string &scope,
                          const NetworkStats &s);
 void publishLinkStats(MetricsRegistry &reg, const std::string &scope,
                       const NetLinkStats &s);
+void publishSchedStats(MetricsRegistry &reg, const std::string &scope,
+                       const SchedStats &s);
 /// @}
 
 /// @name Reconstitute a struct from an (aggregated) scope.
@@ -47,6 +50,8 @@ NetworkStats networkStatsFromMetrics(const MetricsRegistry &reg,
                                      const std::string &scope);
 NetLinkStats linkStatsFromMetrics(const MetricsRegistry &reg,
                                   const std::string &scope);
+SchedStats schedStatsFromMetrics(const MetricsRegistry &reg,
+                                 const std::string &scope);
 /// @}
 
 } // namespace mts

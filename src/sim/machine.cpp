@@ -88,7 +88,8 @@ Machine::issueMem(MemOp op)
     if (cfg.tracer)
         cfg.tracer->onSharedAccess(
             op.issueTime, op.proc,
-            static_cast<std::uint32_t>(op.proc) * cfg.threadsPerProc +
+            static_cast<std::uint32_t>(op.proc) *
+                    cfg.effSwThreadsPerProc() +
                 op.thread,
             op);
     if (op.kind == MemOpKind::Store && cfg.cachesEnabled())
@@ -160,7 +161,8 @@ Machine::processArrival(const MemEvent &ev)
         cfg.tracer->onSharedData(
             ev.time, op.proc,
             static_cast<std::uint32_t>(op.proc) *
-                    static_cast<std::uint32_t>(cfg.threadsPerProc) +
+                    static_cast<std::uint32_t>(
+                        cfg.effSwThreadsPerProc()) +
                 op.thread,
             op.pc, op.addr,
             op.kind == MemOpKind::FetchAdd ? SharedDataKind::Rmw
@@ -274,14 +276,16 @@ Machine::run()
     RunResult r;
     r.numProcs = cfg.numProcs;
     r.threadsPerProc = cfg.threadsPerProc;
+    r.swThreadsPerProc = cfg.swThreadsPerProc;
 
     // Canonical final-state digest: the shared static segment (scratch
     // words and line padding excluded so cache geometry cannot leak in),
-    // then every thread's termination registers in global-id order.
+    // then every software thread's termination registers in global-id
+    // order (software threads == hardware contexts when 1:1).
     for (Addr a = 0; a < prog->sharedWords; ++a)
         r.digest.addSharedWord(mem.read(kSharedBase + a));
     for (int p = 0; p < cfg.numProcs; ++p)
-        for (int t = 0; t < cfg.threadsPerProc; ++t) {
+        for (int t = 0; t < cfg.effSwThreadsPerProc(); ++t) {
             const ThreadContext &th =
                 procs[p]->thread(static_cast<std::uint16_t>(t));
             r.digest.addThreadRegs(th.iregs[kDigestIntReg0],
@@ -299,8 +303,13 @@ Machine::run()
         publishCpuStats(reg, "cpu" + tag, procs[p]->stats);
         if (const SharedCache *c = procs[p]->cache())
             publishCacheStats(reg, "cache" + tag, c->statistics());
+        // The scheduler scope exists only with virtual threading on:
+        // publishing nothing keeps the 1:1 metric set — and golden
+        // traces — identical to the seed.
+        if (cfg.swThreadsPerProc > 0)
+            publishSchedStats(reg, "sched" + tag, procs[p]->sched);
         std::uint64_t estHits = 0, estMisses = 0;
-        for (int t = 0; t < cfg.threadsPerProc; ++t) {
+        for (int t = 0; t < cfg.effSwThreadsPerProc(); ++t) {
             const auto &g = procs[p]
                                 ->thread(static_cast<std::uint16_t>(t))
                                 .groupEstimate;
@@ -326,6 +335,11 @@ Machine::run()
     reg.rollUp("cpu");
     reg.rollUp("cache");
     reg.rollUp("estimate");
+    if (cfg.swThreadsPerProc > 0) {
+        reg.rollUp("sched");
+        r.sched = schedStatsFromMetrics(reg, "sched");
+        r.hasSchedStats = true;
+    }
 
     r.cpu = cpuStatsFromMetrics(reg, "cpu");
     r.cache = cacheStatsFromMetrics(reg, "cache");

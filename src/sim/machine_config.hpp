@@ -70,13 +70,43 @@ struct MachineConfig
     /** Watchdog: abort if simulated time exceeds this (deadlock guard). */
     Cycle maxCycles = 4'000'000'000ull;
 
+    /**
+     * Virtual threading: number of software threads per processor,
+     * time-multiplexed over the `threadsPerProc` hardware contexts by an
+     * OS-style run-queue scheduler. 0 (the default) disables the layer
+     * entirely: threads and contexts are 1:1 as in the paper.
+     */
+    int swThreadsPerProc = 0;
+
+    /**
+     * Timer-interrupt quantum in cycles (virtual threading only): a
+     * software thread resident for this long is preempted at the next
+     * scheduling point if a ready thread is waiting on the run queue.
+     */
+    Cycle quantumCycles = 500;
+
+    /**
+     * Cycles to save (and, separately, restore) one software thread's
+     * context on a timer preemption. Switches forced by a remote
+     * reference or a halt are free: the save overlaps the outstanding
+     * latency (or there is no live state to save).
+     */
+    Cycle ctxSwitchCost = 0;
+
     /** Optional event sink (see trace/tracer.hpp); not owned. */
     Tracer *tracer = nullptr;
+
+    /** Software threads per processor (contexts when 1:1). */
+    int
+    effSwThreadsPerProc() const
+    {
+        return swThreadsPerProc > 0 ? swThreadsPerProc : threadsPerProc;
+    }
 
     int
     totalThreads() const
     {
-        return numProcs * threadsPerProc;
+        return numProcs * effSwThreadsPerProc();
     }
 
     bool
@@ -123,6 +153,16 @@ validateMachineConfig(const MachineConfig &cfg)
                             << cfg.numProcs << ")");
         break;
       }
+    }
+    if (cfg.swThreadsPerProc != 0) {
+        MTS_REQUIRE(cfg.swThreadsPerProc >= cfg.threadsPerProc,
+                    "swThreadsPerProc must be >= threadsPerProc (hardware "
+                    "contexts): got "
+                        << cfg.swThreadsPerProc << " software threads over "
+                        << cfg.threadsPerProc << " contexts");
+        MTS_REQUIRE(cfg.quantumCycles >= 1,
+                    "quantumCycles must be >= 1 (got " << cfg.quantumCycles
+                                                       << ")");
     }
     MTS_REQUIRE(cfg.directory.pointers >= 1 &&
                     cfg.directory.pointers <= kMaxDirPointers,

@@ -199,11 +199,11 @@ Processor::Processor(Machine &machine_, std::uint16_t id,
     : machine(machine_), cfg(config), code(program.code),
       dec_(decoded.data()), codeSize_(decoded.size()), procId(id)
 {
-    threads.reserve(cfg.threadsPerProc);
-    for (int t = 0; t < cfg.threadsPerProc; ++t) {
-        std::uint32_t gid = static_cast<std::uint32_t>(id) *
-                                cfg.threadsPerProc +
-                            t;
+    const int swCount = cfg.effSwThreadsPerProc();
+    threads.reserve(swCount);
+    for (int t = 0; t < swCount; ++t) {
+        std::uint32_t gid =
+            static_cast<std::uint32_t>(id) * swCount + t;
         threads.emplace_back(gid, cfg.localWords);
         ThreadContext &th = threads.back();
         th.pc = program.entry;
@@ -211,10 +211,24 @@ Processor::Processor(Machine &machine_, std::uint16_t id,
         th.iregs[kRegArg1] = cfg.totalThreads();
         th.iregs[kRegSp] = static_cast<std::int64_t>(cfg.localWords);
     }
-    liveThreads = cfg.threadsPerProc;
+    liveThreads = swCount;
+    liveCtx_ = cfg.threadsPerProc;
     liveMask_.assign((cfg.threadsPerProc + 63) / 64, 0);
     for (int t = 0; t < cfg.threadsPerProc; ++t)
         liveMask_[t >> 6] |= 1ull << (t & 63);
+
+    // Virtual threading: the first K software threads start installed on
+    // the K contexts; the surplus waits on the run queue, ready at once.
+    vt_ = cfg.swThreadsPerProc > 0;
+    ctxThread_.resize(cfg.threadsPerProc);
+    ctxDeadline_.assign(cfg.threadsPerProc, kNever);
+    for (int k = 0; k < cfg.threadsPerProc; ++k) {
+        ctxThread_[k] = static_cast<std::uint16_t>(k);
+        if (vt_)
+            ctxDeadline_[k] = cfg.quantumCycles;
+    }
+    for (int t = cfg.threadsPerProc; t < swCount; ++t)
+        runq_.enqueue(static_cast<std::uint16_t>(t), 0);
 
     // Span batching folds the tracer's per-instruction callbacks away,
     // and switch-every-cycle makes every instruction a decision point,
@@ -241,13 +255,13 @@ Processor::nextLiveSlot(int from) const
         if (liveMask_[wi])
             return (wi << 6) + std::countr_zero(liveMask_[wi]);
     }
-    MTS_PANIC("live-thread mask empty with liveThreads=" << liveThreads);
+    MTS_PANIC("live-context mask empty with liveCtx=" << liveCtx_);
 }
 
 void
 Processor::rotate()
 {
-    MTS_ASSERT(liveThreads > 0, "rotate with no live threads");
+    MTS_ASSERT(liveCtx_ > 0, "rotate with no live contexts");
     const int tpp = cfg.threadsPerProc;
     if (cfg.prioritySched) {
         // Prefer the next high-priority thread in round-robin order
@@ -255,14 +269,14 @@ Processor::rotate()
         int cand = cur;
         for (int k = 1; k < tpp; ++k) {
             cand = cand + 1 == tpp ? 0 : cand + 1;
-            if (!threads[cand].halted && threads[cand].highPriority) {
+            if (!ctxTh(cand).halted && ctxTh(cand).highPriority) {
                 cur = cand;
                 return;
             }
         }
     }
     int next = cur + 1 == tpp ? 0 : cur + 1;
-    if (!threads[next].halted) {  // O(1) common case: neighbour is live
+    if (!ctxTh(next).halted) {  // O(1) common case: neighbour is live
         cur = next;
         return;
     }
@@ -280,11 +294,95 @@ Processor::takeSwitch(ThreadContext &th, Cycle runEnd, Cycle threadReady,
         ++stats.zeroRuns;  // decode-time switch right after switch-in
     th.readyAt = std::max(threadReady, runEnd);
     std::uint32_t from = th.globalId;
+    if (vt_ && !runq_.empty())
+        maybeSwapOut(th, runEnd);
     rotate();
     freshRun = true;
     if (cfg.tracer)
-        cfg.tracer->onSwitch(runEnd, procId, from, threads[cur].globalId,
+        cfg.tracer->onSwitch(runEnd, procId, from, ctxTh(cur).globalId,
                              th.readyAt, reason);
+}
+
+void
+Processor::installFromQueue(Cycle now)
+{
+    RunQueueEntry in = runq_.take(runq_.pick(now));
+    ctxThread_[cur] = in.thread;
+    Cycle wake = std::max(now, in.readyAt);
+    ctxDeadline_[cur] = wake + cfg.quantumCycles;
+    if (cfg.tracer)
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Install,
+                                 threads[in.thread].globalId, wake);
+}
+
+void
+Processor::maybeSwapOut(ThreadContext &th, Cycle now)
+{
+    // Swap only for a strict win: the chosen waiter must become ready
+    // before the blocked thread does (ties keep the resident thread, so
+    // schedules stay deterministic and the 1:1 path unperturbed).
+    const RunQueueEntry &cand = runq_.entries()[runq_.pick(now)];
+    if (std::max(now, cand.readyAt) >= th.readyAt)
+        return;
+    ++sched.blockSwitches;
+    ++sched.requeues;
+    sched.queueDepth.add(runq_.size());
+    runq_.enqueue(ctxThread_[cur], th.readyAt);
+    if (cfg.tracer)
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Requeue,
+                                 th.globalId, runq_.size());
+    installFromQueue(now);
+}
+
+bool
+Processor::schedTimer(ThreadContext &th, Cycle &now)
+{
+    std::size_t idx = runq_.pick(now);
+    if (runq_.entries()[idx].readyAt > now) {
+        // No waiter could use the context yet: re-arm the timer.
+        ctxDeadline_[cur] = now + cfg.quantumCycles;
+        return false;
+    }
+
+    // Preempt: the only scheduler action that pays the context cost —
+    // save the evicted thread, restore the incoming one, both charged
+    // as stall time (cf. missSwitchPenalty's late-switch accounting).
+    ++sched.preemptions;
+    sched.queueDepth.add(runq_.size());
+    const Cycle cost = cfg.ctxSwitchCost;
+    stats.stallCycles += 2 * cost;
+    sched.saveCycles += cost;
+    sched.restoreCycles += cost;
+    if (freshRun)
+        ++stats.zeroRuns;  // evicted before issuing a single instruction
+    else if (now > th.runStart)
+        stats.runLengths.add(now - th.runStart);
+    else
+        ++stats.zeroRuns;
+    th.readyAt = now;  // it was running; it stays runnable
+    ++sched.requeues;
+    runq_.enqueue(ctxThread_[cur], now);
+    if (cfg.tracer) {
+        std::uint32_t gid = th.globalId;
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Preempt,
+                                 gid, ctxDeadline_[cur]);
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Save, gid,
+                                 cost);
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Requeue,
+                                 gid, runq_.size());
+    }
+    RunQueueEntry in = runq_.take(idx);
+    ctxThread_[cur] = in.thread;
+    now += 2 * cost;
+    ctxDeadline_[cur] = now + cfg.quantumCycles;
+    freshRun = true;
+    if (cfg.tracer) {
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Install,
+                                 threads[in.thread].globalId, now);
+        cfg.tracer->onSchedEvent(now, procId, SchedEventKind::Restore,
+                                 threads[in.thread].globalId, cost);
+    }
+    return true;
 }
 
 void
@@ -316,7 +414,7 @@ Processor::run(Cycle now, Cycle horizon)
                     "watchdog: processor " << procId << " exceeded "
                                            << cfg.maxCycles << " cycles");
 
-        ThreadContext &th = threads[cur];
+        ThreadContext &th = ctxTh(cur);
         if (th.readyAt > now) {
             stats.idleCycles += th.readyAt - now;
             if (th.readyAt >= effHorizon)
@@ -325,6 +423,13 @@ Processor::run(Cycle now, Cycle horizon)
         }
         if (now >= effHorizon)
             return {RunOutcome::Waiting, now};
+
+        // Virtual threading: timer interrupt. Checked only at the burst
+        // loop (and bounding the span budget below), so the 1:1 path
+        // pays a single always-false branch.
+        if (vt_ && now >= ctxDeadline_[cur] && !runq_.empty() &&
+            schedTimer(th, now))
+            continue;
 
         // Batched fast path: retire local spans and the control flow
         // between them in a tight loop. Falls through to the generic
@@ -382,7 +487,11 @@ Processor::runSpan(ThreadContext &th, Cycle &now)
     // The caller guarantees now < effHorizon; every batched op costs
     // exactly one cycle (zero stall), so the horizon budget is a simple
     // instruction count and the batch needs no per-op horizon check.
-    const Cycle horizonBudget = effHorizon - now;
+    // With descheduled threads waiting, the quantum deadline bounds the
+    // batch too (the caller also guarantees now < ctxDeadline_[cur]).
+    Cycle horizonBudget = effHorizon - now;
+    if (vt_ && !runq_.empty() && ctxDeadline_[cur] - now < horizonBudget)
+        horizonBudget = ctxDeadline_[cur] - now;
     const std::uint64_t budget =
         horizonBudget < kMaxBatch ? horizonBudget : kMaxBatch;
 
@@ -516,13 +625,13 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             missed = false;
             std::uint64_t v0 = machine.estimateRead(addr);
             std::uint64_t v1 = isPair ? machine.estimateRead(addr + 1) : 0;
-            deliver(static_cast<std::uint16_t>(cur), inst.rd, fpDest,
+            deliver(curSw(), inst.rd, fpDest,
                     isPair, v0, v1);
             MemOp op2;
             op2.kind = isPair ? MemOpKind::LoadPair : MemOpKind::Load;
             op2.addr = addr;
             op2.proc = procId;
-            op2.thread = static_cast<std::uint16_t>(cur);
+            op2.thread = curSw();
             op2.deliver = false;  // value already architecturally visible
             op2.pc = th.pc;
             op2.issueTime = now;
@@ -548,7 +657,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
                 bool ok = cache_->tryRead(addr + 1, now, v1);
                 MTS_ASSERT(ok, "pair second word must hit with the first");
             }
-            deliver(static_cast<std::uint16_t>(cur), inst.rd, fpDest,
+            deliver(curSw(), inst.rd, fpDest,
                     isPair, v, v1);
             // A spin load that hits cannot observe a change until an
             // invalidation arrives, so hot-spinning is pointless: make
@@ -564,7 +673,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
             mop.kind = isPair ? MemOpKind::LoadPair : MemOpKind::Load;
             mop.addr = addr;
             mop.proc = procId;
-            mop.thread = static_cast<std::uint16_t>(cur);
+            mop.thread = curSw();
             mop.reg = inst.rd;
             mop.fpDest = fpDest;
             mop.spin = isSpin;
@@ -593,7 +702,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
         mop.addr = addr;
         mop.value = static_cast<std::uint64_t>(th.readIReg(inst.rs2));
         mop.proc = procId;
-        mop.thread = static_cast<std::uint16_t>(cur);
+        mop.thread = curSw();
         mop.deliver = false;
         mop.pc = th.pc;
         mop.issueTime = now;
@@ -615,7 +724,7 @@ Processor::issueSharedLoad(ThreadContext &th, const DecodedOp &inst,
     if (isFaa)
         mop.value = static_cast<std::uint64_t>(th.readIReg(inst.rs2));
     mop.proc = procId;
-    mop.thread = static_cast<std::uint16_t>(cur);
+    mop.thread = curSw();
     mop.reg = inst.rd;
     mop.fpDest = fpDest;
     mop.spin = isSpin;
@@ -649,7 +758,7 @@ Processor::issueSharedStore(ThreadContext &th, const DecodedOp &inst,
     mop.addr = addr;
     mop.value = value;
     mop.proc = procId;
-    mop.thread = static_cast<std::uint16_t>(cur);
+    mop.thread = curSw();
     mop.pc = th.pc;
     mop.issueTime = now;
     machine.issueMem(mop);
@@ -927,7 +1036,6 @@ Processor::step(ThreadContext &th, Cycle &now)
 
     if (halted) {
         th.halted = true;
-        liveMask_[cur >> 6] &= ~(1ull << (cur & 63));
         --liveThreads;
         if (now > stats.finishTime)
             stats.finishTime = now;
@@ -935,12 +1043,23 @@ Processor::step(ThreadContext &th, Cycle &now)
             stats.runLengths.add(now - th.runStart);
         else
             ++stats.zeroRuns;
-        if (liveThreads > 0) {
+        if (vt_ && !runq_.empty()) {
+            // The freed context immediately picks up a queued software
+            // thread (free: a halted thread has no live state to save).
+            ++sched.haltInstalls;
+            sched.queueDepth.add(runq_.size());
+            installFromQueue(now);
+        } else {
+            // No waiter: this context's install chain is exhausted.
+            liveMask_[cur >> 6] &= ~(1ull << (cur & 63));
+            --liveCtx_;
+        }
+        if (liveCtx_ > 0) {
             rotate();
             freshRun = true;
             if (cfg.tracer)
                 cfg.tracer->onSwitch(now, procId, th.globalId,
-                                     threads[cur].globalId, now,
+                                     ctxTh(cur).globalId, now,
                                      SwitchReason::Halt);
         }
         return StepResult::Halted;

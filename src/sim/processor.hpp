@@ -13,9 +13,11 @@
 #include "asm/program.hpp"
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/sched_stats.hpp"
 #include "cpu/thread_context.hpp"
 #include "isa/decoded.hpp"
 #include "sim/machine_config.hpp"
+#include "sim/run_queue.hpp"
 #include "trace/tracer.hpp"
 
 namespace mts
@@ -40,6 +42,15 @@ struct RunStatus
 /**
  * A processor with `threadsPerProc` hardware contexts scheduled
  * round-robin (optimal under the network's ordered delivery, Section 3).
+ *
+ * With `swThreadsPerProc > 0` an OS-style virtual-threading layer
+ * multiplexes N software threads over the K contexts: the surplus waits
+ * on a run queue, a timer-interrupt quantum preempts resident threads
+ * (paying 2 x ctxSwitchCost), and model-driven switches may swap a
+ * blocked thread for an earlier-ready waiter at no cost (the save
+ * overlaps the outstanding remote latency). With the queue empty — N==K
+ * or the layer off — every scheduler hook is a dead branch, so the 1:1
+ * path is cycle-identical to the plain engine (DESIGN.md section 14).
  *
  * Context switches cost zero cycles for the opcode-implied models
  * (switch-on-load, explicit/conditional switch) because the switch is
@@ -67,10 +78,15 @@ class Processor
      */
     RunStatus run(Cycle now, Cycle horizon);
 
-    /** Deliver a load/fetch-add result into a thread's register file. */
+    /**
+     * Deliver a load/fetch-add result into a software thread's register
+     * file. @p threadSlot is the software-thread index; delivery works
+     * whether or not the thread currently holds a hardware context.
+     */
     void deliver(std::uint16_t threadSlot, std::uint8_t reg, bool fpDest,
                  bool pair, std::uint64_t v0, std::uint64_t v1);
 
+    /** Software thread @p slot (hardware context when 1:1). */
     ThreadContext &
     thread(std::uint16_t slot)
     {
@@ -97,6 +113,9 @@ class Processor
     }
 
     CpuStats stats;
+
+    /** Virtual-threading scheduler counters (all zero when 1:1). */
+    SchedStats sched;
 
   private:
     /** Inner per-instruction outcome. */
@@ -130,11 +149,42 @@ class Processor
     void takeSwitch(ThreadContext &th, Cycle runEnd, Cycle threadReady,
                     SwitchReason reason);
 
-    /** Advance `cur` to the next unhalted thread (strict round robin). */
+    /** Advance `cur` to the next live context (strict round robin). */
     void rotate();
 
-    /** First live slot at or after @p from (cyclic); mask-driven. */
+    /** First live context at or after @p from (cyclic); mask-driven. */
     int nextLiveSlot(int from) const;
+
+    /** Software thread installed on context @p slot. */
+    ThreadContext &
+    ctxTh(int slot)
+    {
+        return threads[ctxThread_[static_cast<std::size_t>(slot)]];
+    }
+
+    /** Software-thread slot of the current context (issue tagging). */
+    std::uint16_t
+    curSw() const
+    {
+        return ctxThread_[static_cast<std::size_t>(cur)];
+    }
+
+    /**
+     * Timer interrupt on the current context: preempt to a ready run-
+     * queue waiter (returns true; `now` advanced past save+restore), or
+     * re-arm the quantum when no waiter is ready (returns false).
+     */
+    bool schedTimer(ThreadContext &th, Cycle &now);
+
+    /**
+     * At a model-driven switch of blocked thread @p th: if a queued
+     * thread becomes ready strictly earlier, swap it onto this context
+     * (free — the save overlaps the outstanding remote latency).
+     */
+    void maybeSwapOut(ThreadContext &th, Cycle now);
+
+    /** Pop the policy's choice onto context `cur` at @p now. */
+    void installFromQueue(Cycle now);
 
     Machine &machine;
     const MachineConfig &cfg;
@@ -143,13 +193,21 @@ class Processor
     std::size_t codeSize_;
     std::uint16_t procId;
 
+    /** All software threads (== hardware contexts when 1:1). */
     std::vector<ThreadContext> threads;
     std::unique_ptr<SharedCache> cache_;
-    int cur = 0;
-    int liveThreads;
+    int cur = 0;           ///< current hardware context slot
+    int liveThreads;       ///< unhalted software threads (drives finished)
+    int liveCtx_;          ///< contexts with a runnable installed thread
 
-    /** One bit per context slot, set while the thread is unhalted. */
+    /** One bit per context slot, set while its thread chain is live. */
     std::vector<std::uint64_t> liveMask_;
+
+    bool vt_;                                ///< virtual threading on
+    std::vector<std::uint16_t> ctxThread_;   ///< context -> software slot
+    std::vector<Cycle> ctxDeadline_;         ///< per-context quantum end
+    RoundRobinPolicy policy_;
+    RunQueue runq_{policy_};
 
     bool spanExec_;         ///< local-run batching enabled for this run
     bool freshRun = true;   ///< current thread just switched in

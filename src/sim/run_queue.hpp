@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Run queue for the virtual-threading layer: the software threads of
+ * one processor that currently have no hardware context, plus the
+ * policy that decides which of them is installed next.
+ */
+#ifndef MTS_SIM_RUN_QUEUE_HPP
+#define MTS_SIM_RUN_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "util/error.hpp"
+
+namespace mts
+{
+
+/** One descheduled software thread waiting for a context. */
+struct RunQueueEntry
+{
+    std::uint16_t thread;  ///< software-thread slot on this processor
+    Cycle readyAt;         ///< earliest cycle it can issue an instruction
+};
+
+/**
+ * Scheduling policy: given the queue (oldest entry first) and the
+ * current cycle, choose the entry to install next. Implementations must
+ * be deterministic pure functions of their arguments — the differential
+ * oracle depends on replayable schedules.
+ */
+class SchedPolicy
+{
+  public:
+    virtual ~SchedPolicy() = default;
+
+    /** Index into @p entries of the thread to install; never empty. */
+    virtual std::size_t pick(const std::vector<RunQueueEntry> &entries,
+                             Cycle now) const = 0;
+};
+
+/**
+ * Round robin: the oldest entry that is ready at @p now; when none is
+ * ready yet, the one that becomes ready first (oldest wins ties).
+ */
+class RoundRobinPolicy final : public SchedPolicy
+{
+  public:
+    std::size_t
+    pick(const std::vector<RunQueueEntry> &entries,
+         Cycle now) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].readyAt <= now)
+                return i;
+            if (entries[i].readyAt < entries[best].readyAt)
+                best = i;
+        }
+        return best;
+    }
+};
+
+/**
+ * FIFO container for descheduled software threads. Insertion order is
+ * the round-robin order; the policy only ever reorders by readiness.
+ */
+class RunQueue
+{
+  public:
+    explicit RunQueue(const SchedPolicy &policy) : policy_(policy) {}
+
+    bool
+    empty() const
+    {
+        return q_.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return q_.size();
+    }
+
+    const std::vector<RunQueueEntry> &
+    entries() const
+    {
+        return q_;
+    }
+
+    /** Append at the tail (youngest position). */
+    void
+    enqueue(std::uint16_t thread, Cycle readyAt)
+    {
+        q_.push_back({thread, readyAt});
+    }
+
+    /** Ask the policy for the next thread to install. */
+    std::size_t
+    pick(Cycle now) const
+    {
+        MTS_ASSERT(!q_.empty(), "pick on an empty run queue");
+        return policy_.pick(q_, now);
+    }
+
+    /** Remove and return the entry at @p index (from pick). */
+    RunQueueEntry
+    take(std::size_t index)
+    {
+        MTS_ASSERT(index < q_.size(), "run-queue take out of range");
+        RunQueueEntry e = q_[index];
+        q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(index));
+        return e;
+    }
+
+    /** Earliest readyAt over all entries (kNever when empty). */
+    Cycle
+    minReadyAt() const
+    {
+        Cycle best = ~Cycle(0);
+        for (const RunQueueEntry &e : q_)
+            if (e.readyAt < best)
+                best = e.readyAt;
+        return best;
+    }
+
+  private:
+    const SchedPolicy &policy_;
+    std::vector<RunQueueEntry> q_;
+};
+
+} // namespace mts
+
+#endif // MTS_SIM_RUN_QUEUE_HPP

@@ -7,6 +7,7 @@
 
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/sched_stats.hpp"
 #include "mem/network.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/state_digest.hpp"
@@ -19,7 +20,8 @@ struct RunResult
 {
     Cycle cycles = 0;           ///< completion time (last thread's halt)
     int numProcs = 0;
-    int threadsPerProc = 0;
+    int threadsPerProc = 0;     ///< hardware contexts per processor
+    int swThreadsPerProc = 0;   ///< software threads (0 = 1:1, layer off)
 
     /**
      * Every published metric of the run: per-processor scopes
@@ -41,6 +43,14 @@ struct RunResult
      */
     NetLinkStats link;
     bool hasLinkStats = false;
+
+    /**
+     * Virtual-threading scheduler counters, rolled up over all
+     * processors; hasSchedStats is false when the layer is off (1:1),
+     * in which case nothing is published under "sched." either.
+     */
+    SchedStats sched;
+    bool hasSchedStats = false;
 
     /**
      * Canonical final-state digest (shared static segment + per-thread

@@ -25,6 +25,24 @@ switchReasonName(SwitchReason reason)
     return "?";
 }
 
+const char *
+schedEventName(SchedEventKind kind)
+{
+    switch (kind) {
+      case SchedEventKind::Preempt:
+        return "preempt";
+      case SchedEventKind::Save:
+        return "save";
+      case SchedEventKind::Restore:
+        return "restore";
+      case SchedEventKind::Requeue:
+        return "requeue";
+      case SchedEventKind::Install:
+        return "install";
+    }
+    return "?";
+}
+
 bool
 TextTracer::accept(Cycle cycle)
 {
@@ -57,6 +75,34 @@ TextTracer::onSwitch(Cycle cycle, std::uint16_t proc, std::uint32_t fromTh,
                  "%llu)\n",
                  (unsigned long long)cycle, proc, fromTh, toTh,
                  switchReasonName(reason), (unsigned long long)wakeAt);
+}
+
+void
+TextTracer::onSchedEvent(Cycle cycle, std::uint16_t proc,
+                         SchedEventKind kind, std::uint32_t gid,
+                         Cycle detail)
+{
+    if (!accept(cycle))
+        return;
+    const char *label = "";
+    switch (kind) {
+      case SchedEventKind::Save:
+      case SchedEventKind::Restore:
+        label = "cycles";
+        break;
+      case SchedEventKind::Preempt:
+        label = "deadline";
+        break;
+      case SchedEventKind::Requeue:
+        label = "depth";
+        break;
+      case SchedEventKind::Install:
+        label = "wake";
+        break;
+    }
+    os << format("[%8llu] p%02u     sched %-7s t%02u (%s %llu)\n",
+                 (unsigned long long)cycle, proc, schedEventName(kind),
+                 gid, label, (unsigned long long)detail);
 }
 
 void

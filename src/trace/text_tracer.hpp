@@ -36,6 +36,9 @@ class TextTracer : public Tracer
     void onSwitch(Cycle cycle, std::uint16_t proc, std::uint32_t fromTh,
                   std::uint32_t toTh, Cycle wakeAt,
                   SwitchReason reason) override;
+    void onSchedEvent(Cycle cycle, std::uint16_t proc,
+                      SchedEventKind kind, std::uint32_t gid,
+                      Cycle detail) override;
     void onSharedAccess(Cycle cycle, std::uint16_t proc,
                         std::uint32_t thread, const MemOp &op) override;
 

@@ -60,6 +60,20 @@ class TimelineTracer : public Tracer
         ++switchCount;
     }
 
+    /** Virtual-threading scheduler actions observed (0 when 1:1). */
+    std::uint64_t
+    schedEvents() const
+    {
+        return schedEventCount;
+    }
+
+    void
+    onSchedEvent(Cycle, std::uint16_t, SchedEventKind, std::uint32_t,
+                 Cycle) override
+    {
+        ++schedEventCount;
+    }
+
     /** Render rows "p00 |0000...1111|"; at most @p maxColumns buckets. */
     std::string render(std::size_t maxColumns = 120) const;
 
@@ -79,6 +93,7 @@ class TimelineTracer : public Tracer
     Cycle bucketCycles;
     std::map<std::uint16_t, std::vector<Cell>> grid;
     std::uint64_t switchCount = 0;
+    std::uint64_t schedEventCount = 0;
 };
 
 } // namespace mts

@@ -33,6 +33,22 @@ enum class SwitchReason
 /** Printable name of a switch reason. */
 const char *switchReasonName(SwitchReason reason);
 
+/**
+ * Virtual-threading scheduler actions (software threads over hardware
+ * contexts; only emitted when MachineConfig::swThreadsPerProc > 0).
+ */
+enum class SchedEventKind
+{
+    Preempt,  ///< quantum expired with a ready waiter; thread evicted
+    Save,     ///< preempted context saved (detail = cycles charged)
+    Restore,  ///< incoming context restored (detail = cycles charged)
+    Requeue,  ///< thread placed on the run queue (detail = queue depth)
+    Install   ///< queued thread installed (detail = its wake cycle)
+};
+
+/** Printable name of a scheduler event kind. */
+const char *schedEventName(SchedEventKind kind);
+
 /** What a shared data access does, as seen by the race detector. */
 enum class SharedDataKind : std::uint8_t
 {
@@ -74,6 +90,22 @@ class Tracer
         (void)to;
         (void)wakeAt;
         (void)reason;
+    }
+
+    /**
+     * A virtual-threading scheduler action on @p proc at @p cycle.
+     * @p gid is the machine-wide id of the software thread acted on;
+     * @p detail depends on the kind (see SchedEventKind).
+     */
+    virtual void
+    onSchedEvent(Cycle cycle, std::uint16_t proc, SchedEventKind kind,
+                 std::uint32_t gid, Cycle detail)
+    {
+        (void)cycle;
+        (void)proc;
+        (void)kind;
+        (void)gid;
+        (void)detail;
     }
 
     /** A shared access issued into the network. */

@@ -62,11 +62,12 @@ describeDigestDiff(const Program &prog, const RefResult &ref,
                       static_cast<unsigned long long>(want));
         ++shown;
     }
+    const int swPerProc = cfg.effSwThreadsPerProc();
     for (int p = 0; p < cfg.numProcs && shown < 8; ++p)
-        for (int t = 0; t < cfg.threadsPerProc && shown < 8; ++t) {
+        for (int t = 0; t < swPerProc && shown < 8; ++t) {
             const ThreadContext &th =
                 machine.processor(p).thread(static_cast<std::uint16_t>(t));
-            int gid = p * cfg.threadsPerProc + t;
+            int gid = p * swPerProc + t;
             const RefThreadState &rt =
                 ref.threads[static_cast<std::size_t>(gid)];
             if (th.iregs[kDigestIntReg0] != rt.iregs[kDigestIntReg0] ||
@@ -111,6 +112,7 @@ checkInvariants(const RunResult &r, const MachineConfig &cfg,
             {DivergenceKind::Invariant, label, detail});
     };
 
+    const bool vt = cfg.swThreadsPerProc > 0;
     for (int p = 0; p < cfg.numProcs; ++p) {
         CpuStats c = cpuStatsFromMetrics(
             r.metrics, "cpu.p" + std::to_string(p));
@@ -120,15 +122,31 @@ checkInvariants(const RunResult &r, const MachineConfig &cfg,
                         "%llu",
                         p, static_cast<unsigned long long>(accounted),
                         static_cast<unsigned long long>(c.finishTime)));
+        SchedStats s;
+        if (vt)
+            s = schedStatsFromMetrics(r.metrics,
+                                      "sched.p" + std::to_string(p));
         std::uint64_t runsEnded = c.runLengths.count() + c.zeroRuns;
         std::uint64_t runsExpected =
-            c.switchesTaken +
-            static_cast<std::uint64_t>(cfg.threadsPerProc);
+            c.switchesTaken + s.preemptions +
+            static_cast<std::uint64_t>(cfg.effSwThreadsPerProc());
         if (runsEnded != runsExpected)
             fail(format("cpu.p%d: run_lengths mass + zero_runs = %llu != "
-                        "switches.taken + threads = %llu",
+                        "switches.taken + preemptions + threads = %llu",
                         p, static_cast<unsigned long long>(runsEnded),
                         static_cast<unsigned long long>(runsExpected)));
+        if (vt) {
+            // Only timer preemptions pay the context-switch cost, and
+            // they pay the save and restore halves symmetrically.
+            std::uint64_t expect = s.preemptions * cfg.ctxSwitchCost;
+            if (s.saveCycles != expect || s.restoreCycles != expect)
+                fail(format(
+                    "sched.p%d: save/restore = %llu/%llu != ctx cost x "
+                    "preemptions = %llu",
+                    p, static_cast<unsigned long long>(s.saveCycles),
+                    static_cast<unsigned long long>(s.restoreCycles),
+                    static_cast<unsigned long long>(expect)));
+        }
     }
 
     const NetworkStats &n = r.net;
@@ -283,10 +301,20 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
 
     auto runOne = [&](const Variant &v, SwitchModel model, int tpp,
                       const CacheConfig &cache, const NetworkConfig &net,
-                      const DirectoryConfig &dir = {}) {
+                      const DirectoryConfig &dir = {}, int swThreads = 0,
+                      Cycle quantum = 0, Cycle ctxCost = 0) {
         MachineConfig cfg;
-        cfg.numProcs = opts.threads / tpp;
+        // Virtual-threading runs put all `threads` software threads on
+        // enough processors that tpp hardware contexts each multiplex
+        // swThreads of them; 1:1 runs split threads across processors.
+        cfg.numProcs =
+            opts.threads / (swThreads > 0 ? swThreads : tpp);
         cfg.threadsPerProc = tpp;
+        cfg.swThreadsPerProc = swThreads;
+        if (swThreads > 0) {
+            cfg.quantumCycles = quantum;
+            cfg.ctxSwitchCost = ctxCost;
+        }
         cfg.model = model;
         cfg.network = net;
         cfg.cache = cache;
@@ -296,6 +324,10 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
             "%s %s tpp=%d latency=%llu",
             std::string(switchModelName(model)).c_str(), v.name, tpp,
             static_cast<unsigned long long>(net.roundTrip));
+        if (swThreads > 0)
+            label += format(" vt=%d/%d q=%llu c=%llu", swThreads, tpp,
+                            static_cast<unsigned long long>(quantum),
+                            static_cast<unsigned long long>(ctxCost));
         if (net.kind == NetworkKind::Mesh)
             label += format(" net=mesh:lb%llu",
                             static_cast<unsigned long long>(net.linkBits));
@@ -360,6 +392,28 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
                CacheConfig{}, constNet(0));
         runOne(variants[1], SwitchModel::ExplicitSwitch, tppMax,
                CacheConfig{}, constNet(0));
+    }
+
+    if (opts.includeVThreads && opts.threads >= 2) {
+        // Virtual-threading slice: every software thread still runs to
+        // the same architectural end state when time-multiplexed over
+        // fewer hardware contexts, under both a thrashing quantum (50)
+        // and a coarse one (500), free and costed context switches, and
+        // both a blocking and a cswitch-driven model. K = threads/2
+        // exercises queue + contexts jointly; K = 1 serializes the whole
+        // processor through one context.
+        const int kHalf = opts.threads / 2;
+        runOne(variants[0], SwitchModel::SwitchOnLoad, kHalf,
+               CacheConfig{}, constNet(opts.latency), {}, opts.threads,
+               50, 4);
+        runOne(variants[1], SwitchModel::ExplicitSwitch, kHalf,
+               CacheConfig{}, constNet(opts.latency), {}, opts.threads,
+               500, 0);
+        runOne(variants[0], SwitchModel::SwitchOnUse, 1, CacheConfig{},
+               constNet(opts.latency), {}, opts.threads, 50, 0);
+        runOne(variants[1], SwitchModel::ConditionalSwitch, 1,
+               CacheConfig{8, 2}, constNet(opts.latency), {},
+               opts.threads, 500, 4);
     }
 
     if (opts.includeMesh) {

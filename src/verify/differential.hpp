@@ -15,6 +15,10 @@
  *  - run-length histogram mass + zero-length runs
  *        == taken switches + threads per processor
  *    (every taken switch and every halt ends exactly one run);
+ *  - with virtual threading on: save cycles == restore cycles ==
+ *    context-switch cost x timer preemptions, and the run-count identity
+ *    gains the preemption term (a preemption ends a run without a taken
+ *    switch);
  *  - network messages == load + store + faa + fill + inval messages;
  *  - forward/return bit totals == the per-type message counts times the
  *    pinned per-message field sizes (header/address/data words).
@@ -74,6 +78,17 @@ struct DiffOptions
      * still have to match the reference.
      */
     bool includeMesh = true;
+
+    /**
+     * Also run a virtual-threading slice: the same `threads` software
+     * threads time-multiplexed over fewer hardware contexts (N/K ratios
+     * 2 and N, quanta 50 and 500, with and without a context-switch
+     * cost). Preemption moves live register state between contexts at
+     * arbitrary instruction boundaries, so these runs stress a whole
+     * scheduling layer the 1:1 matrix never enters — and the digest
+     * still has to match the reference. Skipped when `threads` < 2.
+     */
+    bool includeVThreads = true;
     bool checkInvariants = true;
 
     /** Threads-per-processor splits (divisors of threads are used). */

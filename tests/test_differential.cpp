@@ -112,6 +112,65 @@ TEST(Differential, PinnedSeedsSurviveMeshBackend)
     EXPECT_TRUE(rep.ok()) << firstFailure;
 }
 
+TEST(Differential, VThreadSliceIsInMatrixAndDivergenceFree)
+{
+    // The virtual-threading slice (N software threads over K < N
+    // hardware contexts, ratios 2 and N, quanta 50 and 500, with and
+    // without a context-switch cost) is part of the matrix by default:
+    // switching it off must remove exactly its four runs, and with it
+    // on a schedule-independent program must still match the reference
+    // digest — preemption may move every thread, never any result.
+    const std::string src = ".entry main\n"
+                            ".shared slots, 4\n"
+                            ".shared acc, 1\n"
+                            "main:\n"
+                            "    la t0, slots\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 11\n"
+                            "    add t1, t1, 3\n"
+                            "    sts t1, 0(t0)\n"
+                            "    li t2, 1\n"
+                            "    faa zero, acc, t2\n"
+                            "    mv v0, t1\n"
+                            "    halt\n";
+    DiffOptions withVt = quickOptions();
+    DiffReport vtRep = runDifferential(src, withVt);
+    EXPECT_TRUE(vtRep.ok()) << vtRep.summary();
+
+    DiffOptions noVt = quickOptions();
+    noVt.includeVThreads = false;
+    DiffReport plainRep = runDifferential(src, noVt);
+    EXPECT_TRUE(plainRep.ok()) << plainRep.summary();
+    EXPECT_EQ(vtRep.machineRuns, plainRep.machineRuns + 4);
+    EXPECT_EQ(vtRep.refDigest, plainRep.refDigest);
+}
+
+TEST(Differential, PinnedSeedsSurviveVirtualThreading)
+{
+    // A pinned-seed fuzz slice dedicated to the virtual-threading
+    // layer: seeds disjoint from the other blocks (1..64, 501.., 701..),
+    // vt slice armed by default, invariants on — including the
+    // scheduler's own identities (save == restore == ctx cost x
+    // preemptions, run-count identity with the preemption term).
+    // Divergence here means preemptive time-multiplexing changed an
+    // architectural result.
+    FuzzOptions opts;
+    opts.seeds = 32;
+    opts.firstSeed = 801;
+    opts.shrink = false;
+    opts.diff.checkInvariants = true;
+    opts.diff.includeVThreads = true;
+
+    FuzzReport rep = runFuzzCampaign(opts);
+    EXPECT_EQ(rep.seedsRun, 32);
+    std::string firstFailure;
+    if (!rep.ok())
+        firstFailure = "seed " + std::to_string(rep.failures[0].seed) +
+                       ": " + rep.failures[0].first.config + ": " +
+                       rep.failures[0].first.detail;
+    EXPECT_TRUE(rep.ok()) << firstFailure;
+}
+
 TEST(Differential, RacyProgramScreenedAsUnstable)
 {
     // Last writer wins on one shared word and every thread reads it

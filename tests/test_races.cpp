@@ -217,6 +217,37 @@ TEST(RaceDetection, InjectedRaceCaughtDynamically)
     EXPECT_FALSE(out.json["clean"].asBool());
 }
 
+TEST(RaceDetection, RaceCaughtWhenThreadsTimeMultiplexOneContext)
+{
+    // Same racy pair, but both software threads share ONE hardware
+    // context under the virtual-threading scheduler: the interleaving
+    // now comes from block swaps and timer preemptions rather than
+    // parallel contexts. The detector keys on software-thread ids, so
+    // serialising the threads through one context must not make the
+    // unordered accesses look ordered.
+    Program prog = assemble(kRacySource);
+    MachineConfig cfg;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.numProcs = 1;
+    cfg.threadsPerProc = 1;
+    cfg.swThreadsPerProc = 2;
+    cfg.quantumCycles = 50;
+    cfg.network.roundTrip = 200;
+    cfg.maxCycles = 400'000'000ull;
+    RaceDetector det(prog,
+                     static_cast<std::uint32_t>(cfg.totalThreads()));
+    cfg.tracer = &det;
+    Machine m(prog, cfg);
+    m.setPrintHandler([](const std::string &) {});
+    m.run();
+
+    ASSERT_FALSE(det.races().empty());
+    const RaceRecord &r = det.races().front();
+    EXPECT_EQ(r.addr, kSharedBase);
+    EXPECT_NE(det.renderText().find("race: gp_x+0"), std::string::npos)
+        << det.renderText();
+}
+
 TEST(RaceDetection, InjectedRaceFlaggedStatically)
 {
     Program prog = assemble(kRacySource);

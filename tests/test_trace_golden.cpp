@@ -85,6 +85,84 @@ TEST(TraceGolden, TimelineMatchesGolden)
     test::compareGolden("timeline.txt", out);
 }
 
+namespace
+{
+
+/**
+ * Virtual-threading workload: three software threads on one hardware
+ * context, each spinning locally long enough to be timer-preempted a
+ * few times before publishing through a remote store/load pair (a
+ * block swap). Exercises every scheduler event kind.
+ */
+const char *const kVtSource = ".shared data, 4\n"
+                              ".shared sink, 4\n"
+                              "main:\n"
+                              "    li s0, 0\n"
+                              "    li s1, 40\n"
+                              "Lspin:\n"
+                              "    add s0, s0, 1\n"
+                              "    sub s1, s1, 1\n"
+                              "    bnez s1, Lspin\n"
+                              "    la t0, data\n"
+                              "    add t0, t0, a0\n"
+                              "    sts s0, 0(t0)\n"
+                              "    lds t1, 0(t0)\n"
+                              "    la t2, sink\n"
+                              "    add t2, t2, a0\n"
+                              "    sts t1, 0(t2)\n"
+                              "    mv v0, t1\n"
+                              "    halt\n";
+
+MachineConfig
+vtTracedConfig()
+{
+    MachineConfig cfg = test::miniConfig();
+    cfg.numProcs = 1;
+    cfg.threadsPerProc = 1;
+    cfg.swThreadsPerProc = 3;
+    cfg.quantumCycles = 30;
+    cfg.ctxSwitchCost = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceGolden, VThreadTextTraceMatchesGolden)
+{
+    std::ostringstream os;
+    TextTracer tracer(os, 0, 2500, 500);
+    MachineConfig cfg = vtTracedConfig();
+    cfg.tracer = &tracer;
+    test::runAsm(kVtSource, cfg);
+
+    // Companion sanity check so a regeneration cannot bless a stream
+    // missing a scheduler event kind.
+    const std::string out = os.str();
+    for (const char *kind :
+         {"preempt", "save", "restore", "requeue", "install"})
+        EXPECT_NE(out.find(std::string("sched ") + kind),
+                  std::string::npos)
+            << "no " << kind << " event in trace";
+    test::compareGolden("trace_vthreads.txt", out);
+}
+
+TEST(TraceGolden, VThreadTimelineMatchesGolden)
+{
+    TimelineTracer tracer(50);
+    MachineConfig cfg = vtTracedConfig();
+    cfg.tracer = &tracer;
+    test::runAsm(kVtSource, cfg);
+
+    std::string out = tracer.render(110);
+    out += format("switches: %llu\n",
+                  static_cast<unsigned long long>(tracer.switches()));
+    out += format("sched-events: %llu\n",
+                  static_cast<unsigned long long>(tracer.schedEvents()));
+    out += format("occupancy: %.4f\n", tracer.occupancy());
+    EXPECT_GT(tracer.schedEvents(), 0u);
+    test::compareGolden("timeline_vthreads.txt", out);
+}
+
 TEST(TraceGolden, TextTracerHonoursWindowAndCap)
 {
     // Companion sanity check so a golden regeneration cannot silently

@@ -40,6 +40,15 @@ usage()
         "switch-on-use-miss | conditional-switch\n"
         "  --procs N           processors (default 16)\n"
         "  --threads N         hardware threads per processor (default 1)\n"
+        "  --sw-threads N      software threads per processor, "
+        "time-multiplexed over the\n"
+        "                      --threads hardware contexts (default: off, "
+        "1:1)\n"
+        "  --quantum-cycles N  virtual-threading timer quantum "
+        "(default 500)\n"
+        "  --ctx-cost N        cycles to save (and to restore) a context "
+        "on preemption\n"
+        "                      (default 0)\n"
         "  --latency N         round-trip shared latency (default 200; 0 ="
         " ideal network)\n"
         "  --network NAME      interconnect backend: constant-latency "
@@ -125,6 +134,16 @@ main(int argc, char **argv)
                 cfg.numProcs = static_cast<int>(intArg(i));
             } else if (a == "--threads") {
                 cfg.threadsPerProc = static_cast<int>(intArg(i));
+            } else if (a == "--sw-threads") {
+                cfg.swThreadsPerProc = static_cast<int>(intArg(i));
+            } else if (a == "--quantum-cycles") {
+                // Clamp negatives to 0 so validateMachineConfig reports
+                // them with the same field-naming diagnostic as 0.
+                long long q = intArg(i);
+                cfg.quantumCycles = q <= 0 ? 0 : static_cast<Cycle>(q);
+            } else if (a == "--ctx-cost") {
+                long long c = intArg(i);
+                cfg.ctxSwitchCost = c <= 0 ? 0 : static_cast<Cycle>(c);
             } else if (a == "--latency") {
                 cfg.network.roundTrip = static_cast<Cycle>(intArg(i));
             } else if (a == "--network" && i + 1 < argc) {
@@ -327,6 +346,12 @@ main(int argc, char **argv)
                     std::string(switchModelName(cfg.model)).c_str(),
                     cfg.numProcs, cfg.threadsPerProc,
                     (unsigned long long)cfg.network.roundTrip);
+        if (cfg.swThreadsPerProc > 0)
+            std::printf("vthreads: sw-threads=%d quantum=%llu "
+                        "ctx-cost=%llu\n",
+                        cfg.swThreadsPerProc,
+                        (unsigned long long)cfg.quantumCycles,
+                        (unsigned long long)cfg.ctxSwitchCost);
         if (cfg.network.kind == NetworkKind::Mesh) {
             auto [mx, my] = resolveMeshDims(cfg.network, cfg.numProcs);
             std::printf("network=mesh dims=%dx%d hop-cycles=%llu "
@@ -365,6 +390,18 @@ main(int argc, char **argv)
                         (unsigned long long)r.net.messages,
                         r.bitsPerCycle(),
                         (unsigned long long)r.net.invalMsgs);
+            if (r.hasSchedStats)
+                std::printf(
+                    "sched: preemptions=%llu save=%llu restore=%llu "
+                    "block-switches=%llu halt-installs=%llu "
+                    "requeues=%llu queue-depth-mean=%.2f\n",
+                    (unsigned long long)r.sched.preemptions,
+                    (unsigned long long)r.sched.saveCycles,
+                    (unsigned long long)r.sched.restoreCycles,
+                    (unsigned long long)r.sched.blockSwitches,
+                    (unsigned long long)r.sched.haltInstalls,
+                    (unsigned long long)r.sched.requeues,
+                    r.sched.queueDepth.mean());
             if (r.hasLinkStats)
                 std::printf(
                     "links: routed=%llu local=%llu avg-hops=%.2f "
