@@ -7,10 +7,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/mtsim.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
 
 using namespace mts;
 
@@ -67,25 +73,36 @@ BM_ConditionalSwitch(benchmark::State &state)
     runOnce(SwitchModel::ConditionalSwitch, 8, 8, 200, state);
 }
 
+/** The representative per-app configuration (switch-on-load, 8 procs x
+ *  8 threads, 200-cycle round trip) with the fused tier on or off. */
+MachineConfig
+appConfig(bool fuse)
+{
+    MachineConfig cfg;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.numProcs = 8;
+    cfg.threadsPerProc = 8;
+    cfg.network.roundTrip = 200;
+    cfg.fuseSpans = fuse;
+    return cfg;
+}
+
 /**
- * Per-application execution speed, one benchmark per Table 1 workload,
- * all under the same representative configuration (switch-on-load,
- * 8 procs x 8 threads, 200-cycle round trip). The perf-smoke CI step
- * compares the medians of these against bench/baselines/BENCH_speed.json.
+ * Per-application execution speed, one benchmark per Table 1 workload.
+ * Two series per app from one binary: BM_App/<name> with the fused tier
+ * on (the default configuration perf-smoke gates against
+ * bench/baselines/BENCH_speed.json) and BM_AppNoFuse/<name> with the
+ * tier forced off, so the fused-vs-decoded gap shows up in the same
+ * report without a second build.
  */
 void
-BM_AppExec(benchmark::State &state, const App *app)
+BM_AppExec(benchmark::State &state, const App *app, bool fuse)
 {
     AsmOptions opts = app->options(0.05);
     Program prog = assemble(app->source(), opts);
     std::uint64_t instructions = 0;
     for (auto _ : state) {
-        MachineConfig cfg;
-        cfg.model = SwitchModel::SwitchOnLoad;
-        cfg.numProcs = 8;
-        cfg.threadsPerProc = 8;
-        cfg.network.roundTrip = 200;
-        Machine m(prog, cfg);
+        Machine m(prog, appConfig(fuse));
         m.setPrintHandler([](const std::string &) {});
         app->init(m);
         RunResult r = m.run();
@@ -101,9 +118,146 @@ registerAppBenchmarks()
 {
     for (const App *app : allApps()) {
         std::string name = "BM_App/" + app->name();
-        benchmark::RegisterBenchmark(name.c_str(), BM_AppExec, app)
+        benchmark::RegisterBenchmark(name.c_str(), BM_AppExec, app,
+                                     /*fuse=*/true)
+            ->Unit(benchmark::kMillisecond);
+        std::string off = "BM_AppNoFuse/" + app->name();
+        benchmark::RegisterBenchmark(off.c_str(), BM_AppExec, app,
+                                     /*fuse=*/false)
             ->Unit(benchmark::kMillisecond);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Paired-interleaved fused-vs-decoded A/B (see EXPERIMENTS.md): for each
+// repetition each app runs once with the tier on and immediately once
+// with it off, so both arms of every pair see the same machine state
+// (cache warmth, frequency, neighbours). Medians over the pairs give the
+// per-app speedup; `--speedup-json` emits the tables as "mts.bench/1".
+//
+// Two series, because they answer different questions. The
+// *engine-bound* series (ideal model, one processor, zero-latency
+// network, full problem size) keeps the execution engine on the
+// critical path the whole run, so it measures what the fused tier does
+// to the engine itself. The *contended* series repeats the
+// representative perf-smoke configuration (switch-on-load, 8x8,
+// 200-cycle round trip), where most wall time goes to context switches
+// and network events the tier cannot touch — Amdahl caps the visible
+// gain there, and reporting it alongside keeps the headline honest.
+// ---------------------------------------------------------------------------
+
+/** Compute-bound configuration: the engine is the whole critical path. */
+MachineConfig
+engineConfig(bool fuse)
+{
+    MachineConfig cfg;
+    cfg.model = SwitchModel::Ideal;
+    cfg.numProcs = 1;
+    cfg.threadsPerProc = 1;
+    cfg.network.roundTrip = 0;
+    cfg.fuseSpans = fuse;
+    return cfg;
+}
+
+/** One timed run; returns simulated instructions per wall second. */
+double
+timedRun(const App &app, const Program &prog, const MachineConfig &cfg)
+{
+    Machine m(prog, cfg);
+    m.setPrintHandler([](const std::string &) {});
+    app.init(m);
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(r.cpu.instructions) / sec;
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+Table
+speedupTable(const std::string &title, double scale,
+             MachineConfig (*mkConfig)(bool))
+{
+    constexpr int kPairs = 5;
+    Table t(title + " (paired-interleaved A/B, median of " +
+            std::to_string(kPairs) + " pairs)");
+    t.header({"app", "fused Minstr/s", "decoded Minstr/s", "speedup"});
+    for (const App *app : allApps()) {
+        Program prog = assemble(app->source(), app->options(scale));
+        std::vector<double> fused, decoded;
+        timedRun(*app, prog, mkConfig(true));  // warm-up, not recorded
+        for (int i = 0; i < kPairs; ++i) {
+            fused.push_back(timedRun(*app, prog, mkConfig(true)));
+            decoded.push_back(timedRun(*app, prog, mkConfig(false)));
+        }
+        double f = median(fused), d = median(decoded);
+        t.row({app->name(), Table::num(f / 1e6), Table::num(d / 1e6),
+               Table::num(f / d) + "x"});
+    }
+    return t;
+}
+
+int
+runSpeedupSeries(const std::string &jsonPath)
+{
+    struct Series {
+        Table table;
+        double scale;
+    };
+    std::vector<Series> series;
+    series.push_back(
+        {speedupTable("Fused-tier speedup, engine-bound "
+                      "(ideal, 1 proc x 1 thread, zero latency)",
+                      1.0, engineConfig),
+         1.0});
+    series.push_back(
+        {speedupTable("Fused-tier speedup, contended "
+                      "(switch-on-load, 8 procs x 8 threads, 200-cycle)",
+                      0.05, appConfig),
+         0.05});
+    for (const Series &s : series) {
+        s.table.print(std::cout);
+        std::cout << '\n';
+    }
+    if (jsonPath.empty())
+        return 0;
+
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = JsonValue("mts.bench/1");
+    doc["bench"] = JsonValue("simulator_speed");
+    doc["title"] = JsonValue("Fused-tier paired-interleaved A/B");
+    doc["tables"] = JsonValue::array();
+    for (const Series &s : series) {
+        JsonValue jt = JsonValue::object();
+        jt["title"] = JsonValue(s.table.titleText());
+        jt["scale"] = JsonValue(s.scale);
+        jt["columns"] = JsonValue::array();
+        for (const std::string &c : s.table.headerCells())
+            jt["columns"].push(JsonValue(c));
+        jt["rows"] = JsonValue::array();
+        for (const auto &row : s.table.rowCells()) {
+            JsonValue jr = JsonValue::object();
+            for (std::size_t i = 0; i < row.size(); ++i)
+                jr[s.table.headerCells()[i]] = JsonValue(row[i]);
+            jt["rows"].push(jr);
+        }
+        doc["tables"].push(jt);
+    }
+    std::ofstream out(jsonPath);
+    if (!out) {
+        std::fprintf(stderr,
+                     "bench_simulator_speed: cannot write '%s'\n",
+                     jsonPath.c_str());
+        return 1;
+    }
+    out << doc.dump(2) << '\n';
+    return out.good() ? 0 : 1;
 }
 
 void
@@ -139,21 +293,30 @@ BENCHMARK(BM_GroupingPass)->Unit(benchmark::kMicrosecond);
 // Custom main instead of BENCHMARK_MAIN(): accept the same `--json
 // <path>` flag the table/figure drivers take, translating it to
 // google-benchmark's JSON file reporter so CI collects one artifact
-// format across all drivers.
+// format across all drivers. `--speedup [--speedup-json <path>]`
+// switches to the paired-interleaved fused A/B series instead.
 int
 main(int argc, char **argv)
 {
     std::vector<char *> args;
-    std::string outFlag, fmtFlag;
+    std::string outFlag, fmtFlag, speedupJson;
+    bool speedup = false;
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
         if (i > 0 && a == "--json" && i + 1 < argc) {
             outFlag = "--benchmark_out=" + std::string(argv[++i]);
             fmtFlag = "--benchmark_out_format=json";
+        } else if (i > 0 && a == "--speedup") {
+            speedup = true;
+        } else if (i > 0 && a == "--speedup-json" && i + 1 < argc) {
+            speedup = true;
+            speedupJson = argv[++i];
         } else {
             args.push_back(argv[i]);
         }
     }
+    if (speedup)
+        return runSpeedupSeries(speedupJson);
     if (!outFlag.empty()) {
         args.push_back(outFlag.data());
         args.push_back(fmtFlag.data());

@@ -8,13 +8,21 @@ Compares the `instr/s` counter of every benchmark present in both
 files. CI runners are noisy and heterogeneous, so the gate is
 deliberately loose: the build fails only if a benchmark regresses by
 more than REGRESSION_LIMIT against the baseline median. Faster results
-never fail (they print a note so the baseline can be refreshed).
+never fail, but improvements beyond the same limit print a WARNING so
+stale baselines get refreshed instead of silently masking later
+regressions.
+
+When the current report carries both per-app series (BM_App/<app> with
+the fused tier on, BM_AppNoFuse/<app> with it off — see
+bench_simulator_speed.cpp), a per-app median-speedup table is printed
+from the same report.
 """
 import json
 import pathlib
 import sys
 
 REGRESSION_LIMIT = 0.25  # fail when instr/s drops >25% vs baseline
+IMPROVEMENT_WARN = 0.25  # warn (non-fatal) when >25% above baseline
 
 
 def load_rates(path):
@@ -43,6 +51,21 @@ def load_rates(path):
     return result
 
 
+def fused_speedup_table(rates):
+    """Per-app fused-vs-decoded medians from one report, as rows of
+    (app, fused instr/s, decoded instr/s, speedup); empty when the
+    report lacks either series."""
+    rows = []
+    for name, fused in sorted(rates.items()):
+        if not name.startswith("BM_App/"):
+            continue
+        app = name[len("BM_App/"):]
+        decoded = rates.get(f"BM_AppNoFuse/{app}")
+        if decoded:
+            rows.append((app, fused, decoded, fused / decoded))
+    return rows
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -60,16 +83,26 @@ def main(argv):
         return 2
 
     failures = []
+    warnings = []
     for name in common:
         ratio = current[name] / baseline[name]
         status = "ok"
         if ratio < 1.0 - REGRESSION_LIMIT:
             status = "REGRESSION"
             failures.append(name)
-        elif ratio > 1.0 + REGRESSION_LIMIT:
-            status = "faster (consider refreshing the baseline)"
+        elif ratio > 1.0 + IMPROVEMENT_WARN:
+            status = "WARNING: faster than baseline — refresh it"
+            warnings.append(name)
         print(f"{name:40s} base {baseline[name] / 1e6:9.2f}M "
               f"now {current[name] / 1e6:9.2f}M  x{ratio:5.2f}  {status}")
+
+    speedups = fused_speedup_table(current)
+    if speedups:
+        print("\nfused-tier speedup (medians from this report):")
+        print(f"{'app':10s} {'fused':>10s} {'decoded':>10s} {'speedup':>8s}")
+        for app, fused, decoded, ratio in speedups:
+            print(f"{app:10s} {fused / 1e6:9.2f}M {decoded / 1e6:9.2f}M "
+                  f"{ratio:7.2f}x")
 
     missing = sorted(set(baseline) - set(current))
     if missing:
@@ -83,6 +116,11 @@ def main(argv):
               f"more than {REGRESSION_LIMIT:.0%}: {', '.join(failures)}",
               file=sys.stderr)
         return 1
+    if warnings:
+        print(f"perf-smoke: WARNING (non-fatal) — {len(warnings)} "
+              f"benchmark(s) improved more than {IMPROVEMENT_WARN:.0%} "
+              f"over baseline; refresh bench/baselines/BENCH_speed.json: "
+              f"{', '.join(warnings)}")
     print(f"perf-smoke: OK — {len(common)} benchmarks within "
           f"{REGRESSION_LIMIT:.0%} of baseline")
     return 0

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-processor counters for the fused superinstruction tier. All zero
+ * when the tier is off (fusion disabled, tracer attached, or the
+ * switch-every-cycle model).
+ */
+#ifndef MTS_CPU_FUSE_STATS_HPP
+#define MTS_CPU_FUSE_STATS_HPP
+
+#include <cstdint>
+
+namespace mts
+{
+
+/** Fused-tier activity of one processor (or a machine-wide merge). */
+struct FuseStats
+{
+    /** Span pcs promoted to the fused tier on this processor. */
+    std::uint64_t spans = 0;
+
+    /** Fused-span executions (whole spans retired by the fast path). */
+    std::uint64_t execs = 0;
+
+    /** Instructions retired through fused spans. */
+    std::uint64_t instructions = 0;
+
+    /** Entries declined because the scoreboard watermark was live. */
+    std::uint64_t bailoutWatermark = 0;
+
+    /** Entries declined because the span would cross the batch budget
+     *  (burst horizon or a virtual-threading quantum deadline: the
+     *  decoded path then splits the span per-op). */
+    std::uint64_t bailoutBudget = 0;
+
+    void
+    merge(const FuseStats &o)
+    {
+        spans += o.spans;
+        execs += o.execs;
+        instructions += o.instructions;
+        bailoutWatermark += o.bailoutWatermark;
+        bailoutBudget += o.bailoutBudget;
+    }
+};
+
+} // namespace mts
+
+#endif // MTS_CPU_FUSE_STATS_HPP

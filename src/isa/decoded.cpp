@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "isa/fused.hpp"
 #include "util/error.hpp"
 
 namespace mts
@@ -184,6 +185,14 @@ decodeOne(const Instruction &inst)
     return d;
 }
 
+// Out of line so decoded.hpp can hold a unique_ptr to the (there
+// incomplete) FuseCache.
+DecodedProgram::DecodedProgram() = default;
+DecodedProgram::DecodedProgram(DecodedProgram &&) noexcept = default;
+DecodedProgram &
+DecodedProgram::operator=(DecodedProgram &&) noexcept = default;
+DecodedProgram::~DecodedProgram() = default;
+
 DecodedProgram
 decodeProgram(const std::vector<Instruction> &code)
 {
@@ -196,13 +205,26 @@ decodeProgram(const std::vector<Instruction> &code)
     // number of consecutive local handlers starting at pc. Jumping into
     // the middle of a run is fine — every pc carries its own suffix
     // length — and the cap only shortens a batch, never breaks it.
+    // The same pass decides the fused-tier entry policy (kDecFuseHead):
+    // `slow` propagates backward whether the suffix span contains a
+    // long-latency op, so every possible span head — including mid-run
+    // branch targets — carries its own verdict.
     std::uint32_t run = 0;
+    bool slow = false;
     for (std::size_t i = d.ops.size(); i-- > 0;) {
-        run = isLocalHandler(d.ops[i].h)
-                  ? std::min<std::uint32_t>(run + 1, 0xFFFF)
-                  : 0;
-        d.ops[i].localRun = static_cast<std::uint16_t>(run);
+        DecodedOp &op = d.ops[i];
+        if (isLocalHandler(op.h)) {
+            run = std::min<std::uint32_t>(run + 1, 0xFFFF);
+            slow = slow || op.lat > kFuseWorthyLat;
+        } else {
+            run = 0;
+            slow = false;
+        }
+        op.localRun = static_cast<std::uint16_t>(run);
+        if (run > 0 && (run >= kMinFuseLen || slow))
+            op.flags |= kDecFuseHead;
     }
+    d.fuse = std::make_unique<FuseCache>(d.ops.size());
     return d;
 }
 

@@ -19,6 +19,7 @@
 #define MTS_ISA_DECODED_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "isa/instruction.hpp"
@@ -89,13 +90,35 @@ isBatchableHandler(Handler h)
     return h <= kLastBatchableHandler;
 }
 
-/// @name DecodedOp::flags bits (shared-memory handlers only).
+/// @name DecodedOp::flags bits. The low five qualify shared-memory
+/// handlers; kDecFuseHead is set by decodeProgram() on local ops only.
 /// @{
 constexpr std::uint8_t kDecFaa = 1;     ///< fetch-and-add
 constexpr std::uint8_t kDecSpin = 2;    ///< lds.spin
 constexpr std::uint8_t kDecPair = 4;    ///< load-double
 constexpr std::uint8_t kDecFpDest = 8;  ///< destination in the fp bank
 constexpr std::uint8_t kDecFpVal = 16;  ///< store value from the fp bank
+constexpr std::uint8_t kDecFuseHead = 32;  ///< span worth the fused tier
+/// @}
+
+/**
+ * @name Fused-tier entry policy, applied once at decode time.
+ *
+ * decodeProgram() sets kDecFuseHead on a local op when the span it
+ * heads is worth routing through the fused tier: either it is long
+ * enough (>= kMinFuseLen ops) that one accounting delta beats
+ * per-op bookkeeping, or it contains a long-latency op
+ * (lat > kFuseWorthyLat) whose intra-span stall the fused schedule
+ * precomputes — short spans the decoded batcher would otherwise break
+ * out of into the generic stall path. Spans failing both tests stay on
+ * the decoded path with zero extra work at run time: the executor
+ * tests one bit of the DecodedOp it already loaded, instead of paying
+ * the tier's profile counter + fused-pointer load + entry guards on
+ * spans too short to amortise them.
+ * @{
+ */
+constexpr std::uint16_t kMinFuseLen = 4;
+constexpr std::uint8_t kFuseWorthyLat = 2;
 /// @}
 
 /**
@@ -145,10 +168,27 @@ struct DecodedOp
  */
 DecodedOp decodeOne(const Instruction &inst);
 
+class FuseCache;
+
 /** A fully decoded program: flat DecodedOp array indexed by pc. */
 struct DecodedProgram
 {
     std::vector<DecodedOp> ops;
+
+    /**
+     * Superinstruction cache for the profile-guided fused tier (see
+     * isa/fused.hpp). Owned by the program so compiled spans are shared
+     * by every Machine executing it; the cache is internally
+     * synchronized, so it is mutable through the `shared_ptr<const
+     * DecodedProgram>` handles Machines hold (unique_ptr::get() through
+     * a const program yields a non-const cache).
+     */
+    std::unique_ptr<FuseCache> fuse;
+
+    DecodedProgram();
+    DecodedProgram(DecodedProgram &&) noexcept;
+    DecodedProgram &operator=(DecodedProgram &&) noexcept;
+    ~DecodedProgram();
 
     std::size_t
     size() const

@@ -1,0 +1,131 @@
+#include "isa/fused.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+
+namespace mts
+{
+
+namespace
+{
+
+/**
+ * True for local handlers whose execution writes a result register
+ * (i.e. execLocal routes them through wI/wF, which always touches the
+ * d0 scoreboard entry — even for a discarded integer write to r0).
+ */
+inline bool
+writesResult(Handler h)
+{
+    switch (h) {
+      case Handler::Nop:
+      case Handler::Setpri:
+      case Handler::Stl:
+      case Handler::Fstl:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+FusedSpan
+fuseSpan(const DecodedProgram &prog, std::int32_t pc)
+{
+    const DecodedOp *ops = prog.data();
+    MTS_ASSERT(ops[pc].localRun > 0,
+               "fuseSpan at pc " << pc << " which heads no local run");
+
+    FusedSpan fs;
+    fs.startPc = pc;
+    const std::uint32_t len =
+        std::min<std::uint32_t>(ops[pc].localRun, kMaxFusedOps);
+    fs.ops.reserve(len);
+    fs.issueOff.reserve(len);
+
+    // Symbolic replay of the decoded path's timing against an all-ready
+    // entry state (the executor's guard: scoreboardMax <= now implies
+    // every regReady <= now and every pendingShared false). Offsets are
+    // from span entry; `ready[r] == 0` means "ready at or before entry".
+    // Only uses stall — an overwritten in-order pipeline result never
+    // delays its overwriter (the generic step's def scan skips
+    // non-pendingShared defs, and nothing in a local span sets
+    // pendingShared).
+    std::array<std::uint64_t, kNumRegIds> ready{};
+    std::array<bool, kNumRegIds> wrote{};
+    std::uint64_t tau = 0;
+    std::uint64_t stall = 0;
+    std::int64_t sbMax = -1;
+
+    for (std::uint32_t i = 0; i < len; ++i) {
+        const DecodedOp &op = ops[pc + static_cast<std::int32_t>(i)];
+
+        std::uint64_t src = tau;
+        for (int u = 0; u < op.numUses; ++u)
+            if (ready[op.uses[u]] > src)
+                src = ready[op.uses[u]];
+        stall += src - tau;
+        tau = src;
+        fs.issueOff.push_back(static_cast<std::uint32_t>(tau));
+
+        if (writesResult(op.h)) {
+            const std::uint64_t rdy = tau + op.lat;
+            ready[op.d0] = rdy;
+            wrote[op.d0] = true;
+            if (op.lat > 1 &&
+                static_cast<std::int64_t>(rdy) > sbMax)
+                sbMax = static_cast<std::int64_t>(rdy);
+        }
+        tau += 1;
+
+        FusedOp f;
+        f.h = op.h;
+        f.rd = op.rd;
+        f.rs1 = op.rs1;
+        f.rs2 = op.rs2;
+        f.srcLine = op.srcLine;
+        f.imm = op.imm;  // aliases fimm for Fli
+        fs.ops.push_back(f);
+    }
+
+    fs.len = len;
+    fs.totalCycles = tau;
+    fs.stallCycles = stall;
+    fs.sbMaxOff = sbMax;
+
+    // Scoreboard entries that outlive the span. Everything else is
+    // elided: a register whose final ready time is at or before exit is
+    // indistinguishable from its (stale, smaller) pre-span entry to
+    // every consumer — regReady is only ever tested against `> now`,
+    // and stale-true pendingShared flags are cleared lazily by the
+    // generic step's readiness scan (DESIGN.md §11) before any
+    // switch-on-use decision can read them.
+    for (std::uint32_t r = 0; r < kNumRegIds; ++r)
+        if (wrote[r] && ready[r] > tau)
+            fs.exitDefs.push_back(
+                {static_cast<RegId>(r),
+                 static_cast<std::uint32_t>(ready[r])});
+
+    return fs;
+}
+
+const FusedSpan *
+FuseCache::acquire(const DecodedProgram &prog, std::int32_t pc)
+{
+    std::atomic<const FusedSpan *> &slot =
+        published_[static_cast<std::size_t>(pc)];
+    if (const FusedSpan *fs = slot.load(std::memory_order_acquire))
+        return fs;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const FusedSpan *fs = slot.load(std::memory_order_acquire))
+        return fs;  // lost the race; the winner's span is canonical
+    storage_.push_back(std::make_unique<FusedSpan>(fuseSpan(prog, pc)));
+    const FusedSpan *fs = storage_.back().get();
+    slot.store(fs, std::memory_order_release);
+    return fs;
+}
+
+} // namespace mts

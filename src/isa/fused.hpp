@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Profile-guided superinstruction tier: fused straight-line spans.
+ *
+ * The decoded core (DESIGN.md §11) already batches purely-local spans;
+ * this layer goes one step further for *hot* spans. A FusedSpan is a
+ * compact micro-trace compiled from a local run: operand slots are
+ * pre-resolved into 16-byte micro-ops, and — because a span may only be
+ * entered when the thread's scoreboard watermark has drained
+ * (`scoreboardMax <= now`) — the whole span's timing is static.
+ * Intra-span def→use forwarding is resolved at fuse time by a symbolic
+ * scoreboard walk, so execution needs no per-op readiness scan and no
+ * per-op scoreboard writes: the span's cycle count, stall count and the
+ * few scoreboard entries still pending at exit are precomputed and
+ * applied as one delta.
+ *
+ * Fusion is a pure function of the immutable DecodedProgram, so spans
+ * are compiled once per program and shared by every Machine (programs
+ * are shared immutably across SweepRunner's pool): FuseCache compiles
+ * under a mutex and publishes via an atomic pointer, and each Processor
+ * keeps its own profile counters so *when* a span is first used on a
+ * given machine is deterministic regardless of MTS_JOBS.
+ *
+ * Correctness contract: executing a fused span is observationally
+ * identical — registers, memory, cycles, every cpu.* counter — to the
+ * decoded per-op path (DESIGN.md §15; enforced by mtsim_verify_tests).
+ */
+#ifndef MTS_ISA_FUSED_HPP
+#define MTS_ISA_FUSED_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "isa/addressing.hpp"
+#include "isa/decoded.hpp"
+
+namespace mts
+{
+
+/**
+ * Cap on one fused span. Longer local runs fuse as a chain: the suffix
+ * starting after a fused span is itself a local run head with its own
+ * profile counter. Bounded so a span always fits comfortably inside the
+ * batcher's budget (kMaxBatch) and compile cost stays trivial.
+ */
+constexpr std::uint32_t kMaxFusedOps = 256;
+
+/**
+ * One micro-op of a fused span (16 bytes; the execution-only subset of
+ * DecodedOp). No def/use sets, latency or span metadata — all of that
+ * was consumed at fuse time.
+ */
+struct FusedOp
+{
+    Handler h = Handler::NUM_HANDLERS;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint32_t srcLine = 0;  ///< diagnostics (div-by-zero, bad stl)
+
+    union {
+        std::int64_t imm;
+        double fimm;
+    };
+
+    FusedOp() : imm(0) {}
+};
+
+/**
+ * A compiled hot span: the micro-trace plus its precomputed timing.
+ *
+ * All cycle fields are *offsets from span entry time*; the guard
+ * (`scoreboardMax <= now` at entry) makes them exact, not estimates.
+ */
+struct FusedSpan
+{
+    std::int32_t startPc = 0;
+    std::uint32_t len = 0;       ///< instructions retired by the span
+
+    /** Cycles the span occupies: len issue cycles + stallCycles. */
+    Cycle totalCycles = 0;
+
+    /** Intra-span def→use stall cycles (charged to stats.stallCycles). */
+    Cycle stallCycles = 0;
+
+    /**
+     * Exit scoreboard watermark as an offset from entry, or -1 when no
+     * multi-cycle result is still relevant (scoreboardMax unchanged).
+     * Mirrors execLocal's rule: only latencies > 1 raise the watermark.
+     */
+    std::int64_t sbMaxOff = -1;
+
+    std::vector<FusedOp> ops;
+
+    /**
+     * Resumable offsets: issueOff[i] is the cycle offset at which op i
+     * issues. The executor itself never splits a span (the entry guard
+     * requires the whole totalCycles to fit the batch budget — a quantum
+     * deadline or horizon inside the span bails to the decoded path,
+     * which executes the prefix per-op), but the offsets pin the static
+     * schedule for the budget guard, tests and future partial execution.
+     */
+    std::vector<std::uint32_t> issueOff;
+
+    /**
+     * Scoreboard entries still pending when the span exits: the final
+     * write to `reg` becomes ready at entry + readyOff with
+     * readyOff > totalCycles. Every other register's ready time is at or
+     * before exit, where a stale (smaller) regReady entry is
+     * indistinguishable from the exact one — all consumers test
+     * `regReady > now` — so those writes are elided entirely.
+     */
+    struct ExitDef
+    {
+        RegId reg;
+        std::uint32_t readyOff;
+    };
+    std::vector<ExitDef> exitDefs;
+};
+
+/**
+ * Compile the local run starting at @p pc (requires
+ * `prog[pc].localRun > 0`) into a fused span of at most kMaxFusedOps
+ * micro-ops. Pure function of the program: the symbolic scoreboard walk
+ * replays execLocal's timing rules against an all-ready entry state.
+ */
+FusedSpan fuseSpan(const DecodedProgram &prog, std::int32_t pc);
+
+/**
+ * Per-program cache of compiled spans, shared by every Machine running
+ * the program (possibly from SweepRunner's worker threads).
+ *
+ * Publication protocol: readers do one relaxed/acquire atomic load per
+ * span entry; a miss takes the mutex, re-checks, compiles, stores the
+ * span in stable storage and release-publishes the pointer. A span is
+ * compiled at most once per program; losing the publication race simply
+ * means reading the winner's pointer. Published spans are immutable and
+ * live as long as the program does.
+ */
+class FuseCache
+{
+  public:
+    explicit FuseCache(std::size_t codeSize) : published_(codeSize) {}
+
+    FuseCache(const FuseCache &) = delete;
+    FuseCache &operator=(const FuseCache &) = delete;
+
+    /** Published span at @p pc, or nullptr while cold. */
+    const FusedSpan *
+    peek(std::int32_t pc) const
+    {
+        return published_[static_cast<std::size_t>(pc)].load(
+            std::memory_order_acquire);
+    }
+
+    /**
+     * Span at @p pc, compiling (once) on first demand. Safe to call
+     * concurrently from any number of Machines.
+     */
+    const FusedSpan *acquire(const DecodedProgram &prog, std::int32_t pc);
+
+    /** Spans compiled so far (tests; racy only in the benign direction). */
+    std::size_t
+    compiledSpans() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return storage_.size();
+    }
+
+  private:
+    std::vector<std::atomic<const FusedSpan *>> published_;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<FusedSpan>> storage_;
+};
+
+} // namespace mts
+
+#endif // MTS_ISA_FUSED_HPP

@@ -51,6 +51,8 @@ makeRunRecord(const RunResult &result, const MachineConfig &config,
     }
     if (result.hasSchedStats)
         publishSchedStats(rec.metrics, "sched", result.sched);
+    if (result.hasFuseStats)
+        publishFuseStats(rec.metrics, "fuse", result.fuse);
     if (config.groupEstimate) {
         rec.metrics.add("estimate.hits", result.estimateHits);
         rec.metrics.add("estimate.misses", result.estimateMisses);

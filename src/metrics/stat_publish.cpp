@@ -139,6 +139,29 @@ schedStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
     return s;
 }
 
+void
+publishFuseStats(MetricsRegistry &reg, const std::string &scope,
+                 const FuseStats &s)
+{
+    reg.add(scope + ".spans", s.spans);
+    reg.add(scope + ".execs", s.execs);
+    reg.add(scope + ".instructions", s.instructions);
+    reg.add(scope + ".bailouts.watermark", s.bailoutWatermark);
+    reg.add(scope + ".bailouts.budget", s.bailoutBudget);
+}
+
+FuseStats
+fuseStatsFromMetrics(const MetricsRegistry &reg, const std::string &scope)
+{
+    FuseStats s;
+    s.spans = reg.counter(scope + ".spans");
+    s.execs = reg.counter(scope + ".execs");
+    s.instructions = reg.counter(scope + ".instructions");
+    s.bailoutWatermark = reg.counter(scope + ".bailouts.watermark");
+    s.bailoutBudget = reg.counter(scope + ".bailouts.budget");
+    return s;
+}
+
 NetworkStats
 networkStatsFromMetrics(const MetricsRegistry &reg,
                         const std::string &scope)

@@ -19,6 +19,7 @@
 
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/fuse_stats.hpp"
 #include "cpu/sched_stats.hpp"
 #include "mem/network.hpp"
 #include "metrics/metrics.hpp"
@@ -38,6 +39,8 @@ void publishLinkStats(MetricsRegistry &reg, const std::string &scope,
                       const NetLinkStats &s);
 void publishSchedStats(MetricsRegistry &reg, const std::string &scope,
                        const SchedStats &s);
+void publishFuseStats(MetricsRegistry &reg, const std::string &scope,
+                      const FuseStats &s);
 /// @}
 
 /// @name Reconstitute a struct from an (aggregated) scope.
@@ -52,6 +55,8 @@ NetLinkStats linkStatsFromMetrics(const MetricsRegistry &reg,
                                   const std::string &scope);
 SchedStats schedStatsFromMetrics(const MetricsRegistry &reg,
                                  const std::string &scope);
+FuseStats fuseStatsFromMetrics(const MetricsRegistry &reg,
+                               const std::string &scope);
 /// @}
 
 } // namespace mts

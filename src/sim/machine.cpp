@@ -308,6 +308,10 @@ Machine::run()
         // traces — identical to the seed.
         if (cfg.swThreadsPerProc > 0)
             publishSchedStats(reg, "sched" + tag, procs[p]->sched);
+        // Likewise the fused-tier scope exists only while the tier is
+        // armed: fuse-off runs keep the seed's exact metric set.
+        if (procs[p]->fuseTier())
+            publishFuseStats(reg, "fuse" + tag, procs[p]->fuse);
         std::uint64_t estHits = 0, estMisses = 0;
         for (int t = 0; t < cfg.effSwThreadsPerProc(); ++t) {
             const auto &g = procs[p]
@@ -339,6 +343,11 @@ Machine::run()
         reg.rollUp("sched");
         r.sched = schedStatsFromMetrics(reg, "sched");
         r.hasSchedStats = true;
+    }
+    if (cfg.numProcs > 0 && procs[0]->fuseTier()) {
+        reg.rollUp("fuse");
+        r.fuse = fuseStatsFromMetrics(reg, "fuse");
+        r.hasFuseStats = true;
     }
 
     r.cpu = cpuStatsFromMetrics(reg, "cpu");

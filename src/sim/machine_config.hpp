@@ -93,6 +93,24 @@ struct MachineConfig
      */
     Cycle ctxSwitchCost = 0;
 
+    /**
+     * Profile-guided superinstruction tier (DESIGN.md §15): hot
+     * purely-local spans are fused into precompiled micro-traces with
+     * static timing. Observationally invisible — on by default; turn
+     * off to force the per-op decoded path (the tier also disables
+     * itself whenever a tracer is attached or the model is
+     * switch-every-cycle).
+     */
+    bool fuseSpans = true;
+
+    /**
+     * Span executions before a local-run head is fused. 1 fuses on
+     * first touch (maximum coverage, used by the differential matrix);
+     * the default skips one-shot code so compile work concentrates on
+     * loops.
+     */
+    std::uint32_t fuseThreshold = 8;
+
     /** Optional event sink (see trace/tracer.hpp); not owned. */
     Tracer *tracer = nullptr;
 
@@ -164,6 +182,10 @@ validateMachineConfig(const MachineConfig &cfg)
                     "quantumCycles must be >= 1 (got " << cfg.quantumCycles
                                                        << ")");
     }
+    if (cfg.fuseSpans)
+        MTS_REQUIRE(cfg.fuseThreshold >= 1,
+                    "fuseThreshold must be >= 1 (got " << cfg.fuseThreshold
+                                                       << ")");
     MTS_REQUIRE(cfg.directory.pointers >= 1 &&
                     cfg.directory.pointers <= kMaxDirPointers,
                 "directory.pointers must be in 1.." << kMaxDirPointers

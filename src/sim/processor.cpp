@@ -191,13 +191,187 @@ execLocal(const DecodedOp &op, ThreadContext &th, Cycle now)
     }
 }
 
+/**
+ * Retire a fused span's micro-trace (DESIGN.md §15). Values only: the
+ * caller has verified the entry guard (scoreboardMax <= now), under
+ * which all intra-span timing was precomputed at fuse time, so no
+ * per-op readiness scan and no per-op scoreboard writes happen here —
+ * the few scoreboard entries that outlive the span are applied by the
+ * caller from FusedSpan::exitDefs. Must raise exactly the diagnostics
+ * execLocal would (div/rem by zero, shared-address local accesses).
+ */
+inline void
+execFusedOps(const FusedSpan &fs, ThreadContext &th)
+{
+    const FusedOp *ops = fs.ops.data();
+    for (std::uint32_t i = 0; i < fs.len; ++i) {
+        const FusedOp &op = ops[i];
+        const auto wI = [&](std::int64_t v) { th.writeIReg(op.rd, v); };
+        const auto wF = [&](double v) { th.fregs[op.rd] = v; };
+        const auto a = [&]() { return th.readIReg(op.rs1); };
+        const auto ua = [&]() { return static_cast<std::uint64_t>(a()); };
+        const auto b = [&]() { return th.readIReg(op.rs2); };
+        const auto ub = [&]() { return static_cast<std::uint64_t>(b()); };
+        const auto fa = [&]() { return th.fregs[op.rs1]; };
+        const auto fb = [&]() { return th.fregs[op.rs2]; };
+        const auto effAddr = [&]() {
+            return static_cast<Addr>(a() + op.imm);
+        };
+
+        switch (op.h) {
+          case Handler::Nop:
+            break;
+          case Handler::Setpri:
+            th.highPriority = op.imm != 0;
+            break;
+
+          case Handler::AddRR:
+            wI(static_cast<std::int64_t>(ua() + ub()));
+            break;
+          case Handler::AddRI:
+            wI(static_cast<std::int64_t>(
+                ua() + static_cast<std::uint64_t>(op.imm)));
+            break;
+          case Handler::SubRR:
+            wI(static_cast<std::int64_t>(ua() - ub()));
+            break;
+          case Handler::SubRI:
+            wI(static_cast<std::int64_t>(
+                ua() - static_cast<std::uint64_t>(op.imm)));
+            break;
+          case Handler::MulRR:
+            wI(static_cast<std::int64_t>(ua() * ub()));
+            break;
+          case Handler::MulRI:
+            wI(static_cast<std::int64_t>(
+                ua() * static_cast<std::uint64_t>(op.imm)));
+            break;
+          case Handler::DivRR: {
+            std::int64_t d = b();
+            MTS_REQUIRE(d != 0,
+                        "div by zero at source line " << op.srcLine);
+            wI(a() / d);
+            break;
+          }
+          case Handler::DivRI: {
+            std::int64_t d = op.imm;
+            MTS_REQUIRE(d != 0,
+                        "div by zero at source line " << op.srcLine);
+            wI(a() / d);
+            break;
+          }
+          case Handler::RemRR: {
+            std::int64_t d = b();
+            MTS_REQUIRE(d != 0,
+                        "rem by zero at source line " << op.srcLine);
+            wI(a() % d);
+            break;
+          }
+          case Handler::RemRI: {
+            std::int64_t d = op.imm;
+            MTS_REQUIRE(d != 0,
+                        "rem by zero at source line " << op.srcLine);
+            wI(a() % d);
+            break;
+          }
+          case Handler::AndRR: wI(a() & b()); break;
+          case Handler::AndRI: wI(a() & op.imm); break;
+          case Handler::OrRR: wI(a() | b()); break;
+          case Handler::OrRI: wI(a() | op.imm); break;
+          case Handler::XorRR: wI(a() ^ b()); break;
+          case Handler::XorRI: wI(a() ^ op.imm); break;
+          case Handler::SllRR:
+            wI(static_cast<std::int64_t>(ua() << (b() & 63)));
+            break;
+          case Handler::SllRI:
+            wI(static_cast<std::int64_t>(ua() << (op.imm & 63)));
+            break;
+          case Handler::SrlRR:
+            wI(static_cast<std::int64_t>(ua() >> (b() & 63)));
+            break;
+          case Handler::SrlRI:
+            wI(static_cast<std::int64_t>(ua() >> (op.imm & 63)));
+            break;
+          case Handler::SraRR: wI(a() >> (b() & 63)); break;
+          case Handler::SraRI: wI(a() >> (op.imm & 63)); break;
+          case Handler::SltRR: wI(a() < b() ? 1 : 0); break;
+          case Handler::SltRI: wI(a() < op.imm ? 1 : 0); break;
+          case Handler::SleRR: wI(a() <= b() ? 1 : 0); break;
+          case Handler::SleRI: wI(a() <= op.imm ? 1 : 0); break;
+          case Handler::SeqRR: wI(a() == b() ? 1 : 0); break;
+          case Handler::SeqRI: wI(a() == op.imm ? 1 : 0); break;
+          case Handler::SneRR: wI(a() != b() ? 1 : 0); break;
+          case Handler::SneRI: wI(a() != op.imm ? 1 : 0); break;
+          case Handler::Li: wI(op.imm); break;
+
+          case Handler::Fadd: wF(fa() + fb()); break;
+          case Handler::Fsub: wF(fa() - fb()); break;
+          case Handler::Fmul: wF(fa() * fb()); break;
+          case Handler::Fdiv: wF(fa() / fb()); break;
+          case Handler::Fsqrt: wF(std::sqrt(fa())); break;
+          case Handler::Fneg: wF(-fa()); break;
+          case Handler::Fabs: wF(std::fabs(fa())); break;
+          case Handler::Fmin: wF(std::fmin(fa(), fb())); break;
+          case Handler::Fmax: wF(std::fmax(fa(), fb())); break;
+          case Handler::Fmv: wF(fa()); break;
+          case Handler::Fli: wF(op.fimm); break;
+          case Handler::Cvtif: wF(static_cast<double>(a())); break;
+          case Handler::Cvtfi:
+            wI(static_cast<std::int64_t>(std::trunc(fa())));
+            break;
+          case Handler::Feq: wI(fa() == fb() ? 1 : 0); break;
+          case Handler::Flt: wI(fa() < fb() ? 1 : 0); break;
+          case Handler::Fle: wI(fa() <= fb() ? 1 : 0); break;
+
+          case Handler::Ldl: {
+            Addr addr = effAddr();
+            MTS_REQUIRE(!isSharedAddr(addr),
+                        "ldl with shared address (line " << op.srcLine
+                                                         << ")");
+            wI(static_cast<std::int64_t>(th.local.read(addr)));
+            break;
+          }
+          case Handler::Fldl: {
+            Addr addr = effAddr();
+            MTS_REQUIRE(!isSharedAddr(addr),
+                        "fldl with shared address (line " << op.srcLine
+                                                          << ")");
+            wF(std::bit_cast<double>(th.local.read(addr)));
+            break;
+          }
+          case Handler::Stl: {
+            Addr addr = effAddr();
+            MTS_REQUIRE(!isSharedAddr(addr),
+                        "stl with shared address (line " << op.srcLine
+                                                         << ")");
+            th.local.write(addr, ub());
+            break;
+          }
+          case Handler::Fstl: {
+            Addr addr = effAddr();
+            MTS_REQUIRE(!isSharedAddr(addr),
+                        "fstl with shared address (line " << op.srcLine
+                                                          << ")");
+            th.local.write(addr,
+                           std::bit_cast<std::uint64_t>(th.fregs[op.rs2]));
+            break;
+          }
+
+          default:
+            MTS_PANIC("handler " << static_cast<int>(op.h)
+                                 << " is not fusable");
+        }
+    }
+}
+
 } // namespace
 
 Processor::Processor(Machine &machine_, std::uint16_t id,
                      const MachineConfig &config, const Program &program,
                      const DecodedProgram &decoded)
     : machine(machine_), cfg(config), code(program.code),
-      dec_(decoded.data()), codeSize_(decoded.size()), procId(id)
+      decoded_(decoded), dec_(decoded.data()), codeSize_(decoded.size()),
+      procId(id)
 {
     const int swCount = cfg.effSwThreadsPerProc();
     threads.reserve(swCount);
@@ -235,6 +409,16 @@ Processor::Processor(Machine &machine_, std::uint16_t id,
     // so both force instruction-at-a-time stepping.
     spanExec_ = cfg.tracer == nullptr &&
                 cfg.model != SwitchModel::SwitchEveryCycle;
+
+    // The fused tier rides on span batching, so every spanExec_ opt-out
+    // (tracer attached — which covers race-detector runs — and
+    // switch-every-cycle) disables it too.
+    fuseTier_ = spanExec_ && cfg.fuseSpans && decoded.fuse != nullptr;
+    if (fuseTier_) {
+        fuseCache_ = decoded.fuse.get();
+        spanHits_.assign(codeSize_, 0);
+        fusedAt_.assign(codeSize_, nullptr);
+    }
 
     if (cfg.cachesEnabled())
         cache_ = std::make_unique<SharedCache>(cfg.cache);
@@ -503,8 +687,9 @@ Processor::runSpan(ThreadContext &th, Cycle &now)
 
     const DecodedOp *ops = dec_;
     std::int32_t pc = th.pc;
-    std::uint64_t executed = 0;
-    while (executed < budget) {
+    std::uint64_t executed = 0;  // instructions retired this batch
+    std::uint64_t spent = 0;     // cycles consumed (+ fused stalls)
+    while (spent < budget) {
         if (static_cast<std::uint32_t>(pc) >= codeSize_)
             break;  // generic step raises the out-of-range diagnostic
         const DecodedOp &op = ops[pc];
@@ -512,7 +697,58 @@ Processor::runSpan(ThreadContext &th, Cycle &now)
         // Purely-local straight-line stretch: the precomputed span
         // length lets this inner loop skip all handler-kind checks.
         if (op.localRun > 0) {
-            std::uint64_t k = budget - executed;
+            // Fused superinstruction tier (DESIGN.md §15): profile the
+            // stretch head while cold (one add per span execution), and
+            // once hot retire the whole compiled micro-trace at once.
+            // The entry guard makes the fuse-time static schedule
+            // exact: a drained scoreboard means every intra-span stall
+            // target is < now + totalCycles <= the batch budget, so
+            // neither the burst horizon, a vt quantum deadline nor a
+            // NeedWait could interleave mid-span on the decoded path.
+            // Any guard miss falls through to the per-op loop below,
+            // which natively splits the span (prefix now, rest later).
+            // kDecFuseHead encodes the decode-time entry policy (see
+            // decoded.hpp): long spans, or short ones with a
+            // long-latency op worth a precomputed stall schedule.
+            if (fuseTier_ && (op.flags & kDecFuseHead) != 0) {
+                const FusedSpan *fs = fusedAt_[pc];
+                if (fs == nullptr &&
+                    ++spanHits_[pc] >= cfg.fuseThreshold) {
+                    fs = fuseCache_->acquire(decoded_, pc);
+                    fusedAt_[pc] = fs;
+                    ++fuse.spans;
+                }
+                if (fs != nullptr) {
+                    if (th.scoreboardMax > now) {
+                        ++fuse.bailoutWatermark;
+                    } else if (fs->totalCycles > budget - spent) {
+                        ++fuse.bailoutBudget;
+                    } else {
+                        execFusedOps(*fs, th);
+                        // Apply the precomputed scoreboard delta: only
+                        // entries that outlive the span (all other
+                        // ready times are <= the exit cycle, where the
+                        // stale pre-span entries are equivalent).
+                        for (const FusedSpan::ExitDef &ed : fs->exitDefs) {
+                            th.regReady[ed.reg] = now + ed.readyOff;
+                            th.pendingShared[ed.reg] = false;
+                        }
+                        if (fs->sbMaxOff >= 0)  // guard proved <= now
+                            th.scoreboardMax =
+                                now + static_cast<Cycle>(fs->sbMaxOff);
+                        stats.stallCycles += fs->stallCycles;
+                        now += fs->totalCycles;
+                        spent += fs->totalCycles;
+                        executed += fs->len;
+                        pc += static_cast<std::int32_t>(fs->len);
+                        ++fuse.execs;
+                        fuse.instructions += fs->len;
+                        continue;
+                    }
+                }
+            }
+
+            std::uint64_t k = budget - spent;
             if (op.localRun < k)
                 k = op.localRun;
             std::uint64_t j = 0;
@@ -527,6 +763,7 @@ Processor::runSpan(ThreadContext &th, Cycle &now)
                 ++j;
             }
             executed += j;
+            spent += j;
             if (j < k)
                 break;  // operand not ready: generic step handles it
             continue;
@@ -593,6 +830,7 @@ Processor::runSpan(ThreadContext &th, Cycle &now)
         pc = nextPc;
         ++now;
         ++executed;
+        ++spent;
     }
     if (executed == 0)
         return false;

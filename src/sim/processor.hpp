@@ -13,9 +13,11 @@
 #include "asm/program.hpp"
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/fuse_stats.hpp"
 #include "cpu/sched_stats.hpp"
 #include "cpu/thread_context.hpp"
 #include "isa/decoded.hpp"
+#include "isa/fused.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/run_queue.hpp"
 #include "trace/tracer.hpp"
@@ -112,10 +114,20 @@ class Processor
         return spanInstructions_;
     }
 
+    /** Whether the fused superinstruction tier is armed for this run. */
+    bool
+    fuseTier() const
+    {
+        return fuseTier_;
+    }
+
     CpuStats stats;
 
     /** Virtual-threading scheduler counters (all zero when 1:1). */
     SchedStats sched;
+
+    /** Fused-tier counters (all zero when the tier is off). */
+    FuseStats fuse;
 
   private:
     /** Inner per-instruction outcome. */
@@ -189,6 +201,7 @@ class Processor
     Machine &machine;
     const MachineConfig &cfg;
     const std::vector<Instruction> &code;  ///< original form (tracing)
+    const DecodedProgram &decoded_;        ///< shared pre-decoded program
     const DecodedOp *dec_;                 ///< pre-decoded, indexed by pc
     std::size_t codeSize_;
     std::uint16_t procId;
@@ -210,6 +223,19 @@ class Processor
     RunQueue runq_{policy_};
 
     bool spanExec_;         ///< local-run batching enabled for this run
+
+    /**
+     * Fused superinstruction tier (DESIGN.md §15). The cache is shared
+     * per program (compiled spans are a pure function of the decoded
+     * ops); the profile — hit counters and the published-span table —
+     * is per processor, so which runs execute fused code is
+     * deterministic regardless of how many Machines share the program.
+     */
+    bool fuseTier_;
+    FuseCache *fuseCache_ = nullptr;          ///< owned by the program
+    std::vector<std::uint32_t> spanHits_;     ///< per-pc profile counter
+    std::vector<const FusedSpan *> fusedAt_;  ///< per-pc fused span
+
     bool freshRun = true;   ///< current thread just switched in
     Cycle effHorizon = 0;   ///< burst bound (shrinks as arrivals enqueue)
     Cycle waitUntil = 0;    ///< resume time for NeedWait

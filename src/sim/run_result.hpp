@@ -7,6 +7,7 @@
 
 #include "cache/cache.hpp"
 #include "cpu/cpu_stats.hpp"
+#include "cpu/fuse_stats.hpp"
 #include "cpu/sched_stats.hpp"
 #include "mem/network.hpp"
 #include "metrics/metrics.hpp"
@@ -51,6 +52,15 @@ struct RunResult
      */
     SchedStats sched;
     bool hasSchedStats = false;
+
+    /**
+     * Fused superinstruction-tier counters, rolled up over all
+     * processors; hasFuseStats is false when the tier is off (fusion
+     * disabled, tracer attached, or switch-every-cycle), in which case
+     * nothing is published under "fuse." either.
+     */
+    FuseStats fuse;
+    bool hasFuseStats = false;
 
     /**
      * Canonical final-state digest (shared static segment + per-thread

@@ -302,7 +302,8 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
     auto runOne = [&](const Variant &v, SwitchModel model, int tpp,
                       const CacheConfig &cache, const NetworkConfig &net,
                       const DirectoryConfig &dir = {}, int swThreads = 0,
-                      Cycle quantum = 0, Cycle ctxCost = 0) {
+                      Cycle quantum = 0, Cycle ctxCost = 0,
+                      bool fuseOff = false) {
         MachineConfig cfg;
         // Virtual-threading runs put all `threads` software threads on
         // enough processors that tpp hardware contexts each multiplex
@@ -320,6 +321,8 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
         cfg.cache = cache;
         cfg.directory = dir;
         cfg.maxCycles = opts.maxCycles;
+        cfg.fuseSpans = !fuseOff;
+        cfg.fuseThreshold = opts.fuseThreshold;
         std::string label = format(
             "%s %s tpp=%d latency=%llu",
             std::string(switchModelName(model)).c_str(), v.name, tpp,
@@ -336,6 +339,8 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
         if (modelUsesCache(model))
             label += format(" cache=%ux%u", cache.sizeWords,
                             cache.lineWords);
+        if (fuseOff)
+            label += " fuse=off";
         ++report.machineRuns;
         try {
             Machine machine(*v.prog, cfg);
@@ -432,6 +437,20 @@ runDifferential(const std::string &userSource, const DiffOptions &opts)
         dir.pointers = 1;
         runOne(variants[1], SwitchModel::ConditionalSwitch, tppMax,
                CacheConfig{8, 2}, mesh, dir);
+    }
+
+    if (opts.includeFused) {
+        // Fused-vs-decoded slice: the matrix above fuses hot spans on
+        // first touch, so re-running two representative configs with
+        // the tier off pins the decoded path against the same reference
+        // digest — any fused/decoded divergence shows up as one of the
+        // two sides disagreeing with the reference.
+        runOne(variants[0], SwitchModel::SwitchOnLoad, tppMax,
+               CacheConfig{}, constNet(opts.latency), {}, 0, 0, 0,
+               /*fuseOff=*/true);
+        runOne(variants[1], SwitchModel::ConditionalSwitch, tppMax,
+               CacheConfig{8, 2}, constNet(opts.latency), {}, 0, 0, 0,
+               /*fuseOff=*/true);
     }
 
     return report;

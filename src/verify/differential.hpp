@@ -89,7 +89,23 @@ struct DiffOptions
      * still has to match the reference. Skipped when `threads` < 2.
      */
     bool includeVThreads = true;
+
+    /**
+     * Also run a fused-vs-decoded slice: two representative configs
+     * re-run with the superinstruction tier forced off. Every *other*
+     * matrix run fuses aggressively (see `fuseThreshold`), so this
+     * slice closes the three-way triangle — fused and decoded
+     * executions must both reproduce the reference digest.
+     */
+    bool includeFused = true;
     bool checkInvariants = true;
+
+    /**
+     * Fuse threshold applied to every matrix run (1 = fuse on first
+     * touch, maximizing fused-path coverage under the digest and
+     * invariant checks).
+     */
+    std::uint32_t fuseThreshold = 1;
 
     /** Threads-per-processor splits (divisors of threads are used). */
     std::vector<int> tppList{1, 2, 4};

@@ -145,6 +145,40 @@ TEST(Differential, VThreadSliceIsInMatrixAndDivergenceFree)
     EXPECT_EQ(vtRep.refDigest, plainRep.refDigest);
 }
 
+TEST(Differential, FusedSliceIsInMatrixAndDivergenceFree)
+{
+    // Every matrix run fuses aggressively (fuseThreshold = 1 by
+    // default), and the fused slice re-runs two representative configs
+    // with the superinstruction tier forced off: switching the slice
+    // off must remove exactly its two runs, and with it on a schedule-
+    // independent program must still match the reference digest — so
+    // fused and decoded executions are both checked against the same
+    // oracle in one matrix.
+    const std::string src = ".entry main\n"
+                            ".shared slots, 4\n"
+                            ".shared acc, 1\n"
+                            "main:\n"
+                            "    la t0, slots\n"
+                            "    add t0, t0, a0\n"
+                            "    mul t1, a0, 7\n"
+                            "    add t1, t1, 1\n"
+                            "    sts t1, 0(t0)\n"
+                            "    li t2, 1\n"
+                            "    faa zero, acc, t2\n"
+                            "    mv v0, t1\n"
+                            "    halt\n";
+    DiffOptions withFused = quickOptions();
+    DiffReport fusedRep = runDifferential(src, withFused);
+    EXPECT_TRUE(fusedRep.ok()) << fusedRep.summary();
+
+    DiffOptions noFused = quickOptions();
+    noFused.includeFused = false;
+    DiffReport plainRep = runDifferential(src, noFused);
+    EXPECT_TRUE(plainRep.ok()) << plainRep.summary();
+    EXPECT_EQ(fusedRep.machineRuns, plainRep.machineRuns + 2);
+    EXPECT_EQ(fusedRep.refDigest, plainRep.refDigest);
+}
+
 TEST(Differential, PinnedSeedsSurviveVirtualThreading)
 {
     // A pinned-seed fuzz slice dedicated to the virtual-threading
@@ -318,4 +352,78 @@ TEST(Differential, DecodedCoreMatchesPerInstructionPathOnPinnedSeeds)
             expectAccountingIdentities(slow, cfg, label + " [stepped]");
         }
     }
+}
+
+TEST(Differential, FusedTierMatchesDecodedPathOnPinnedSeeds)
+{
+    // The three-way identity for the superinstruction tier: pinned
+    // generator seeds (disjoint from the 1..64, 501.., 701.. and 801..
+    // blocks), per model, comparing a machine that fuses every span on
+    // first touch against one with the tier forced off — digest,
+    // completion time and the accounting identities must all hold on
+    // both, and both digests must equal the reference interpreter's.
+    // The machine-checkable form of the DESIGN.md §15 contract.
+    constexpr std::uint64_t kFirstSeed = 901;
+    constexpr int kSeeds = 8;
+
+    std::uint64_t totalFusedInstructions = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+        GenOptions gen;
+        gen.seed = kFirstSeed + s;
+        GeneratedProgram gp = generateProgram(gen);
+        std::string src =
+            gp.usesRuntime ? runtimePrelude() + gp.source : gp.source;
+        Program raw = assemble(src);
+        Program grouped = applyGroupingPass(raw);
+
+        RefOptions refOpts;
+        refOpts.threads = gp.threads;
+        StateDigest refDigest = runReference(raw, refOpts).digest;
+
+        for (SwitchModel model : kAllModels) {
+            const Program &prog =
+                modelNeedsSwitchInstr(model) ? grouped : raw;
+            MachineConfig cfg;
+            cfg.numProcs = 2;
+            cfg.threadsPerProc = gp.threads / 2;
+            cfg.model = model;
+            cfg.network = NetworkConfig{200};
+            cfg.fuseThreshold = 1;  // fuse everything on first touch
+            std::string label =
+                "seed " + std::to_string(gp.seed) + " " +
+                std::string(switchModelName(model));
+
+            Machine fused(prog, cfg);
+            fused.setPrintHandler([](const std::string &) {});
+            RunResult fr = fused.run();
+
+            MachineConfig offCfg = cfg;
+            offCfg.fuseSpans = false;
+            Machine decodedOnly(prog, offCfg);
+            decodedOnly.setPrintHandler([](const std::string &) {});
+            RunResult dr = decodedOnly.run();
+
+            EXPECT_EQ(fr.digest, dr.digest)
+                << label << ": " << fr.digest.hex() << " vs "
+                << dr.digest.hex();
+            EXPECT_EQ(fr.digest, refDigest)
+                << label << ": fused vs reference";
+            EXPECT_EQ(fr.cycles, dr.cycles) << label;
+            EXPECT_EQ(fr.cpu.instructions, dr.cpu.instructions) << label;
+            EXPECT_EQ(fr.cpu.busyCycles, dr.cpu.busyCycles) << label;
+            EXPECT_EQ(fr.cpu.stallCycles, dr.cpu.stallCycles) << label;
+            EXPECT_EQ(fr.cpu.idleCycles, dr.cpu.idleCycles) << label;
+            EXPECT_EQ(fr.cpu.switchesTaken, dr.cpu.switchesTaken)
+                << label;
+            EXPECT_FALSE(dr.hasFuseStats) << label;
+            totalFusedInstructions += fr.fuse.instructions;
+
+            expectAccountingIdentities(fused, cfg, label + " [fused]");
+            expectAccountingIdentities(decodedOnly, offCfg,
+                                       label + " [decoded]");
+        }
+    }
+    // The block must actually have exercised the fused path (the
+    // switch-every-cycle model never fuses; the other six models do).
+    EXPECT_GT(totalFusedInstructions, 0u);
 }

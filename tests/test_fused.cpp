@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Superinstruction tier (src/isa/fused.*, DESIGN.md §15): the symbolic
+ * scoreboard walk must reproduce the decoded path's static timing, the
+ * guards must bail out exactly when fused assumptions break (pending
+ * watermark at entry, quantum deadline inside the span, tracer armed),
+ * and the shared FuseCache must publish identical spans to concurrent
+ * Machines. All execution tests close the loop against a fuse-off run:
+ * same digest, same cycles, same counters.
+ */
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "isa/fused.hpp"
+#include "test_helpers.hpp"
+
+using namespace mts;
+using namespace mts::test;
+
+namespace
+{
+
+/** Tracer that records nothing: disables span batching and fusion. */
+class NullTracer : public Tracer
+{
+};
+
+/** The CpuStats fields a fused run must reproduce bit for bit. */
+void
+expectSameStats(const CpuStats &a, const CpuStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.switchesTaken, b.switchesTaken);
+    EXPECT_EQ(a.switchesSkipped, b.switchesSkipped);
+    EXPECT_EQ(a.zeroRuns, b.zeroRuns);
+    EXPECT_EQ(a.finishTime, b.finishTime);
+    EXPECT_EQ(a.runLengths.count(), b.runLengths.count());
+    EXPECT_EQ(a.runLengths.sum(), b.runLengths.sum());
+}
+
+} // namespace
+
+// Hand-computed static schedule: li (lat 1), add (1), mul (12), a
+// dependent add that must absorb the mul stall, and a trailing mul
+// whose result outlives the span (exit scoreboard entry).
+TEST(Fused, CompileComputesStaticTiming)
+{
+    Program prog = assemble("main:\n"
+                            "    li r8, 7\n"       // issues at 0
+                            "    add r9, r8, 5\n"  // issues at 1
+                            "    mul r10, r9, 3\n" // issues at 2, ready 14
+                            "    add r11, r10, 1\n"// stalls to 14
+                            "    mul r12, r8, 9\n" // issues at 15, ready 27
+                            "    halt\n");
+    DecodedProgram d = decodeProgram(prog.code);
+    ASSERT_EQ(d[0].localRun, 5);
+
+    FusedSpan fs = fuseSpan(d, 0);
+    EXPECT_EQ(fs.startPc, 0);
+    EXPECT_EQ(fs.len, 5u);
+    ASSERT_EQ(fs.issueOff.size(), 5u);
+    EXPECT_EQ(fs.issueOff[0], 0u);
+    EXPECT_EQ(fs.issueOff[1], 1u);
+    EXPECT_EQ(fs.issueOff[2], 2u);
+    EXPECT_EQ(fs.issueOff[3], 14u);  // waits out mul r10 (latency 12)
+    EXPECT_EQ(fs.issueOff[4], 15u);
+    EXPECT_EQ(fs.totalCycles, 16u);  // last issue + 1
+    EXPECT_EQ(fs.stallCycles, 11u);  // 14 - 3 in-order issue slots
+    EXPECT_EQ(fs.sbMaxOff, 27);      // mul r12 ready time
+    // Only r12 is still pending at exit; every earlier result ripened
+    // inside the span and its scoreboard write is elided.
+    ASSERT_EQ(fs.exitDefs.size(), 1u);
+    EXPECT_EQ(fs.exitDefs[0].reg, intReg(12));
+    EXPECT_EQ(fs.exitDefs[0].readyOff, 27u);
+}
+
+TEST(Fused, CompileStopsAtSharedBoundary)
+{
+    // Fusion may never cross a shared access: the span is exactly the
+    // local run, which the decoder already terminates at sts.
+    Program prog = assemble(".shared x, 1\n"
+                            "main:\n"
+                            "    li r8, 5\n"
+                            "    add r9, r8, 1\n"
+                            "    mul r10, r9, 2\n"
+                            "    sts r10, x\n"
+                            "    halt\n");
+    DecodedProgram d = decodeProgram(prog.code);
+    ASSERT_EQ(d[0].localRun, 3);
+
+    FusedSpan fs = fuseSpan(d, 0);
+    EXPECT_EQ(fs.len, 3u);
+    for (const FusedOp &op : fs.ops) {
+        EXPECT_NE(op.h, Handler::SharedLoad);
+        EXPECT_NE(op.h, Handler::SharedStore);
+    }
+}
+
+TEST(Fused, CompileCapsAtMaxFusedOps)
+{
+    // A longer local run fuses as a chain: the compiled span stops at
+    // kMaxFusedOps and the suffix keeps its own profile counter.
+    std::string src = "main:\n    li r8, 0\n";
+    for (int i = 0; i < 299; ++i)
+        src += "    add r8, r8, 1\n";
+    src += "    halt\n";
+    Program prog = assemble(src);
+    DecodedProgram d = decodeProgram(prog.code);
+    ASSERT_EQ(d[0].localRun, 300);
+
+    FusedSpan fs = fuseSpan(d, 0);
+    EXPECT_EQ(fs.len, kMaxFusedOps);
+    EXPECT_EQ(fs.totalCycles, Cycle(kMaxFusedOps));  // all latency-1
+    EXPECT_EQ(fs.stallCycles, 0u);
+    EXPECT_TRUE(fs.exitDefs.empty());
+}
+
+TEST(Fused, ExecutionMatchesDecodedOnApp)
+{
+    // End-to-end: sieve with every span fused on first touch must be
+    // observationally identical to the tier forced off — digest,
+    // cycles, every counter — and the checker must still pass.
+    const App &app = sieveApp();
+    Program prog = assemble(app.source(), app.options(0.08));
+
+    MachineConfig cfg;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.numProcs = 2;
+    cfg.threadsPerProc = 4;
+    cfg.network.roundTrip = 200;
+    cfg.fuseThreshold = 1;
+
+    Machine fused(prog, cfg);
+    app.init(fused);
+    fused.setPrintHandler([](const std::string &) {});
+    RunResult fr = fused.run();
+    AppCheckResult chk = app.check(fused);
+    EXPECT_TRUE(chk.ok) << chk.message;
+
+    MachineConfig offCfg = cfg;
+    offCfg.fuseSpans = false;
+    Machine decodedOnly(prog, offCfg);
+    app.init(decodedOnly);
+    decodedOnly.setPrintHandler([](const std::string &) {});
+    RunResult dr = decodedOnly.run();
+
+    EXPECT_EQ(fr.digest, dr.digest)
+        << fr.digest.hex() << " vs " << dr.digest.hex();
+    EXPECT_EQ(fr.cycles, dr.cycles);
+    expectSameStats(fr.cpu, dr.cpu);
+
+    // The fused run must actually have used the tier, and report it.
+    EXPECT_TRUE(fr.hasFuseStats);
+    EXPECT_GT(fr.fuse.spans, 0u);
+    EXPECT_GT(fr.fuse.execs, 0u);
+    EXPECT_GT(fr.fuse.instructions, 0u);
+    EXPECT_FALSE(dr.hasFuseStats);
+    EXPECT_EQ(dr.fuse.instructions, 0u);
+}
+
+TEST(Fused, WatermarkGuardBailsOutOnPendingResult)
+{
+    // The loop body ends with a mul whose result outlives the span, so
+    // re-entering the loop head finds scoreboardMax > now: the guard
+    // must fall back to the decoded path (never execute with a stale
+    // watermark) and the result must still match a fuse-off run.
+    const std::string src = "main:\n"
+                            "    li r8, 0\n"
+                            "    li r9, 0\n"
+                            "loop:\n"
+                            "    add r10, r9, 3\n"
+                            "    xor r11, r10, 9\n"
+                            "    add r9, r9, 1\n"
+                            "    mul r12, r9, 7\n"
+                            "    blt r9, 100, loop\n"
+                            "    add r2, r8, r12\n"
+                            "    halt\n";
+    MachineConfig cfg = miniConfig();
+    cfg.fuseThreshold = 1;
+    MiniRun fusedRun = runAsm(src, cfg);
+
+    MachineConfig offCfg = cfg;
+    offCfg.fuseSpans = false;
+    MiniRun offRun = runAsm(src, offCfg);
+
+    EXPECT_EQ(fusedRun.result.digest, offRun.result.digest);
+    EXPECT_EQ(fusedRun.result.cycles, offRun.result.cycles);
+    expectSameStats(fusedRun.result.cpu, offRun.result.cpu);
+    EXPECT_GT(fusedRun.result.fuse.execs, 0u);
+    EXPECT_GT(fusedRun.result.fuse.bailoutWatermark, 0u);
+}
+
+TEST(Fused, QuantumDeadlineInsideSpanBailsOut)
+{
+    // Virtual threading with a quantum shorter than the hot span's
+    // totalCycles: the budget guard must split the span (decoded prefix
+    // execution up to the preemption point) instead of overrunning the
+    // deadline, and the digest must still match a fuse-off run.
+    const std::string src = "main:\n"
+                            "    li r8, 0\n"
+                            "    li r9, 0\n"
+                            "loop:\n"
+                            "    mul r10, r9, 5\n"
+                            "    add r11, r10, 1\n"
+                            "    xor r12, r11, 3\n"
+                            "    add r8, r8, r12\n"
+                            "    add r9, r9, 1\n"
+                            "    blt r9, 200, loop\n"
+                            "    mv r2, r8\n"
+                            "    halt\n";
+    MachineConfig cfg = miniConfig();
+    cfg.threadsPerProc = 2;
+    cfg.swThreadsPerProc = 4;
+    cfg.quantumCycles = 7;  // shorter than the span's static schedule
+    cfg.fuseThreshold = 1;
+    MiniRun fusedRun = runAsm(src, cfg);
+
+    MachineConfig offCfg = cfg;
+    offCfg.fuseSpans = false;
+    MiniRun offRun = runAsm(src, offCfg);
+
+    EXPECT_EQ(fusedRun.result.digest, offRun.result.digest);
+    EXPECT_EQ(fusedRun.result.cycles, offRun.result.cycles);
+    expectSameStats(fusedRun.result.cpu, offRun.result.cpu);
+    EXPECT_GT(fusedRun.result.fuse.bailoutBudget, 0u);
+}
+
+TEST(Fused, TracerDisablesFuseTier)
+{
+    // A tracer needs every per-instruction event, so the tier (like the
+    // batcher) must stand down entirely — and say so in the results.
+    const std::string src = "main:\n"
+                            "    li r8, 1\n"
+                            "    add r9, r8, 2\n"
+                            "    mul r2, r9, 3\n"
+                            "    halt\n";
+    MachineConfig cfg = miniConfig();
+    cfg.fuseThreshold = 1;
+    MiniRun fusedRun = runAsm(src, cfg);
+
+    NullTracer tracer;
+    MachineConfig tracedCfg = cfg;
+    tracedCfg.tracer = &tracer;
+    Program prog = assemble(src);
+    Machine traced(prog, tracedCfg);
+    traced.setPrintHandler([](const std::string &) {});
+    RunResult tr = traced.run();
+
+    EXPECT_FALSE(traced.processor(0).fuseTier());
+    EXPECT_FALSE(tr.hasFuseStats);
+    EXPECT_EQ(tr.fuse.execs, 0u);
+    EXPECT_EQ(fusedRun.result.digest, tr.digest);
+    EXPECT_EQ(fusedRun.result.cycles, tr.cycles);
+}
+
+TEST(Fused, ConcurrentMachinesShareOneFuseCache)
+{
+    // The sweep pool's sharing pattern: many Machines over one immutable
+    // DecodedProgram, all fusing on first touch from their own threads.
+    // Publication must be race-free (TSan covers the memory model; this
+    // test pins the semantics): every machine computes the same digest
+    // as a serial baseline, and a second concurrent round compiles
+    // nothing new — the span set is a pure function of the program.
+    const std::string src = ".shared acc, 1\n"
+                            "main:\n"
+                            "    li r8, 0\n"
+                            "    li r9, 0\n"
+                            "loop:\n"
+                            "    add r10, r9, 3\n"
+                            "    mul r11, r10, 5\n"
+                            "    sub r12, r11, r9\n"
+                            "    and r13, r12, 1023\n"
+                            "    add r8, r8, r13\n"
+                            "    add r9, r9, 1\n"
+                            "    blt r9, 50, loop\n"
+                            "    faa r0, acc(r0), r8\n"
+                            "    mv r2, r8\n"
+                            "    halt\n";
+    auto prog = std::make_shared<const Program>(assemble(src));
+    auto decoded =
+        std::make_shared<const DecodedProgram>(decodeProgram(prog->code));
+    ASSERT_NE(decoded->fuse, nullptr);
+
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    cfg.threadsPerProc = 2;
+    cfg.model = SwitchModel::SwitchOnLoad;
+    cfg.network.roundTrip = 200;
+    cfg.fuseThreshold = 1;
+
+    auto runOnce = [&] {
+        Machine m(prog, decoded, cfg);
+        m.setPrintHandler([](const std::string &) {});
+        return m.run().digest;
+    };
+    const StateDigest baseline = runOnce();
+
+    constexpr int kMachines = 8;
+    std::vector<StateDigest> digests(kMachines);
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(kMachines);
+        for (int i = 0; i < kMachines; ++i)
+            pool.emplace_back([&, i] { digests[i] = runOnce(); });
+        for (std::thread &t : pool)
+            t.join();
+    }
+    for (int i = 0; i < kMachines; ++i)
+        EXPECT_EQ(digests[i], baseline) << "machine " << i;
+
+    const std::size_t spans = decoded->fuse->compiledSpans();
+    EXPECT_GT(spans, 0u);
+
+    // Second round: every span is already published, so the cache must
+    // not grow — fusion is memoization, not per-machine state.
+    {
+        std::vector<std::thread> pool;
+        for (int i = 0; i < kMachines; ++i)
+            pool.emplace_back([&] { (void)runOnce(); });
+        for (std::thread &t : pool)
+            t.join();
+    }
+    EXPECT_EQ(decoded->fuse->compiledSpans(), spans);
+}

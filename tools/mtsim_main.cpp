@@ -76,6 +76,12 @@ usage()
         "ladder\n"
         "                      (default: MTS_JOBS, else hardware "
         "concurrency)\n"
+        "  --fuse on|off       profile-guided superinstruction tier "
+        "(default on;\n"
+        "                      observationally identical either way)\n"
+        "  --fuse-threshold N  span executions before fusing "
+        "(default 8)\n"
+        "  --fuse-stats        print fused-tier counters after the run\n"
         "  --group-estimate    enable the Section 5.2 inter-block "
         "grouping estimator\n"
         "  --no-group          skip the grouping pass (raw code)\n"
@@ -106,6 +112,7 @@ main(int argc, char **argv)
     double effTarget = 0.0;
     unsigned jobs = 0;  // 0 = MTS_JOBS / hardware concurrency
     bool wantStats = false;
+    bool wantFuseStats = false;
     bool wantListing = false;
     std::string jsonPath;
     std::uint64_t traceEvents = 0;
@@ -179,6 +186,29 @@ main(int argc, char **argv)
                 effTarget = std::atof(argv[++i]);
             } else if (a == "--jobs") {
                 jobs = static_cast<unsigned>(intArg(i));
+            } else if ((a == "--fuse" && i + 1 < argc) ||
+                       a == "--fuse=on" || a == "--fuse=off") {
+                std::string v = a == "--fuse" ? argv[++i]
+                                              : a.substr(a.find('=') + 1);
+                if (v == "on") {
+                    cfg.fuseSpans = true;
+                } else if (v == "off") {
+                    cfg.fuseSpans = false;
+                } else {
+                    std::fprintf(stderr,
+                                 "mtsim: --fuse expects on|off (got "
+                                 "'%s')\n",
+                                 v.c_str());
+                    return 2;
+                }
+            } else if (a == "--fuse-threshold") {
+                // Clamp negatives to 0 so validateMachineConfig reports
+                // them with the same field-naming diagnostic as 0.
+                long long t = intArg(i);
+                cfg.fuseThreshold =
+                    t <= 0 ? 0 : static_cast<std::uint32_t>(t);
+            } else if (a == "--fuse-stats") {
+                wantFuseStats = true;
             } else if (a == "--group-estimate") {
                 cfg.groupEstimate = true;
             } else if (a == "--no-group") {
@@ -429,6 +459,19 @@ main(int argc, char **argv)
                             gs.basicBlocks, gs.sharedLoads, gs.loadGroups,
                             gs.staticGroupingFactor());
         }
+        if (wantFuseStats)
+            std::printf(
+                "fuse: spans=%llu execs=%llu instructions=%llu "
+                "share=%.3f bailouts=watermark:%llu,budget:%llu\n",
+                (unsigned long long)r.fuse.spans,
+                (unsigned long long)r.fuse.execs,
+                (unsigned long long)r.fuse.instructions,
+                r.cpu.instructions
+                    ? static_cast<double>(r.fuse.instructions) /
+                          static_cast<double>(r.cpu.instructions)
+                    : 0.0,
+                (unsigned long long)r.fuse.bailoutWatermark,
+                (unsigned long long)r.fuse.bailoutBudget);
         if (!jsonPath.empty()) {
             RunRecord rec =
                 makeRunRecord(r, cfg, app ? app->name() : asmFile);
